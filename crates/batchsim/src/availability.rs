@@ -1,0 +1,236 @@
+//! Worker survival and eviction models.
+//!
+//! A worker on a non-dedicated cluster lives until the resource owner
+//! reclaims the node. The paper measures this empirically (Figure 2:
+//! probability of eviction as a function of availability time, highest for
+//! young workers) and feeds it into the task-size simulation of §4.1
+//! (Figure 3), which compares three scenarios: no eviction, a constant
+//! eviction probability of 0.1 per task, and the observed distribution.
+
+use simkit::dist::{Dist, Empirical, Weibull};
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
+
+/// How long a freshly started worker survives before eviction.
+#[derive(Clone, Debug)]
+pub enum AvailabilityModel {
+    /// Workers are never evicted (dedicated resources).
+    Dedicated,
+    /// Exponential survival with the given mean — constant hazard.
+    Exponential {
+        /// Mean worker lifetime.
+        mean: SimDuration,
+    },
+    /// Weibull survival; `shape < 1` makes young workers the most likely
+    /// to be evicted, matching the observed profile of Figure 2.
+    Weibull {
+        /// Scale parameter in hours.
+        scale_hours: f64,
+        /// Shape parameter (dimensionless).
+        shape: f64,
+    },
+    /// Mixture of a short-lived Weibull population and a long-lived one —
+    /// campus pools contain both scavenged desktops and idle batch nodes.
+    Mixture {
+        /// Probability of drawing from the short-lived component.
+        short_frac: f64,
+        /// Short-lived component (hours, shape).
+        short: (f64, f64),
+        /// Long-lived component (hours, shape).
+        long: (f64, f64),
+    },
+    /// Resampled from observed availability intervals (hours).
+    Observed(Empirical),
+}
+
+impl AvailabilityModel {
+    /// The model used throughout the reproduction as the "observed"
+    /// Notre Dame profile: a mixture dominated by short-lived slots with
+    /// a long-lived tail, giving a decreasing hazard like Figure 2.
+    pub fn notre_dame() -> Self {
+        AvailabilityModel::Mixture {
+            short_frac: 0.55,
+            short: (1.2, 0.8),
+            long: (16.0, 1.1),
+        }
+    }
+
+    /// Draw one worker survival time.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            AvailabilityModel::Dedicated => SimDuration::MAX,
+            AvailabilityModel::Exponential { mean } => {
+                let d = simkit::dist::Exponential::new(mean.as_secs_f64());
+                d.sample_secs(rng)
+            }
+            AvailabilityModel::Weibull { scale_hours, shape } => {
+                let d = Weibull::new(*scale_hours, *shape);
+                SimDuration::from_hours_f64(d.sample(rng))
+            }
+            AvailabilityModel::Mixture { short_frac, short, long } => {
+                let (scale, shape) =
+                    if rng.chance(*short_frac) { *short } else { *long };
+                let d = Weibull::new(scale, shape);
+                SimDuration::from_hours_f64(d.sample(rng))
+            }
+            AvailabilityModel::Observed(emp) => {
+                SimDuration::from_hours_f64(emp.sample(rng).max(0.0))
+            }
+        }
+    }
+
+    /// Mean survival time where it exists in closed form; sampled
+    /// estimate (10k draws from a fixed stream) otherwise.
+    pub fn mean(&self) -> SimDuration {
+        match self {
+            AvailabilityModel::Dedicated => SimDuration::MAX,
+            AvailabilityModel::Exponential { mean } => *mean,
+            AvailabilityModel::Weibull { scale_hours, shape } => {
+                SimDuration::from_hours_f64(Weibull::new(*scale_hours, *shape).mean())
+            }
+            _ => {
+                let mut rng = SimRng::new(0x5eed_ab1e);
+                let n = 10_000;
+                let total: f64 =
+                    (0..n).map(|_| self.sample(&mut rng).as_hours_f64()).sum();
+                SimDuration::from_hours_f64(total / n as f64)
+            }
+        }
+    }
+}
+
+/// The eviction scenarios of the paper's Figure 3.
+#[derive(Clone, Debug)]
+pub enum EvictionScenario {
+    /// Solid curve: no eviction.
+    None,
+    /// Dotted curve: a constant eviction probability per unit uptime
+    /// (the paper uses 0.1 — here 0.1 per hour, i.e. exponential
+    /// survival with a 10-hour mean).
+    ConstantHazard {
+        /// Eviction probability per hour of worker uptime.
+        per_hour: f64,
+    },
+    /// Dashed curve: worker survival drawn from the observed model;
+    /// a task is lost when cumulative worker uptime exceeds the draw.
+    Observed(AvailabilityModel),
+}
+
+impl EvictionScenario {
+    /// Human-readable label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictionScenario::None => "no eviction",
+            EvictionScenario::ConstantHazard { .. } => "constant p",
+            EvictionScenario::Observed(_) => "observed",
+        }
+    }
+
+    /// Draw a worker survival time under this scenario.
+    pub fn sample_survival(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            EvictionScenario::None => SimDuration::MAX,
+            EvictionScenario::ConstantHazard { per_hour } => {
+                AvailabilityModel::Exponential {
+                    mean: SimDuration::from_hours_f64(1.0 / per_hour),
+                }
+                .sample(rng)
+            }
+            EvictionScenario::Observed(model) => model.sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_never_evicts() {
+        let m = AvailabilityModel::Dedicated;
+        let mut rng = SimRng::new(1);
+        assert_eq!(m.sample(&mut rng), SimDuration::MAX);
+        assert_eq!(m.mean(), SimDuration::MAX);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let m = AvailabilityModel::Exponential { mean: SimDuration::from_hours(4) };
+        let mut rng = SimRng::new(2);
+        let n = 50_000;
+        let mean_h: f64 =
+            (0..n).map(|_| m.sample(&mut rng).as_hours_f64()).sum::<f64>() / n as f64;
+        assert!((mean_h - 4.0).abs() < 0.1, "{mean_h}");
+    }
+
+    #[test]
+    fn weibull_shape_below_one_has_young_deaths() {
+        // shape < 1 → more mass near zero than exponential of equal mean
+        let m = AvailabilityModel::Weibull { scale_hours: 4.0, shape: 0.7 };
+        let mut rng = SimRng::new(3);
+        let n = 50_000;
+        let under_1h =
+            (0..n).filter(|_| m.sample(&mut rng).as_hours_f64() < 1.0).count() as f64 / n as f64;
+        // For Weibull(4, 0.7): F(1) = 1 - exp(-(1/4)^0.7) ≈ 0.315
+        assert!((under_1h - 0.315).abs() < 0.02, "{under_1h}");
+    }
+
+    #[test]
+    fn mixture_interpolates_components() {
+        let m = AvailabilityModel::Mixture {
+            short_frac: 0.5,
+            short: (1.0, 1.0),
+            long: (10.0, 1.0),
+        };
+        let mean_h = m.mean().as_hours_f64();
+        assert!((mean_h - 5.5).abs() < 0.3, "mixture mean ≈ 5.5h, got {mean_h}");
+    }
+
+    #[test]
+    fn notre_dame_profile_sane() {
+        let m = AvailabilityModel::notre_dame();
+        let mean = m.mean().as_hours_f64();
+        assert!(mean > 2.0 && mean < 12.0, "mean availability {mean}h");
+        let mut rng = SimRng::new(4);
+        for _ in 0..1000 {
+            assert!(m.sample(&mut rng) >= SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn observed_resamples_support() {
+        let emp = Empirical::from_samples(&[2.0, 2.0, 2.0]);
+        let m = AvailabilityModel::Observed(emp);
+        let mut rng = SimRng::new(5);
+        assert_eq!(m.sample(&mut rng), SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn scenario_labels() {
+        assert_eq!(EvictionScenario::None.label(), "no eviction");
+        assert_eq!(
+            EvictionScenario::ConstantHazard { per_hour: 0.1 }.label(),
+            "constant p"
+        );
+        assert_eq!(
+            EvictionScenario::Observed(AvailabilityModel::Dedicated).label(),
+            "observed"
+        );
+    }
+
+    #[test]
+    fn scenario_survival_draws() {
+        let mut rng = SimRng::new(6);
+        assert_eq!(
+            EvictionScenario::None.sample_survival(&mut rng),
+            SimDuration::MAX
+        );
+        let hz = EvictionScenario::ConstantHazard { per_hour: 0.1 };
+        let n = 20_000;
+        let mean_h: f64 = (0..n)
+            .map(|_| hz.sample_survival(&mut rng).as_hours_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_h - 10.0).abs() < 0.3, "exp mean 10h, got {mean_h}");
+    }
+}

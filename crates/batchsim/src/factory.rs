@@ -1,0 +1,168 @@
+//! Worker provisioning policy.
+//!
+//! The paper (§3): "the request for workers is submitted in bulk to a
+//! batch system which can start hundreds to thousands of workers
+//! simultaneously". [`WorkerFactory`] keeps a target number of workers
+//! submitted: whenever the count of live-or-pending workers drops below
+//! the target it emits new submissions, each of which starts after a
+//! batch-system provisioning delay.
+
+use simkit::dist::Dist;
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
+
+/// Factory configuration.
+#[derive(Clone, Debug)]
+pub struct FactoryConfig {
+    /// Desired number of simultaneously live workers.
+    pub target_workers: u32,
+    /// Cores managed by each worker (the paper runs 8-core workers).
+    pub cores_per_worker: u32,
+    /// Mean batch provisioning delay from submit to start.
+    pub mean_submit_delay: SimDuration,
+    /// Maximum submissions emitted per replenish call (bulk-submit cap).
+    pub burst: u32,
+}
+
+impl Default for FactoryConfig {
+    fn default() -> Self {
+        FactoryConfig {
+            target_workers: 1_250, // × 8 cores = the paper's 10k-core scale
+            cores_per_worker: 8,
+            mean_submit_delay: SimDuration::from_mins(2),
+            burst: 500,
+        }
+    }
+}
+
+/// Tracks submitted/live workers and decides when to submit more.
+#[derive(Clone, Debug)]
+pub struct WorkerFactory {
+    cfg: FactoryConfig,
+    pending: u32,
+    live: u32,
+    submitted_total: u64,
+}
+
+impl WorkerFactory {
+    /// New factory with nothing submitted.
+    pub fn new(cfg: FactoryConfig) -> Self {
+        WorkerFactory { cfg, pending: 0, live: 0, submitted_total: 0 }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &FactoryConfig {
+        &self.cfg
+    }
+
+    /// Number of workers submitted but not yet started.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Number of live workers.
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+
+    /// Total submissions ever made.
+    pub fn submitted_total(&self) -> u64 {
+        self.submitted_total
+    }
+
+    /// How many new submissions to make right now; call on a timer or
+    /// after evictions. Each returned delay is an independent provisioning
+    /// delay draw; the caller schedules a worker start at each.
+    pub fn replenish(&mut self, rng: &mut SimRng) -> Vec<SimDuration> {
+        let have = self.pending + self.live;
+        if have >= self.cfg.target_workers {
+            return Vec::new();
+        }
+        let want = (self.cfg.target_workers - have).min(self.cfg.burst);
+        let delay_dist =
+            simkit::dist::Exponential::new(self.cfg.mean_submit_delay.as_secs_f64());
+        let mut out = Vec::with_capacity(want as usize);
+        for _ in 0..want {
+            self.pending += 1;
+            self.submitted_total += 1;
+            out.push(delay_dist.sample_secs(rng));
+        }
+        out
+    }
+
+    /// A pending worker attempted to start. `granted` is whether the pool
+    /// had capacity; ungranted submissions simply vanish (the batch system
+    /// will be asked again on the next replenish).
+    pub fn on_start_attempt(&mut self, granted: bool) {
+        debug_assert!(self.pending > 0, "start without submission");
+        self.pending = self.pending.saturating_sub(1);
+        if granted {
+            self.live += 1;
+        }
+    }
+
+    /// A live worker left (eviction or shutdown).
+    pub fn on_exit(&mut self) {
+        self.live = self.live.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(target: u32, burst: u32) -> FactoryConfig {
+        FactoryConfig {
+            target_workers: target,
+            cores_per_worker: 8,
+            mean_submit_delay: SimDuration::from_mins(2),
+            burst,
+        }
+    }
+
+    #[test]
+    fn replenish_up_to_target() {
+        let mut f = WorkerFactory::new(cfg(10, 100));
+        let mut rng = SimRng::new(1);
+        let delays = f.replenish(&mut rng);
+        assert_eq!(delays.len(), 10);
+        assert_eq!(f.pending(), 10);
+        assert!(f.replenish(&mut rng).is_empty(), "target reached");
+    }
+
+    #[test]
+    fn burst_caps_submission_rate() {
+        let mut f = WorkerFactory::new(cfg(1000, 50));
+        let mut rng = SimRng::new(2);
+        assert_eq!(f.replenish(&mut rng).len(), 50);
+        assert_eq!(f.replenish(&mut rng).len(), 50);
+        assert_eq!(f.pending(), 100);
+    }
+
+    #[test]
+    fn lifecycle_counts() {
+        let mut f = WorkerFactory::new(cfg(5, 100));
+        let mut rng = SimRng::new(3);
+        f.replenish(&mut rng);
+        f.on_start_attempt(true);
+        f.on_start_attempt(false); // no capacity
+        assert_eq!(f.live(), 1);
+        assert_eq!(f.pending(), 3);
+        f.on_exit();
+        assert_eq!(f.live(), 0);
+        // after exits and failed starts, replenish tops back up
+        let more = f.replenish(&mut rng);
+        assert_eq!(more.len(), 2);
+        assert_eq!(f.submitted_total(), 7);
+    }
+
+    #[test]
+    fn delays_are_positive_and_vary() {
+        let mut f = WorkerFactory::new(cfg(100, 100));
+        let mut rng = SimRng::new(4);
+        let delays = f.replenish(&mut rng);
+        assert!(delays.iter().all(|d| *d >= SimDuration::ZERO));
+        let first = delays[0];
+        assert!(delays.iter().any(|d| *d != first), "exponential draws differ");
+    }
+}

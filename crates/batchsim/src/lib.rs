@@ -1,0 +1,28 @@
+//! # batchsim — opportunistic batch system model
+//!
+//! Lobster's workers run as ordinary batch jobs on clusters the user does
+//! not control (the paper uses the Notre Dame HTCondor pool). `batchsim`
+//! is the stand-in for that environment:
+//!
+//! * [`availability`] — worker *survival models*: how long a worker lives
+//!   before the resource owner evicts it. Includes the three eviction
+//!   scenarios of the paper's Figure 3 (none, constant probability,
+//!   observed/empirical) and a Weibull-mixture model whose eviction-vs-
+//!   availability profile matches the shape of Figure 2.
+//! * [`pool`] — an opportunistic capacity process: total cores minus a
+//!   mean-reverting owner-demand random walk; worker starts are granted
+//!   only when idle cores exist, and capacity drops trigger evictions.
+//! * [`factory`] — the worker factory policy: keep N workers submitted,
+//!   with batch-system provisioning delays.
+//! * [`log`] — join/leave logs and the estimator that turns them into the
+//!   per-bin eviction probabilities (with binomial errors) of Figure 2.
+
+pub mod availability;
+pub mod factory;
+pub mod log;
+pub mod pool;
+
+pub use availability::{AvailabilityModel, EvictionScenario};
+pub use factory::WorkerFactory;
+pub use log::{EvictionProfile, WorkerLog};
+pub use pool::OpportunisticPool;

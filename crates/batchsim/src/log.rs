@@ -1,0 +1,222 @@
+//! Worker join/leave logs and the Figure 2 estimator.
+//!
+//! "Worker availability was observed by collecting logs from multiple runs
+//! of Lobster spanning multiple months, marking the times at which a
+//! worker joined and left the system, usually due to eviction by HTCondor.
+//! The probability of worker eviction as a function of these availability
+//! intervals is shown in Figure 2. Uncertainties are estimated using the
+//! binomial model." (§4.1)
+//!
+//! [`WorkerLog`] records join/leave events; [`WorkerLog::eviction_profile`]
+//! bins the availability intervals and estimates, per bin, the fraction of
+//! workers that were *evicted* (as opposed to exiting normally, e.g.
+//! because the run ended), with binomial errors.
+
+use simkit::stats::{binomial_ci, BinomialEstimate};
+use simkit::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Why a worker left.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaveReason {
+    /// The batch system or owner reclaimed the node.
+    Evicted,
+    /// The run ended / the worker was retired deliberately.
+    Retired,
+}
+
+/// One completed worker lifetime.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerSpan {
+    /// Join time.
+    pub joined: SimTime,
+    /// Leave time.
+    pub left: SimTime,
+    /// Why it left.
+    pub reason: LeaveReason,
+}
+
+impl WorkerSpan {
+    /// Availability interval.
+    pub fn availability(&self) -> SimDuration {
+        self.left - self.joined
+    }
+}
+
+/// Join/leave log across runs (worker ids are caller-chosen and must be
+/// unique among concurrently-joined workers).
+#[derive(Clone, Debug, Default)]
+pub struct WorkerLog {
+    open: HashMap<u64, SimTime>,
+    spans: Vec<WorkerSpan>,
+}
+
+impl WorkerLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a worker joining.
+    pub fn join(&mut self, worker: u64, at: SimTime) {
+        let prev = self.open.insert(worker, at);
+        debug_assert!(prev.is_none(), "worker {worker} joined twice");
+    }
+
+    /// Record a worker leaving. Unknown workers are ignored (a leave may
+    /// race a crash-recovery replay).
+    pub fn leave(&mut self, worker: u64, at: SimTime, reason: LeaveReason) {
+        if let Some(joined) = self.open.remove(&worker) {
+            self.spans.push(WorkerSpan { joined, left: at, reason });
+        }
+    }
+
+    /// Completed lifetimes.
+    pub fn spans(&self) -> &[WorkerSpan] {
+        &self.spans
+    }
+
+    /// Workers currently joined.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Estimate the eviction probability per availability-time bin
+    /// (Figure 2). Bins are `bin_width`-wide starting at zero; spans at or
+    /// beyond `max` are collected into the last bin.
+    pub fn eviction_profile(&self, bin_width: SimDuration, max: SimDuration) -> EvictionProfile {
+        assert!(!bin_width.is_zero(), "zero bin width");
+        let nbins = max.as_micros().div_ceil(bin_width.as_micros())
+            .max(1) as usize;
+        let mut evicted = vec![0u64; nbins];
+        let mut total = vec![0u64; nbins];
+        for s in &self.spans {
+            let idx =
+                ((s.availability().as_micros() / bin_width.as_micros()) as usize).min(nbins - 1);
+            total[idx] += 1;
+            if s.reason == LeaveReason::Evicted {
+                evicted[idx] += 1;
+            }
+        }
+        let bins = (0..nbins)
+            .map(|i| {
+                let center = bin_width.mul_f64(i as f64 + 0.5);
+                (center, binomial_ci(evicted[i], total[i], 1.0))
+            })
+            .collect();
+        EvictionProfile { bin_width, bins }
+    }
+}
+
+/// Per-bin eviction probability with binomial errors (Figure 2).
+#[derive(Clone, Debug)]
+pub struct EvictionProfile {
+    /// Width of each availability bin.
+    pub bin_width: SimDuration,
+    /// `(bin_center, estimate)` pairs.
+    pub bins: Vec<(SimDuration, BinomialEstimate)>,
+}
+
+impl EvictionProfile {
+    /// Convert into `(hours, p, err)` rows for plotting.
+    pub fn rows(&self) -> Vec<(f64, f64, f64)> {
+        self.bins
+            .iter()
+            .map(|(c, e)| (c.as_hours_f64(), e.p, e.std_err))
+            .collect()
+    }
+
+    /// Weighted support points `(hours, count)` suitable for resampling
+    /// availability times back into a simulation (the paper's Figure 3
+    /// "observed" scenario is derived from Figure 2 this way).
+    pub fn availability_support(&self) -> Vec<(f64, f64)> {
+        self.bins
+            .iter()
+            .filter(|(_, e)| e.trials > 0)
+            .map(|(c, e)| (c.as_hours_f64(), e.trials as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: f64) -> SimTime {
+        SimTime::from_micros((h * 3.6e9) as u64)
+    }
+
+    #[test]
+    fn spans_record_availability() {
+        let mut log = WorkerLog::new();
+        log.join(1, t(0.0));
+        log.leave(1, t(2.0), LeaveReason::Evicted);
+        assert_eq!(log.spans().len(), 1);
+        assert!((log.spans()[0].availability().as_hours_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leave_without_join_ignored() {
+        let mut log = WorkerLog::new();
+        log.leave(99, t(1.0), LeaveReason::Retired);
+        assert!(log.spans().is_empty());
+    }
+
+    #[test]
+    fn open_count_tracks() {
+        let mut log = WorkerLog::new();
+        log.join(1, t(0.0));
+        log.join(2, t(0.0));
+        assert_eq!(log.open_count(), 2);
+        log.leave(1, t(1.0), LeaveReason::Retired);
+        assert_eq!(log.open_count(), 1);
+    }
+
+    #[test]
+    fn profile_bins_eviction_fractions() {
+        let mut log = WorkerLog::new();
+        // Bin [0,1h): 3 evicted of 4.  Bin [1,2h): 1 evicted of 2.
+        for i in 0..3 {
+            log.join(i, t(0.0));
+            log.leave(i, t(0.5), LeaveReason::Evicted);
+        }
+        log.join(3, t(0.0));
+        log.leave(3, t(0.4), LeaveReason::Retired);
+        log.join(4, t(0.0));
+        log.leave(4, t(1.5), LeaveReason::Evicted);
+        log.join(5, t(0.0));
+        log.leave(5, t(1.6), LeaveReason::Retired);
+
+        let prof =
+            log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(4));
+        assert_eq!(prof.bins.len(), 4);
+        assert_eq!(prof.bins[0].1.p, 0.75);
+        assert_eq!(prof.bins[1].1.p, 0.5);
+        assert_eq!(prof.bins[2].1.trials, 0);
+    }
+
+    #[test]
+    fn long_spans_go_to_last_bin() {
+        let mut log = WorkerLog::new();
+        log.join(1, t(0.0));
+        log.leave(1, t(100.0), LeaveReason::Evicted);
+        let prof =
+            log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(4));
+        assert_eq!(prof.bins[3].1.trials, 1);
+    }
+
+    #[test]
+    fn rows_and_support() {
+        let mut log = WorkerLog::new();
+        log.join(1, t(0.0));
+        log.leave(1, t(0.5), LeaveReason::Evicted);
+        let prof =
+            log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(2));
+        let rows = prof.rows();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].0 - 0.5).abs() < 1e-9, "bin center at 0.5h");
+        assert_eq!(rows[0].1, 1.0);
+        let support = prof.availability_support();
+        assert_eq!(support.len(), 1, "only non-empty bins");
+    }
+}

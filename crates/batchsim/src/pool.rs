@@ -1,0 +1,236 @@
+//! Opportunistic capacity process.
+//!
+//! The cores available to Lobster fluctuate with the resource owner's own
+//! demand: scavenged capacity appears in bursts and vanishes when owner
+//! jobs return (§2: "not dedicated and commonly evict users without
+//! warning as resource availability and scheduling policies dictate").
+//!
+//! [`OpportunisticPool`] models owner demand as a mean-reverting random
+//! walk sampled on a fixed tick; the cores left over are what Lobster's
+//! workers may occupy. When owner demand rises above the leftover, the
+//! pool reports how many of our cores must be evicted.
+
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+
+/// Parameters of the owner-demand process.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Total cores in the cluster.
+    pub total_cores: u32,
+    /// Long-run mean of owner demand (cores).
+    pub owner_mean: f64,
+    /// Mean-reversion strength per tick, in `(0, 1]`.
+    pub reversion: f64,
+    /// Per-tick noise amplitude (cores).
+    pub noise: f64,
+    /// Tick interval for demand updates.
+    pub tick: SimDuration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            total_cores: 24_000,
+            owner_mean: 6_000.0,
+            reversion: 0.1,
+            noise: 600.0,
+            tick: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// The opportunistic core pool.
+#[derive(Clone, Debug)]
+pub struct OpportunisticPool {
+    cfg: PoolConfig,
+    owner_demand: f64,
+    ours: u32,
+    last_tick: SimTime,
+    rng: SimRng,
+}
+
+impl OpportunisticPool {
+    /// New pool with owner demand starting at its mean.
+    pub fn new(cfg: PoolConfig, rng: SimRng) -> Self {
+        let demand = cfg.owner_mean;
+        OpportunisticPool { cfg, owner_demand: demand, ours: 0, last_tick: SimTime::ZERO, rng }
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.cfg.total_cores
+    }
+
+    /// Cores currently held by our workers.
+    pub fn ours(&self) -> u32 {
+        self.ours
+    }
+
+    /// Cores currently held by the owner workload.
+    pub fn owner_cores(&self) -> u32 {
+        (self.owner_demand.round().max(0.0) as u32).min(self.cfg.total_cores)
+    }
+
+    /// Cores free for us right now.
+    pub fn idle_cores(&self) -> u32 {
+        self.cfg.total_cores.saturating_sub(self.owner_cores()).saturating_sub(self.ours)
+    }
+
+    /// The tick interval on which [`OpportunisticPool::tick`] should be
+    /// driven by the simulation.
+    pub fn tick_interval(&self) -> SimDuration {
+        self.cfg.tick
+    }
+
+    /// Advance the owner-demand process to `now`. Returns the number of
+    /// *our* cores that must be evicted because the owner reclaimed them
+    /// (0 if capacity still suffices).
+    pub fn tick(&mut self, now: SimTime) -> u32 {
+        // Catch up on every elapsed tick so demand evolution is
+        // independent of how often we are called.
+        let mut evict_total = 0u32;
+        while now >= self.last_tick + self.cfg.tick {
+            self.last_tick += self.cfg.tick;
+            let noise = (self.rng.f64() * 2.0 - 1.0) * self.cfg.noise;
+            self.owner_demand += self.cfg.reversion * (self.cfg.owner_mean - self.owner_demand)
+                + noise;
+            self.owner_demand = self.owner_demand.clamp(0.0, self.cfg.total_cores as f64);
+            let available_for_us = self.cfg.total_cores - self.owner_cores();
+            if self.ours > available_for_us {
+                let evict = self.ours - available_for_us;
+                self.ours -= evict;
+                evict_total += evict;
+            }
+        }
+        evict_total
+    }
+
+    /// Try to claim `cores` for a new worker. Returns `true` (and records
+    /// the claim) if idle capacity exists.
+    pub fn claim(&mut self, cores: u32) -> bool {
+        if self.idle_cores() >= cores {
+            self.ours += cores;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release `cores` (worker exit or eviction already accounted by the
+    /// caller after [`OpportunisticPool::tick`] reported it).
+    pub fn release(&mut self, cores: u32) {
+        self.ours = self.ours.saturating_sub(cores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(total: u32, owner_mean: f64) -> OpportunisticPool {
+        OpportunisticPool::new(
+            PoolConfig {
+                total_cores: total,
+                owner_mean,
+                reversion: 0.2,
+                noise: 0.0,
+                tick: SimDuration::from_mins(1),
+            },
+            SimRng::new(1),
+        )
+    }
+
+    #[test]
+    fn claim_until_full() {
+        let mut p = pool(100, 40.0);
+        assert_eq!(p.idle_cores(), 60);
+        assert!(p.claim(50));
+        assert_eq!(p.ours(), 50);
+        assert!(!p.claim(20), "only 10 idle remain");
+        assert!(p.claim(10));
+        assert_eq!(p.idle_cores(), 0);
+    }
+
+    #[test]
+    fn release_returns_capacity() {
+        let mut p = pool(100, 0.0);
+        assert!(p.claim(100));
+        p.release(30);
+        assert_eq!(p.ours(), 70);
+        assert_eq!(p.idle_cores(), 30);
+        p.release(1000); // saturates
+        assert_eq!(p.ours(), 0);
+    }
+
+    #[test]
+    fn owner_surge_forces_eviction() {
+        let mut p = OpportunisticPool::new(
+            PoolConfig {
+                total_cores: 100,
+                owner_mean: 90.0,
+                reversion: 1.0, // jump straight to mean on first tick
+                noise: 0.0,
+                tick: SimDuration::from_mins(1),
+            },
+            SimRng::new(2),
+        );
+        p.owner_demand = 0.0;
+        assert!(p.claim(80));
+        let evicted = p.tick(SimTime::from_secs(60));
+        // owner jumps to 90 → only 10 left for us → evict 70
+        assert_eq!(evicted, 70);
+        assert_eq!(p.ours(), 10);
+    }
+
+    #[test]
+    fn tick_is_idempotent_within_interval() {
+        let mut p = pool(100, 50.0);
+        assert_eq!(p.tick(SimTime::from_secs(30)), 0); // before first tick boundary
+        let before = p.owner_cores();
+        assert_eq!(p.tick(SimTime::from_secs(30)), 0);
+        assert_eq!(p.owner_cores(), before);
+    }
+
+    #[test]
+    fn tick_catches_up_multiple_intervals() {
+        let mut p = pool(100, 50.0);
+        p.tick(SimTime::from_secs(600)); // 10 ticks at once
+        assert_eq!(p.last_tick, SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn demand_reverts_to_mean() {
+        let mut p = OpportunisticPool::new(
+            PoolConfig {
+                total_cores: 1000,
+                owner_mean: 400.0,
+                reversion: 0.5,
+                noise: 0.0,
+                tick: SimDuration::from_mins(1),
+            },
+            SimRng::new(3),
+        );
+        p.owner_demand = 0.0;
+        p.tick(SimTime::from_secs(60 * 20));
+        assert!((p.owner_demand - 400.0).abs() < 1.0, "{}", p.owner_demand);
+    }
+
+    #[test]
+    fn demand_stays_in_bounds_under_noise() {
+        let mut p = OpportunisticPool::new(
+            PoolConfig {
+                total_cores: 100,
+                owner_mean: 50.0,
+                reversion: 0.05,
+                noise: 80.0,
+                tick: SimDuration::from_mins(1),
+            },
+            SimRng::new(4),
+        );
+        for i in 1..500 {
+            p.tick(SimTime::from_secs(60 * i));
+            assert!(p.owner_cores() <= 100);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the opportunistic batch models.
+
+use batchsim::availability::{AvailabilityModel, EvictionScenario};
+use batchsim::factory::{FactoryConfig, WorkerFactory};
+use batchsim::log::{LeaveReason, WorkerLog};
+use batchsim::pool::{OpportunisticPool, PoolConfig};
+use proptest::prelude::*;
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Eviction-profile trials always sum to the number of completed
+    /// spans, and every estimate stays in [0, 1].
+    #[test]
+    fn profile_accounts_every_span(
+        spans in prop::collection::vec((0u64..200_000, any::<bool>()), 1..200),
+    ) {
+        let mut log = WorkerLog::new();
+        for (i, (len, evicted)) in spans.iter().enumerate() {
+            log.join(i as u64, SimTime::ZERO);
+            log.leave(
+                i as u64,
+                SimTime::from_secs(*len),
+                if *evicted { LeaveReason::Evicted } else { LeaveReason::Retired },
+            );
+        }
+        let prof = log.eviction_profile(
+            SimDuration::from_hours(2),
+            SimDuration::from_hours(48),
+        );
+        let trials: u64 = prof.bins.iter().map(|(_, e)| e.trials).sum();
+        prop_assert_eq!(trials, spans.len() as u64);
+        for (_, e) in &prof.bins {
+            prop_assert!((0.0..=1.0).contains(&e.p));
+            prop_assert!(e.lo <= e.hi);
+        }
+    }
+
+    /// The pool never hands out more cores than exist, and ours+owner
+    /// never exceeds the total.
+    #[test]
+    fn pool_capacity_invariant(
+        ops in prop::collection::vec((0u8..3, 1u32..64), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let mut pool = OpportunisticPool::new(
+            PoolConfig {
+                total_cores: 1_000,
+                owner_mean: 400.0,
+                reversion: 0.2,
+                noise: 300.0,
+                tick: SimDuration::from_mins(1),
+            },
+            SimRng::new(seed),
+        );
+        let mut minute = 0u64;
+        let mut ours_tracked = 0u32;
+        for (op, cores) in ops {
+            match op {
+                0 => {
+                    if pool.claim(cores) {
+                        ours_tracked += cores;
+                    }
+                }
+                1 => {
+                    let rel = cores.min(ours_tracked);
+                    pool.release(rel);
+                    ours_tracked -= rel;
+                }
+                _ => {
+                    minute += 1;
+                    let evicted = pool.tick(SimTime::from_secs(minute * 60));
+                    ours_tracked = ours_tracked.saturating_sub(evicted);
+                }
+            }
+            prop_assert_eq!(pool.ours(), ours_tracked);
+            prop_assert!(pool.ours() + pool.owner_cores() <= 1_000);
+        }
+    }
+
+    /// Factory counters never go negative and live+pending never exceeds
+    /// target plus in-flight grants.
+    #[test]
+    fn factory_counter_invariants(grant_mask in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut f = WorkerFactory::new(FactoryConfig {
+            target_workers: 50,
+            cores_per_worker: 8,
+            mean_submit_delay: SimDuration::from_mins(1),
+            burst: 20,
+        });
+        let mut rng = SimRng::new(7);
+        let mut pending_delays = 0usize;
+        for granted in grant_mask {
+            if pending_delays == 0 {
+                pending_delays = f.replenish(&mut rng).len();
+            }
+            if pending_delays > 0 {
+                pending_delays -= 1;
+                f.on_start_attempt(granted);
+                if granted && rng.chance(0.3) {
+                    f.on_exit();
+                }
+            }
+            prop_assert!(f.pending() + f.live() <= 50 + 20);
+        }
+    }
+
+    /// Survival draws are nonnegative for every scenario and model.
+    #[test]
+    fn survival_draws_nonnegative(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let scenarios = [
+            EvictionScenario::None,
+            EvictionScenario::ConstantHazard { per_hour: 0.25 },
+            EvictionScenario::Observed(AvailabilityModel::notre_dame()),
+            EvictionScenario::Observed(AvailabilityModel::Weibull {
+                scale_hours: 3.0,
+                shape: 0.8,
+            }),
+        ];
+        for s in &scenarios {
+            for _ in 0..50 {
+                prop_assert!(s.sample_survival(&mut rng) >= SimDuration::ZERO);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 8 (table) — Data processing runtime breakdown.
+//!
+//! Paper values for the two-day ~10k-core run:
+//!
+//! | Task Phase    | Time (h) | Fraction |
+//! |---------------|----------|----------|
+//! | Task CPU Time | 171 036  | 53.4 %   |
+//! | Task I/O Time |  65 356  | 20.4 %   |
+//! | Task Failed   |  44 830  | 14.0 %   |
+//! | WQ Stage In   |  22 056  |  6.9 %   |
+//! | WQ Stage Out  |   8 954  |  2.8 %   |
+//! | Total         | 320 462  |          |
+
+use lobster_bench::{data_processing_setup, run};
+
+const PAPER: [(&str, f64, f64); 5] = [
+    ("Task CPU Time", 171_036.0, 53.4),
+    ("Task I/O Time", 65_356.0, 20.4),
+    ("Task Failed", 44_830.0, 14.0),
+    ("WQ Stage In", 22_056.0, 6.9),
+    ("WQ Stage Out", 8_954.0, 2.8),
+];
+
+fn main() {
+    let report = run(data_processing_setup(2015));
+    let table = report.accounting.table();
+    println!("== Figure 8: data processing runtime breakdown ==\n");
+    println!(
+        "{:>16} {:>12} {:>10}   {:>12} {:>10}",
+        "Task Phase", "ours (h)", "ours (%)", "paper (h)", "paper (%)"
+    );
+    for ((name, hours, frac), (pname, ph, pf)) in table.iter().zip(PAPER) {
+        assert_eq!(*name, pname);
+        println!(
+            "{name:>16} {hours:>12.0} {:>10.1}   {ph:>12.0} {pf:>10.1}",
+            frac * 100.0
+        );
+    }
+    println!(
+        "{:>16} {:>12.0} {:>10}   {:>12.0}",
+        "Total",
+        report.accounting.total(),
+        "",
+        320_462.0
+    );
+    println!("\n-- shape check (paper: CPU dominates; I/O second; failures third;");
+    println!("   WQ staging small) --");
+    let fr: Vec<f64> = table.iter().map(|r| r.2).collect();
+    println!(
+        "cpu > io > wq_in > wq_out: {}",
+        fr[0] > fr[1] && fr[1] > fr[3] && fr[3] > fr[4]
+    );
+    println!("failed fraction: {:.1}% (paper 14.0%)", fr[2] * 100.0);
+}

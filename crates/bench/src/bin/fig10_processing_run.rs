@@ -1,0 +1,53 @@
+//! Figure 10 — Timeline of the data processing run.
+//!
+//! "The time evolution of a data processing run on nearly 10K cores over
+//! two days. The top graph shows the number of concurrent tasks running,
+//! the middle show the number of tasks completed or failed in each time
+//! unit, and the bottom graph shows the (CPU-time/wall-clock) ratio in
+//! each time unit. Note that the maximum possible ratio is approximately
+//! 70% ... The burst of failures midway is due to a transient outage of
+//! the wide-area data handling system."
+//!
+//! Run with `LOBSTER_SCALE=0.05` for a quick smoke test.
+
+use lobster_bench::{data_processing_setup, panel, run};
+
+fn main() {
+    let started = std::time::Instant::now();
+    let report = run(data_processing_setup(2015));
+    let concurrency = report.timeline.concurrency();
+    let completed = report.timeline.completions();
+    let failed = report.timeline.failures();
+    let efficiency = report.timeline.efficiency();
+
+    println!("== Figure 10: timeline of the data processing run ==");
+    println!("(one column = 30 simulated minutes)\n");
+    println!("{}", panel("concurrent tasks", &concurrency));
+    println!("{}", panel("tasks completed / bin", &completed));
+    println!("{}", panel("tasks failed / bin", &failed));
+    println!("{}", panel("efficiency (cpu/wall)", &efficiency));
+
+    let peak_eff = efficiency
+        .iter()
+        .zip(&concurrency)
+        .filter(|(_, &c)| c > report.peak_concurrency * 0.5)
+        .map(|(e, _)| *e)
+        .fold(0.0_f64, f64::max);
+    let burst_bin = failed
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    println!("\n-- summary --");
+    println!("peak concurrent tasks     {:>12.0}   (paper: ~9,000-10,000)", report.peak_concurrency);
+    println!("tasks completed           {:>12}", report.tasks_completed);
+    println!("tasks failed              {:>12}   (burst at bin {burst_bin} ≈ h{})", report.tasks_failed, burst_bin / 2);
+    println!("attempts lost to eviction {:>12}", report.evictions);
+    println!("peak steady efficiency    {:>12.2}   (paper: ≤ ~0.70)", peak_eff);
+    println!("merged files              {:>12}", report.merged_files.len());
+    println!("finished at               {:>12}", report.finished_at.map_or("horizon".into(), |t| t.to_string()));
+    println!("advisor: {:?}", report.advice);
+    eprintln!("[wall-clock {:.1?}]", started.elapsed());
+}

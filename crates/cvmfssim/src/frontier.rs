@@ -1,0 +1,156 @@
+//! Frontier conditions-data access.
+//!
+//! "Apart from the actual information recorded by the LHC, HEP analysis
+//! jobs also depend on configuration and calibration information, which
+//! is distributed from CERN through a network of proxies, using the
+//! Frontier protocol" (§4.2).
+//!
+//! Conditions are versioned by *interval of validity* (IOV): a payload is
+//! valid for a span of detector runs, so two tasks processing runs in the
+//! same IOV can share the cached payload through the squid tier. This
+//! module models the IOV catalogue and the per-task payload a job must
+//! fetch, which feeds into the environment-setup traffic of the drivers.
+
+use serde::{Deserialize, Serialize};
+
+/// One conditions payload with its interval of validity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConditionsIov {
+    /// First detector run covered (inclusive).
+    pub first_run: u32,
+    /// Last detector run covered (inclusive).
+    pub last_run: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+impl ConditionsIov {
+    /// True if `run` falls inside this interval of validity.
+    pub fn covers(&self, run: u32) -> bool {
+        (self.first_run..=self.last_run).contains(&run)
+    }
+}
+
+/// The conditions database: an ordered set of non-overlapping IOVs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FrontierDb {
+    iovs: Vec<ConditionsIov>,
+}
+
+impl FrontierDb {
+    /// Build from IOVs; they are sorted and must not overlap.
+    pub fn new(mut iovs: Vec<ConditionsIov>) -> Self {
+        iovs.sort_by_key(|i| i.first_run);
+        for pair in iovs.windows(2) {
+            assert!(
+                pair[0].last_run < pair[1].first_run,
+                "overlapping IOVs: {pair:?}"
+            );
+        }
+        for iov in &iovs {
+            assert!(iov.first_run <= iov.last_run, "inverted IOV");
+        }
+        FrontierDb { iovs }
+    }
+
+    /// A CMS-typical conditions catalogue: IOVs of ~50 runs, ~8 MB each,
+    /// spanning `first_run..first_run + n_iovs*span`.
+    pub fn synthetic(first_run: u32, n_iovs: u32, span: u32, bytes: u64) -> Self {
+        assert!(span >= 1 && n_iovs >= 1);
+        let iovs = (0..n_iovs)
+            .map(|i| ConditionsIov {
+                first_run: first_run + i * span,
+                last_run: first_run + (i + 1) * span - 1,
+                bytes,
+            })
+            .collect();
+        Self::new(iovs)
+    }
+
+    /// The payload valid for `run`, if catalogued.
+    pub fn lookup(&self, run: u32) -> Option<&ConditionsIov> {
+        // IOVs are sorted by first_run: binary search then bounds check.
+        let idx = self.iovs.partition_point(|i| i.first_run <= run);
+        idx.checked_sub(1).map(|i| &self.iovs[i]).filter(|i| i.covers(run))
+    }
+
+    /// Bytes a task must fetch to process `runs`, deduplicated by IOV —
+    /// tasks covering one IOV pay for the payload once, which is why
+    /// run-contiguous tasklet grouping keeps conditions traffic low.
+    pub fn payload_bytes(&self, runs: &[u32]) -> u64 {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0;
+        for &run in runs {
+            if let Some(iov) = self.lookup(run) {
+                if seen.insert(iov.first_run) {
+                    total += iov.bytes;
+                }
+            }
+        }
+        total
+    }
+
+    /// Number of catalogued IOVs.
+    pub fn len(&self) -> usize {
+        self.iovs.len()
+    }
+
+    /// True if the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.iovs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> FrontierDb {
+        FrontierDb::synthetic(190_000, 4, 50, 8_000_000)
+    }
+
+    #[test]
+    fn lookup_finds_covering_iov() {
+        let db = db();
+        assert_eq!(db.len(), 4);
+        let iov = db.lookup(190_049).expect("covered");
+        assert_eq!(iov.first_run, 190_000);
+        let iov2 = db.lookup(190_050).expect("covered");
+        assert_eq!(iov2.first_run, 190_050);
+    }
+
+    #[test]
+    fn lookup_outside_catalogue() {
+        let db = db();
+        assert!(db.lookup(189_999).is_none());
+        assert!(db.lookup(190_200).is_none());
+    }
+
+    #[test]
+    fn payload_deduplicates_within_iov() {
+        let db = db();
+        // Three runs in the same IOV → one payload.
+        assert_eq!(db.payload_bytes(&[190_001, 190_002, 190_003]), 8_000_000);
+        // Runs straddling two IOVs → two payloads.
+        assert_eq!(db.payload_bytes(&[190_049, 190_050]), 16_000_000);
+        // Uncovered runs cost nothing.
+        assert_eq!(db.payload_bytes(&[1]), 0);
+        assert_eq!(db.payload_bytes(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping IOVs")]
+    fn rejects_overlap() {
+        FrontierDb::new(vec![
+            ConditionsIov { first_run: 1, last_run: 10, bytes: 1 },
+            ConditionsIov { first_run: 5, last_run: 15, bytes: 1 },
+        ]);
+    }
+
+    #[test]
+    fn empty_catalogue() {
+        let db = FrontierDb::default();
+        assert!(db.is_empty());
+        assert!(db.lookup(42).is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! Parrot client caches and the Figure 6 sharing modes.
+//!
+//! Parrot intercepts file-access system calls and caches CVMFS objects in
+//! a local directory. How that directory is shared between the tasks on a
+//! node determines both correctness and cold-start cost (§4.3, Figure 6):
+//!
+//! * **(a) `SingleLocked`** — all tasks share one cache with a single
+//!   read/write lock: cold fills *serialise* (only the lock holder makes
+//!   progress).
+//! * **(b) `PerTask`** — every task gets its own cache: fills proceed
+//!   concurrently but each pulls the full working set (N× the bytes).
+//! * **(c) `PerCondorJob`** — same economics as (b), one cache per batch
+//!   job slot.
+//! * **(d) `AlienShared`** — one cache per worker, exploiting CVMFS
+//!   read-only semantics: all instances populate *concurrently* and the
+//!   working set is pulled once per worker.
+//! * **(e) `AlienNode`** — the alien cache shared by all workers on a
+//!   node: pulled once per node.
+//!
+//! [`SetupPlan::plan`] captures these semantics as (bytes to pull per
+//! fetch stream, number of streams, serialised-or-not), which the DES
+//! driver turns into squid flows; [`CacheState`] tracks per-cache
+//! temperature.
+
+use serde::{Deserialize, Serialize};
+
+/// The five cache-sharing configurations of Figure 6.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CacheMode {
+    /// (a) one cache, whole-cache write lock.
+    SingleLocked,
+    /// (b) one cache per task.
+    PerTask,
+    /// (c) one cache per condor job slot (economics of (b)).
+    PerCondorJob,
+    /// (d) alien cache shared by the tasks of one worker.
+    AlienShared,
+    /// (e) alien cache shared by all workers on the node.
+    AlienNode,
+}
+
+impl CacheMode {
+    /// All modes, in figure order.
+    pub const ALL: [CacheMode; 5] = [
+        CacheMode::SingleLocked,
+        CacheMode::PerTask,
+        CacheMode::PerCondorJob,
+        CacheMode::AlienShared,
+        CacheMode::AlienNode,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheMode::SingleLocked => "(a) single locked cache",
+            CacheMode::PerTask => "(b) cache per task",
+            CacheMode::PerCondorJob => "(c) cache per condor job",
+            CacheMode::AlienShared => "(d) alien cache per worker",
+            CacheMode::AlienNode => "(e) alien cache per node",
+        }
+    }
+}
+
+/// Temperature of one cache directory.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheState {
+    /// Fully populated — subsequent setups are hot.
+    pub hot: bool,
+    /// Bytes pulled into this cache so far.
+    pub bytes: u64,
+}
+
+impl CacheState {
+    /// Record a completed fill of `bytes`.
+    pub fn fill(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.hot = true;
+    }
+}
+
+/// What a node-wide cold start must transfer under a given mode.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SetupPlan {
+    /// Distinct working-set copies pulled from the proxy.
+    pub copies: u32,
+    /// Concurrent fetch streams available to pull them.
+    pub streams: u32,
+    /// Bytes of one working-set copy.
+    pub copy_bytes: u64,
+    /// Multiplicative slowdown from lock contention (> 1 only for the
+    /// Figure 6(a) whole-cache write lock).
+    pub lock_overhead: f64,
+}
+
+impl SetupPlan {
+    /// Plan the cold start of `tasks_per_worker × workers_per_node` task
+    /// instances under `mode`, with a working set of `cold_bytes`.
+    pub fn plan(
+        mode: CacheMode,
+        tasks_per_worker: u32,
+        workers_per_node: u32,
+        cold_bytes: u64,
+    ) -> SetupPlan {
+        assert!(tasks_per_worker >= 1 && workers_per_node >= 1);
+        let tasks_on_node = tasks_per_worker * workers_per_node;
+        match mode {
+            // One copy is pulled, but the write lock admits a single
+            // fetching instance at a time: one stream, plus contention
+            // overhead from the other instances hammering the lock.
+            CacheMode::SingleLocked => SetupPlan {
+                copies: 1,
+                streams: 1,
+                copy_bytes: cold_bytes,
+                lock_overhead: 1.25,
+            },
+            // Every instance pulls its own full copy, concurrently.
+            CacheMode::PerTask | CacheMode::PerCondorJob => SetupPlan {
+                copies: tasks_on_node,
+                streams: tasks_on_node,
+                copy_bytes: cold_bytes,
+                lock_overhead: 1.0,
+            },
+            // One copy per worker, populated concurrently by all of that
+            // worker's task instances (read-only ⇒ no lock).
+            CacheMode::AlienShared => SetupPlan {
+                copies: workers_per_node,
+                streams: tasks_on_node,
+                copy_bytes: cold_bytes,
+                lock_overhead: 1.0,
+            },
+            // One copy per node, populated by every instance on the node.
+            CacheMode::AlienNode => SetupPlan {
+                copies: 1,
+                streams: tasks_on_node,
+                copy_bytes: cold_bytes,
+                lock_overhead: 1.0,
+            },
+        }
+    }
+
+    /// Total bytes pulled from the proxy by this plan.
+    pub fn total_bytes(&self) -> u64 {
+        self.copies as u64 * self.copy_bytes
+    }
+
+    /// Wall-clock until *every* instance on the node can start, given a
+    /// per-stream rate and an aggregate node/proxy ceiling (bytes/second).
+    pub fn wall_clock_secs(&self, per_stream_rate: f64, aggregate_cap: f64) -> f64 {
+        assert!(per_stream_rate > 0.0 && aggregate_cap > 0.0);
+        let effective = (self.streams as f64 * per_stream_rate).min(aggregate_cap);
+        self.lock_overhead * self.total_bytes() as f64 / effective
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    const WS: u64 = 1_500_000_000; // 1.5 GB working set
+
+    #[test]
+    fn single_locked_one_copy_one_stream() {
+        let p = SetupPlan::plan(CacheMode::SingleLocked, 8, 1, WS);
+        assert_eq!(p.copies, 1);
+        assert_eq!(p.streams, 1);
+        assert!(p.lock_overhead > 1.0);
+        assert_eq!(p.total_bytes(), WS);
+    }
+
+    #[test]
+    fn per_task_multiplies_bytes() {
+        let p = SetupPlan::plan(CacheMode::PerTask, 8, 1, WS);
+        assert_eq!(p.copies, 8);
+        assert_eq!(p.streams, 8);
+        assert_eq!(p.total_bytes(), 8 * WS);
+        let c = SetupPlan::plan(CacheMode::PerCondorJob, 8, 1, WS);
+        assert_eq!(c, p, "(b) and (c) share economics");
+    }
+
+    #[test]
+    fn alien_shared_one_copy_per_worker() {
+        let p = SetupPlan::plan(CacheMode::AlienShared, 8, 3, WS);
+        assert_eq!(p.copies, 3);
+        assert_eq!(p.streams, 24, "all instances can fetch");
+        assert_eq!(p.total_bytes(), 3 * WS);
+    }
+
+    #[test]
+    fn alien_node_single_copy() {
+        let p = SetupPlan::plan(CacheMode::AlienNode, 8, 3, WS);
+        assert_eq!(p.copies, 1);
+        assert_eq!(p.streams, 24);
+        assert_eq!(p.total_bytes(), WS);
+    }
+
+    #[test]
+    fn wall_clock_ordering_matches_figure6() {
+        // 8 tasks, 1 worker, 10 MB/s per stream, 40 MB/s node uplink.
+        let rate = 10e6;
+        let cap = 40e6;
+        let t = |m| SetupPlan::plan(m, 8, 1, WS).wall_clock_secs(rate, cap);
+        let (a, b, d, e) = (
+            t(CacheMode::SingleLocked),
+            t(CacheMode::PerTask),
+            t(CacheMode::AlienShared),
+            t(CacheMode::AlienNode),
+        );
+        // d = e (one worker/node) beats the lock pathology (a), which in
+        // turn beats pulling 8 duplicate copies (b).
+        assert_eq!(d, e, "one worker per node → (d) == (e)");
+        assert!(d < a, "alien beats lock serialisation: {d} vs {a}");
+        assert!(a < b, "one locked copy still beats 8 duplicated: {a} vs {b}");
+        // Concrete values: d = 1.5e9/40e6 = 37.5 s; a = 1.25·1.5e9/10e6.
+        assert!((d - 37.5).abs() < 1e-9);
+        assert!((a - 187.5).abs() < 1e-9);
+        assert!((b - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_respects_aggregate_cap() {
+        // 8 streams of 10 MB/s would want 80 MB/s but the cap is 20 MB/s.
+        let p = SetupPlan::plan(CacheMode::PerTask, 8, 1, 1_000_000);
+        let secs = p.wall_clock_secs(10e6, 20e6);
+        assert!((secs - 0.4).abs() < 1e-9, "{secs}");
+    }
+
+    #[test]
+    fn cache_state_fill() {
+        let mut c = CacheState::default();
+        assert!(!c.hot);
+        c.fill(100);
+        assert!(c.hot);
+        assert_eq!(c.bytes, 100);
+        c.fill(50);
+        assert_eq!(c.bytes, 150);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            CacheMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,236 @@
+//! Squid proxy model.
+//!
+//! "LibCVMFS allows ... the HTTP protocol ... This makes it possible to
+//! use Squid proxy servers, which cache HTTP requests to reduce the load
+//! when accessing CVMFS repositories." (§4.3)
+//!
+//! A proxy is modelled as a fair-shared pipe ([`simnet::FairLink`]) with a
+//! per-client rate cap: a single client never exceeds `per_client_cap`
+//! (TCP/HTTP pipelining limits), and once the client count exceeds
+//! `bandwidth / per_client_cap` everyone slows down together — that ratio
+//! *is* the ≈1000-client knee of Figure 5. Requests whose projected
+//! completion exceeds `timeout` are reported as failures, which is the
+//! mechanism behind the squid-related task failures early in the paper's
+//! 20k-core run (Figure 11, bottom panel).
+
+use simkit::time::{SimDuration, SimTime};
+use simnet::link::{FairLink, FlowId};
+
+/// Proxy sizing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SquidConfig {
+    /// Aggregate bandwidth out of the proxy (bytes/second).
+    pub bandwidth: f64,
+    /// Per-client ceiling (bytes/second).
+    pub per_client_cap: f64,
+    /// Client-side timeout: requests projected past this fail.
+    pub timeout: SimDuration,
+}
+
+impl Default for SquidConfig {
+    fn default() -> Self {
+        SquidConfig {
+            // 10 Gbit/s proxy NIC, ~1.25 MB/s per client stream: the knee
+            // lands at bandwidth / cap = 1000 clients (Figure 5).
+            bandwidth: simnet::units::gbit_per_s(10.0),
+            per_client_cap: 1.25e6,
+            timeout: SimDuration::from_mins(90),
+        }
+    }
+}
+
+/// A single Squid proxy.
+#[derive(Clone, Debug)]
+pub struct Squid {
+    cfg: SquidConfig,
+    link: FairLink,
+    requests_failed: u64,
+}
+
+impl Squid {
+    /// Proxy with the given sizing.
+    pub fn new(cfg: SquidConfig) -> Self {
+        let link = FairLink::new(cfg.bandwidth).with_unit_rate_cap(cfg.per_client_cap);
+        Squid { cfg, link, requests_failed: 0 }
+    }
+
+    /// Proxy with the paper-calibrated defaults.
+    pub fn default_sized() -> Self {
+        Self::new(SquidConfig::default())
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &SquidConfig {
+        &self.cfg
+    }
+
+    /// The client count at which performance begins to suffer —
+    /// `bandwidth / per_client_cap` (≈1000 with defaults, as in Fig. 5).
+    pub fn knee_clients(&self) -> f64 {
+        self.cfg.bandwidth / self.cfg.per_client_cap
+    }
+
+    /// Begin serving `bytes` to one client. Returns the flow handle, or
+    /// `Err(())` recording a failure if the *projected* completion already
+    /// exceeds the timeout (client would give up — the squid-related
+    /// failure mode of Figure 11).
+    pub fn request(&mut self, now: SimTime, bytes: u64) -> Result<FlowId, ()> {
+        let projected = self.estimate(now, bytes);
+        if projected > self.cfg.timeout {
+            self.requests_failed += 1;
+            return Err(());
+        }
+        Ok(self.link.admit_flow(now, bytes))
+    }
+
+    /// Projected service time for `bytes` given the current client count
+    /// (assumes the population stays as-is — an estimate, not a promise).
+    pub fn estimate(&mut self, now: SimTime, bytes: u64) -> SimDuration {
+        let clients = (self.link.active() + 1) as f64;
+        let rate = (self.cfg.bandwidth / clients).min(self.cfg.per_client_cap);
+        let _ = now;
+        SimDuration::from_secs_f64(bytes as f64 / rate)
+    }
+
+    /// Next flow completion (see [`FairLink::next_completion`]).
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        self.link.next_completion()
+    }
+
+    /// Flows completed by `now`.
+    pub fn completions(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.link.completions(now)
+    }
+
+    /// Abort a flow (client evicted mid-fetch).
+    pub fn abort(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
+        self.link.abort(now, id)
+    }
+
+    /// Active client flows.
+    pub fn active_clients(&self) -> usize {
+        self.link.active()
+    }
+
+    /// Requests failed by projected timeout.
+    pub fn requests_failed(&self) -> u64 {
+        self.requests_failed
+    }
+
+    /// Total bytes served.
+    pub fn bytes_served(&mut self, now: SimTime) -> f64 {
+        self.link.bytes_delivered(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::units::{GB, MB};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_micros((s * 1e6) as u64)
+    }
+
+    fn small_squid() -> Squid {
+        Squid::new(SquidConfig {
+            bandwidth: 100.0,
+            per_client_cap: 10.0,
+            timeout: SimDuration::from_secs(1_000),
+        })
+    }
+
+    #[test]
+    fn knee_is_bandwidth_over_cap() {
+        assert_eq!(small_squid().knee_clients(), 10.0);
+        assert!((Squid::default_sized().knee_clients() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_client_capped() {
+        let mut s = small_squid();
+        let id = s.request(t(0.0), 100).unwrap();
+        let (when, who) = s.next_completion().unwrap();
+        assert_eq!(who, id);
+        // 100 bytes at the 10 B/s cap, not the 100 B/s pipe.
+        assert!((when.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn below_knee_latency_flat() {
+        // 5 clients: each still gets the 10 B/s cap.
+        let mut s = small_squid();
+        for _ in 0..5 {
+            s.request(t(0.0), 100).unwrap();
+        }
+        let (when, _) = s.next_completion().unwrap();
+        assert!((when.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beyond_knee_latency_grows() {
+        // 20 clients on a 10-client knee: each gets 5 B/s.
+        let mut s = small_squid();
+        for _ in 0..20 {
+            s.request(t(0.0), 100).unwrap();
+        }
+        let (when, _) = s.next_completion().unwrap();
+        assert!((when.as_secs_f64() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overload_times_out_requests() {
+        let mut s = Squid::new(SquidConfig {
+            bandwidth: 100.0,
+            per_client_cap: 10.0,
+            timeout: SimDuration::from_secs(15),
+        });
+        // Fill to 2x the knee, then the next request projects past timeout.
+        let mut failed = 0;
+        for _ in 0..30 {
+            if s.request(t(0.0), 100).is_err() {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0, "overloaded proxy should reject");
+        assert_eq!(s.requests_failed(), failed);
+    }
+
+    #[test]
+    fn default_sizing_cold_fill_takes_about_20_minutes() {
+        // 1.5 GB at 1.25 MB/s ≈ 1200 s — the per-worker cold cost that,
+        // multiplied by contention at 20k scale, produces Figure 11's
+        // 400-minute setup peak.
+        let mut s = Squid::default_sized();
+        s.request(t(0.0), (1.5 * GB as f64) as u64).unwrap();
+        let (when, _) = s.next_completion().unwrap();
+        let mins = when.as_secs_f64() / 60.0;
+        assert!((mins - 20.0).abs() < 0.5, "cold fill {mins} min");
+    }
+
+    #[test]
+    fn abort_frees_client_slot() {
+        let mut s = small_squid();
+        let a = s.request(t(0.0), 1000).unwrap();
+        assert_eq!(s.active_clients(), 1);
+        let served = s.abort(t(10.0), a).unwrap();
+        assert_eq!(served, 100); // 10s at 10 B/s
+        assert_eq!(s.active_clients(), 0);
+    }
+
+    #[test]
+    fn bytes_served_accumulates() {
+        let mut s = small_squid();
+        s.request(t(0.0), 50).unwrap();
+        let (when, _) = s.next_completion().unwrap();
+        s.completions(when);
+        assert!((s.bytes_served(when) - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hot_traffic_far_below_timeout() {
+        let mut s = Squid::default_sized();
+        let est = s.estimate(t(0.0), 10 * MB);
+        assert!(est < SimDuration::from_secs(10));
+    }
+}

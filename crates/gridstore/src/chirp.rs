@@ -1,0 +1,180 @@
+//! Chirp stage-out server.
+//!
+//! "To facilitate concurrent transfer of the job outputs to a storage
+//! element, we use a Chirp user level file server to provide access to a
+//! backend Hadoop cluster" (§4.2). The server admits a bounded number of
+//! concurrent connections — the limit that keeps "the underlying hardware
+//! from becoming completely unresponsive" — and queues the rest FIFO;
+//! "waves of tasks finishing at the same time" then produce the periodic
+//! stage-out delays of Figure 11 (§6).
+//!
+//! Model: a [`simkit::queue::Server`] with `max_connections` slots whose
+//! per-job service time is `bytes / per_connection_rate` plus a fixed
+//! connection setup cost.
+
+use simkit::queue::{Grant, Server};
+use simkit::time::{SimDuration, SimTime};
+
+/// Chirp server sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ChirpConfig {
+    /// Concurrent connections served (the rest queue).
+    pub max_connections: usize,
+    /// Throughput of one connection (bytes/second).
+    pub per_connection_rate: f64,
+    /// Fixed per-transfer setup cost (auth, namespace ops).
+    pub setup_cost: SimDuration,
+}
+
+impl Default for ChirpConfig {
+    fn default() -> Self {
+        ChirpConfig {
+            max_connections: 64,
+            per_connection_rate: 30e6, // ~30 MB/s per stream into HDFS
+            setup_cost: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// The stage-out server.
+#[derive(Clone, Debug)]
+pub struct ChirpServer {
+    cfg: ChirpConfig,
+    server: Server,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl ChirpServer {
+    /// Server with the given sizing.
+    pub fn new(cfg: ChirpConfig) -> Self {
+        assert!(cfg.max_connections >= 1);
+        assert!(cfg.per_connection_rate > 0.0);
+        ChirpServer { cfg, server: Server::new(cfg.max_connections), bytes_in: 0, bytes_out: 0 }
+    }
+
+    /// Paper-calibrated default sizing.
+    pub fn default_sized() -> Self {
+        Self::new(ChirpConfig::default())
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &ChirpConfig {
+        &self.cfg
+    }
+
+    fn service_time(&self, bytes: u64) -> SimDuration {
+        self.cfg.setup_cost
+            + SimDuration::from_secs_f64(bytes as f64 / self.cfg.per_connection_rate)
+    }
+
+    /// Offer an upload (stage-out) of `bytes` arriving at `now`. The
+    /// returned grant says when the transfer starts and completes.
+    pub fn put(&mut self, now: SimTime, bytes: u64) -> Grant {
+        self.bytes_in += bytes;
+        self.server.offer(now, self.service_time(bytes))
+    }
+
+    /// Offer a download (stage-in from local storage) of `bytes`.
+    pub fn get(&mut self, now: SimTime, bytes: u64) -> Grant {
+        self.bytes_out += bytes;
+        self.server.offer(now, self.service_time(bytes))
+    }
+
+    /// Transfers served so far.
+    pub fn transfers(&self) -> u64 {
+        self.server.jobs()
+    }
+
+    /// Mean queueing delay per transfer so far.
+    pub fn mean_wait(&self) -> SimDuration {
+        self.server.mean_wait()
+    }
+
+    /// Connections that would be busy at `now`.
+    pub fn backlog(&self, now: SimTime) -> usize {
+        self.server.backlog(now)
+    }
+
+    /// `(bytes staged in to storage, bytes read out of storage)`.
+    pub fn volume(&self) -> (u64, u64) {
+        (self.bytes_in, self.bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn small() -> ChirpServer {
+        ChirpServer::new(ChirpConfig {
+            max_connections: 2,
+            per_connection_rate: 100.0,
+            setup_cost: SimDuration::from_secs(1),
+        })
+    }
+
+    #[test]
+    fn transfer_time_includes_setup() {
+        let mut c = small();
+        let g = c.put(t(0), 500); // 5s transfer + 1s setup
+        assert_eq!(g.start, t(0));
+        assert_eq!(g.done, t(6));
+    }
+
+    #[test]
+    fn connection_limit_queues_excess() {
+        let mut c = small();
+        let g1 = c.put(t(0), 100); // 2s
+        let g2 = c.put(t(0), 100);
+        let g3 = c.put(t(0), 100); // must wait for a slot
+        assert_eq!(g1.start, t(0));
+        assert_eq!(g2.start, t(0));
+        assert_eq!(g3.start, t(2));
+        assert_eq!(g3.done, t(4));
+    }
+
+    #[test]
+    fn wave_of_finishers_causes_wave_of_waits() {
+        // The Figure 11 mechanism: 20 simultaneous uploads on 2 slots.
+        let mut c = small();
+        let mut waits = Vec::new();
+        for _ in 0..20 {
+            waits.push(c.put(t(100), 100).waited.as_secs_f64());
+        }
+        assert_eq!(waits[0], 0.0);
+        assert_eq!(waits[1], 0.0);
+        assert!(waits[19] > waits[2], "later arrivals wait longer");
+        assert_eq!(waits[19], 18.0, "9 rounds × 2s service");
+        assert!(c.mean_wait() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn get_and_put_both_occupy_connections() {
+        let mut c = small();
+        c.put(t(0), 100);
+        c.get(t(0), 100);
+        let g = c.get(t(0), 100);
+        assert_eq!(g.start, t(2));
+        assert_eq!(c.volume(), (100, 200));
+        assert_eq!(c.transfers(), 3);
+    }
+
+    #[test]
+    fn backlog_reflects_busy_connections() {
+        let mut c = small();
+        c.put(t(0), 1000); // 11s
+        assert_eq!(c.backlog(t(5)), 1);
+        assert_eq!(c.backlog(t(20)), 0);
+    }
+
+    #[test]
+    fn default_sizing_sane() {
+        let c = ChirpServer::default_sized();
+        assert_eq!(c.config().max_connections, 64);
+    }
+}

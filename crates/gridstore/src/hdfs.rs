@@ -1,0 +1,251 @@
+//! HDFS-style bulk storage.
+//!
+//! Within CMS, "Hadoop is typically used to take advantage only of the
+//! bulk storage capabilities" (§4.4). This model covers what Lobster needs
+//! from it: a named-file namespace, block placement with replication over
+//! datanodes (so capacity accounting is honest), and optional real byte
+//! content for the in-process Map-Reduce merge path.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default HDFS block size (128 MB).
+pub const BLOCK_SIZE: u64 = 128 * 1024 * 1024;
+
+/// Metadata of one stored file.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    /// File size in bytes.
+    pub size: u64,
+    /// Datanode indices holding each block (block → replicas).
+    pub blocks: Vec<Vec<usize>>,
+}
+
+struct Inner {
+    n_datanodes: usize,
+    replication: usize,
+    files: HashMap<String, FileMeta>,
+    content: HashMap<String, Arc<Vec<u8>>>,
+    used_per_node: Vec<u64>,
+    next_node: usize,
+}
+
+/// A thread-safe HDFS namespace + block placement model.
+pub struct Hdfs {
+    inner: RwLock<Inner>,
+}
+
+impl Hdfs {
+    /// Cluster with `n_datanodes` nodes and `replication` copies per block.
+    pub fn new(n_datanodes: usize, replication: usize) -> Self {
+        assert!(n_datanodes >= 1);
+        assert!((1..=n_datanodes).contains(&replication), "replication > nodes");
+        Hdfs {
+            inner: RwLock::new(Inner {
+                n_datanodes,
+                replication,
+                files: HashMap::new(),
+                content: HashMap::new(),
+                used_per_node: vec![0; n_datanodes],
+                next_node: 0,
+            }),
+        }
+    }
+
+    /// Store a metadata-only file of `size` bytes (simulation path).
+    /// Returns `false` if the name already exists.
+    pub fn put_size(&self, name: &str, size: u64) -> bool {
+        let mut g = self.inner.write();
+        if g.files.contains_key(name) {
+            return false;
+        }
+        let meta = place(&mut g, size);
+        g.files.insert(name.to_string(), meta);
+        true
+    }
+
+    /// Store real bytes (Map-Reduce merge path).
+    pub fn put_bytes(&self, name: &str, data: Vec<u8>) -> bool {
+        let mut g = self.inner.write();
+        if g.files.contains_key(name) {
+            return false;
+        }
+        let meta = place(&mut g, data.len() as u64);
+        g.files.insert(name.to_string(), meta);
+        g.content.insert(name.to_string(), Arc::new(data));
+        true
+    }
+
+    /// File metadata.
+    pub fn stat(&self, name: &str) -> Option<FileMeta> {
+        self.inner.read().files.get(name).cloned()
+    }
+
+    /// File content, if stored with bytes.
+    pub fn read(&self, name: &str) -> Option<Arc<Vec<u8>>> {
+        self.inner.read().content.get(name).map(Arc::clone)
+    }
+
+    /// Delete a file; returns whether it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        let mut g = self.inner.write();
+        let Some(meta) = g.files.remove(name) else {
+            return false;
+        };
+        g.content.remove(name);
+        // Return block usage to the datanodes.
+        let per_replica = block_sizes(meta.size);
+        for (block, replicas) in meta.blocks.iter().enumerate() {
+            for &node in replicas {
+                g.used_per_node[node] =
+                    g.used_per_node[node].saturating_sub(per_replica[block]);
+            }
+        }
+        true
+    }
+
+    /// All file names (unordered).
+    pub fn list(&self) -> Vec<String> {
+        self.inner.read().files.keys().cloned().collect()
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.inner.read().files.len()
+    }
+
+    /// Logical bytes stored (before replication).
+    pub fn logical_bytes(&self) -> u64 {
+        self.inner.read().files.values().map(|f| f.size).sum()
+    }
+
+    /// Physical bytes stored per datanode.
+    pub fn used_per_node(&self) -> Vec<u64> {
+        self.inner.read().used_per_node.clone()
+    }
+}
+
+/// Sizes of the blocks a file of `size` splits into.
+fn block_sizes(size: u64) -> Vec<u64> {
+    if size == 0 {
+        return vec![0];
+    }
+    let full = size / BLOCK_SIZE;
+    let rem = size % BLOCK_SIZE;
+    let mut v = vec![BLOCK_SIZE; full as usize];
+    if rem > 0 {
+        v.push(rem);
+    }
+    v
+}
+
+/// Round-robin placement with replication on distinct nodes.
+fn place(g: &mut Inner, size: u64) -> FileMeta {
+    let sizes = block_sizes(size);
+    let mut blocks = Vec::with_capacity(sizes.len());
+    for &bs in &sizes {
+        let mut replicas = Vec::with_capacity(g.replication);
+        for r in 0..g.replication {
+            let node = (g.next_node + r) % g.n_datanodes;
+            replicas.push(node);
+            g.used_per_node[node] += bs;
+        }
+        g.next_node = (g.next_node + 1) % g.n_datanodes;
+        blocks.push(replicas);
+    }
+    FileMeta { size, blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_stat() {
+        let fs = Hdfs::new(4, 2);
+        assert!(fs.put_size("/store/out/a.root", 300 * 1024 * 1024));
+        let meta = fs.stat("/store/out/a.root").unwrap();
+        assert_eq!(meta.size, 300 * 1024 * 1024);
+        assert_eq!(meta.blocks.len(), 3, "2 full blocks + remainder");
+        assert!(meta.blocks.iter().all(|r| r.len() == 2));
+        assert!(!fs.put_size("/store/out/a.root", 1), "no overwrite");
+    }
+
+    #[test]
+    fn replicas_on_distinct_nodes() {
+        let fs = Hdfs::new(3, 3);
+        fs.put_size("/f", BLOCK_SIZE);
+        let meta = fs.stat("/f").unwrap();
+        let mut nodes = meta.blocks[0].clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn content_roundtrip() {
+        let fs = Hdfs::new(2, 1);
+        fs.put_bytes("/data", vec![1, 2, 3]);
+        assert_eq!(*fs.read("/data").unwrap(), vec![1, 2, 3]);
+        assert!(fs.read("/missing").is_none());
+        assert_eq!(fs.stat("/data").unwrap().size, 3);
+    }
+
+    #[test]
+    fn delete_reclaims_space() {
+        let fs = Hdfs::new(2, 2);
+        fs.put_size("/f", 1000);
+        let used_before: u64 = fs.used_per_node().iter().sum();
+        assert_eq!(used_before, 2000, "replicated");
+        assert!(fs.delete("/f"));
+        assert_eq!(fs.used_per_node().iter().sum::<u64>(), 0);
+        assert!(!fs.delete("/f"), "already gone");
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn accounting_totals() {
+        let fs = Hdfs::new(4, 2);
+        fs.put_size("/a", 100);
+        fs.put_size("/b", 200);
+        assert_eq!(fs.logical_bytes(), 300);
+        assert_eq!(fs.used_per_node().iter().sum::<u64>(), 600);
+        assert_eq!(fs.file_count(), 2);
+        let mut names = fs.list();
+        names.sort();
+        assert_eq!(names, vec!["/a", "/b"]);
+    }
+
+    #[test]
+    fn zero_byte_file() {
+        let fs = Hdfs::new(1, 1);
+        fs.put_size("/empty", 0);
+        assert_eq!(fs.stat("/empty").unwrap().blocks.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication > nodes")]
+    fn rejects_impossible_replication() {
+        Hdfs::new(2, 3);
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        let fs = Arc::new(Hdfs::new(4, 2));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    fs.put_size(&format!("/t{t}/f{i}"), 1000);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fs.file_count(), 400);
+        assert_eq!(fs.logical_bytes(), 400_000);
+    }
+}

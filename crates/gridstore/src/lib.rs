@@ -1,0 +1,34 @@
+//! # gridstore — the HEP data tier
+//!
+//! Lobster tasks consume CMS data over the wide area and push outputs to
+//! local bulk storage. This crate provides every storage-side service the
+//! paper composes:
+//!
+//! * [`dbs`] — the Dataset Bookkeeping Service: datasets → files → runs →
+//!   luminosity sections, with a deterministic synthetic generator (the
+//!   user "specifies a dataset in the CMS Dataset Bookkeeping System"
+//!   and Lobster "obtains the list of data files, experiment runs, and
+//!   lumisections", §4.2).
+//! * [`xrootd`] — the AAA data federation: a redirector resolving logical
+//!   file names to data servers, WAN streaming over a fair-shared link
+//!   with outage injection, and per-site transfer accounting (the global
+//!   dashboard behind Figure 9).
+//! * [`chirp`] — the user-level stage-out server: bounded concurrent
+//!   connections served FIFO; overload produces the periodic stage-out
+//!   waves of Figure 11.
+//! * [`hdfs`] — block storage for merged outputs.
+//! * [`mapreduce`] — a **real multithreaded** Map-Reduce engine (map →
+//!   hash shuffle → reduce on worker threads) used by the Hadoop merging
+//!   mode of §4.4.
+
+pub mod chirp;
+pub mod dbs;
+pub mod hdfs;
+pub mod mapreduce;
+pub mod xrootd;
+
+pub use chirp::{ChirpConfig, ChirpServer};
+pub use dbs::{Dataset, DatasetSpec, Dbs, LogicalFile};
+pub use hdfs::Hdfs;
+pub use mapreduce::MapReduce;
+pub use xrootd::{Federation, FederationConfig};

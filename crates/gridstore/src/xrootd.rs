@@ -1,0 +1,294 @@
+//! XrootD / AAA data federation.
+//!
+//! "Any Data, Anytime, Anywhere" (§2, §4.2): a worker holding a logical
+//! file name asks a redirector for the file's location and streams it over
+//! the WAN. For an opportunistic site the shared bottleneck is the campus
+//! uplink — 10 Gbit/s at Notre Dame, fully saturated during the paper's
+//! data processing run (§6) — modelled as one fair-shared [`FairLink`].
+//! Remote servers also cap what a single stream can pull.
+//!
+//! The federation keeps per-consumer transfer accounting (the CMS "global
+//! dashboard" of Figure 9) and honours an [`OutageSchedule`]: during a
+//! window, new opens fail with the window's probability and the link
+//! capacity is scaled — the mechanism behind Figure 10's failure burst.
+
+use simkit::rng::SimRng;
+use simkit::time::SimTime;
+use simnet::link::{FairLink, FlowId};
+use simnet::outage::OutageSchedule;
+use std::collections::HashMap;
+
+/// Federation sizing.
+#[derive(Clone, Debug)]
+pub struct FederationConfig {
+    /// Campus/WAN bottleneck bandwidth (bytes/second).
+    pub wan_bandwidth: f64,
+    /// Per-stream ceiling imposed by remote data servers (bytes/second).
+    pub per_stream_cap: f64,
+    /// Wide-area disturbance schedule.
+    pub outages: OutageSchedule,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            wan_bandwidth: simnet::units::gbit_per_s(10.0),
+            per_stream_cap: 10e6, // ~10 MB/s per WAN stream
+            outages: OutageSchedule::none(),
+        }
+    }
+}
+
+/// Why an open failed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum XrdError {
+    /// The wide-area data handling system is misbehaving (outage window).
+    WideAreaOutage,
+    /// The redirector does not know the file.
+    NoSuchFile,
+}
+
+/// The data federation as seen from one opportunistic site.
+#[derive(Clone, Debug)]
+pub struct Federation {
+    cfg: FederationConfig,
+    link: FairLink,
+    /// lfn → hosting site (redirector table). Files not present resolve
+    /// to a deterministic pseudo-site, mimicking the global namespace.
+    locations: HashMap<String, String>,
+    /// Consumer label → bytes transferred (dashboard accounting).
+    consumed: HashMap<String, f64>,
+    /// Flow → (consumer, bytes) for accounting at completion.
+    in_flight: HashMap<FlowId, (String, u64)>,
+    opens: u64,
+    open_failures: u64,
+    last_capacity_factor: f64,
+}
+
+impl Federation {
+    /// Federation with the given sizing.
+    pub fn new(cfg: FederationConfig) -> Self {
+        let link = FairLink::new(cfg.wan_bandwidth).with_unit_rate_cap(cfg.per_stream_cap);
+        Federation {
+            cfg,
+            link,
+            locations: HashMap::new(),
+            consumed: HashMap::new(),
+            in_flight: HashMap::new(),
+            opens: 0,
+            open_failures: 0,
+            last_capacity_factor: 1.0,
+        }
+    }
+
+    /// Register a file's physical location with the redirector.
+    pub fn place(&mut self, lfn: impl Into<String>, site: impl Into<String>) {
+        self.locations.insert(lfn.into(), site.into());
+    }
+
+    /// Redirector lookup: the hosting site for `lfn`.
+    pub fn locate(&self, lfn: &str) -> Option<&str> {
+        self.locations.get(lfn).map(String::as_str)
+    }
+
+    /// Apply any outage transition at `now` (scale link capacity). Call
+    /// this at every instant returned by
+    /// [`OutageSchedule::next_transition`].
+    pub fn apply_outage(&mut self, now: SimTime) {
+        let factor = self.cfg.outages.capacity_factor(now);
+        if (factor - self.last_capacity_factor).abs() > f64::EPSILON {
+            self.link.set_capacity(now, self.cfg.wan_bandwidth * factor);
+            self.last_capacity_factor = factor;
+        }
+    }
+
+    /// Next state change in the outage schedule after `now`.
+    pub fn next_outage_transition(&self, now: SimTime) -> Option<SimTime> {
+        self.cfg.outages.next_transition(now)
+    }
+
+    /// Open a streaming read of `bytes` for `consumer`. During an outage
+    /// window the open fails with the window's probability.
+    pub fn open(
+        &mut self,
+        now: SimTime,
+        consumer: &str,
+        bytes: u64,
+        rng: &mut SimRng,
+    ) -> Result<FlowId, XrdError> {
+        self.opens += 1;
+        let p_fail = self.cfg.outages.failure_prob(now);
+        if p_fail > 0.0 && rng.chance(p_fail) {
+            self.open_failures += 1;
+            return Err(XrdError::WideAreaOutage);
+        }
+        let id = self.link.admit_flow(now, bytes);
+        self.in_flight.insert(id, (consumer.to_string(), bytes));
+        Ok(id)
+    }
+
+    /// Next transfer completion.
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        self.link.next_completion()
+    }
+
+    /// Transfers completed by `now`; accounting is credited here.
+    pub fn completions(&mut self, now: SimTime) -> Vec<FlowId> {
+        let done = self.link.completions(now);
+        for id in &done {
+            if let Some((consumer, bytes)) = self.in_flight.remove(id) {
+                *self.consumed.entry(consumer).or_insert(0.0) += bytes as f64;
+            }
+        }
+        done
+    }
+
+    /// Abort a transfer (task evicted); partial bytes are still counted
+    /// against the consumer (they crossed the wire).
+    pub fn abort(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
+        let served = self.link.abort(now, id)?;
+        if let Some((consumer, _)) = self.in_flight.remove(&id) {
+            *self.consumed.entry(consumer).or_insert(0.0) += served as f64;
+        }
+        Some(served)
+    }
+
+    /// Current fair-share rate of one stream (bytes/second) — what a
+    /// streaming task can sustain right now.
+    pub fn stream_rate(&mut self, now: SimTime) -> f64 {
+        self.link.flow_rate(now)
+    }
+
+    /// Active streams.
+    pub fn active_streams(&self) -> usize {
+        self.link.active()
+    }
+
+    /// Open attempts and failures.
+    pub fn open_stats(&self) -> (u64, u64) {
+        (self.opens, self.open_failures)
+    }
+
+    /// Credit externally-produced consumption (used to inject the
+    /// background CMS sites of the Figure 9 dashboard).
+    pub fn account_external(&mut self, consumer: &str, bytes: f64) {
+        *self.consumed.entry(consumer.to_string()).or_insert(0.0) += bytes;
+    }
+
+    /// Dashboard: consumers sorted by volume, descending.
+    pub fn dashboard(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> =
+            self.consumed.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::outage::Outage;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn small_fed(outages: OutageSchedule) -> Federation {
+        Federation::new(FederationConfig {
+            wan_bandwidth: 100.0,
+            per_stream_cap: 10.0,
+            outages,
+        })
+    }
+
+    #[test]
+    fn redirector_lookup() {
+        let mut f = small_fed(OutageSchedule::none());
+        f.place("/store/a.root", "T2_US_Nebraska");
+        assert_eq!(f.locate("/store/a.root"), Some("T2_US_Nebraska"));
+        assert_eq!(f.locate("/store/missing.root"), None);
+    }
+
+    #[test]
+    fn stream_completes_and_is_accounted() {
+        let mut f = small_fed(OutageSchedule::none());
+        let mut rng = SimRng::new(1);
+        let id = f.open(t(0), "T3_US_NotreDame", 100, &mut rng).unwrap();
+        let (when, who) = f.next_completion().unwrap();
+        assert_eq!(who, id);
+        assert_eq!(when, t(10)); // capped at 10 B/s
+        f.completions(when);
+        let dash = f.dashboard();
+        assert_eq!(dash[0].0, "T3_US_NotreDame");
+        assert_eq!(dash[0].1, 100.0);
+    }
+
+    #[test]
+    fn outage_fails_opens_and_stalls_link() {
+        let sched = OutageSchedule::new(vec![Outage::blackout(t(10), t(20))]);
+        let mut f = small_fed(sched);
+        let mut rng = SimRng::new(2);
+        // Healthy open.
+        assert!(f.open(t(0), "nd", 1000, &mut rng).is_ok());
+        // Outage begins.
+        f.apply_outage(t(10));
+        assert_eq!(
+            f.open(t(10), "nd", 100, &mut rng),
+            Err(XrdError::WideAreaOutage)
+        );
+        assert!(f.next_completion().is_none(), "stalled during blackout");
+        // Recovery.
+        f.apply_outage(t(20));
+        let (when, _) = f.next_completion().unwrap();
+        assert!(when > t(20));
+        let (opens, fails) = f.open_stats();
+        assert_eq!((opens, fails), (2, 1));
+    }
+
+    #[test]
+    fn brownout_fails_probabilistically() {
+        let sched = OutageSchedule::new(vec![Outage::brownout(t(0), t(100), 1.0, 0.5)]);
+        let mut f = small_fed(sched);
+        let mut rng = SimRng::new(3);
+        let mut fails = 0;
+        for _ in 0..1000 {
+            if f.open(t(1), "nd", 1, &mut rng).is_err() {
+                fails += 1;
+            }
+        }
+        assert!((400..600).contains(&fails), "≈50% fail, got {fails}");
+    }
+
+    #[test]
+    fn abort_credits_partial_bytes() {
+        let mut f = small_fed(OutageSchedule::none());
+        let mut rng = SimRng::new(4);
+        let id = f.open(t(0), "nd", 1000, &mut rng).unwrap();
+        let served = f.abort(t(10), id).unwrap();
+        assert_eq!(served, 100);
+        assert_eq!(f.dashboard()[0].1, 100.0);
+        assert_eq!(f.active_streams(), 0);
+    }
+
+    #[test]
+    fn dashboard_sorts_descending() {
+        let mut f = small_fed(OutageSchedule::none());
+        f.account_external("T2_DE_DESY", 5e12);
+        f.account_external("T3_US_NotreDame", 28e12);
+        f.account_external("T2_US_Wisconsin", 9e12);
+        let dash = f.dashboard();
+        assert_eq!(dash[0].0, "T3_US_NotreDame");
+        assert_eq!(dash[2].0, "T2_DE_DESY");
+    }
+
+    #[test]
+    fn wan_saturation_shares_fairly() {
+        let mut f = small_fed(OutageSchedule::none());
+        let mut rng = SimRng::new(5);
+        for _ in 0..20 {
+            f.open(t(0), "nd", 1000, &mut rng).unwrap();
+        }
+        // 20 streams on a 100 B/s pipe → 5 B/s each, below the 10 B/s cap.
+        assert!((f.stream_rate(t(0)) - 5.0).abs() < 1e-9);
+    }
+}

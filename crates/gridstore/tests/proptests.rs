@@ -1,0 +1,103 @@
+//! Property-based tests for the data-tier models.
+
+use gridstore::dbs::{DatasetSpec, Dbs};
+use gridstore::hdfs::{Hdfs, BLOCK_SIZE};
+use gridstore::mapreduce::MapReduce;
+use proptest::prelude::*;
+
+proptest! {
+    /// HDFS physical usage is exactly logical × replication, across any
+    /// interleaving of puts and deletes.
+    #[test]
+    fn hdfs_usage_accounting(
+        sizes in prop::collection::vec(0u64..3 * BLOCK_SIZE, 1..30),
+        delete_mask in prop::collection::vec(any::<bool>(), 1..30),
+        replication in 1usize..3,
+    ) {
+        let fs = Hdfs::new(4, replication);
+        for (i, &s) in sizes.iter().enumerate() {
+            let ok = fs.put_size(&format!("/f{i}"), s);
+            prop_assert!(ok);
+        }
+        let mut remaining = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            if *delete_mask.get(i).unwrap_or(&false) {
+                let deleted = fs.delete(&format!("/f{i}"));
+                prop_assert!(deleted);
+            } else {
+                remaining += s;
+            }
+        }
+        prop_assert_eq!(fs.logical_bytes(), remaining);
+        prop_assert_eq!(
+            fs.used_per_node().iter().sum::<u64>(),
+            remaining * replication as u64
+        );
+    }
+
+    /// Block counts match ceil(size / BLOCK_SIZE) with a floor of one.
+    #[test]
+    fn hdfs_block_count(size in 0u64..5 * BLOCK_SIZE) {
+        let fs = Hdfs::new(3, 1);
+        fs.put_size("/f", size);
+        let meta = fs.stat("/f").unwrap();
+        let expected = if size == 0 { 1 } else { size.div_ceil(BLOCK_SIZE) as usize };
+        prop_assert_eq!(meta.blocks.len(), expected);
+    }
+
+    /// Dataset generation: totals equal the sum of parts and lumi ranges
+    /// never overlap within a run.
+    #[test]
+    fn dbs_dataset_consistency(n_files in 1usize..120, seed in any::<u64>()) {
+        let mut dbs = Dbs::new();
+        let spec = DatasetSpec {
+            n_files,
+            mean_file_bytes: 1_000_000,
+            events_per_lumi: 10,
+            lumis_per_file: 20,
+        };
+        dbs.generate("/P/x/AOD", spec, seed);
+        let ds = dbs.query("/P/x/AOD").unwrap();
+        prop_assert_eq!(ds.files.len(), n_files);
+        prop_assert_eq!(
+            ds.total_bytes(),
+            ds.files.iter().map(|f| f.bytes).sum::<u64>()
+        );
+        prop_assert_eq!(ds.total_lumis(), (n_files * 20) as u64);
+        // Within each run, lumi ranges must not overlap.
+        let mut by_run: std::collections::HashMap<u32, Vec<(u32, u32)>> =
+            std::collections::HashMap::new();
+        for f in &ds.files {
+            for r in &f.lumis {
+                by_run.entry(r.run).or_default().push((r.first, r.last));
+            }
+        }
+        for ranges in by_run.values_mut() {
+            ranges.sort_unstable();
+            for pair in ranges.windows(2) {
+                prop_assert!(pair[0].1 < pair[1].0, "overlapping lumis in one run");
+            }
+        }
+    }
+
+    /// Map-Reduce equals the sequential reference for sum-by-key jobs.
+    #[test]
+    fn mapreduce_matches_sequential(
+        inputs in prop::collection::vec(0u32..10_000, 0..300),
+        workers in 1usize..8,
+        modulus in 1u32..64,
+    ) {
+        let mr = MapReduce::new(workers);
+        let parallel = mr.run(
+            inputs.clone(),
+            move |x| vec![(x % modulus, x as u64)],
+            |_k, vs| vs.into_iter().sum::<u64>(),
+        );
+        let mut reference: std::collections::HashMap<u32, u64> =
+            std::collections::HashMap::new();
+        for x in &inputs {
+            *reference.entry(x % modulus).or_default() += *x as u64;
+        }
+        prop_assert_eq!(parallel, reference);
+    }
+}

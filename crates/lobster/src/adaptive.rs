@@ -1,0 +1,233 @@
+//! Adaptive task sizing (§8, the paper's future-work feature).
+//!
+//! "We are investigating ways to make use of the rich monitoring data
+//! collected via Lobster to enable automatic performance optimization
+//! through dynamic adjustment of task size in the face of changing
+//! eviction rates and resource performance."
+//!
+//! The controller treats eviction as a checkpoint/restart problem: with a
+//! per-task overhead `o` and an observed mean time between evictions
+//! `MTBF`, the efficiency-optimal task length is Young's approximation
+//! `T* = sqrt(2 · o · MTBF)`. The sizer keeps a sliding window of recent
+//! attempt outcomes, re-estimates MTBF, and converts `T*` into a tasklet
+//! count, clamped and rate-limited so one noisy window cannot whiplash the
+//! workload. The `adaptive_sizing` bench shows the payoff when the
+//! eviction regime shifts mid-run.
+
+use crate::wrapper::SegmentReport;
+use simkit::time::SimDuration;
+use std::collections::VecDeque;
+
+/// Controller configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Per-task overhead used in Young's formula.
+    pub per_task_overhead: SimDuration,
+    /// Mean tasklet CPU time (to convert task length → tasklet count).
+    pub tasklet_mean: SimDuration,
+    /// Smallest allowed task, in tasklets.
+    pub min_tasklets: u32,
+    /// Largest allowed task, in tasklets.
+    pub max_tasklets: u32,
+    /// Attempts remembered in the sliding window.
+    pub window: usize,
+    /// Maximum relative change per adjustment (rate limiting).
+    pub max_step: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            per_task_overhead: SimDuration::from_mins(20),
+            tasklet_mean: SimDuration::from_mins(10),
+            min_tasklets: 1,
+            max_tasklets: 60, // ≈10 h at μ=10 min
+            window: 200,
+            max_step: 0.5,
+        }
+    }
+}
+
+/// The dynamic task sizer.
+#[derive(Clone, Debug)]
+pub struct AdaptiveSizer {
+    cfg: AdaptiveConfig,
+    current: u32,
+    /// `(wall_secs, evicted)` per recent attempt.
+    window: VecDeque<(f64, bool)>,
+}
+
+impl AdaptiveSizer {
+    /// Sizer starting at `initial` tasklets per task.
+    pub fn new(cfg: AdaptiveConfig, initial: u32) -> Self {
+        let current = initial.clamp(cfg.min_tasklets, cfg.max_tasklets);
+        AdaptiveSizer { cfg, current, window: VecDeque::new() }
+    }
+
+    /// Current recommended tasklets per task.
+    pub fn current(&self) -> u32 {
+        self.current
+    }
+
+    /// Ingest one finished attempt.
+    pub fn record(&mut self, r: &SegmentReport) {
+        self.window.push_back((r.wall().as_secs_f64(), r.evicted));
+        while self.window.len() > self.cfg.window {
+            self.window.pop_front();
+        }
+    }
+
+    /// Observed mean time between evictions over the window, or `None`
+    /// when no eviction has been seen yet.
+    pub fn observed_mtbf(&self) -> Option<SimDuration> {
+        let evictions = self.window.iter().filter(|(_, e)| *e).count();
+        if evictions == 0 {
+            return None;
+        }
+        let uptime: f64 = self.window.iter().map(|(w, _)| *w).sum();
+        Some(SimDuration::from_secs_f64(uptime / evictions as f64))
+    }
+
+    /// Re-derive the task size from the current window (call between
+    /// dispatch rounds). Returns the possibly-updated size.
+    pub fn adjust(&mut self) -> u32 {
+        let mtbf_secs = match self.observed_mtbf() {
+            Some(mtbf) => mtbf.as_secs_f64(),
+            // No eviction seen yet: the window's accumulated uptime is an
+            // optimistic lower bound on the MTBF — grow with evidence
+            // rather than jumping straight to the maximum.
+            None => {
+                let uptime: f64 = self.window.iter().map(|(w, _)| *w).sum();
+                if uptime <= 0.0 {
+                    return self.current;
+                }
+                uptime
+            }
+        };
+        // Young's formula: T* = sqrt(2 · o · MTBF).
+        let target_secs =
+            (2.0 * self.cfg.per_task_overhead.as_secs_f64() * mtbf_secs).sqrt();
+        let ideal = target_secs / self.cfg.tasklet_mean.as_secs_f64();
+        // Rate-limit the move.
+        let lo = (self.current as f64 * (1.0 - self.cfg.max_step)).floor();
+        let hi = (self.current as f64 * (1.0 + self.cfg.max_step)).ceil();
+        let next = ideal.clamp(lo, hi).round() as u32;
+        self.current = next.clamp(self.cfg.min_tasklets, self.cfg.max_tasklets);
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::ReportBuilder;
+    use simkit::time::SimTime;
+    use wqueue::task::{Category, TaskId};
+
+    fn attempt(wall_secs: u64, evicted: bool) -> SegmentReport {
+        let b = ReportBuilder::new(TaskId(1), Category::Analysis, 0, 0, SimTime::ZERO);
+        if evicted {
+            b.evict(SimTime::from_secs(wall_secs))
+        } else {
+            b.succeed(SimTime::from_secs(wall_secs), 1)
+        }
+    }
+
+    #[test]
+    fn grows_without_evictions() {
+        let mut s = AdaptiveSizer::new(AdaptiveConfig::default(), 6);
+        for _ in 0..50 {
+            s.record(&attempt(4800, false));
+        }
+        let mut prev = s.current();
+        for _ in 0..10 {
+            let next = s.adjust();
+            assert!(next >= prev);
+            prev = next;
+        }
+        // 50 × 4800 s of eviction-free uptime → T* = sqrt(2·20min·240000s)
+        // = 400 min = 40 tasklets at μ=10 min.
+        assert_eq!(prev, 40, "grows with accumulated evidence");
+        // More eviction-free evidence keeps pushing toward the cap.
+        for _ in 0..150 {
+            s.record(&attempt(4800, false));
+        }
+        for _ in 0..10 {
+            s.adjust();
+        }
+        assert_eq!(s.current(), 60, "reaches the max with a full window");
+    }
+
+    #[test]
+    fn empty_window_holds_position() {
+        let mut s = AdaptiveSizer::new(AdaptiveConfig::default(), 6);
+        assert_eq!(s.adjust(), 6, "no evidence → no move");
+    }
+
+    #[test]
+    fn shrinks_under_heavy_eviction() {
+        let mut s = AdaptiveSizer::new(AdaptiveConfig::default(), 30);
+        // Half the attempts evicted after ~20 min: MTBF ≈ 40 min.
+        for i in 0..100 {
+            s.record(&attempt(1200, i % 2 == 0));
+        }
+        for _ in 0..10 {
+            s.adjust();
+        }
+        // T* = sqrt(2·20min·40min) = 40 min → 4 tasklets.
+        assert!(
+            (3..=6).contains(&s.current()),
+            "expected ≈4 tasklets, got {}",
+            s.current()
+        );
+    }
+
+    #[test]
+    fn rate_limited_steps() {
+        let mut s = AdaptiveSizer::new(AdaptiveConfig::default(), 40);
+        for _ in 0..100 {
+            s.record(&attempt(600, true)); // brutal eviction regime
+        }
+        let next = s.adjust();
+        assert!(next >= 20, "one step halves at most: {next}");
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let cfg = AdaptiveConfig { min_tasklets: 3, max_tasklets: 12, ..Default::default() };
+        let mut s = AdaptiveSizer::new(cfg, 100);
+        assert_eq!(s.current(), 12, "initial clamped");
+        for _ in 0..100 {
+            s.record(&attempt(60, true));
+        }
+        for _ in 0..20 {
+            s.adjust();
+        }
+        assert!(s.current() >= 3);
+    }
+
+    #[test]
+    fn mtbf_estimation() {
+        let mut s = AdaptiveSizer::new(AdaptiveConfig::default(), 6);
+        assert!(s.observed_mtbf().is_none());
+        s.record(&attempt(3600, false));
+        s.record(&attempt(1800, true));
+        let mtbf = s.observed_mtbf().unwrap();
+        assert!((mtbf.as_secs_f64() - 5400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_slides() {
+        let cfg = AdaptiveConfig { window: 10, ..Default::default() };
+        let mut s = AdaptiveSizer::new(cfg, 6);
+        for _ in 0..10 {
+            s.record(&attempt(600, true));
+        }
+        assert!(s.observed_mtbf().is_some());
+        // 10 healthy attempts push the evictions out of the window.
+        for _ in 0..10 {
+            s.record(&attempt(600, false));
+        }
+        assert!(s.observed_mtbf().is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! Lobster configuration.
+//!
+//! "An execution begins with the main Lobster process that is invoked by
+//! the user to initiate a workload. The user provides a configuration file
+//! which describes the input data sources and the analysis code" (§3).
+//!
+//! The configuration is JSON on disk; every knob that the evaluation
+//! sweeps (task size, data access mode, merging mode, worker shape,
+//! infrastructure sizing) lives here with paper-calibrated defaults.
+
+use crate::access::DataAccessMode;
+use crate::merge::MergeMode;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Which kind of workload runs (affects the I/O profile, §6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Data processing: streams large inputs over the WAN (Figure 10).
+    DataProcessing,
+    /// Simulation: negligible input, pile-up overlay via Chirp (Figure 11).
+    Simulation,
+}
+
+/// One workflow to run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkflowConfig {
+    /// Label used in bookkeeping and output names.
+    pub name: String,
+    /// DBS dataset path to process.
+    pub dataset: String,
+    /// Tasklets per task (the task-size knob of §4.1).
+    pub tasklets_per_task: u32,
+    /// Workload profile.
+    pub kind: WorkloadKind,
+    /// Mean CPU minutes per tasklet (paper: Gaussian μ=10).
+    pub tasklet_mean_mins: f64,
+    /// CPU-minute standard deviation per tasklet (paper: σ=5).
+    pub tasklet_sigma_mins: f64,
+    /// Output bytes per tasklet (analysis reduces data ≥ 10×, §4.2).
+    pub output_bytes_per_tasklet: u64,
+}
+
+impl WorkflowConfig {
+    /// A paper-shaped analysis workflow over `dataset`.
+    pub fn analysis(name: impl Into<String>, dataset: impl Into<String>) -> Self {
+        WorkflowConfig {
+            name: name.into(),
+            dataset: dataset.into(),
+            tasklets_per_task: 6, // ≈1 h tasks at μ=10 min (the Fig. 3 optimum)
+            kind: WorkloadKind::DataProcessing,
+            tasklet_mean_mins: 10.0,
+            tasklet_sigma_mins: 5.0,
+            output_bytes_per_tasklet: 12_000_000, // ~12 MB → 10–100 MB files
+        }
+    }
+
+    /// A simulation workflow (no input dataset streaming).
+    pub fn simulation(name: impl Into<String>) -> Self {
+        WorkflowConfig {
+            name: name.into(),
+            dataset: String::new(),
+            tasklets_per_task: 6,
+            kind: WorkloadKind::Simulation,
+            tasklet_mean_mins: 10.0,
+            tasklet_sigma_mins: 5.0,
+            output_bytes_per_tasklet: 12_000_000,
+        }
+    }
+}
+
+/// Infrastructure sizing (proxies, stage-out, network).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InfraConfig {
+    /// Number of Squid proxies deployed.
+    pub n_squids: u32,
+    /// Number of foremen between master and workers (paper: 4).
+    pub n_foremen: u32,
+    /// Chirp maximum concurrent connections.
+    pub chirp_connections: u32,
+    /// Campus uplink bandwidth in Gbit/s (paper: 10).
+    pub wan_gbits: f64,
+    /// Use the Parrot alien cache (concurrent population, §4.3).
+    pub alien_cache: bool,
+}
+
+impl Default for InfraConfig {
+    fn default() -> Self {
+        InfraConfig {
+            n_squids: 2,
+            n_foremen: 4,
+            chirp_connections: 64,
+            wan_gbits: 10.0,
+            alien_cache: true,
+        }
+    }
+}
+
+/// Worker shape and provisioning targets.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerConfig {
+    /// Cores per worker (paper: 8).
+    pub cores_per_worker: u32,
+    /// Target simultaneously live cores.
+    pub target_cores: u32,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig { cores_per_worker: 8, target_cores: 10_000 }
+    }
+}
+
+/// The top-level Lobster configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LobsterConfig {
+    /// Workflows to execute.
+    pub workflows: Vec<WorkflowConfig>,
+    /// How tasks obtain input data.
+    pub access: DataAccessMode,
+    /// How outputs are merged.
+    pub merge: MergeMode,
+    /// Target merged-file size in bytes (paper: 3–4 GB).
+    pub merge_target_bytes: u64,
+    /// Infrastructure sizing.
+    pub infra: InfraConfig,
+    /// Worker shape.
+    pub workers: WorkerConfig,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for LobsterConfig {
+    fn default() -> Self {
+        LobsterConfig {
+            workflows: vec![WorkflowConfig::analysis("ttbar", "/TTJets/Spring14/AOD")],
+            access: DataAccessMode::Stream,
+            merge: MergeMode::Interleaved,
+            merge_target_bytes: 3_500_000_000,
+            infra: InfraConfig::default(),
+            workers: WorkerConfig::default(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl LobsterConfig {
+    /// Parse a configuration from JSON text.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Validate invariants; returns a list of problems (empty = ok).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.workflows.is_empty() {
+            problems.push("no workflows configured".into());
+        }
+        for w in &self.workflows {
+            if w.tasklets_per_task == 0 {
+                problems.push(format!("workflow {}: tasklets_per_task is 0", w.name));
+            }
+            if w.kind == WorkloadKind::DataProcessing && w.dataset.is_empty() {
+                problems.push(format!("workflow {}: data processing without dataset", w.name));
+            }
+            if w.tasklet_mean_mins <= 0.0 {
+                problems.push(format!("workflow {}: non-positive tasklet mean", w.name));
+            }
+        }
+        if self.workers.cores_per_worker == 0 {
+            problems.push("cores_per_worker is 0".into());
+        }
+        if self.workers.target_cores == 0 {
+            problems.push("target_cores is 0".into());
+        }
+        if self.infra.n_squids == 0 {
+            problems.push("need at least one squid proxy".into());
+        }
+        if self.merge_target_bytes == 0 {
+            problems.push("merge_target_bytes is 0".into());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(LobsterConfig::default().validate().is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = LobsterConfig::default();
+        let json = cfg.to_json();
+        let back = LobsterConfig::from_json(&json).unwrap();
+        assert_eq!(back.workflows.len(), 1);
+        assert_eq!(back.workers.target_cores, 10_000);
+        assert_eq!(back.seed, 0xC0FFEE);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut cfg = LobsterConfig::default();
+        cfg.workflows[0].tasklets_per_task = 0;
+        cfg.workflows[0].dataset.clear();
+        cfg.workers.cores_per_worker = 0;
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn simulation_workflow_needs_no_dataset() {
+        let mut cfg = LobsterConfig::default();
+        cfg.workflows = vec![WorkflowConfig::simulation("gen")];
+        assert!(cfg.validate().is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lobster-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cfg.json");
+        let cfg = LobsterConfig::default();
+        cfg.save(&path).unwrap();
+        let back = LobsterConfig::load(&path).unwrap();
+        assert_eq!(back.merge_target_bytes, cfg.merge_target_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("lobster-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(LobsterConfig::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

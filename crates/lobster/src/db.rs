@@ -1,0 +1,464 @@
+//! The Lobster DB.
+//!
+//! "The main Lobster process creates a local SQLite database (Lobster DB)
+//! which persistently records the mapping from tasklets to tasks" (§3).
+//! Footnote 1 adds the requirement that matters: "the system state is
+//! quickly and automatically recovered if the scheduler node should crash
+//! and reboot".
+//!
+//! Here the DB is an embedded store with an append-only JSON-lines
+//! journal: every state transition is one journal record, and
+//! [`LobsterDb::recover`] replays the journal to rebuild the exact
+//! in-memory state — same durability contract, no external database.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use wqueue::task::TaskId;
+
+/// Lifecycle of a task in the DB.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Created, not yet dispatched.
+    Ready,
+    /// Dispatched to a worker.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Lost (eviction/failure); its tasklets were returned to the pool.
+    Lost,
+}
+
+/// A produced output file awaiting (or past) merging.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OutputFile {
+    /// Producing task.
+    pub task: TaskId,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Name of the merged file this went into, if merged.
+    pub merged_into: Option<String>,
+}
+
+/// Journal records — one per state transition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Record {
+    Workflow { name: String, tasklets: u64 },
+    TaskCreated { id: TaskId, workflow: String, tasklets: Vec<u64> },
+    TaskRunning { id: TaskId },
+    TaskDone { id: TaskId, output_bytes: u64 },
+    TaskLost { id: TaskId },
+    Merged { outputs: Vec<TaskId>, into: String, bytes: u64 },
+}
+
+#[derive(Clone, Debug, Default)]
+struct WorkflowState {
+    total_tasklets: u64,
+    /// Next never-assigned tasklet index.
+    cursor: u64,
+    /// Tasklets returned by lost tasks, re-assigned first.
+    returned: BTreeSet<u64>,
+    /// Tasklets finished.
+    done: u64,
+}
+
+#[derive(Clone, Debug)]
+struct TaskRow {
+    workflow: String,
+    tasklets: Vec<u64>,
+    state: TaskState,
+    attempts: u32,
+}
+
+/// The bookkeeping store.
+pub struct LobsterDb {
+    workflows: BTreeMap<String, WorkflowState>,
+    tasks: BTreeMap<TaskId, TaskRow>,
+    outputs: BTreeMap<TaskId, OutputFile>,
+    merged_files: BTreeMap<String, u64>,
+    next_task: u64,
+    journal: Option<File>,
+}
+
+impl LobsterDb {
+    /// In-memory DB (no persistence) — used by simulations where the
+    /// journal volume would be millions of records.
+    pub fn in_memory() -> Self {
+        LobsterDb {
+            workflows: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            merged_files: BTreeMap::new(),
+            next_task: 0,
+            journal: None,
+        }
+    }
+
+    /// DB journaled at `path` (created or appended).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut db = Self::recover(&path)?;
+        db.journal =
+            Some(OpenOptions::new().create(true).append(true).open(path.as_ref())?);
+        Ok(db)
+    }
+
+    /// Rebuild state by replaying the journal at `path` (missing file →
+    /// empty DB). The returned DB is *not* attached to the journal; use
+    /// [`LobsterDb::open`] for that.
+    pub fn recover(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut db = Self::in_memory();
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(db),
+            Err(e) => return Err(e),
+        };
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: Record = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            db.apply(&rec);
+        }
+        Ok(db)
+    }
+
+    fn log(&mut self, rec: &Record) {
+        if let Some(j) = self.journal.as_mut() {
+            let mut line = serde_json::to_string(rec).expect("record serialises");
+            line.push('\n');
+            j.write_all(line.as_bytes()).expect("journal write");
+        }
+    }
+
+    fn apply(&mut self, rec: &Record) {
+        match rec {
+            Record::Workflow { name, tasklets } => {
+                self.workflows.insert(
+                    name.clone(),
+                    WorkflowState { total_tasklets: *tasklets, ..WorkflowState::default() },
+                );
+            }
+            Record::TaskCreated { id, workflow, tasklets } => {
+                let wf = self.workflows.get_mut(workflow).expect("workflow registered");
+                for t in tasklets {
+                    // Claim from the returned pool or advance the cursor.
+                    if !wf.returned.remove(t) {
+                        wf.cursor = wf.cursor.max(t + 1);
+                    }
+                }
+                self.tasks.insert(
+                    *id,
+                    TaskRow {
+                        workflow: workflow.clone(),
+                        tasklets: tasklets.clone(),
+                        state: TaskState::Ready,
+                        attempts: 0,
+                    },
+                );
+                self.next_task = self.next_task.max(id.0 + 1);
+            }
+            Record::TaskRunning { id } => {
+                let t = self.tasks.get_mut(id).expect("task exists");
+                t.state = TaskState::Running;
+                t.attempts += 1;
+            }
+            Record::TaskDone { id, output_bytes } => {
+                let t = self.tasks.get_mut(id).expect("task exists");
+                t.state = TaskState::Done;
+                let wf = self.workflows.get_mut(&t.workflow).expect("workflow");
+                wf.done += t.tasklets.len() as u64;
+                self.outputs.insert(
+                    *id,
+                    OutputFile { task: *id, bytes: *output_bytes, merged_into: None },
+                );
+            }
+            Record::TaskLost { id } => {
+                let t = self.tasks.get_mut(id).expect("task exists");
+                t.state = TaskState::Lost;
+                let wf = self.workflows.get_mut(&t.workflow).expect("workflow");
+                wf.returned.extend(t.tasklets.iter().copied());
+            }
+            Record::Merged { outputs, into, bytes } => {
+                for id in outputs {
+                    if let Some(o) = self.outputs.get_mut(id) {
+                        o.merged_into = Some(into.clone());
+                    }
+                }
+                self.merged_files.insert(into.clone(), *bytes);
+            }
+        }
+    }
+
+    fn apply_and_log(&mut self, rec: Record) {
+        self.apply(&rec);
+        self.log(&rec);
+    }
+
+    /// Register a workflow of `tasklets` total tasklets.
+    pub fn register_workflow(&mut self, name: &str, tasklets: u64) {
+        assert!(
+            !self.workflows.contains_key(name),
+            "workflow {name} already registered"
+        );
+        self.apply_and_log(Record::Workflow { name: name.to_string(), tasklets });
+    }
+
+    /// Tasklets not yet assigned to any live task.
+    pub fn unassigned_tasklets(&self, workflow: &str) -> u64 {
+        let wf = &self.workflows[workflow];
+        (wf.total_tasklets - wf.cursor) + wf.returned.len() as u64
+    }
+
+    /// Tasklets finished.
+    pub fn done_tasklets(&self, workflow: &str) -> u64 {
+        self.workflows[workflow].done
+    }
+
+    /// Total tasklets in the workflow.
+    pub fn total_tasklets(&self, workflow: &str) -> u64 {
+        self.workflows[workflow].total_tasklets
+    }
+
+    /// True once every tasklet of every workflow is done.
+    pub fn all_done(&self) -> bool {
+        self.workflows.values().all(|w| w.done == w.total_tasklets)
+    }
+
+    /// Create a task covering the next `n` unassigned tasklets (returned
+    /// tasklets first, then fresh ones). Returns `None` when the workflow
+    /// is exhausted; a short final task is created if fewer than `n`
+    /// remain.
+    pub fn create_task(&mut self, workflow: &str, n: u32) -> Option<TaskId> {
+        assert!(n >= 1);
+        // Peek the claim without mutating: `apply` is the single place
+        // that mutates state, so journal replay is authoritative.
+        let wf = self.workflows.get(workflow).expect("workflow registered");
+        let mut claim: Vec<u64> = Vec::with_capacity(n as usize);
+        let mut returned = wf.returned.iter().copied();
+        let mut cursor = wf.cursor;
+        while claim.len() < n as usize {
+            if let Some(t) = returned.next() {
+                claim.push(t);
+            } else if cursor < wf.total_tasklets {
+                claim.push(cursor);
+                cursor += 1;
+            } else {
+                break;
+            }
+        }
+        if claim.is_empty() {
+            return None;
+        }
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.apply_and_log(Record::TaskCreated {
+            id,
+            workflow: workflow.to_string(),
+            tasklets: claim,
+        });
+        Some(id)
+    }
+
+    /// Mark a task dispatched.
+    pub fn mark_running(&mut self, id: TaskId) {
+        assert!(self.tasks.contains_key(&id), "unknown task");
+        self.apply_and_log(Record::TaskRunning { id });
+    }
+
+    /// Mark a task finished with `output_bytes` of output.
+    pub fn mark_done(&mut self, id: TaskId, output_bytes: u64) {
+        assert!(self.tasks.contains_key(&id), "unknown task");
+        self.apply_and_log(Record::TaskDone { id, output_bytes });
+    }
+
+    /// Mark a task lost; its tasklets return to the pool.
+    pub fn mark_lost(&mut self, id: TaskId) {
+        assert!(self.tasks.contains_key(&id), "unknown task");
+        self.apply_and_log(Record::TaskLost { id });
+    }
+
+    /// Record a merge of `outputs` into `into` totalling `bytes`.
+    pub fn mark_merged(&mut self, outputs: &[TaskId], into: &str, bytes: u64) {
+        self.apply_and_log(Record::Merged {
+            outputs: outputs.to_vec(),
+            into: into.to_string(),
+            bytes,
+        });
+    }
+
+    /// Task state lookup.
+    pub fn task_state(&self, id: TaskId) -> Option<TaskState> {
+        self.tasks.get(&id).map(|t| t.state)
+    }
+
+    /// Dispatch attempts of a task.
+    pub fn attempts(&self, id: TaskId) -> u32 {
+        self.tasks.get(&id).map_or(0, |t| t.attempts)
+    }
+
+    /// Tasklets covered by a task.
+    pub fn task_tasklets(&self, id: TaskId) -> Option<&[u64]> {
+        self.tasks.get(&id).map(|t| t.tasklets.as_slice())
+    }
+
+    /// Outputs not yet merged, as `(task, bytes)` sorted by task id.
+    pub fn unmerged_outputs(&self) -> Vec<(TaskId, u64)> {
+        self.outputs
+            .values()
+            .filter(|o| o.merged_into.is_none())
+            .map(|o| (o.task, o.bytes))
+            .collect()
+    }
+
+    /// Merged files as `(name, bytes)`.
+    pub fn merged_files(&self) -> Vec<(String, u64)> {
+        self.merged_files.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Number of tasks ever created.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_decomposition_bookkeeping() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 10);
+        assert_eq!(db.unassigned_tasklets("wf"), 10);
+        let t0 = db.create_task("wf", 4).unwrap();
+        let t1 = db.create_task("wf", 4).unwrap();
+        let t2 = db.create_task("wf", 4).unwrap(); // short final task
+        assert!(db.create_task("wf", 4).is_none(), "exhausted");
+        assert_eq!(db.task_tasklets(t0).unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(db.task_tasklets(t2).unwrap(), &[8, 9]);
+        assert_eq!(db.unassigned_tasklets("wf"), 0);
+        assert_eq!(db.task_count(), 3);
+        let _ = t1;
+    }
+
+    #[test]
+    fn lost_tasklets_are_reassigned_first() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 6);
+        let t0 = db.create_task("wf", 3).unwrap();
+        db.mark_running(t0);
+        db.mark_lost(t0);
+        assert_eq!(db.unassigned_tasklets("wf"), 6);
+        let t1 = db.create_task("wf", 4).unwrap();
+        // Returned tasklets 0..3 come first, then fresh tasklet 3.
+        assert_eq!(db.task_tasklets(t1).unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(db.task_state(t0), Some(TaskState::Lost));
+    }
+
+    #[test]
+    fn done_accounting() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 4);
+        let t = db.create_task("wf", 4).unwrap();
+        db.mark_running(t);
+        assert!(!db.all_done());
+        db.mark_done(t, 1000);
+        assert_eq!(db.done_tasklets("wf"), 4);
+        assert!(db.all_done());
+        assert_eq!(db.unmerged_outputs(), vec![(t, 1000)]);
+    }
+
+    #[test]
+    fn attempts_count_redispatches() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        db.mark_running(t);
+        db.mark_lost(t);
+        let t2 = db.create_task("wf", 2).unwrap();
+        db.mark_running(t2);
+        db.mark_running(t2); // re-dispatch after a worker vanished
+        assert_eq!(db.attempts(t2), 2);
+    }
+
+    #[test]
+    fn merge_bookkeeping() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 4);
+        let a = db.create_task("wf", 2).unwrap();
+        let b = db.create_task("wf", 2).unwrap();
+        db.mark_running(a);
+        db.mark_done(a, 100);
+        db.mark_running(b);
+        db.mark_done(b, 150);
+        db.mark_merged(&[a, b], "merged_0.root", 250);
+        assert!(db.unmerged_outputs().is_empty());
+        assert_eq!(db.merged_files(), vec![("merged_0.root".into(), 250)]);
+    }
+
+    #[test]
+    fn journal_recovery_rebuilds_state() {
+        let dir = std::env::temp_dir().join("lobster-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("journal-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 8);
+            let t0 = db.create_task("wf", 3).unwrap();
+            let t1 = db.create_task("wf", 3).unwrap();
+            db.mark_running(t0);
+            db.mark_done(t0, 500);
+            db.mark_running(t1);
+            db.mark_lost(t1);
+        } // crash
+        let db = LobsterDb::recover(&path).unwrap();
+        assert_eq!(db.total_tasklets("wf"), 8);
+        assert_eq!(db.done_tasklets("wf"), 3);
+        // t1's 3 tasklets returned + 2 never assigned.
+        assert_eq!(db.unassigned_tasklets("wf"), 5);
+        assert_eq!(db.task_state(TaskId(0)), Some(TaskState::Done));
+        assert_eq!(db.task_state(TaskId(1)), Some(TaskState::Lost));
+        assert_eq!(db.unmerged_outputs().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovered_db_continues_numbering() {
+        let dir = std::env::temp_dir().join("lobster-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("journal2-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 10);
+            db.create_task("wf", 2).unwrap();
+        }
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            let t = db.create_task("wf", 2).unwrap();
+            assert_eq!(t, TaskId(1), "ids continue after recovery");
+            assert_eq!(db.task_tasklets(t).unwrap(), &[2, 3]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_missing_file_is_empty() {
+        let db = LobsterDb::recover("/nonexistent/path/journal.jsonl").unwrap();
+        assert!(db.all_done(), "no workflows → vacuously done");
+        assert_eq!(db.task_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_workflow_rejected() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 1);
+        db.register_workflow("wf", 1);
+    }
+}

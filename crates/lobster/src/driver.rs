@@ -1,0 +1,1381 @@
+//! The full-cluster discrete-event driver.
+//!
+//! This composes every substrate into the system of Figure 1 and runs the
+//! production scenarios of §6: workers are provisioned through an
+//! opportunistic batch pool and evicted per an availability model; tasks
+//! flow master → foreman → worker; each attempt walks the wrapper
+//! segments (sandbox stage-in, CVMFS-via-squid environment setup, data
+//! stage-in/streaming, execution, Chirp stage-out, result collection);
+//! and the monitor ingests every attempt.
+//!
+//! One [`ClusterSim`] run produces a [`RunReport`] holding the Figure 8
+//! accounting, the Figure 10/11 time lines, the Figure 9 dashboard and
+//! the Figure 2 eviction log — the benchmark binaries are thin wrappers
+//! around this type.
+
+use crate::access::{AccessTiming, DataAccessMode};
+use crate::adaptive::{AdaptiveConfig, AdaptiveSizer};
+use crate::config::{LobsterConfig, WorkloadKind};
+use crate::db::LobsterDb;
+use crate::merge::{MergeMode, MergePlanner};
+use crate::monitor::{Accounting, Advisor, AdvisorConfig, SegmentHistograms, Timeline};
+use crate::workflow::Workflow;
+use crate::wrapper::{ReportBuilder, Segment, SegmentReport};
+use batchsim::availability::AvailabilityModel;
+use batchsim::factory::{FactoryConfig, WorkerFactory};
+use batchsim::log::{LeaveReason, WorkerLog};
+use batchsim::pool::{OpportunisticPool, PoolConfig};
+use cvmfssim::catalog::ReleaseCatalog;
+use cvmfssim::squid::{Squid, SquidConfig};
+use gridstore::chirp::{ChirpConfig, ChirpServer};
+use gridstore::xrootd::{Federation, FederationConfig};
+use simkit::prelude::*;
+use simkit::stats::TimeSeries;
+use simnet::link::FlowId;
+use simnet::outage::OutageSchedule;
+use std::collections::{HashMap, HashSet, VecDeque};
+use wqueue::sim::{DispatchBuffer, WorkerTable};
+use wqueue::task::{Category, TaskId};
+
+/// Simulation-only parameters on top of [`LobsterConfig`].
+#[derive(Clone, Debug)]
+pub struct SimParams {
+    /// Worker availability (eviction) model.
+    pub availability: AvailabilityModel,
+    /// Opportunistic pool behaviour (owner demand).
+    pub pool: PoolConfig,
+    /// Wide-area outage schedule.
+    pub outages: OutageSchedule,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Sandbox transfer service time per dispatch (through a foreman).
+    pub sandbox_service: SimDuration,
+    /// Concurrent sandbox transfers per foreman.
+    pub foreman_capacity: usize,
+    /// Result-collection time per task.
+    pub wq_collect: SimDuration,
+    /// Timeline bin width.
+    pub timeline_bin: SimDuration,
+    /// Merge-task CPU per GB of merged data.
+    pub merge_cpu_per_gb: SimDuration,
+    /// Hadoop merge: parallel reducers.
+    pub hadoop_reducers: usize,
+    /// Hadoop merge: per-reducer throughput (bytes/second).
+    pub hadoop_rate: f64,
+    /// Enable the §8 adaptive task sizing controller.
+    pub adaptive: bool,
+    /// Controller parameters (match `per_task_overhead` to the actual
+    /// per-task overhead of the environment, or Young's formula will
+    /// target the wrong task length).
+    pub adaptive_cfg: AdaptiveConfig,
+    /// Per-stream WAN cap (bytes/second).
+    pub wan_stream_cap: f64,
+    /// Squid proxy sizing.
+    pub squid: SquidConfig,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            availability: AvailabilityModel::notre_dame(),
+            pool: PoolConfig::default(),
+            outages: OutageSchedule::none(),
+            horizon: SimDuration::from_hours(48),
+            sandbox_service: SimDuration::from_secs(15),
+            foreman_capacity: 50,
+            wq_collect: SimDuration::from_secs(10),
+            timeline_bin: SimDuration::from_mins(30),
+            merge_cpu_per_gb: SimDuration::from_mins(1),
+            hadoop_reducers: 20,
+            hadoop_rate: 100e6,
+            adaptive: false,
+            adaptive_cfg: AdaptiveConfig::default(),
+            wan_stream_cap: 10e6,
+            squid: SquidConfig::default(),
+        }
+    }
+}
+
+/// Driver events.
+#[derive(Debug)]
+pub enum Ev {
+    /// Kick-off: decompose workflows, start provisioning chains.
+    Start,
+    /// Owner-demand tick.
+    PoolTick,
+    /// Factory replenishment tick.
+    Replenish,
+    /// A submitted worker's provisioning delay elapsed.
+    WorkerArrive,
+    /// A worker's availability interval expired.
+    WorkerEvict(u64),
+    /// Try to assign buffered tasks to free slots.
+    Dispatch,
+    /// Sandbox transfer finished; begin environment setup.
+    SandboxDone(TaskId),
+    /// A squid may have finished serving flows.
+    SquidWake(usize),
+    /// The federation may have finished transfers.
+    FedWake,
+    /// An outage window starts or ends.
+    OutageWake,
+    /// CPU (and streaming input) finished; begin stage-out.
+    ExecDone(TaskId),
+    /// Chirp upload finished; begin result collection.
+    StageOutDone(TaskId),
+    /// Result reached the master; the task is complete.
+    CollectDone(TaskId),
+    /// One Hadoop merge group finished.
+    HadoopGroupDone(usize),
+    /// A slot held back after an environment-setup failure frees up.
+    SlotFree(u64),
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Sandbox,
+    EnvSetup,
+    /// Staged input transfer in flight (blocks execution).
+    Data,
+    Exec,
+    StageOut,
+    Collect,
+}
+
+struct TaskInfo {
+    wf: usize,
+    category: Category,
+    input_bytes: u64,
+    output_bytes: u64,
+    cpu: SimDuration,
+    phase: Phase,
+    worker: Option<u64>,
+    builder: Option<ReportBuilder>,
+    enqueued_at: SimTime,
+    phase_started: SimTime,
+    env_flow: Option<(usize, FlowId)>,
+    data_flow: Option<FlowId>,
+    /// Outputs a merge task combines (None for analysis tasks).
+    merge_inputs: Option<Vec<(TaskId, u64)>>,
+    attempt: u32,
+}
+
+/// The harvestable outcome of a run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Figure 8 accounting.
+    pub accounting: Accounting,
+    /// Figure 10/11 time lines (all tasks).
+    pub timeline: Timeline,
+    /// Analysis-task completions per bin (Figure 7 white bars).
+    pub analysis_done: TimeSeries,
+    /// Merge completions per bin (Figure 7 gray bars).
+    pub merge_done: TimeSeries,
+    /// §5 advisor diagnosis.
+    pub advice: Vec<crate::monitor::Advice>,
+    /// §5 per-segment duration histograms.
+    pub segment_histograms: SegmentHistograms,
+    /// Figure 9 dashboard rows (consumer, bytes).
+    pub dashboard: Vec<(String, f64)>,
+    /// Worker join/leave log (Figure 2 input).
+    pub worker_log: WorkerLog,
+    /// Successful analysis attempts.
+    pub tasks_completed: u64,
+    /// Failed attempts (all causes, incl. evictions).
+    pub tasks_failed: u64,
+    /// Attempts lost to eviction.
+    pub evictions: u64,
+    /// Merge tasks (or Hadoop groups) completed.
+    pub merges_completed: u64,
+    /// Merged files written, `(name, bytes)`.
+    pub merged_files: Vec<(String, u64)>,
+    /// Instant everything (processing + merging) finished, if it did.
+    pub finished_at: Option<SimTime>,
+    /// Simulated end of the run.
+    pub ended_at: SimTime,
+    /// Peak concurrent tasks observed.
+    pub peak_concurrency: f64,
+    /// Final task size chosen by the adaptive controller (if enabled).
+    pub final_task_size: u32,
+}
+
+/// The cluster simulation model.
+pub struct ClusterSim {
+    cfg: LobsterConfig,
+    params: SimParams,
+    rng: SimRng,
+    db: LobsterDb,
+    workflows: Vec<Workflow>,
+    tasks: HashMap<TaskId, TaskInfo>,
+    buffer: DispatchBuffer,
+    /// Merge tasks awaiting dispatch (kept out of the analysis buffer so
+    /// bookkeeping stays by category).
+    merge_queue: VecDeque<TaskId>,
+    table: WorkerTable,
+    factory: WorkerFactory,
+    pool: OpportunisticPool,
+    log: WorkerLog,
+    worker_evict_ev: HashMap<u64, EventId>,
+    running_on: HashMap<u64, HashSet<TaskId>>,
+    foremen: Vec<Server>,
+    squids: Vec<Squid>,
+    squid_wake: Vec<Option<EventId>>,
+    squid_flows: Vec<HashMap<FlowId, TaskId>>,
+    /// Per-squid: cold-fill flow → worker (alien-cache shared fills).
+    squid_fill_flows: Vec<HashMap<FlowId, u64>>,
+    /// Worker → (squid, fill flow, tasks waiting on the fill).
+    env_fill: HashMap<u64, (usize, FlowId, Vec<TaskId>)>,
+    fed: Federation,
+    fed_wake: Option<EventId>,
+    fed_flows: HashMap<FlowId, TaskId>,
+    chirp: ChirpServer,
+    catalog: ReleaseCatalog,
+    planner: MergePlanner,
+    outputs_in_merge: HashSet<TaskId>,
+    /// Finished outputs not yet claimed by any merge group, in finish
+    /// order (incremental — avoids rescanning the DB per completion).
+    pending_outputs: VecDeque<(TaskId, u64)>,
+    pending_bytes: u64,
+    /// Outputs not yet inside a *completed* merged file.
+    unmerged_count: u64,
+    merge_counter: u64,
+    hadoop_groups: Vec<(Vec<(TaskId, u64)>, u64)>,
+    hadoop_started: bool,
+    sequential_planned: bool,
+    // Monitoring.
+    accounting: Accounting,
+    timeline: Timeline,
+    advisor: Advisor,
+    seg_hist: SegmentHistograms,
+    analysis_done: TimeSeries,
+    merge_done: TimeSeries,
+    tasks_completed: u64,
+    tasks_failed: u64,
+    evictions: u64,
+    merges_completed: u64,
+    finished_at: Option<SimTime>,
+    sizer: AdaptiveSizer,
+}
+
+impl ClusterSim {
+    /// The consumer label used for federation accounting.
+    pub const CONSUMER: &'static str = "T3_US_NotreDame (Lobster)";
+
+    /// Build a simulation from a Lobster configuration, sim parameters and
+    /// the workflows' decompositions (one per `cfg.workflows` entry,
+    /// produced by [`Workflow::from_dataset`] / [`Workflow::simulation`]).
+    pub fn new(cfg: LobsterConfig, params: SimParams, workflows: Vec<Workflow>) -> Self {
+        assert_eq!(cfg.workflows.len(), workflows.len(), "one decomposition per workflow");
+        assert!(cfg.validate().is_empty(), "invalid config: {:?}", cfg.validate());
+        let mut db = LobsterDb::in_memory();
+        for wf in &workflows {
+            db.register_workflow(&wf.name, wf.n_tasklets());
+        }
+        let rng = SimRng::new(cfg.seed);
+        let n_workers =
+            (cfg.workers.target_cores / cfg.workers.cores_per_worker).max(1);
+        let factory = WorkerFactory::new(FactoryConfig {
+            target_workers: n_workers,
+            cores_per_worker: cfg.workers.cores_per_worker,
+            mean_submit_delay: SimDuration::from_mins(2),
+            burst: 2_000,
+        });
+        let pool = OpportunisticPool::new(params.pool, rng.split(1));
+        let n_squids = cfg.infra.n_squids as usize;
+        let squids: Vec<Squid> = (0..n_squids).map(|_| Squid::new(params.squid)).collect();
+        let fed = Federation::new(FederationConfig {
+            wan_bandwidth: simnet::units::gbit_per_s(cfg.infra.wan_gbits),
+            per_stream_cap: params.wan_stream_cap,
+            outages: params.outages.clone(),
+        });
+        let chirp = ChirpServer::new(ChirpConfig {
+            max_connections: cfg.infra.chirp_connections as usize,
+            ..ChirpConfig::default()
+        });
+        let foremen: Vec<Server> = (0..cfg.infra.n_foremen.max(1) as usize)
+            .map(|_| Server::new(params.foreman_capacity))
+            .collect();
+        let planner = MergePlanner::new(cfg.merge_target_bytes);
+        let timeline = Timeline::new(params.timeline_bin);
+        let analysis_done = TimeSeries::new(params.timeline_bin);
+        let merge_done = TimeSeries::new(params.timeline_bin);
+        let initial_size = cfg.workflows[0].tasklets_per_task;
+        let sizer = AdaptiveSizer::new(params.adaptive_cfg, initial_size);
+        let catalog = ReleaseCatalog::cmssw_default(cfg.seed ^ 0xCAFE);
+        ClusterSim {
+            rng: rng.split(0),
+            cfg,
+            params,
+            db,
+            workflows,
+            tasks: HashMap::new(),
+            buffer: DispatchBuffer::new(),
+            merge_queue: VecDeque::new(),
+            table: WorkerTable::new(),
+            factory,
+            pool,
+            log: WorkerLog::new(),
+            worker_evict_ev: HashMap::new(),
+            running_on: HashMap::new(),
+            foremen,
+            squid_wake: vec![None; n_squids],
+            squid_flows: (0..n_squids).map(|_| HashMap::new()).collect(),
+            squid_fill_flows: (0..n_squids).map(|_| HashMap::new()).collect(),
+            env_fill: HashMap::new(),
+            squids,
+            fed,
+            fed_wake: None,
+            fed_flows: HashMap::new(),
+            chirp,
+            catalog,
+            planner,
+            outputs_in_merge: HashSet::new(),
+            pending_outputs: VecDeque::new(),
+            pending_bytes: 0,
+            unmerged_count: 0,
+            merge_counter: 0,
+            hadoop_groups: Vec::new(),
+            hadoop_started: false,
+            sequential_planned: false,
+            accounting: Accounting::default(),
+            timeline,
+            advisor: Advisor::new(),
+            seg_hist: SegmentHistograms::new(),
+            analysis_done,
+            merge_done,
+            tasks_completed: 0,
+            tasks_failed: 0,
+            evictions: 0,
+            merges_completed: 0,
+            finished_at: None,
+            sizer,
+        }
+    }
+
+    /// Run to the horizon and harvest the report.
+    pub fn run(cfg: LobsterConfig, params: SimParams, workflows: Vec<Workflow>) -> RunReport {
+        let horizon = params.horizon;
+        let mut engine = Engine::new(ClusterSim::new(cfg, params, workflows));
+        engine.prime(SimDuration::ZERO, Ev::Start);
+        let ended_at = engine.run_until(SimTime::ZERO + horizon);
+        let sim = engine.into_model();
+        let concurrency = sim.timeline.concurrency();
+        let peak = concurrency.iter().copied().fold(0.0, f64::max);
+        RunReport {
+            advice: sim.advisor.diagnose(&AdvisorConfig::default()),
+            segment_histograms: sim.seg_hist,
+            accounting: sim.accounting,
+            timeline: sim.timeline,
+            analysis_done: sim.analysis_done,
+            merge_done: sim.merge_done,
+            dashboard: sim.fed.dashboard(),
+            worker_log: sim.log,
+            tasks_completed: sim.tasks_completed,
+            tasks_failed: sim.tasks_failed,
+            evictions: sim.evictions,
+            merges_completed: sim.merges_completed,
+            merged_files: sim.db.merged_files(),
+            finished_at: sim.finished_at,
+            ended_at,
+            peak_concurrency: peak,
+            final_task_size: sim.sizer.current(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    // ----- task creation ---------------------------------------------------
+
+    fn task_size(&self) -> u32 {
+        if self.params.adaptive {
+            self.sizer.current()
+        } else {
+            self.cfg.workflows[0].tasklets_per_task
+        }
+    }
+
+    fn refill_buffer(&mut self, now: SimTime) {
+        while self.buffer.deficit() > 0 {
+            let size = self.task_size();
+            let mut created = false;
+            for wf_idx in 0..self.workflows.len() {
+                let name = self.workflows[wf_idx].name.clone();
+                if let Some(id) = self.db.create_task(&name, size) {
+                    let n = self.db.task_tasklets(id).expect("created").len() as u32;
+                    let wf = &self.workflows[wf_idx];
+                    let cpu = wf.sample_task_cpu(n, &mut self.rng);
+                    self.tasks.insert(
+                        id,
+                        TaskInfo {
+                            wf: wf_idx,
+                            category: Category::Analysis,
+                            input_bytes: wf.task_input_bytes(n),
+                            output_bytes: wf.task_output_bytes(n),
+                            cpu,
+                            phase: Phase::Queued,
+                            worker: None,
+                            builder: None,
+                            enqueued_at: now,
+                            phase_started: now,
+                            env_flow: None,
+                            data_flow: None,
+                            merge_inputs: None,
+                            attempt: 0,
+                        },
+                    );
+                    self.buffer.push(id);
+                    created = true;
+                    break;
+                }
+            }
+            if !created {
+                break;
+            }
+        }
+    }
+
+    fn create_merge_task(&mut self, now: SimTime, inputs: Vec<(TaskId, u64)>) -> TaskId {
+        let bytes: u64 = inputs.iter().map(|i| i.1).sum();
+        let id = TaskId(1_000_000_000 + self.merge_counter);
+        self.merge_counter += 1;
+        let cpu = self.params.merge_cpu_per_gb.mul_f64(bytes as f64 / 1e9);
+        for (t, _) in &inputs {
+            self.outputs_in_merge.insert(*t);
+        }
+        self.tasks.insert(
+            id,
+            TaskInfo {
+                wf: 0,
+                category: Category::Merge,
+                input_bytes: bytes,
+                output_bytes: bytes,
+                cpu,
+                phase: Phase::Queued,
+                worker: None,
+                builder: None,
+                enqueued_at: now,
+                phase_started: now,
+                env_flow: None,
+                data_flow: None,
+                merge_inputs: Some(inputs),
+                attempt: 0,
+            },
+        );
+        self.merge_queue.push_back(id);
+        id
+    }
+
+    // ----- dispatch --------------------------------------------------------
+
+    fn dispatch(&mut self, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        self.refill_buffer(now);
+        loop {
+            // Merge tasks first (they unblock publication), then analysis.
+            let (id, from_merge) = if let Some(&id) = self.merge_queue.front() {
+                (id, true)
+            } else if let Some(id) = self.buffer.pop() {
+                (id, false)
+            } else {
+                break;
+            };
+            let Some(worker) = self.table.claim_slot() else {
+                if !from_merge {
+                    self.buffer.push_front(id);
+                }
+                break;
+            };
+            if from_merge {
+                self.merge_queue.pop_front();
+            }
+            let foreman = self.table.get(worker).expect("claimed").foreman;
+            let grant = self.foremen[foreman].offer(now, self.params.sandbox_service);
+            let t = self.tasks.get_mut(&id).expect("queued task");
+            t.phase = Phase::Sandbox;
+            t.worker = Some(worker);
+            t.attempt += 1;
+            t.phase_started = now;
+            let mut builder =
+                ReportBuilder::new(id, t.category, t.attempt - 1, worker, now);
+            builder.times_mut().queued = now - t.enqueued_at;
+            builder.times_mut().wq_stage_in = grant.done - now;
+            t.builder = Some(builder);
+            if t.category == Category::Analysis {
+                self.db.mark_running(id);
+            }
+            self.running_on.entry(worker).or_default().insert(id);
+            ctx.schedule_at(grant.done, Ev::SandboxDone(id));
+        }
+    }
+
+    // ----- wrapper segments -------------------------------------------------
+
+    fn on_sandbox_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let Some(t) = self.tasks.get_mut(&id) else { return };
+        if t.phase != Phase::Sandbox {
+            return; // stale (evicted meanwhile)
+        }
+        t.phase = Phase::EnvSetup;
+        t.phase_started = now;
+        let worker = t.worker.expect("dispatched");
+        let hot = self.table.get(worker).map(|w| w.cache_hot).unwrap_or(false);
+        let squid_idx = (worker as usize) % self.squids.len();
+        if hot {
+            // Cheap re-validation + conditions payload, one per task.
+            let bytes = self.catalog.hot_bytes();
+            match self.squids[squid_idx].request(now, bytes) {
+                Ok(flow) => {
+                    self.squid_flows[squid_idx].insert(flow, id);
+                    self.tasks.get_mut(&id).expect("present").env_flow =
+                        Some((squid_idx, flow));
+                    self.reschedule_squid(squid_idx, ctx);
+                }
+                Err(()) => self.fail_task(id, Segment::EnvInit, ctx),
+            }
+        } else if self.cfg.infra.alien_cache {
+            // Alien cache (§4.3): one cold fill per worker; concurrent
+            // tasks on the same worker *join* the in-flight fill instead
+            // of issuing their own.
+            if let Some((_, _, waiters)) = self.env_fill.get_mut(&worker) {
+                waiters.push(id);
+                return;
+            }
+            let bytes = self.catalog.total_bytes();
+            match self.squids[squid_idx].request(now, bytes) {
+                Ok(flow) => {
+                    self.squid_fill_flows[squid_idx].insert(flow, worker);
+                    self.env_fill.insert(worker, (squid_idx, flow, vec![id]));
+                    self.reschedule_squid(squid_idx, ctx);
+                }
+                Err(()) => self.fail_task(id, Segment::EnvInit, ctx),
+            }
+        } else {
+            // No alien cache: every task pays the full cold fill into its
+            // own cache directory (Figure 6(b) economics).
+            let bytes = self.catalog.total_bytes();
+            match self.squids[squid_idx].request(now, bytes) {
+                Ok(flow) => {
+                    self.squid_flows[squid_idx].insert(flow, id);
+                    self.tasks.get_mut(&id).expect("present").env_flow =
+                        Some((squid_idx, flow));
+                    self.reschedule_squid(squid_idx, ctx);
+                }
+                Err(()) => self.fail_task(id, Segment::EnvInit, ctx),
+            }
+        }
+    }
+
+    fn reschedule_squid(&mut self, idx: usize, ctx: &mut Ctx<Ev>) {
+        if let Some(ev) = self.squid_wake[idx].take() {
+            ctx.cancel(ev);
+        }
+        if let Some((when, _)) = self.squids[idx].next_completion() {
+            self.squid_wake[idx] = Some(ctx.schedule_at(when, Ev::SquidWake(idx)));
+        }
+    }
+
+    fn on_squid_wake(&mut self, idx: usize, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        self.squid_wake[idx] = None;
+        let done = self.squids[idx].completions(now);
+        for flow in done {
+            if let Some(worker) = self.squid_fill_flows[idx].remove(&flow) {
+                // A shared cold fill finished: the worker is hot and every
+                // waiting task proceeds.
+                self.table.set_cache_hot(worker);
+                let waiters = self
+                    .env_fill
+                    .remove(&worker)
+                    .map(|(_, _, w)| w)
+                    .unwrap_or_default();
+                for id in waiters {
+                    let Some(t) = self.tasks.get_mut(&id) else { continue };
+                    if t.phase != Phase::EnvSetup || t.worker != Some(worker) {
+                        continue;
+                    }
+                    if let Some(b) = t.builder.as_mut() {
+                        b.times_mut().env_setup = now - t.phase_started;
+                    }
+                    self.begin_data_phase(id, ctx);
+                }
+                continue;
+            }
+            let Some(id) = self.squid_flows[idx].remove(&flow) else { continue };
+            let Some(t) = self.tasks.get_mut(&id) else { continue };
+            if t.phase != Phase::EnvSetup {
+                continue;
+            }
+            t.env_flow = None;
+            if let Some(b) = t.builder.as_mut() {
+                b.times_mut().env_setup = now - t.phase_started;
+            }
+            self.begin_data_phase(id, ctx);
+        }
+        self.reschedule_squid(idx, ctx);
+    }
+
+    fn begin_data_phase(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let t = self.tasks.get_mut(&id).expect("present");
+        t.phase = Phase::Exec;
+        t.phase_started = now;
+        let (kind, input, cpu, category) =
+            (self.workflows[t.wf].kind, t.input_bytes, t.cpu, t.category);
+        let streaming = category == Category::Merge
+            || (kind == WorkloadKind::DataProcessing
+                && self.cfg.access == DataAccessMode::Stream);
+        if input == 0 {
+            // Pure generation: straight to execution.
+            if let Some(b) = t.builder.as_mut() {
+                b.times_mut().cpu = cpu;
+            }
+            ctx.schedule(cpu, Ev::ExecDone(id));
+        } else if kind == WorkloadKind::Simulation {
+            // Pile-up overlay staged from *local* storage via Chirp (§6):
+            // the only input a simulation task has.
+            let grant = self.chirp.get(now, input);
+            if let Some(b) = t.builder.as_mut() {
+                b.times_mut().stage_in = grant.done - now;
+                b.times_mut().cpu = cpu;
+            }
+            ctx.schedule_at(grant.done + cpu, Ev::ExecDone(id));
+        } else if streaming {
+            // XrootD stream: execution overlaps the WAN transfer.
+            match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
+                Ok(flow) => {
+                    self.fed_flows.insert(flow, id);
+                    let t = self.tasks.get_mut(&id).expect("present");
+                    t.data_flow = Some(flow);
+                    if let Some(b) = t.builder.as_mut() {
+                        b.times_mut().stage_in = AccessTiming::STREAM_OPEN;
+                        b.times_mut().cpu = cpu;
+                    }
+                    self.reschedule_fed(ctx);
+                }
+                Err(_) => self.fail_task(id, Segment::StageIn, ctx),
+            }
+        } else {
+            // Staged remote input (Chirp or WQ transfer, §4.2): the data
+            // crosses the same WAN, but the file must fully land before
+            // execution starts — no compute/transfer overlap. This is the
+            // penalty Figure 4 charges against staging.
+            match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
+                Ok(flow) => {
+                    self.fed_flows.insert(flow, id);
+                    let t = self.tasks.get_mut(&id).expect("present");
+                    t.data_flow = Some(flow);
+                    t.phase = Phase::Data;
+                }
+                Err(_) => self.fail_task(id, Segment::StageIn, ctx),
+            }
+            self.reschedule_fed(ctx);
+        }
+    }
+
+    fn reschedule_fed(&mut self, ctx: &mut Ctx<Ev>) {
+        if let Some(ev) = self.fed_wake.take() {
+            ctx.cancel(ev);
+        }
+        if let Some((when, _)) = self.fed.next_completion() {
+            self.fed_wake = Some(ctx.schedule_at(when, Ev::FedWake));
+        }
+    }
+
+    fn on_fed_wake(&mut self, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        self.fed_wake = None;
+        let done = self.fed.completions(now);
+        for flow in done {
+            let Some(id) = self.fed_flows.remove(&flow) else { continue };
+            let Some(t) = self.tasks.get_mut(&id) else { continue };
+            if t.data_flow != Some(flow) {
+                continue;
+            }
+            match t.phase {
+                Phase::Exec => {
+                    t.data_flow = None;
+                    // Streaming: CPU started when the stream opened; the
+                    // task ends when both stream and CPU are done.
+                    let cpu_end = t.phase_started + t.cpu;
+                    let end = cpu_end.max(now);
+                    if let Some(b) = t.builder.as_mut() {
+                        b.times_mut().io_wait = now.since(cpu_end);
+                    }
+                    ctx.schedule_at(end, Ev::ExecDone(id));
+                }
+                Phase::Data => {
+                    t.data_flow = None;
+                    // Staged: the file landed; execution starts now.
+                    let stage_in = now - t.phase_started;
+                    t.phase = Phase::Exec;
+                    t.phase_started = now;
+                    if let Some(b) = t.builder.as_mut() {
+                        b.times_mut().stage_in = AccessTiming::STAGE_SETUP + stage_in;
+                        b.times_mut().cpu = t.cpu;
+                    }
+                    ctx.schedule_at(now + t.cpu, Ev::ExecDone(id));
+                }
+                _ => {}
+            }
+        }
+        self.reschedule_fed(ctx);
+    }
+
+    fn on_exec_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let Some(t) = self.tasks.get_mut(&id) else { return };
+        if t.phase != Phase::Exec || t.data_flow.is_some() {
+            return; // stale, or the input stream is still in flight
+        }
+        t.phase = Phase::StageOut;
+        t.phase_started = now;
+        let grant = self.chirp.put(now, t.output_bytes);
+        if let Some(b) = t.builder.as_mut() {
+            b.times_mut().stage_out = grant.done - now;
+        }
+        ctx.schedule_at(grant.done, Ev::StageOutDone(id));
+    }
+
+    fn on_stage_out_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+        let Some(t) = self.tasks.get_mut(&id) else { return };
+        if t.phase != Phase::StageOut {
+            return;
+        }
+        t.phase = Phase::Collect;
+        if let Some(b) = t.builder.as_mut() {
+            b.times_mut().wq_stage_out = self.params.wq_collect;
+        }
+        ctx.schedule(self.params.wq_collect, Ev::CollectDone(id));
+    }
+
+    fn on_collect_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        match self.tasks.get(&id) {
+            Some(t) if t.phase == Phase::Collect => {}
+            _ => return,
+        }
+        let mut t = self.tasks.remove(&id).expect("present");
+        let worker = t.worker.expect("running");
+        self.release_task_slot(worker, id);
+        let report = t.builder.take().expect("built").succeed(now, t.output_bytes);
+        self.ingest(&report);
+        if t.category == Category::Merge {
+            self.merges_completed += 1;
+            self.merge_done.mark(now);
+            let inputs = t.merge_inputs.take().expect("merge task");
+            let ids: Vec<TaskId> = inputs.iter().map(|i| i.0).collect();
+            let bytes: u64 = inputs.iter().map(|i| i.1).sum();
+            let name = format!("merged_{}.root", id.0);
+            self.unmerged_count = self.unmerged_count.saturating_sub(ids.len() as u64);
+            self.db.mark_merged(&ids, &name, bytes);
+            for tid in ids {
+                self.outputs_in_merge.remove(&tid);
+            }
+        } else {
+            self.tasks_completed += 1;
+            self.analysis_done.mark(now);
+            self.db.mark_done(id, t.output_bytes);
+            self.unmerged_count += 1;
+            self.pending_outputs.push_back((id, t.output_bytes));
+            self.pending_bytes += t.output_bytes;
+            self.maybe_plan_merges(now, ctx);
+        }
+        self.check_finished(now);
+        self.dispatch(ctx);
+    }
+
+    // ----- merging ----------------------------------------------------------
+
+    /// Drain one target-sized group off the pending-output queue, or the
+    /// whole remainder when `flush` is set.
+    fn drain_group(&mut self, flush: bool) -> Option<Vec<(TaskId, u64)>> {
+        let target = self.planner.target_bytes();
+        if !flush && self.pending_bytes < target {
+            return None;
+        }
+        let mut group = Vec::new();
+        let mut acc = 0u64;
+        while acc < target {
+            let Some((id, bytes)) = self.pending_outputs.pop_front() else { break };
+            acc += bytes;
+            self.pending_bytes -= bytes;
+            group.push((id, bytes));
+        }
+        if group.is_empty() {
+            None
+        } else {
+            Some(group)
+        }
+    }
+
+    fn analysis_progress(&self) -> f64 {
+        let total: u64 = self.workflows.iter().map(|w| w.n_tasklets()).sum();
+        let done: u64 =
+            self.workflows.iter().map(|w| self.db.done_tasklets(&w.name)).sum();
+        if total == 0 {
+            1.0
+        } else {
+            done as f64 / total as f64
+        }
+    }
+
+    fn analysis_exhausted(&self) -> bool {
+        self.db.all_done()
+    }
+
+    fn maybe_plan_merges(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        match self.cfg.merge {
+            MergeMode::Interleaved => {
+                // "Merge tasks will only be created when enough processing
+                // tasks have finished to create a sufficiently large merged
+                // output file", gated at 10 % workflow progress (§4.4).
+                let flush = self.analysis_exhausted();
+                if !flush && self.analysis_progress() < 0.10 {
+                    return;
+                }
+                while let Some(group) = self.drain_group(flush) {
+                    self.create_merge_task(now, group);
+                }
+            }
+            MergeMode::Sequential => {
+                if self.analysis_exhausted() && !self.sequential_planned {
+                    self.sequential_planned = true;
+                    while let Some(group) = self.drain_group(true) {
+                        self.create_merge_task(now, group);
+                    }
+                }
+            }
+            MergeMode::Hadoop => {
+                if self.analysis_exhausted() && !self.hadoop_started {
+                    self.hadoop_started = true;
+                    self.plan_hadoop(now, ctx);
+                }
+            }
+        }
+    }
+
+    /// LPT-assign merge groups to reducers; schedule per-group completions.
+    fn plan_hadoop(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let mut outs = Vec::new();
+        while let Some(group) = self.drain_group(true) {
+            outs.push(group);
+        }
+        let mut groups: Vec<crate::merge::MergeGroup> =
+            outs.into_iter().map(|inputs| crate::merge::MergeGroup { inputs }).collect();
+        groups.sort_by_key(|g| std::cmp::Reverse(g.bytes()));
+        let mut reducer_free =
+            vec![SimDuration::ZERO; self.params.hadoop_reducers.max(1)];
+        for g in groups {
+            let bytes = g.bytes();
+            // The merge reads and writes the data once each, in-cluster.
+            let dur =
+                SimDuration::from_secs_f64(2.0 * bytes as f64 / self.params.hadoop_rate);
+            let r = reducer_free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, d)| **d)
+                .map(|(i, _)| i)
+                .expect("at least one reducer");
+            let start = reducer_free[r];
+            reducer_free[r] = start + dur;
+            let gi = self.hadoop_groups.len();
+            for (t, _) in &g.inputs {
+                self.outputs_in_merge.insert(*t);
+            }
+            self.hadoop_groups.push((g.inputs, bytes));
+            ctx.schedule_at(now + start + dur, Ev::HadoopGroupDone(gi));
+        }
+    }
+
+    fn on_hadoop_group_done(&mut self, gi: usize, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let (inputs, bytes) = self.hadoop_groups[gi].clone();
+        let ids: Vec<TaskId> = inputs.iter().map(|i| i.0).collect();
+        let name = format!("merged_h{gi}.root");
+        self.unmerged_count = self.unmerged_count.saturating_sub(ids.len() as u64);
+        self.db.mark_merged(&ids, &name, bytes);
+        for id in ids {
+            self.outputs_in_merge.remove(&id);
+        }
+        self.merges_completed += 1;
+        self.merge_done.mark(now);
+        self.check_finished(now);
+        let _ = ctx;
+    }
+
+    // ----- failure & eviction ------------------------------------------------
+
+    fn fail_task(&mut self, id: TaskId, segment: Segment, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let Some(mut t) = self.tasks.remove(&id) else { return };
+        let worker = t.worker.expect("running");
+        if segment == Segment::EnvInit {
+            // The proxy tier is overloaded: hold the slot back instead of
+            // immediately re-dispatching into the same congestion (the
+            // client-side retry backoff of §6).
+            if let Some(set) = self.running_on.get_mut(&worker) {
+                set.remove(&id);
+            }
+            ctx.schedule(SimDuration::from_mins(15), Ev::SlotFree(worker));
+        } else {
+            self.release_task_slot(worker, id);
+        }
+        self.abort_flows(&mut t, now);
+        if let Some(b) = t.builder.take() {
+            let report = b.fail(segment, now);
+            self.ingest(&report);
+        }
+        self.tasks_failed += 1;
+        self.requeue(id, t, now);
+        self.dispatch(ctx);
+    }
+
+    fn abort_flows(&mut self, t: &mut TaskInfo, now: SimTime) {
+        if let Some((idx, flow)) = t.env_flow.take() {
+            self.squids[idx].abort(now, flow);
+            self.squid_flows[idx].remove(&flow);
+        }
+        if let Some(flow) = t.data_flow.take() {
+            self.fed.abort(now, flow);
+            self.fed_flows.remove(&flow);
+        }
+    }
+
+    /// Return a task's work to the system after a failed attempt.
+    fn requeue(&mut self, id: TaskId, t: TaskInfo, now: SimTime) {
+        if t.category == Category::Merge {
+            // Re-enqueue the same merge group.
+            let mut t = t;
+            t.phase = Phase::Queued;
+            t.worker = None;
+            t.builder = None;
+            t.enqueued_at = now;
+            self.tasks.insert(id, t);
+            self.merge_queue.push_back(id);
+        } else {
+            // Tasklets go back to the pool; fresh tasks re-cover them.
+            self.db.mark_lost(id);
+        }
+    }
+
+    fn release_task_slot(&mut self, worker: u64, id: TaskId) {
+        if let Some(set) = self.running_on.get_mut(&worker) {
+            if set.remove(&id) {
+                self.table.release_slot(worker);
+            }
+        }
+    }
+
+    fn evict_worker(&mut self, worker: u64, release_pool: bool, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let Some(w) = self.table.disconnect(worker) else { return };
+        if let Some(ev) = self.worker_evict_ev.remove(&worker) {
+            ctx.cancel(ev);
+        }
+        self.log.leave(worker, now, LeaveReason::Evicted);
+        self.factory.on_exit();
+        if release_pool {
+            self.pool.release(w.cores);
+        }
+        // Abort the worker's shared cold fill, if one is in flight.
+        if let Some((idx, flow, _)) = self.env_fill.remove(&worker) {
+            self.squids[idx].abort(now, flow);
+            self.squid_fill_flows[idx].remove(&flow);
+        }
+        let mut victims: Vec<TaskId> =
+            self.running_on.remove(&worker).unwrap_or_default().into_iter().collect();
+        victims.sort();
+        for id in victims {
+            let Some(mut t) = self.tasks.remove(&id) else { continue };
+            self.abort_flows(&mut t, now);
+            if let Some(b) = t.builder.take() {
+                let report = b.evict(now);
+                self.ingest(&report);
+            }
+            self.tasks_failed += 1;
+            self.evictions += 1;
+            self.requeue(id, t, now);
+        }
+        self.dispatch(ctx);
+    }
+
+    // ----- provisioning -------------------------------------------------------
+
+    fn on_worker_arrive(&mut self, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let cores = self.factory.config().cores_per_worker;
+        let granted = self.pool.claim(cores);
+        self.factory.on_start_attempt(granted);
+        if !granted {
+            return;
+        }
+        let foreman = (self.rng.next_u64() as usize) % self.foremen.len();
+        let id = self.table.connect(cores, foreman, now);
+        self.log.join(id, now);
+        let survival = self.params.availability.sample(&mut self.rng);
+        if survival < SimDuration::MAX {
+            let ev = ctx.schedule(survival, Ev::WorkerEvict(id));
+            self.worker_evict_ev.insert(id, ev);
+        }
+        self.dispatch(ctx);
+    }
+
+    // ----- monitoring -----------------------------------------------------------
+
+    fn ingest(&mut self, report: &SegmentReport) {
+        self.accounting.record(report);
+        self.timeline.record(report);
+        self.advisor.record(report);
+        self.seg_hist.record(report);
+        if self.params.adaptive {
+            self.sizer.record(report);
+            if report.evicted || report.task.0.is_multiple_of(20) {
+                self.sizer.adjust();
+            }
+        }
+    }
+
+    fn check_finished(&mut self, now: SimTime) {
+        if self.finished_at.is_none()
+            && self.analysis_exhausted()
+            && self.unmerged_count == 0
+            && self.merge_queue.is_empty()
+            && self.tasks.is_empty()
+        {
+            self.finished_at = Some(now);
+        }
+    }
+}
+
+impl Model for ClusterSim {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+        match ev {
+            Ev::Start => {
+                self.refill_buffer(ctx.now());
+                ctx.schedule(SimDuration::ZERO, Ev::Replenish);
+                ctx.schedule(self.pool.tick_interval(), Ev::PoolTick);
+                if let Some(t) = self.fed.next_outage_transition(ctx.now()) {
+                    ctx.schedule_at(t, Ev::OutageWake);
+                }
+            }
+            Ev::Replenish => {
+                if !self.done() {
+                    let delays = self.factory.replenish(&mut self.rng);
+                    for d in delays {
+                        ctx.schedule(d, Ev::WorkerArrive);
+                    }
+                    ctx.schedule(SimDuration::from_mins(1), Ev::Replenish);
+                }
+            }
+            Ev::PoolTick => {
+                if !self.done() {
+                    let mut evict_cores = self.pool.tick(ctx.now());
+                    while evict_cores > 0 {
+                        // Reclaim youngest workers first (LIFO — the batch
+                        // system preempts the newest scavengers).
+                        let victim = self.table.iter().map(|w| w.id).max();
+                        let Some(victim) = victim else { break };
+                        let cores = self.table.get(victim).expect("present").cores;
+                        self.evict_worker(victim, false, ctx);
+                        evict_cores = evict_cores.saturating_sub(cores);
+                    }
+                    ctx.schedule(self.pool.tick_interval(), Ev::PoolTick);
+                }
+            }
+            Ev::WorkerArrive => {
+                if !self.done() {
+                    self.on_worker_arrive(ctx);
+                }
+            }
+            Ev::WorkerEvict(w) => self.evict_worker(w, true, ctx),
+            Ev::Dispatch => self.dispatch(ctx),
+            Ev::SandboxDone(id) => self.on_sandbox_done(id, ctx),
+            Ev::SquidWake(i) => self.on_squid_wake(i, ctx),
+            Ev::FedWake => self.on_fed_wake(ctx),
+            Ev::OutageWake => {
+                let now = ctx.now();
+                self.fed.apply_outage(now);
+                self.reschedule_fed(ctx);
+                if let Some(t) = self.fed.next_outage_transition(now) {
+                    ctx.schedule_at(t, Ev::OutageWake);
+                }
+            }
+            Ev::ExecDone(id) => self.on_exec_done(id, ctx),
+            Ev::StageOutDone(id) => self.on_stage_out_done(id, ctx),
+            Ev::CollectDone(id) => self.on_collect_done(id, ctx),
+            Ev::HadoopGroupDone(g) => self.on_hadoop_group_done(g, ctx),
+            Ev::SlotFree(worker) => {
+                self.table.release_slot(worker);
+                self.dispatch(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkflowConfig;
+    use gridstore::dbs::{DatasetSpec, Dbs};
+
+    fn small_setup(
+        merge: MergeMode,
+        availability: AvailabilityModel,
+        outages: OutageSchedule,
+        n_files: usize,
+    ) -> (LobsterConfig, SimParams, Vec<Workflow>) {
+        let mut cfg = LobsterConfig::default();
+        cfg.merge = merge;
+        cfg.workers.target_cores = 64;
+        cfg.workers.cores_per_worker = 4;
+        cfg.merge_target_bytes = 200_000_000;
+        cfg.seed = 42;
+        let mut dbs = Dbs::new();
+        dbs.generate(
+            "/TTJets/Spring14/AOD",
+            DatasetSpec {
+                n_files,
+                mean_file_bytes: 500_000_000,
+                events_per_lumi: 100,
+                lumis_per_file: 50,
+            },
+            7,
+        );
+        let ds = dbs.query("/TTJets/Spring14/AOD").unwrap();
+        let wf = Workflow::from_dataset(&cfg.workflows[0], ds);
+        let params = SimParams {
+            availability,
+            outages,
+            pool: PoolConfig {
+                total_cores: 200,
+                owner_mean: 20.0,
+                reversion: 0.1,
+                noise: 0.0,
+                tick: SimDuration::from_mins(5),
+            },
+            horizon: SimDuration::from_hours(96),
+            ..SimParams::default()
+        };
+        (cfg, params, vec![wf])
+    }
+
+    #[test]
+    fn small_run_completes_interleaved() {
+        let (cfg, params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            20,
+        );
+        let total_tasklets = wfs[0].n_tasklets();
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some(), "run should finish: {report:?}");
+        assert!(report.tasks_completed > 0);
+        assert_eq!(report.tasks_failed, 0, "dedicated workers, no outage");
+        assert!(report.merges_completed > 0);
+        assert!(!report.merged_files.is_empty());
+        // Every tasklet's output landed inside some merged file.
+        let merged_bytes: u64 = report.merged_files.iter().map(|m| m.1).sum();
+        assert_eq!(merged_bytes, total_tasklets * 12_000_000);
+        assert!(report.peak_concurrency > 1.0);
+    }
+
+    #[test]
+    fn sequential_merge_runs_after_processing() {
+        let (cfg, params, wfs) = small_setup(
+            MergeMode::Sequential,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            20,
+        );
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some());
+        assert!(report.merges_completed > 0);
+        // Sequential: no merge completes before the last analysis task.
+        let analysis = report.analysis_done.sums();
+        let merges = report.merge_done.sums();
+        let last_analysis = analysis.iter().rposition(|&c| c > 0.0).unwrap();
+        let first_merge = merges.iter().position(|&c| c > 0.0).unwrap();
+        assert!(
+            first_merge >= last_analysis,
+            "first merge bin {first_merge} vs last analysis bin {last_analysis}"
+        );
+    }
+
+    #[test]
+    fn hadoop_merge_completes() {
+        let (cfg, params, wfs) = small_setup(
+            MergeMode::Hadoop,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            20,
+        );
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some());
+        assert!(report.merges_completed > 0);
+        assert!(report.merged_files.iter().all(|(n, _)| n.starts_with("merged_h")));
+    }
+
+    #[test]
+    fn interleaved_finishes_no_later_than_sequential() {
+        let run = |mode| {
+            let (cfg, params, wfs) = small_setup(
+                mode,
+                AvailabilityModel::Dedicated,
+                OutageSchedule::none(),
+                40,
+            );
+            ClusterSim::run(cfg, params, wfs).finished_at.unwrap()
+        };
+        let ts = run(MergeMode::Sequential);
+        let ti = run(MergeMode::Interleaved);
+        assert!(ti <= ts, "interleaved {ti:?} should not lose to sequential {ts:?}");
+    }
+
+    #[test]
+    fn evictions_cause_retries_but_work_completes() {
+        let (cfg, params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Exponential { mean: SimDuration::from_hours(3) },
+            OutageSchedule::none(),
+            20,
+        );
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.evictions > 0, "3h mean lifetime must evict someone");
+        assert!(report.finished_at.is_some(), "work still completes");
+        assert!(report
+            .worker_log
+            .spans()
+            .iter()
+            .any(|s| s.reason == LeaveReason::Evicted));
+    }
+
+    #[test]
+    fn outage_produces_failure_burst() {
+        let outage = OutageSchedule::new(vec![simnet::outage::Outage::blackout(
+            SimTime::ZERO + SimDuration::from_mins(70),
+            SimTime::ZERO + SimDuration::from_mins(130),
+        )]);
+        let (cfg, params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            outage,
+            120,
+        );
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.tasks_failed > 0, "blackout must fail stage-ins: {report:?}");
+        assert!(
+            report.timeline.failure_events().iter().any(|(t, code)| {
+                *code == wqueue::task::FailureCode::StageIn
+                    && t.as_hours_f64() >= 70.0 / 60.0
+                    && t.as_hours_f64() <= 135.0 / 60.0
+            }),
+            "failures should cluster in the outage window"
+        );
+        assert!(report.finished_at.is_some(), "recovers after the outage");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let mk = || {
+            small_setup(
+                MergeMode::Interleaved,
+                AvailabilityModel::notre_dame(),
+                OutageSchedule::none(),
+                20,
+            )
+        };
+        let (c1, p1, w1) = mk();
+        let (c2, p2, w2) = mk();
+        let a = ClusterSim::run(c1, p1, w1);
+        let b = ClusterSim::run(c2, p2, w2);
+        assert_eq!(a.tasks_completed, b.tasks_completed);
+        assert_eq!(a.tasks_failed, b.tasks_failed);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn accounting_dominated_by_cpu_when_healthy() {
+        let (cfg, params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            20,
+        );
+        let report = ClusterSim::run(cfg, params, wfs);
+        let table = report.accounting.table();
+        let cpu_frac = table[0].2;
+        assert!(cpu_frac > 0.4, "cpu fraction {cpu_frac}");
+        let total: f64 = table.iter().map(|r| r.1).sum();
+        assert!((report.accounting.total() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dashboard_credits_lobster() {
+        let (cfg, params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            20,
+        );
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report
+            .dashboard
+            .iter()
+            .any(|(site, bytes)| site.contains("Lobster") && *bytes > 0.0));
+    }
+
+    #[test]
+    fn simulation_workload_uses_chirp_not_wan() {
+        let mut cfg = LobsterConfig::default();
+        cfg.workflows = vec![WorkflowConfig::simulation("gen")];
+        cfg.workers.target_cores = 32;
+        cfg.workers.cores_per_worker = 4;
+        cfg.merge = MergeMode::Interleaved;
+        cfg.merge_target_bytes = 100_000_000;
+        let wf = Workflow::simulation(&cfg.workflows[0], 500, 5_000_000);
+        let params = SimParams {
+            availability: AvailabilityModel::Dedicated,
+            horizon: SimDuration::from_hours(200),
+            pool: PoolConfig {
+                total_cores: 100,
+                owner_mean: 0.0,
+                reversion: 0.1,
+                noise: 0.0,
+                tick: SimDuration::from_mins(5),
+            },
+            ..SimParams::default()
+        };
+        let report = ClusterSim::run(cfg, params, vec![wf]);
+        assert!(report.finished_at.is_some(), "{report:?}");
+        // No WAN consumption: everything moved through Chirp.
+        let lobster_bytes: f64 = report
+            .dashboard
+            .iter()
+            .filter(|(s, _)| s.contains("Lobster"))
+            .map(|(_, b)| *b)
+            .sum();
+        assert_eq!(lobster_bytes, 0.0);
+    }
+
+    #[test]
+    fn adaptive_sizer_stays_in_bounds() {
+        let (cfg, mut params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Exponential { mean: SimDuration::from_hours(2) },
+            OutageSchedule::none(),
+            20,
+        );
+        params.adaptive = true;
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some());
+        assert!((1..=60).contains(&report.final_task_size));
+    }
+}

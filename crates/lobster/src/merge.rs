@@ -1,0 +1,278 @@
+//! Output merging (§4.4, Figure 7).
+//!
+//! Tuning task sizes for eviction tolerance leaves "significantly more and
+//! smaller output files" (10–100 MB) than regular CMS workflows want;
+//! Lobster merges them into 3–4 GB files. Three modes:
+//!
+//! * **Sequential** — after all analysis tasks finish, group outputs by
+//!   size and run merge tasks through the same queue. Slowest; long tail.
+//! * **Hadoop** — run the merge inside the storage cluster as a
+//!   Map-Reduce job (map groups file names; reducers concatenate).
+//! * **Interleaved** — once a workflow is >10 % processed, create merge
+//!   tasks as soon as enough finished outputs exist to fill one target-
+//!   size file. Outputs merge exactly once. Less resource-efficient but
+//!   fastest to completion; the mode Lobster uses in production.
+
+use gridstore::hdfs::Hdfs;
+use gridstore::mapreduce::MapReduce;
+use serde::{Deserialize, Serialize};
+use wqueue::task::TaskId;
+
+/// The three merging modes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MergeMode {
+    /// Merge after all processing completes, via merge tasks.
+    Sequential,
+    /// Merge inside the Hadoop cluster via Map-Reduce.
+    Hadoop,
+    /// Merge concurrently with processing.
+    Interleaved,
+}
+
+impl MergeMode {
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MergeMode::Sequential => "sequential",
+            MergeMode::Hadoop => "hadoop",
+            MergeMode::Interleaved => "interleaved",
+        }
+    }
+}
+
+/// A planned merge: which outputs combine into one file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeGroup {
+    /// Inputs as `(producing task, bytes)`.
+    pub inputs: Vec<(TaskId, u64)>,
+}
+
+impl MergeGroup {
+    /// Total bytes of the merged file.
+    pub fn bytes(&self) -> u64 {
+        self.inputs.iter().map(|i| i.1).sum()
+    }
+
+    /// Number of input files.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// A group always holds at least one input.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Groups outputs into merge tasks of a target size.
+#[derive(Clone, Copy, Debug)]
+pub struct MergePlanner {
+    target_bytes: u64,
+    /// Interleaved mode only merges once this fraction of the workflow
+    /// has been processed (paper: 10 %).
+    progress_gate: f64,
+}
+
+impl MergePlanner {
+    /// Planner targeting `target_bytes` per merged file.
+    pub fn new(target_bytes: u64) -> Self {
+        assert!(target_bytes > 0);
+        MergePlanner { target_bytes, progress_gate: 0.10 }
+    }
+
+    /// The merged-file size target.
+    pub fn target_bytes(&self) -> u64 {
+        self.target_bytes
+    }
+
+    /// Group *all* outputs (sequential / hadoop, end-of-run): greedy
+    /// accumulation to the target; the final group may be smaller.
+    pub fn plan_full(&self, outputs: &[(TaskId, u64)]) -> Vec<MergeGroup> {
+        let mut groups = Vec::new();
+        let mut current: Vec<(TaskId, u64)> = Vec::new();
+        let mut acc = 0u64;
+        for &(id, bytes) in outputs {
+            current.push((id, bytes));
+            acc += bytes;
+            if acc >= self.target_bytes {
+                groups.push(MergeGroup { inputs: std::mem::take(&mut current) });
+                acc = 0;
+            }
+        }
+        if !current.is_empty() {
+            groups.push(MergeGroup { inputs: current });
+        }
+        groups
+    }
+
+    /// Interleaved planning: given the currently unmerged outputs and the
+    /// workflow's processed fraction, emit only *full* groups (≥ target),
+    /// leaving the remainder unmerged until more outputs arrive. Before
+    /// the 10 % gate nothing is merged. Set `final_flush` at end of
+    /// processing to also emit the trailing partial group.
+    pub fn plan_ready(
+        &self,
+        outputs: &[(TaskId, u64)],
+        progress: f64,
+        final_flush: bool,
+    ) -> Vec<MergeGroup> {
+        if progress < self.progress_gate && !final_flush {
+            return Vec::new();
+        }
+        let mut groups = self.plan_full(outputs);
+        if !final_flush {
+            // Drop the trailing partial group — it waits for more outputs.
+            if let Some(last) = groups.last() {
+                if last.bytes() < self.target_bytes {
+                    groups.pop();
+                }
+            }
+        }
+        groups
+    }
+}
+
+/// Execute merges inside the storage cluster as a real Map-Reduce job
+/// (the §4.4 Hadoop mode): inputs are HDFS file names; each reducer
+/// concatenates its group's contents and writes the merged file back,
+/// deleting the small inputs. Returns the merged file names.
+pub fn merge_in_hadoop(
+    hdfs: &Hdfs,
+    engine: &MapReduce,
+    groups: &[(String, Vec<String>)],
+) -> Vec<String> {
+    // Map: (target, input name) pairs; Reduce: concatenate in input order.
+    let inputs: Vec<(String, String, usize)> = groups
+        .iter()
+        .flat_map(|(target, names)| {
+            names
+                .iter()
+                .enumerate()
+                .map(move |(i, n)| (target.clone(), n.clone(), i))
+        })
+        .collect();
+    let merged = engine.run(
+        inputs,
+        |(target, name, order)| vec![(target, (order, name))],
+        |_target, mut pieces: Vec<(usize, String)>| {
+            pieces.sort_by_key(|p| p.0);
+            let mut out = Vec::new();
+            for (_, name) in &pieces {
+                if let Some(data) = hdfs.read(name) {
+                    out.extend_from_slice(&data);
+                }
+            }
+            (out, pieces.into_iter().map(|p| p.1).collect::<Vec<_>>())
+        },
+    );
+    let mut names = Vec::new();
+    for (target, (data, consumed)) in merged {
+        hdfs.put_bytes(&target, data);
+        for name in consumed {
+            hdfs.delete(&name);
+        }
+        names.push(target);
+    }
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outputs(sizes: &[u64]) -> Vec<(TaskId, u64)> {
+        sizes.iter().enumerate().map(|(i, &s)| (TaskId(i as u64), s)).collect()
+    }
+
+    #[test]
+    fn plan_full_covers_everything_once() {
+        let outs = outputs(&[40, 40, 40, 40, 25]);
+        let groups = MergePlanner::new(100).plan_full(&outs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].bytes(), 120);
+        assert_eq!(groups[1].bytes(), 65, "trailing partial group kept");
+        let total: usize = groups.iter().map(MergeGroup::len).sum();
+        assert_eq!(total, 5);
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for (id, _) in &g.inputs {
+                assert!(seen.insert(*id));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_full_empty_input() {
+        assert!(MergePlanner::new(100).plan_full(&[]).is_empty());
+    }
+
+    #[test]
+    fn interleaved_respects_progress_gate() {
+        let p = MergePlanner::new(100);
+        let outs = outputs(&[60, 60]);
+        assert!(p.plan_ready(&outs, 0.05, false).is_empty(), "below 10% gate");
+        let ready = p.plan_ready(&outs, 0.20, false);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].bytes(), 120);
+    }
+
+    #[test]
+    fn interleaved_holds_back_partial_groups() {
+        let p = MergePlanner::new(100);
+        let outs = outputs(&[60, 30]); // only 90 bytes — not a full file yet
+        assert!(p.plan_ready(&outs, 0.5, false).is_empty());
+        // final flush emits the remainder
+        let flushed = p.plan_ready(&outs, 0.5, true);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].bytes(), 90);
+    }
+
+    #[test]
+    fn final_flush_overrides_gate() {
+        let p = MergePlanner::new(100);
+        let outs = outputs(&[10]);
+        assert_eq!(p.plan_ready(&outs, 0.0, true).len(), 1);
+    }
+
+    #[test]
+    fn single_oversize_output_is_its_own_group() {
+        let groups = MergePlanner::new(100).plan_full(&outputs(&[500]));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 1);
+    }
+
+    #[test]
+    fn hadoop_merge_concatenates_and_cleans_up() {
+        let hdfs = Hdfs::new(4, 2);
+        for i in 0..6u8 {
+            hdfs.put_bytes(&format!("/out/small_{i}.root"), vec![i; 10]);
+        }
+        let groups = vec![
+            (
+                "/out/merged_0.root".to_string(),
+                (0..3).map(|i| format!("/out/small_{i}.root")).collect(),
+            ),
+            (
+                "/out/merged_1.root".to_string(),
+                (3..6).map(|i| format!("/out/small_{i}.root")).collect(),
+            ),
+        ];
+        let merged = merge_in_hadoop(&hdfs, &MapReduce::new(4), &groups);
+        assert_eq!(merged, vec!["/out/merged_0.root", "/out/merged_1.root"]);
+        let m0 = hdfs.read("/out/merged_0.root").unwrap();
+        assert_eq!(m0.len(), 30);
+        assert_eq!(&m0[0..10], &[0; 10]);
+        assert_eq!(&m0[10..20], &[1; 10]);
+        // Small files deleted; only merged files remain.
+        assert_eq!(hdfs.file_count(), 2);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(MergeMode::Sequential.label(), "sequential");
+        assert_eq!(MergeMode::Hadoop.label(), "hadoop");
+        assert_eq!(MergeMode::Interleaved.label(), "interleaved");
+    }
+}

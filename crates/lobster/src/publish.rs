@@ -1,0 +1,133 @@
+//! Output publication cost — why Lobster merges at all.
+//!
+//! §4.4: "While these files could be published as-is, it would require a
+//! significant amount of metadata, which increases the expense of
+//! publication and further handling. To offset these penalties, we
+//! implemented several ways to merge completed output files up to a
+//! desired file size."
+//!
+//! Publication registers every file with the bookkeeping service: a fixed
+//! per-file metadata record (lumi ranges, parentage, checksums) plus a
+//! per-file catalogue insertion. This module prices a publication plan so
+//! the merging trade-off is quantifiable: merging costs extra transfers
+//! now, but divides the perpetual metadata and catalogue cost by the
+//! merge factor.
+
+use serde::Serialize;
+
+/// Cost model constants for publishing one file.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishCosts {
+    /// Metadata bytes stored per published file (lumi ranges, parentage,
+    /// checksums — roughly fixed regardless of file size).
+    pub metadata_bytes_per_file: u64,
+    /// Catalogue insertion time per file (seconds).
+    pub insert_secs_per_file: f64,
+    /// Per-file validation overhead on every later access (seconds) —
+    /// the "further handling" cost that small files keep paying.
+    pub handling_secs_per_file: f64,
+}
+
+impl Default for PublishCosts {
+    fn default() -> Self {
+        PublishCosts {
+            metadata_bytes_per_file: 64 * 1024,
+            insert_secs_per_file: 2.0,
+            handling_secs_per_file: 0.5,
+        }
+    }
+}
+
+/// The priced publication plan for a set of output files.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PublishPlan {
+    /// Files to publish.
+    pub files: u64,
+    /// Total payload bytes.
+    pub payload_bytes: u64,
+    /// Metadata bytes the catalogue must hold.
+    pub metadata_bytes: u64,
+    /// One-time catalogue insertion time (seconds).
+    pub insert_secs: f64,
+    /// Handling cost per downstream pass over the dataset (seconds).
+    pub handling_secs_per_pass: f64,
+}
+
+impl PublishPlan {
+    /// Price publishing `files` of `payload_bytes` total.
+    pub fn price(files: u64, payload_bytes: u64, costs: &PublishCosts) -> Self {
+        PublishPlan {
+            files,
+            payload_bytes,
+            metadata_bytes: files * costs.metadata_bytes_per_file,
+            insert_secs: files as f64 * costs.insert_secs_per_file,
+            handling_secs_per_pass: files as f64 * costs.handling_secs_per_file,
+        }
+    }
+
+    /// Metadata overhead as a fraction of payload.
+    pub fn metadata_overhead(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            0.0
+        } else {
+            self.metadata_bytes as f64 / self.payload_bytes as f64
+        }
+    }
+}
+
+/// Compare publishing unmerged outputs against the merged plan. Returns
+/// `(unmerged, merged)` plans for the same payload.
+pub fn merge_benefit(
+    unmerged_files: u64,
+    merged_files: u64,
+    payload_bytes: u64,
+    costs: &PublishCosts,
+) -> (PublishPlan, PublishPlan) {
+    (
+        PublishPlan::price(unmerged_files, payload_bytes, costs),
+        PublishPlan::price(merged_files, payload_bytes, costs),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_scales_with_file_count() {
+        let costs = PublishCosts::default();
+        let p = PublishPlan::price(100, 1_000_000_000, &costs);
+        assert_eq!(p.metadata_bytes, 100 * 64 * 1024);
+        assert_eq!(p.insert_secs, 200.0);
+        assert_eq!(p.handling_secs_per_pass, 50.0);
+    }
+
+    #[test]
+    fn paper_scale_merge_benefit() {
+        // 10–100 MB files merged into 3–4 GB (§4.4): ~50× fewer files.
+        let costs = PublishCosts::default();
+        let payload = 3_500_000_000_u64 * 100; // 350 GB of outputs
+        let (raw, merged) = merge_benefit(7_000, 100, payload, &costs);
+        assert!(raw.metadata_bytes > 50 * merged.metadata_bytes);
+        assert!(raw.insert_secs > 50.0 * merged.insert_secs);
+        // Unmerged metadata overhead is non-trivial; merged is negligible.
+        assert!(raw.metadata_overhead() > merged.metadata_overhead() * 10.0);
+    }
+
+    #[test]
+    fn zero_payload_has_zero_overhead() {
+        let p = PublishPlan::price(10, 0, &PublishCosts::default());
+        assert_eq!(p.metadata_overhead(), 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let costs = PublishCosts {
+            metadata_bytes_per_file: 1_000,
+            insert_secs_per_file: 1.0,
+            handling_secs_per_file: 1.0,
+        };
+        let p = PublishPlan::price(10, 100_000, &costs);
+        assert!((p.metadata_overhead() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Task size selection — the Monte Carlo of §4.1 (Figure 3).
+//!
+//! The paper's model, reproduced with its published parameters:
+//!
+//! * 100 000 tasklets to process on 8 000 workers;
+//! * per-worker overhead 5 minutes (cache population etc.), incurred at
+//!   worker start and after every eviction;
+//! * per-task overhead 20 minutes (dispatch, stage-in/out);
+//! * tasklet completion times Gaussian with μ = 10 min, σ = 5 min;
+//! * a worker survival time is drawn per worker; when cumulative uptime
+//!   exceeds it the worker is "evicted": everything since the start of
+//!   the running task is lost, a new survival time is drawn, and the
+//!   worker pays the startup overhead again.
+//!
+//! Efficiency is effective processing time over total time. Three eviction
+//! scenarios are compared: none, constant hazard (0.1/hour), and the
+//! observed availability model. Both eviction scenarios peak near 70 % at
+//! ≈ 1-hour tasks — "the upper limit of achievable efficiency under
+//! non-dedicated circumstances".
+
+use batchsim::availability::EvictionScenario;
+use serde::Serialize;
+use simkit::dist::{Dist, TruncatedNormal};
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
+
+/// Model parameters (defaults are the paper's).
+#[derive(Clone, Debug)]
+pub struct TaskSizeConfig {
+    /// Tasklets to process in total.
+    pub total_tasklets: u64,
+    /// Workers drawing from the pool.
+    pub workers: u32,
+    /// Overhead at worker start / restart after eviction.
+    pub per_worker_overhead: SimDuration,
+    /// Overhead per task.
+    pub per_task_overhead: SimDuration,
+    /// Mean tasklet CPU time (minutes).
+    pub tasklet_mean_mins: f64,
+    /// Tasklet CPU time spread (minutes).
+    pub tasklet_sigma_mins: f64,
+}
+
+impl Default for TaskSizeConfig {
+    fn default() -> Self {
+        TaskSizeConfig {
+            total_tasklets: 100_000,
+            workers: 8_000,
+            per_worker_overhead: SimDuration::from_mins(5),
+            per_task_overhead: SimDuration::from_mins(20),
+            tasklet_mean_mins: 10.0,
+            tasklet_sigma_mins: 5.0,
+        }
+    }
+}
+
+/// One simulated efficiency point.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct EfficiencyPoint {
+    /// Average task length in hours (tasklets × mean tasklet time).
+    pub task_hours: f64,
+    /// Tasklets grouped per task.
+    pub tasklets_per_task: u32,
+    /// Effective processing seconds.
+    pub effective_secs: f64,
+    /// Total consumed seconds (overheads and losses included).
+    pub total_secs: f64,
+    /// Efficiency = effective / total.
+    pub efficiency: f64,
+    /// Evictions observed.
+    pub evictions: u64,
+}
+
+/// Simulate one task size under one eviction scenario.
+pub fn simulate(
+    cfg: &TaskSizeConfig,
+    scenario: &EvictionScenario,
+    tasklets_per_task: u32,
+    seed: u64,
+) -> EfficiencyPoint {
+    assert!(tasklets_per_task >= 1);
+    assert!(cfg.workers >= 1);
+    let mut rng = SimRng::new(seed);
+    let tasklet_dist = TruncatedNormal::new(
+        cfg.tasklet_mean_mins,
+        cfg.tasklet_sigma_mins,
+        0.5, // a tasklet takes at least 30 s
+    );
+
+    struct Worker {
+        /// Uptime consumed in the current availability interval.
+        uptime: SimDuration,
+        /// Survival budget of the current interval.
+        survival: SimDuration,
+        started: bool,
+    }
+    let mut workers: Vec<Worker> = (0..cfg.workers)
+        .map(|_| Worker { uptime: SimDuration::ZERO, survival: SimDuration::ZERO, started: false })
+        .collect();
+
+    let mut remaining = cfg.total_tasklets;
+    let mut effective = SimDuration::ZERO;
+    let mut total = SimDuration::ZERO;
+    let mut evictions = 0u64;
+
+    // Round-robin task assignment across the worker fleet until the
+    // tasklet pool drains. Workers are independent streams; aggregate
+    // efficiency is the ratio of summed times.
+    let mut w = 0usize;
+    while remaining > 0 {
+        let idx = w % workers.len();
+        let worker = &mut workers[idx];
+        w += 1;
+
+        if !worker.started {
+            worker.started = true;
+            worker.survival = scenario.sample_survival(&mut rng);
+            worker.uptime = cfg.per_worker_overhead;
+            total += cfg.per_worker_overhead;
+        }
+
+        let n = (tasklets_per_task as u64).min(remaining) as u32;
+        let mut work = SimDuration::ZERO;
+        for _ in 0..n {
+            work += tasklet_dist.sample_mins(&mut rng);
+        }
+        let task_time = cfg.per_task_overhead + work;
+
+        if worker.uptime + task_time > worker.survival {
+            // Evicted mid-task: time up to the survival boundary is spent
+            // and lost; tasklets return to the pool; worker restarts.
+            let spent = worker.survival.saturating_sub(worker.uptime);
+            total += spent;
+            evictions += 1;
+            worker.survival = scenario.sample_survival(&mut rng);
+            worker.uptime = cfg.per_worker_overhead;
+            total += cfg.per_worker_overhead;
+        } else {
+            worker.uptime += task_time;
+            total += task_time;
+            effective += work;
+            remaining -= n as u64;
+        }
+    }
+
+    let task_hours = tasklets_per_task as f64 * cfg.tasklet_mean_mins / 60.0;
+    let (e, t) = (effective.as_secs_f64(), total.as_secs_f64());
+    EfficiencyPoint {
+        task_hours,
+        tasklets_per_task,
+        effective_secs: e,
+        total_secs: t,
+        efficiency: if t > 0.0 { e / t } else { 0.0 },
+        evictions,
+    }
+}
+
+/// Sweep task lengths (hours) for a scenario, as Figure 3 does.
+pub fn sweep(
+    cfg: &TaskSizeConfig,
+    scenario: &EvictionScenario,
+    task_hours: &[f64],
+    seed: u64,
+) -> Vec<EfficiencyPoint> {
+    task_hours
+        .iter()
+        .map(|&h| {
+            let n = ((h * 60.0 / cfg.tasklet_mean_mins).round() as u32).max(1);
+            simulate(cfg, scenario, n, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchsim::availability::AvailabilityModel;
+
+    /// Smaller pool for fast tests; same shape.
+    fn small() -> TaskSizeConfig {
+        TaskSizeConfig { total_tasklets: 5_000, workers: 400, ..TaskSizeConfig::default() }
+    }
+
+    #[test]
+    fn no_eviction_efficiency_approaches_cpu_fraction() {
+        // 6 tasklets ≈ 1 h CPU per task; overhead 20 min → ceiling 0.75.
+        let p = simulate(&small(), &EvictionScenario::None, 6, 1);
+        assert_eq!(p.evictions, 0);
+        assert!(
+            (p.efficiency - 0.75).abs() < 0.02,
+            "eff {} ≈ 60/80",
+            p.efficiency
+        );
+    }
+
+    #[test]
+    fn tiny_tasks_are_overhead_dominated() {
+        let p = simulate(&small(), &EvictionScenario::None, 1, 2);
+        // 10 min work per 20 min overhead → ~1/3.
+        assert!(p.efficiency < 0.40, "eff {}", p.efficiency);
+    }
+
+    #[test]
+    fn long_tasks_suffer_under_eviction() {
+        let hz = EvictionScenario::ConstantHazard { per_hour: 0.1 };
+        let short = simulate(&small(), &hz, 6, 3); // ~1 h
+        let long = simulate(&small(), &hz, 60, 3); // ~10 h
+        assert!(long.evictions > 0);
+        assert!(
+            short.efficiency > long.efficiency,
+            "short {} vs long {}",
+            short.efficiency,
+            long.efficiency
+        );
+    }
+
+    #[test]
+    fn figure3_peak_near_one_hour_at_70_percent() {
+        let cfg = small();
+        let hz = EvictionScenario::ConstantHazard { per_hour: 0.1 };
+        let hours = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+        let pts = sweep(&cfg, &hz, &hours, 4);
+        let best = pts
+            .iter()
+            .max_by(|a, b| a.efficiency.partial_cmp(&b.efficiency).unwrap())
+            .unwrap();
+        assert!(
+            (0.5..=2.0).contains(&best.task_hours),
+            "peak at {}h",
+            best.task_hours
+        );
+        assert!(
+            (0.60..=0.78).contains(&best.efficiency),
+            "peak efficiency {}",
+            best.efficiency
+        );
+    }
+
+    #[test]
+    fn observed_and_constant_similar_at_peak() {
+        // §4.1: "This simulation is not sensitive to differences between
+        // the observed probability and a constant one."
+        let cfg = small();
+        let c = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, 6, 5);
+        let o = simulate(
+            &cfg,
+            &EvictionScenario::Observed(AvailabilityModel::notre_dame()),
+            6,
+            5,
+        );
+        assert!((c.efficiency - o.efficiency).abs() < 0.12, "{} vs {}", c.efficiency, o.efficiency);
+    }
+
+    #[test]
+    fn no_eviction_beats_eviction_everywhere() {
+        let cfg = small();
+        for &n in &[3u32, 12, 30] {
+            let none = simulate(&cfg, &EvictionScenario::None, n, 6);
+            let hz = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, n, 6);
+            assert!(none.efficiency >= hz.efficiency - 0.01, "n={n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = small();
+        let a = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, 6, 7);
+        let b = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, 6, 7);
+        assert_eq!(a.efficiency, b.efficiency);
+        assert_eq!(a.evictions, b.evictions);
+    }
+
+    #[test]
+    fn all_tasklets_accounted() {
+        let cfg = TaskSizeConfig { total_tasklets: 997, workers: 13, ..small() };
+        let p = simulate(&cfg, &EvictionScenario::None, 10, 8);
+        // effective time ≈ 997 × ~10 min (truncation pulls mean slightly up)
+        let mins = p.effective_secs / 60.0;
+        assert!((mins / 997.0 - 10.0).abs() < 0.8, "mean tasklet {} min", mins / 997.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Work decomposition: dataset → tasklets → tasks (§4.1, §4.2).
+//!
+//! "A tasklet is the smallest element into which the overall workflow can
+//! be divided and still be submitted as a self-contained piece of work
+//! ... The complete list of tasklets is created at the beginning of the
+//! workflow. A task is a group of tasklets that are assigned to run on a
+//! single worker core."
+//!
+//! For a data-processing workflow the tasklet inventory derives from the
+//! DBS dataset (luminosity sections grouped into fixed spans); for a
+//! simulation workflow it is simply a count of event batches to generate.
+
+use crate::config::{WorkflowConfig, WorkloadKind};
+use gridstore::dbs::Dataset;
+use simkit::dist::{Dist, TruncatedNormal};
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
+
+/// A fully decomposed workflow: the tasklet inventory plus the per-tasklet
+/// cost model.
+#[derive(Clone, Debug)]
+pub struct Workflow {
+    /// Workflow label.
+    pub name: String,
+    /// Workload profile.
+    pub kind: WorkloadKind,
+    n_tasklets: u64,
+    input_bytes_per_tasklet: u64,
+    output_bytes_per_tasklet: u64,
+    cpu_mins_mean: f64,
+    cpu_mins_sigma: f64,
+}
+
+/// Lumi sections grouped into one tasklet by default.
+pub const LUMIS_PER_TASKLET: u32 = 25;
+
+impl Workflow {
+    /// Decompose a data-processing workflow over a DBS dataset.
+    pub fn from_dataset(cfg: &WorkflowConfig, dataset: &Dataset) -> Self {
+        assert_eq!(cfg.kind, WorkloadKind::DataProcessing);
+        let total_lumis = dataset.total_lumis();
+        let n_tasklets = total_lumis.div_ceil(LUMIS_PER_TASKLET as u64).max(1);
+        let input_bytes_per_tasklet = dataset.total_bytes() / n_tasklets.max(1);
+        Workflow {
+            name: cfg.name.clone(),
+            kind: cfg.kind,
+            n_tasklets,
+            input_bytes_per_tasklet,
+            output_bytes_per_tasklet: cfg.output_bytes_per_tasklet,
+            cpu_mins_mean: cfg.tasklet_mean_mins,
+            cpu_mins_sigma: cfg.tasklet_sigma_mins,
+        }
+    }
+
+    /// A simulation workflow of `n_tasklets` generation batches. Inputs
+    /// are negligible except the pile-up overlay staged via Chirp, folded
+    /// into `pileup_bytes_per_tasklet`.
+    pub fn simulation(cfg: &WorkflowConfig, n_tasklets: u64, pileup_bytes_per_tasklet: u64) -> Self {
+        assert_eq!(cfg.kind, WorkloadKind::Simulation);
+        Workflow {
+            name: cfg.name.clone(),
+            kind: cfg.kind,
+            n_tasklets: n_tasklets.max(1),
+            input_bytes_per_tasklet: pileup_bytes_per_tasklet,
+            output_bytes_per_tasklet: cfg.output_bytes_per_tasklet,
+            cpu_mins_mean: cfg.tasklet_mean_mins,
+            cpu_mins_sigma: cfg.tasklet_sigma_mins,
+        }
+    }
+
+    /// Total tasklets in the inventory.
+    pub fn n_tasklets(&self) -> u64 {
+        self.n_tasklets
+    }
+
+    /// Input bytes a task of `n` tasklets must obtain.
+    pub fn task_input_bytes(&self, n: u32) -> u64 {
+        self.input_bytes_per_tasklet * n as u64
+    }
+
+    /// Output bytes a task of `n` tasklets produces.
+    pub fn task_output_bytes(&self, n: u32) -> u64 {
+        self.output_bytes_per_tasklet * n as u64
+    }
+
+    /// Draw the CPU time of a task of `n` tasklets (sum of per-tasklet
+    /// Gaussian draws, floored at 30 s each).
+    pub fn sample_task_cpu(&self, n: u32, rng: &mut SimRng) -> SimDuration {
+        let dist = TruncatedNormal::new(self.cpu_mins_mean, self.cpu_mins_sigma, 0.5);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..n {
+            total += dist.sample_mins(rng);
+        }
+        total
+    }
+
+    /// Expected task CPU time at size `n` (for planning).
+    pub fn expected_task_cpu(&self, n: u32) -> SimDuration {
+        SimDuration::from_mins_f64(self.cpu_mins_mean * n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridstore::dbs::{DatasetSpec, Dbs};
+
+    fn dataset() -> Dataset {
+        let mut dbs = Dbs::new();
+        dbs.generate(
+            "/TT/x/AOD",
+            DatasetSpec {
+                n_files: 100,
+                mean_file_bytes: 1_000_000,
+                events_per_lumi: 10,
+                lumis_per_file: 50,
+            },
+            1,
+        );
+        dbs.query("/TT/x/AOD").unwrap().clone()
+    }
+
+    #[test]
+    fn decomposition_counts() {
+        let cfg = WorkflowConfig::analysis("tt", "/TT/x/AOD");
+        let wf = Workflow::from_dataset(&cfg, &dataset());
+        // 100 files × 50 lumis / 25 per tasklet = 200 tasklets.
+        assert_eq!(wf.n_tasklets(), 200);
+        // All dataset bytes distributed over tasklets.
+        let per = wf.task_input_bytes(1);
+        assert!(per > 0);
+        let total_recovered = per * 200;
+        let actual = dataset().total_bytes();
+        assert!(total_recovered.abs_diff(actual) < actual / 100);
+    }
+
+    #[test]
+    fn task_scaling() {
+        let cfg = WorkflowConfig::analysis("tt", "/TT/x/AOD");
+        let wf = Workflow::from_dataset(&cfg, &dataset());
+        assert_eq!(wf.task_input_bytes(6), 6 * wf.task_input_bytes(1));
+        assert_eq!(wf.task_output_bytes(6), 6 * cfg.output_bytes_per_tasklet);
+        assert_eq!(wf.expected_task_cpu(6), SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn cpu_sampling_statistics() {
+        let cfg = WorkflowConfig::analysis("tt", "/TT/x/AOD");
+        let wf = Workflow::from_dataset(&cfg, &dataset());
+        let mut rng = SimRng::new(2);
+        let n = 2_000;
+        let mean_mins: f64 = (0..n)
+            .map(|_| wf.sample_task_cpu(6, &mut rng).as_mins_f64())
+            .sum::<f64>()
+            / n as f64;
+        // 6 × μ=10 min, truncation biases slightly high.
+        assert!((mean_mins - 60.0).abs() < 3.0, "{mean_mins}");
+    }
+
+    #[test]
+    fn simulation_workflow() {
+        let cfg = WorkflowConfig::simulation("gen");
+        let wf = Workflow::simulation(&cfg, 1000, 50_000_000);
+        assert_eq!(wf.n_tasklets(), 1000);
+        assert_eq!(wf.task_input_bytes(2), 100_000_000, "pile-up only");
+        assert_eq!(wf.kind, WorkloadKind::Simulation);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_dataset_rejects_simulation_config() {
+        let cfg = WorkflowConfig::simulation("gen");
+        Workflow::from_dataset(&cfg, &dataset());
+    }
+}

@@ -1,0 +1,228 @@
+//! The instrumented task wrapper.
+//!
+//! "Each task consists of a wrapper which performs pre- and post-
+//! processing around the actual application" (§3). For troubleshooting,
+//! "the wrapper script that runs every user task is heavily instrumented
+//! ... broken down into logical segments ... Each segment records a
+//! timestamp and performs an internal test for success or failure, with a
+//! unique failure code" (§5).
+//!
+//! [`SegmentReport`] is that record: the per-segment wall-clock breakdown
+//! (shared [`TaskTimes`] vocabulary with `wqueue`), the failing segment if
+//! any, and identity fields the master adds (attempt, worker, dispatch
+//! and finish times).
+
+use serde::{Deserialize, Serialize};
+use simkit::time::{SimDuration, SimTime};
+use wqueue::task::{Category, FailureCode, TaskId, TaskTimes};
+
+/// Wrapper segments, in execution order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Basic machine compatibility pre-check.
+    Compatibility,
+    /// Software environment setup (Parrot + CVMFS via squid).
+    EnvInit,
+    /// Obtaining input data.
+    StageIn,
+    /// The application itself.
+    Execute,
+    /// Writing output to the data tier.
+    StageOut,
+}
+
+impl Segment {
+    /// The failure code this segment emits.
+    pub fn failure_code(self) -> FailureCode {
+        match self {
+            Segment::Compatibility => FailureCode::Incompatible,
+            Segment::EnvInit => FailureCode::EnvSetup,
+            Segment::StageIn => FailureCode::StageIn,
+            Segment::Execute => FailureCode::AppError,
+            Segment::StageOut => FailureCode::StageOut,
+        }
+    }
+}
+
+/// The complete instrumentation record of one task attempt.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SegmentReport {
+    /// Task identity.
+    pub task: TaskId,
+    /// Task category.
+    pub category: Category,
+    /// Attempt number (0-based).
+    pub attempt: u32,
+    /// Worker that ran (or hosted) the attempt.
+    pub worker: u64,
+    /// Per-segment wall-clock breakdown.
+    pub times: TaskTimes,
+    /// The failing segment, if the attempt failed.
+    pub failed_segment: Option<Segment>,
+    /// Eviction cut the attempt short.
+    pub evicted: bool,
+    /// Dispatch instant.
+    pub dispatched_at: SimTime,
+    /// Completion (or loss) instant.
+    pub finished_at: SimTime,
+    /// Output bytes produced (0 unless fully successful).
+    pub output_bytes: u64,
+}
+
+impl SegmentReport {
+    /// True if the attempt succeeded end-to-end.
+    pub fn is_success(&self) -> bool {
+        self.failed_segment.is_none() && !self.evicted
+    }
+
+    /// The failure code to report upstream, if any.
+    pub fn failure_code(&self) -> Option<FailureCode> {
+        if self.evicted {
+            Some(FailureCode::Evicted)
+        } else {
+            self.failed_segment.map(Segment::failure_code)
+        }
+    }
+
+    /// Wall-clock from dispatch to finish.
+    pub fn wall(&self) -> SimDuration {
+        self.finished_at - self.dispatched_at
+    }
+
+    /// Lost runtime: wall-clock that produced no output (whole attempt on
+    /// failure/eviction, zero on success). Feeds the §5 diagnosis "high
+    /// values of lost runtime suggest that the target task size is too
+    /// high".
+    pub fn lost_runtime(&self) -> SimDuration {
+        if self.is_success() {
+            SimDuration::ZERO
+        } else {
+            self.wall()
+        }
+    }
+}
+
+/// Incremental builder used by the drivers as segments complete.
+#[derive(Clone, Debug)]
+pub struct ReportBuilder {
+    report: SegmentReport,
+}
+
+impl ReportBuilder {
+    /// Start a report at dispatch time.
+    pub fn new(
+        task: TaskId,
+        category: Category,
+        attempt: u32,
+        worker: u64,
+        dispatched_at: SimTime,
+    ) -> Self {
+        ReportBuilder {
+            report: SegmentReport {
+                task,
+                category,
+                attempt,
+                worker,
+                times: TaskTimes::default(),
+                failed_segment: None,
+                evicted: false,
+                dispatched_at,
+                finished_at: dispatched_at,
+                output_bytes: 0,
+            },
+        }
+    }
+
+    /// Mutable access to the timing record.
+    pub fn times_mut(&mut self) -> &mut TaskTimes {
+        &mut self.report.times
+    }
+
+    /// Mark a segment as failed.
+    pub fn fail(mut self, segment: Segment, at: SimTime) -> SegmentReport {
+        self.report.failed_segment = Some(segment);
+        self.report.finished_at = at;
+        self.report
+    }
+
+    /// Mark the attempt evicted.
+    pub fn evict(mut self, at: SimTime) -> SegmentReport {
+        self.report.evicted = true;
+        self.report.finished_at = at;
+        self.report
+    }
+
+    /// Complete successfully with `output_bytes`.
+    pub fn succeed(mut self, at: SimTime, output_bytes: u64) -> SegmentReport {
+        self.report.finished_at = at;
+        self.report.output_bytes = output_bytes;
+        self.report
+    }
+
+    /// Peek at the task id.
+    pub fn task(&self) -> TaskId {
+        self.report.task
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> ReportBuilder {
+        ReportBuilder::new(TaskId(1), Category::Analysis, 0, 42, SimTime::from_secs(100))
+    }
+
+    #[test]
+    fn segment_failure_codes_are_distinct() {
+        let codes: std::collections::HashSet<FailureCode> = [
+            Segment::Compatibility,
+            Segment::EnvInit,
+            Segment::StageIn,
+            Segment::Execute,
+            Segment::StageOut,
+        ]
+        .iter()
+        .map(|s| s.failure_code())
+        .collect();
+        assert_eq!(codes.len(), 5);
+    }
+
+    #[test]
+    fn success_report() {
+        let mut b = builder();
+        b.times_mut().cpu = SimDuration::from_mins(30);
+        let r = b.succeed(SimTime::from_secs(4000), 5_000_000);
+        assert!(r.is_success());
+        assert_eq!(r.failure_code(), None);
+        assert_eq!(r.output_bytes, 5_000_000);
+        assert_eq!(r.wall(), SimDuration::from_secs(3900));
+        assert_eq!(r.lost_runtime(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn failed_segment_report() {
+        let r = builder().fail(Segment::StageIn, SimTime::from_secs(400));
+        assert!(!r.is_success());
+        assert_eq!(r.failure_code(), Some(FailureCode::StageIn));
+        assert_eq!(r.lost_runtime(), SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn eviction_report() {
+        let r = builder().evict(SimTime::from_secs(700));
+        assert!(!r.is_success());
+        assert!(r.evicted);
+        assert_eq!(r.failure_code(), Some(FailureCode::Evicted));
+        assert_eq!(r.lost_runtime(), SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = builder().succeed(SimTime::from_secs(200), 1);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SegmentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.task, r.task);
+        assert!(back.is_success());
+    }
+}

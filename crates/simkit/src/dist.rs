@@ -1,0 +1,422 @@
+//! Probability distributions used by the simulation models.
+//!
+//! Implemented in-repo (no external statistics crates): the paper's models
+//! need a Gaussian for tasklet times (§4.1: μ=10 min, σ=5 min), an
+//! exponential/Weibull family for eviction hazards, and empirical
+//! distributions resampled from collected availability logs (Fig. 2).
+//!
+//! All samplers draw from [`SimRng`] so experiments stay deterministic.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A real-valued distribution.
+pub trait Dist {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draw a sample interpreted as seconds, clamped at zero.
+    fn sample_secs(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample(rng).max(0.0))
+    }
+
+    /// Draw a sample interpreted as minutes, clamped at zero.
+    fn sample_mins(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_mins_f64(self.sample(rng).max(0.0))
+    }
+}
+
+/// Point mass at `value`.
+#[derive(Clone, Copy, Debug)]
+pub struct Constant(pub f64);
+
+impl Dist for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform on `[lo, hi)`. Panics if the interval is empty or reversed.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "Uniform: lo > hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Dist for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Log-uniform on `[lo, hi)`: uniform in log-space. Useful for file-size
+/// models spanning orders of magnitude.
+#[derive(Clone, Copy, Debug)]
+pub struct LogUniform {
+    ln_lo: f64,
+    ln_hi: f64,
+}
+
+impl LogUniform {
+    /// Log-uniform on `[lo, hi)`; both bounds must be positive.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi >= lo, "LogUniform: need 0 < lo <= hi");
+        LogUniform { ln_lo: lo.ln(), ln_hi: hi.ln() }
+    }
+}
+
+impl Dist for LogUniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.ln_lo, self.ln_hi).exp()
+    }
+}
+
+/// Gaussian via the Box–Muller transform.
+///
+/// Stateless: both Box–Muller variates are derived per call and one is
+/// discarded, trading a little speed for determinism that is independent
+/// of call interleaving.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Gaussian with mean `mu` and standard deviation `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "Normal: negative sigma");
+        Normal { mu, sigma }
+    }
+
+    /// Standard normal variate.
+    fn std_normal(rng: &mut SimRng) -> f64 {
+        // Box–Muller; u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - rng.f64();
+        let u2 = rng.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Dist for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mu + self.sigma * Self::std_normal(rng)
+    }
+}
+
+/// Gaussian truncated below at `floor` (resampled, not clamped, so the
+/// density above the floor keeps its shape).
+#[derive(Clone, Copy, Debug)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    floor: f64,
+}
+
+impl TruncatedNormal {
+    /// Gaussian(mu, sigma) conditioned on `x >= floor`.
+    ///
+    /// Panics if the floor is more than 6σ above the mean (acceptance
+    /// would be negligible and the sampler would effectively hang).
+    pub fn new(mu: f64, sigma: f64, floor: f64) -> Self {
+        assert!(
+            sigma == 0.0 || (floor - mu) / sigma < 6.0,
+            "TruncatedNormal: floor too far above mean"
+        );
+        TruncatedNormal { inner: Normal::new(mu, sigma), floor }
+    }
+}
+
+impl Dist for TruncatedNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        loop {
+            let x = self.inner.sample(rng);
+            if x >= self.floor {
+                return x;
+            }
+        }
+    }
+}
+
+/// Exponential with the given mean (inverse rate).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Exponential distribution with mean `mean > 0`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0, "Exponential: non-positive mean");
+        Exponential { mean }
+    }
+
+    /// From a rate λ (events per unit time).
+    pub fn from_rate(rate: f64) -> Self {
+        Self::new(1.0 / rate)
+    }
+}
+
+impl Dist for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -self.mean * (1.0 - rng.f64()).ln()
+    }
+}
+
+/// Weibull distribution — the standard lifetime/hazard family.
+///
+/// `shape < 1` gives a decreasing hazard (young workers die fastest —
+/// matching the availability behaviour in the paper's Figure 2, where
+/// eviction probability is highest for short availability times);
+/// `shape = 1` is exponential; `shape > 1` wears out.
+#[derive(Clone, Copy, Debug)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Weibull with `scale > 0` and `shape > 0`.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0 && shape > 0.0, "Weibull: non-positive parameter");
+        Weibull { scale, shape }
+    }
+
+    /// Mean of the distribution: scale · Γ(1 + 1/shape).
+    pub fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+impl Dist for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = 1.0 - rng.f64(); // in (0,1]
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Lanczos approximation of the gamma function (g=7, n=9), accurate to
+/// ~15 significant digits for positive real arguments.
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Empirical distribution defined by weighted support points with linear
+/// interpolation between them (inverse-CDF sampling).
+///
+/// This is how observed availability logs are turned back into a sampler:
+/// the paper derives the eviction model of Figure 3 from the measured
+/// interval histogram of Figure 2.
+#[derive(Clone, Debug)]
+pub struct Empirical {
+    /// Sorted support points.
+    xs: Vec<f64>,
+    /// Cumulative weights, normalised so the last entry is 1.
+    cdf: Vec<f64>,
+}
+
+impl Empirical {
+    /// Build from `(value, weight)` pairs. Weights must be non-negative
+    /// with a positive sum; values are sorted internally.
+    pub fn from_weighted(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "Empirical: no support points");
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN support"));
+        let total: f64 = points.iter().map(|p| p.1).sum();
+        assert!(total > 0.0, "Empirical: zero total weight");
+        let mut acc = 0.0;
+        let mut xs = Vec::with_capacity(points.len());
+        let mut cdf = Vec::with_capacity(points.len());
+        for (x, w) in points {
+            assert!(w >= 0.0, "Empirical: negative weight");
+            acc += w / total;
+            xs.push(x);
+            cdf.push(acc);
+        }
+        // Guard against accumulated rounding.
+        *cdf.last_mut().expect("nonempty") = 1.0;
+        Empirical { xs, cdf }
+    }
+
+    /// Build from raw samples (all weight 1).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Self::from_weighted(samples.iter().map(|&x| (x, 1.0)).collect())
+    }
+
+    /// Inverse CDF (quantile function) with linear interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        match self.cdf.iter().position(|&c| c >= q) {
+            Some(0) | None => self.xs[0],
+            Some(i) => {
+                let (c0, c1) = (self.cdf[i - 1], self.cdf[i]);
+                let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+                if c1 > c0 {
+                    x0 + (x1 - x0) * (q - c0) / (c1 - c0)
+                } else {
+                    x1
+                }
+            }
+        }
+    }
+}
+
+impl Dist for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.quantile(rng.f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &impl Dist, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::new(1);
+        let d = Constant(3.25);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.25);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 4.0);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        assert!((mean_of(&d, 3, 100_000) - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 5.0);
+        let n = 200_000;
+        let mut rng = SimRng::new(4);
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 5.0).abs() < 0.05, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let d = TruncatedNormal::new(1.0, 2.0, 0.0);
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "floor too far above mean")]
+    fn truncated_normal_rejects_hopeless_floor() {
+        let _ = TruncatedNormal::new(0.0, 1.0, 10.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(7.0);
+        assert!((mean_of(&d, 6, 200_000) - 7.0).abs() < 0.1);
+        let d2 = Exponential::from_rate(0.5);
+        assert!((mean_of(&d2, 7, 200_000) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Weibull::new(3.0, 1.0);
+        assert!((d.mean() - 3.0).abs() < 1e-9);
+        assert!((mean_of(&d, 8, 200_000) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn weibull_decreasing_hazard_mean() {
+        // shape 0.5 → mean = scale * Γ(3) = 2 * scale
+        let d = Weibull::new(1.0, 0.5);
+        assert!((d.mean() - 2.0).abs() < 1e-9);
+        assert!((mean_of(&d, 9, 400_000) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gamma_function_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empirical_quantiles_interpolate() {
+        let d = Empirical::from_weighted(vec![(0.0, 1.0), (10.0, 1.0)]);
+        // CDF: 0.5 at x=0, 1.0 at x=10 — median sits at x=0.
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(1.0), 10.0);
+        assert!((d.quantile(0.75) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_sampling_tracks_weights() {
+        let d = Empirical::from_weighted(vec![(1.0, 3.0), (2.0, 1.0)]);
+        let mut rng = SimRng::new(10);
+        let n = 100_000;
+        let low = (0..n).filter(|_| d.sample(&mut rng) <= 1.0).count();
+        // 3/4 of the mass sits at or below x=1 (the first support point).
+        assert!((low as f64 / n as f64 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_from_samples_roundtrip() {
+        let d = Empirical::from_samples(&[5.0, 5.0, 5.0]);
+        let mut rng = SimRng::new(11);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn sample_mins_clamps_negative() {
+        let d = Constant(-5.0);
+        let mut rng = SimRng::new(12);
+        assert_eq!(d.sample_mins(&mut rng), SimDuration::ZERO);
+        let d2 = Constant(2.0);
+        assert_eq!(d2.sample_mins(&mut rng), SimDuration::from_mins(2));
+    }
+}

@@ -1,0 +1,349 @@
+//! The discrete-event engine.
+//!
+//! A simulation is a [`Model`]: a state machine with a typed event alphabet.
+//! The [`Engine`] owns the model and a time-ordered event queue. Handling an
+//! event may schedule further events through the [`Ctx`] passed to the
+//! handler. Two events at the same instant are delivered in the order they
+//! were scheduled (a monotone sequence number breaks ties), which makes
+//! every run bit-for-bit reproducible.
+//!
+//! Events can be cancelled: [`Ctx::schedule`] returns an [`EventId`] which
+//! [`Ctx::cancel`] turns into a tombstone; cancelled events are skipped when
+//! they surface at the head of the queue. Tombstones are cheap (a hash-set
+//! entry) and are reclaimed when the event pops.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A simulation model: state plus an event handler.
+pub trait Model {
+    /// The event alphabet of the model.
+    type Event;
+
+    /// Handle one event at the current simulated time.
+    fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    ev: E,
+}
+
+// Order by (time, seq) — BinaryHeap is a max-heap so we wrap in Reverse at
+// the call sites instead of inverting Ord here.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Scheduling context handed to [`Model::handle`].
+///
+/// Holds the current time and the pending-event queue. All mutation of the
+/// future happens through this type.
+pub struct Ctx<E> {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<EventId>,
+    /// Count of events delivered so far (diagnostics).
+    delivered: u64,
+}
+
+impl<E> Ctx<E> {
+    fn new() -> Self {
+        Ctx {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_id: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending (including tombstoned ones).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `ev` to fire after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, ev: E) -> EventId {
+        self.schedule_at(self.now + delay, ev)
+    }
+
+    /// Schedule `ev` at an absolute instant. Instants in the past are
+    /// clamped to "now" (they fire next, after already-queued events at
+    /// the current instant).
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, id, ev }));
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Pop the next live event, if any.
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(s)) = self.heap.pop() {
+            if self.cancelled.remove(&s.id) {
+                continue;
+            }
+            debug_assert!(s.at >= self.now, "event queue went backwards");
+            self.now = s.at;
+            self.delivered += 1;
+            return Some((s.at, s.ev));
+        }
+        None
+    }
+
+    /// Time of the next live event without delivering it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain tombstones at the head so the peek is accurate.
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if self.cancelled.contains(&s.id) {
+                let Reverse(s) = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&s.id);
+            } else {
+                return Some(s.at);
+            }
+        }
+        None
+    }
+}
+
+/// The event loop: owns a model and drives it to completion.
+pub struct Engine<M: Model> {
+    model: M,
+    ctx: Ctx<M::Event>,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine around `model` with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Engine { model, ctx: Ctx::new() }
+    }
+
+    /// Seed the queue with an initial event at t=0 (or later).
+    pub fn prime(&mut self, delay: SimDuration, ev: M::Event) -> EventId {
+        self.ctx.schedule(delay, ev)
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for pre-run setup or post-run harvest).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Scheduling context (e.g. to prime several events).
+    pub fn ctx(&mut self) -> &mut Ctx<M::Event> {
+        &mut self.ctx
+    }
+
+    /// Deliver a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.ctx.pop() {
+            Some((_, ev)) => {
+                self.model.handle(ev, &mut self.ctx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.ctx.now()
+    }
+
+    /// Run until the queue drains or simulated time would exceed
+    /// `deadline`; events after the deadline stay queued. Returns the
+    /// time of the last delivered event (≤ deadline).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.ctx.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.ctx.now()
+    }
+
+    /// Consume the engine, returning the model (for result harvest).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that records the order events arrive in.
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<u32>) {
+            self.seen.push((ctx.now().as_micros(), ev));
+            // Event 1 fans out into two more.
+            if ev == 1 {
+                ctx.schedule(SimDuration::from_micros(5), 10);
+                ctx.schedule(SimDuration::from_micros(5), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.prime(SimDuration::from_micros(20), 2);
+        eng.prime(SimDuration::from_micros(10), 1);
+        let end = eng.run();
+        assert_eq!(end, SimTime::from_micros(20));
+        assert_eq!(
+            eng.model().seen,
+            vec![(10, 1), (15, 10), (15, 11), (20, 2)]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.prime(SimDuration::from_micros(7), 100);
+        eng.prime(SimDuration::from_micros(7), 200);
+        eng.prime(SimDuration::from_micros(7), 300);
+        eng.run();
+        let evs: Vec<u32> = eng.model().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        struct Canceller {
+            victim: Option<EventId>,
+            fired: Vec<u32>,
+        }
+        impl Model for Canceller {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, ctx: &mut Ctx<u32>) {
+                self.fired.push(ev);
+                if ev == 1 {
+                    if let Some(id) = self.victim.take() {
+                        ctx.cancel(id);
+                    }
+                }
+            }
+        }
+        let mut eng = Engine::new(Canceller { victim: None, fired: vec![] });
+        eng.prime(SimDuration::from_micros(1), 1);
+        let victim = eng.prime(SimDuration::from_micros(2), 2);
+        eng.prime(SimDuration::from_micros(3), 3);
+        eng.model_mut().victim = Some(victim);
+        eng.run();
+        assert_eq!(eng.model().fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        let id = eng.prime(SimDuration::from_micros(1), 5);
+        eng.run();
+        eng.ctx().cancel(id); // must not panic or corrupt state
+        eng.prime(SimDuration::from_micros(1), 6);
+        eng.run();
+        assert_eq!(eng.model().seen.len(), 2);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.prime(SimDuration::from_micros(10), 1); // spawns at 15
+        eng.prime(SimDuration::from_micros(100), 2);
+        let t = eng.run_until(SimTime::from_micros(50));
+        assert_eq!(t, SimTime::from_micros(15));
+        assert_eq!(eng.model().seen.len(), 3);
+        // Resume picks up the rest.
+        eng.run();
+        assert_eq!(eng.model().seen.len(), 4);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        struct PastScheduler {
+            fired: Vec<u64>,
+        }
+        impl Model for PastScheduler {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, ctx: &mut Ctx<u32>) {
+                self.fired.push(ctx.now().as_micros());
+                if ev == 1 {
+                    ctx.schedule_at(SimTime::ZERO, 2); // in the past
+                }
+            }
+        }
+        let mut eng = Engine::new(PastScheduler { fired: vec![] });
+        eng.prime(SimDuration::from_micros(10), 1);
+        eng.run();
+        assert_eq!(eng.model().fired, vec![10, 10]);
+    }
+
+    #[test]
+    fn delivered_counts_live_events_only() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        let id = eng.prime(SimDuration::from_micros(1), 1);
+        eng.ctx().cancel(id);
+        eng.prime(SimDuration::from_micros(2), 2);
+        eng.run();
+        assert_eq!(eng.ctx().delivered(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # simkit — deterministic discrete-event simulation kernel
+//!
+//! `simkit` is the substrate on which the Lobster reproduction simulates
+//! clusters of tens of thousands of cores over multi-day horizons in
+//! seconds of wall-clock time. It provides:
+//!
+//! * [`time`] — a microsecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]) with convenient constructors.
+//! * [`engine`] — the event loop: a model type handles typed events,
+//!   scheduling future events through a [`engine::Ctx`]. Simultaneous
+//!   events are ordered by insertion sequence, so runs are fully
+//!   deterministic.
+//! * [`rng`] — a seedable, splittable random source so every experiment is
+//!   reproducible from a single `u64` seed.
+//! * [`dist`] — the distributions the paper's models need (normal via
+//!   Box-Muller, exponential, Weibull hazards, empirical/histogram,
+//!   log-uniform), all implemented in-repo.
+//! * [`stats`] — histograms, binned time series, online summaries,
+//!   binomial confidence intervals (used for the paper's Figure 2 error
+//!   bars), and percentile estimation.
+//! * [`queue`] — FIFO multi-server queueing stations with bounded
+//!   concurrency (the Squid and Chirp server models).
+//! * [`trace`] — structured event trace recording for post-hoc analysis.
+//! * [`plot`] — ASCII rendering of series and histograms so benchmark
+//!   binaries can print paper-figure-shaped output.
+//!
+//! The kernel is intentionally synchronous and single-threaded: determinism
+//! and speed matter more than parallelism *inside* one simulation, and the
+//! benchmark harness parallelises across seeds/parameter points instead.
+
+pub mod dist;
+pub mod engine;
+pub mod plot;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, EventId, Model};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+
+/// Convenience prelude for simulation models.
+pub mod prelude {
+    pub use crate::dist::{Dist, Empirical, Exponential, LogUniform, Normal, Uniform, Weibull};
+    pub use crate::engine::{Ctx, Engine, EventId, Model};
+    pub use crate::queue::Server;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{Histogram, Summary, TimeSeries};
+    pub use crate::time::{SimDuration, SimTime};
+}

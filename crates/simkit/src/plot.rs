@@ -1,0 +1,140 @@
+//! ASCII rendering of series, bars, and time lines.
+//!
+//! The benchmark binaries print paper-figure-shaped output straight to the
+//! terminal: horizontal bar charts for breakdown tables (Fig. 8, Fig. 9),
+//! sparkline time lines for run evolution (Fig. 10, Fig. 11), and x/y
+//! series tables for sweeps (Fig. 3, Fig. 5).
+
+/// Render a horizontal bar chart. `rows` are `(label, value)`; bars are
+/// scaled so the maximum value spans `width` characters.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0_f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {value:.2}\n",
+            "█".repeat(bar_len),
+            " ".repeat(width.saturating_sub(bar_len)),
+        ));
+    }
+    out
+}
+
+/// Render a single-row sparkline using eighth-block characters, scaled to
+/// the data's own maximum. Empty input renders an empty string.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = ((v / max) * 8.0).ceil() as usize;
+                BLOCKS[idx.clamp(1, 8)]
+            }
+        })
+        .collect()
+}
+
+/// Render a multi-line time line: a block chart of `height` rows where
+/// column `i` is filled proportionally to `values[i] / max`.
+pub fn timeline(values: &[f64], height: usize) -> String {
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    let mut rows = vec![String::new(); height];
+    for &v in values {
+        let filled = if max > 0.0 {
+            ((v / max) * height as f64).round() as usize
+        } else {
+            0
+        };
+        for (r, row) in rows.iter_mut().enumerate() {
+            // row 0 is the top
+            let level_of_row = height - r;
+            row.push(if filled >= level_of_row { '█' } else { ' ' });
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let level = max * (height - r) as f64 / height as f64;
+        out.push_str(&format!("{level:>10.1} |{row}\n"));
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(values.len())));
+    out
+}
+
+/// Render an x/y table with a fixed-precision format, one row per point,
+/// plus optional extra columns.
+pub fn xy_table(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| format!("{h:>14}")).collect::<String>());
+    out.push('\n');
+    for row in rows {
+        for v in row {
+            out.push_str(&format!("{v:>14.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0)];
+        let s = bar_chart(&rows, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+        // labels padded to common width
+        assert!(lines[0].starts_with("a  |") || lines[0].starts_with("a "));
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let rows = vec![("z".to_string(), 0.0)];
+        let s = bar_chart(&rows, 10);
+        assert_eq!(s.matches('█').count(), 0);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[2], '█');
+        assert!(chars[1] != ' ' && chars[1] != '█');
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn timeline_dimensions() {
+        let s = timeline(&[1.0, 2.0, 3.0, 4.0], 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // 4 rows + axis
+        // top row has exactly one filled column (the max)
+        assert_eq!(lines[0].matches('█').count(), 1);
+        // bottom data row has all four
+        assert_eq!(lines[3].matches('█').count(), 4);
+    }
+
+    #[test]
+    fn xy_table_formats() {
+        let s = xy_table(&["x", "y"], &[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("4.5000"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

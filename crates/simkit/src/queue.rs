@@ -1,0 +1,225 @@
+//! Multi-server FIFO queueing stations.
+//!
+//! [`Server`] models a service point with `c` identical servers and an
+//! unbounded FIFO queue — the shape of the Squid proxy and Chirp server
+//! models (bounded concurrency, arrivals wait in order). It is *passive*:
+//! instead of scheduling its own events, the caller offers a job at the
+//! current simulated time and receives back the start/completion instants,
+//! which it then schedules on the engine. This works because a DES offers
+//! jobs in nondecreasing time order.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Admission result for one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// When service begins (≥ offer time).
+    pub start: SimTime,
+    /// When service completes.
+    pub done: SimTime,
+    /// Time spent queued before service.
+    pub waited: SimDuration,
+}
+
+/// A `c`-server FIFO queueing station.
+#[derive(Clone, Debug)]
+pub struct Server {
+    /// Earliest-free times, one per server slot.
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    servers: usize,
+    jobs: u64,
+    busy: SimDuration,
+    total_wait: SimDuration,
+    last_offer: SimTime,
+}
+
+impl Server {
+    /// Station with `servers >= 1` identical service slots.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1, "Server: need at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        Server {
+            free_at,
+            servers,
+            jobs: 0,
+            busy: SimDuration::ZERO,
+            total_wait: SimDuration::ZERO,
+            last_offer: SimTime::ZERO,
+        }
+    }
+
+    /// Number of service slots.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Offer a job arriving at `now` needing `service` time. Returns when
+    /// it starts and completes under FIFO order.
+    ///
+    /// Panics (debug) if offers go backwards in time.
+    pub fn offer(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        debug_assert!(now >= self.last_offer, "offers must be time-ordered");
+        self.last_offer = now;
+        let Reverse(free) = self.free_at.pop().expect("at least one server");
+        let start = free.max(now);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        self.jobs += 1;
+        self.busy += service;
+        self.total_wait += start - now;
+        Grant { start, done, waited: start - now }
+    }
+
+    /// How many jobs would be queued or in service at `now` if offered now
+    /// (i.e. number of slots whose free time is in the future).
+    pub fn backlog(&self, now: SimTime) -> usize {
+        self.free_at.iter().filter(|Reverse(t)| *t > now).count()
+    }
+
+    /// Instant at which a job offered at `now` would begin service.
+    pub fn next_start(&self, now: SimTime) -> SimTime {
+        self.free_at.iter().map(|Reverse(t)| *t).min().unwrap_or(SimTime::ZERO).max(now)
+    }
+
+    /// Jobs served so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total service time delivered.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Total queueing delay across jobs.
+    pub fn total_wait(&self) -> SimDuration {
+        self.total_wait
+    }
+
+    /// Mean queueing delay per job.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.jobs == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_wait / self.jobs
+        }
+    }
+
+    /// Utilisation of the station over `[0, horizon)`.
+    pub fn utilisation(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (horizon.as_secs_f64() * self.servers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn single_server_serialises() {
+        let mut s = Server::new(1);
+        let g1 = s.offer(t(0), d(10));
+        assert_eq!(g1, Grant { start: t(0), done: t(10), waited: SimDuration::ZERO });
+        let g2 = s.offer(t(2), d(5));
+        assert_eq!(g2.start, t(10));
+        assert_eq!(g2.done, t(15));
+        assert_eq!(g2.waited, d(8));
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = Server::new(1);
+        s.offer(t(0), d(1));
+        let g = s.offer(t(100), d(1));
+        assert_eq!(g.start, t(100));
+        assert_eq!(g.waited, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let mut s = Server::new(2);
+        let g1 = s.offer(t(0), d(10));
+        let g2 = s.offer(t(0), d(10));
+        let g3 = s.offer(t(0), d(10));
+        assert_eq!(g1.start, t(0));
+        assert_eq!(g2.start, t(0));
+        assert_eq!(g3.start, t(10)); // third job waits for a slot
+        assert_eq!(g3.done, t(20));
+    }
+
+    #[test]
+    fn fifo_order_of_starts() {
+        let mut s = Server::new(1);
+        let g1 = s.offer(t(0), d(3));
+        let g2 = s.offer(t(1), d(3));
+        let g3 = s.offer(t(2), d(3));
+        assert!(g1.start <= g2.start && g2.start <= g3.start);
+        assert_eq!(g3.done, t(9));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Server::new(1);
+        s.offer(t(0), d(4));
+        s.offer(t(0), d(4));
+        assert_eq!(s.jobs(), 2);
+        assert_eq!(s.busy_time(), d(8));
+        assert_eq!(s.total_wait(), d(4));
+        assert_eq!(s.mean_wait(), d(2));
+        assert!((s.utilisation(t(8)) - 1.0).abs() < 1e-12);
+        assert!((s.utilisation(t(16)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backlog_and_next_start() {
+        let mut s = Server::new(2);
+        s.offer(t(0), d(10));
+        s.offer(t(0), d(20));
+        assert_eq!(s.backlog(t(5)), 2);
+        assert_eq!(s.backlog(t(15)), 1);
+        assert_eq!(s.backlog(t(25)), 0);
+        assert_eq!(s.next_start(t(5)), t(10));
+        assert_eq!(s.next_start(t(30)), t(30));
+    }
+
+    #[test]
+    fn utilisation_zero_horizon() {
+        let s = Server::new(3);
+        assert_eq!(s.utilisation(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn queueing_delay_explodes_past_saturation() {
+        // Offered load beyond capacity → mean wait grows with job index;
+        // this is the mechanism behind the paper's Fig. 5 knee.
+        let mut s = Server::new(10);
+        let mut last_wait = SimDuration::ZERO;
+        for i in 0..100 {
+            // 1 arrival per second, each needs 1s of service on 10 servers
+            // → stable; then a burst of 50 at t=100 overloads it.
+            let g = s.offer(t(i), d(1));
+            last_wait = g.waited;
+        }
+        assert_eq!(last_wait, SimDuration::ZERO);
+        let mut burst_wait = SimDuration::ZERO;
+        for _ in 0..50 {
+            burst_wait = s.offer(t(100), d(10)).waited;
+        }
+        assert!(burst_wait > d(20), "burst should queue: {burst_wait}");
+    }
+}

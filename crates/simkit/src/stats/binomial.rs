@@ -1,0 +1,101 @@
+//! Binomial proportion estimation with uncertainties.
+//!
+//! The paper's Figure 2 shows the probability of worker eviction per
+//! availability-time bin with "uncertainties estimated using the binomial
+//! model". We provide both the naive (Wald) standard error the paper's
+//! phrasing suggests and the better-behaved Wilson interval for small bins.
+
+use serde::Serialize;
+
+/// A binomial proportion estimate `successes / trials` with errors.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct BinomialEstimate {
+    /// Number of successes.
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Point estimate p̂ = k/n (0 for empty bins).
+    pub p: f64,
+    /// Wald standard error sqrt(p(1-p)/n).
+    pub std_err: f64,
+    /// Wilson 68% interval lower bound.
+    pub lo: f64,
+    /// Wilson 68% interval upper bound.
+    pub hi: f64,
+}
+
+/// Estimate a binomial proportion with a Wilson score interval at the
+/// given z (z=1 ≈ 68% "one sigma", z=1.96 ≈ 95%).
+pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> BinomialEstimate {
+    assert!(successes <= trials, "more successes than trials");
+    if trials == 0 {
+        return BinomialEstimate { successes, trials, p: 0.0, std_err: 0.0, lo: 0.0, hi: 0.0 };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let std_err = (p * (1.0 - p) / n).sqrt();
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let margin = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    BinomialEstimate {
+        successes,
+        trials,
+        p,
+        std_err,
+        lo: (center - margin).max(0.0),
+        hi: (center + margin).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bin() {
+        let e = binomial_ci(0, 0, 1.0);
+        assert_eq!(e.p, 0.0);
+        assert_eq!(e.std_err, 0.0);
+        assert_eq!((e.lo, e.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn point_estimate() {
+        let e = binomial_ci(25, 100, 1.0);
+        assert_eq!(e.p, 0.25);
+        assert!((e.std_err - (0.25f64 * 0.75 / 100.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_brackets_estimate() {
+        let e = binomial_ci(3, 10, 1.96);
+        assert!(e.lo < e.p && e.p < e.hi);
+        assert!(e.lo >= 0.0 && e.hi <= 1.0);
+    }
+
+    #[test]
+    fn extreme_proportions_stay_in_unit_interval() {
+        let zero = binomial_ci(0, 50, 1.96);
+        assert_eq!(zero.p, 0.0);
+        assert!(zero.lo >= 0.0);
+        assert!(zero.hi > 0.0, "Wilson interval is non-degenerate at p=0");
+        let one = binomial_ci(50, 50, 1.96);
+        assert_eq!(one.p, 1.0);
+        assert!(one.lo < 1.0);
+        assert!(one.hi <= 1.0);
+    }
+
+    #[test]
+    fn interval_narrows_with_n() {
+        let small = binomial_ci(5, 10, 1.0);
+        let large = binomial_ci(500, 1000, 1.0);
+        assert!(large.hi - large.lo < small.hi - small.lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes than trials")]
+    fn rejects_impossible_counts() {
+        binomial_ci(5, 3, 1.0);
+    }
+}

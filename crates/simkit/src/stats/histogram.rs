@@ -1,0 +1,212 @@
+//! Fixed-bin histograms with under/overflow tracking.
+
+use serde::Serialize;
+
+/// A histogram over `[lo, hi)` with `nbins` equal-width bins plus
+/// underflow and overflow counters.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// New histogram on `[lo, hi)` with `nbins >= 1` bins.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "Histogram: empty range");
+        assert!(nbins >= 1, "Histogram: zero bins");
+        Histogram { lo, hi, counts: vec![0; nbins], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.record_n(x, 1);
+    }
+
+    /// Record `n` observations of the same value.
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total += n;
+        if x < self.lo {
+            self.underflow += n;
+        } else if x >= self.hi {
+            self.overflow += n;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += n;
+        }
+    }
+
+    /// Number of bins (excluding under/overflow).
+    pub fn nbins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All in-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Underflow count.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Overflow count.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_edges(i);
+        (a + b) / 2.0
+    }
+
+    /// Fraction of in-range mass in bin `i` (0 if nothing recorded).
+    pub fn fraction(&self, i: usize) -> f64 {
+        let in_range = self.total - self.underflow - self.overflow;
+        if in_range == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / in_range as f64
+        }
+    }
+
+    /// Iterate `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.counts.len()).map(move |i| (self.bin_center(i), self.counts[i]))
+    }
+
+    /// Merge another histogram with identical binning into this one.
+    ///
+    /// Panics if the binning differs.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "Histogram::merge: binning mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_values_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.999);
+        h.record(5.0);
+        h.record(9.999);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi edge is exclusive → overflow
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn edges_and_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+        assert_eq!(h.bin_center(2), 5.0);
+    }
+
+    #[test]
+    fn fractions_ignore_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(1.0);
+        h.record(2.0);
+        h.record(7.0);
+        h.record(100.0); // overflow
+        assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.fraction(1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.record_n(3.5, 7);
+        for _ in 0..7 {
+            b.record(3.5);
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.total(), b.total());
+        // n = 0 records nothing
+        a.record_n(1.0, 0);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.record(1.0);
+        b.record(1.5);
+        b.record(11.0);
+        a.merge(&b);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "binning mismatch")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 10.0, 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn iter_yields_all_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(0.5);
+        h.record(3.5);
+        let v: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(v, vec![(0.5, 1), (1.5, 0), (2.5, 0), (3.5, 1)]);
+    }
+}

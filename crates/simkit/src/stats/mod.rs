@@ -1,0 +1,17 @@
+//! Statistics collection: histograms, time series, online summaries,
+//! binomial confidence intervals, percentiles.
+//!
+//! These are the measurement instruments of the reproduction: the paper's
+//! monitoring layer (§5) stores per-segment timings in the Lobster DB and
+//! renders histograms and time lines from them; Figure 2's error bars are
+//! binomial confidence intervals over availability-interval bins.
+
+mod binomial;
+mod histogram;
+mod summary;
+mod timeseries;
+
+pub use binomial::{binomial_ci, BinomialEstimate};
+pub use histogram::Histogram;
+pub use summary::{percentile, Summary};
+pub use timeseries::TimeSeries;

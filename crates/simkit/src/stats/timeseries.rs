@@ -1,0 +1,214 @@
+//! Time-binned series for rendering run time lines.
+//!
+//! The paper's Figures 7, 10, and 11 are all per-time-bin aggregates
+//! (tasks completed per interval, concurrent tasks, efficiency per
+//! interval). [`TimeSeries`] accumulates values into fixed-width bins of
+//! simulated time; a bin can hold a count, a sum, or a mean depending on
+//! how the caller reads it.
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// One accumulated bin.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Bin {
+    /// Number of recorded values in this bin.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+}
+
+impl Bin {
+    /// Mean of the bin's values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Fixed-width time-binned accumulator, growing on demand.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimeSeries {
+    width: SimDuration,
+    bins: Vec<Bin>,
+}
+
+impl TimeSeries {
+    /// New series with the given bin width.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "TimeSeries: zero bin width");
+        TimeSeries { width, bins: Vec::new() }
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    fn index(&self, at: SimTime) -> usize {
+        (at.as_micros() / self.width.as_micros()) as usize
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, Bin::default());
+        }
+    }
+
+    /// Record `value` at time `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = self.index(at);
+        self.ensure(idx);
+        let b = &mut self.bins[idx];
+        b.count += 1;
+        b.sum += value;
+    }
+
+    /// Record an occurrence (value 1) at time `at`.
+    pub fn mark(&mut self, at: SimTime) {
+        self.record(at, 1.0);
+    }
+
+    /// Spread `value` uniformly over `[start, end)` — used to attribute
+    /// e.g. CPU time to the bins in which it actually accrued.
+    pub fn record_spread(&mut self, start: SimTime, end: SimTime, value: f64) {
+        if end <= start {
+            self.record(start, value);
+            return;
+        }
+        let total = (end - start).as_micros() as f64;
+        let first = self.index(start);
+        let last = self.index(end - SimDuration::from_micros(1));
+        self.ensure(last);
+        for idx in first..=last {
+            let bin_start = self.width.as_micros() * idx as u64;
+            let bin_end = bin_start + self.width.as_micros();
+            let overlap = (end.as_micros().min(bin_end) - start.as_micros().max(bin_start)) as f64;
+            let b = &mut self.bins[idx];
+            b.count += 1;
+            b.sum += value * overlap / total;
+        }
+    }
+
+    /// Number of bins currently allocated.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Bin at index `i` (zero bin if past the end).
+    pub fn bin(&self, i: usize) -> Bin {
+        self.bins.get(i).copied().unwrap_or_default()
+    }
+
+    /// Iterate `(bin_start_time, bin)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, Bin)> + '_ {
+        let w = self.width;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &b)| (SimTime::from_micros(w.as_micros() * i as u64), b))
+    }
+
+    /// Sums per bin as a plain vector.
+    pub fn sums(&self) -> Vec<f64> {
+        self.bins.iter().map(|b| b.sum).collect()
+    }
+
+    /// Counts per bin as a plain vector.
+    pub fn counts(&self) -> Vec<u64> {
+        self.bins.iter().map(|b| b.count).collect()
+    }
+
+    /// Means per bin as a plain vector.
+    pub fn means(&self) -> Vec<f64> {
+        self.bins.iter().map(|b| b.mean()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn bins_by_time() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.mark(secs(0));
+        ts.mark(secs(9));
+        ts.mark(secs(10));
+        ts.record(secs(25), 5.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.bin(0).count, 2);
+        assert_eq!(ts.bin(1).count, 1);
+        assert_eq!(ts.bin(2).sum, 5.0);
+    }
+
+    #[test]
+    fn mean_per_bin() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.record(secs(1), 2.0);
+        ts.record(secs(2), 4.0);
+        assert_eq!(ts.bin(0).mean(), 3.0);
+        assert_eq!(ts.bin(5).mean(), 0.0); // out of range → zero bin
+    }
+
+    #[test]
+    fn spread_attributes_proportionally() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        // 30 units over [5s, 35s): 1/6 in bin0, 1/3 in bin1, 1/3 in bin2, 1/6 in bin3
+        ts.record_spread(secs(5), secs(35), 30.0);
+        assert!((ts.bin(0).sum - 5.0).abs() < 1e-9);
+        assert!((ts.bin(1).sum - 10.0).abs() < 1e-9);
+        assert!((ts.bin(2).sum - 10.0).abs() < 1e-9);
+        assert!((ts.bin(3).sum - 5.0).abs() < 1e-9);
+        let total: f64 = ts.sums().iter().sum();
+        assert!((total - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_degenerate_interval() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.record_spread(secs(5), secs(5), 7.0);
+        assert_eq!(ts.bin(0).sum, 7.0);
+    }
+
+    #[test]
+    fn spread_within_one_bin() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.record_spread(secs(2), secs(4), 6.0);
+        assert!((ts.bin(0).sum - 6.0).abs() < 1e-9);
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn iter_times() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        ts.mark(secs(61));
+        let v: Vec<(SimTime, Bin)> = ts.iter().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].0, secs(60));
+        assert_eq!(v[1].1.count, 1);
+    }
+
+    #[test]
+    fn vectors() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(secs(0), 2.0);
+        ts.record(secs(1), 3.0);
+        ts.record(secs(1), 5.0);
+        assert_eq!(ts.sums(), vec![2.0, 8.0]);
+        assert_eq!(ts.counts(), vec![1, 2]);
+        assert_eq!(ts.means(), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simkit::dist::{Dist, Empirical, Exponential, LogUniform, Normal, Uniform, Weibull};
+use simkit::prelude::*;
+
+/// A model that records delivery times for the ordering property.
+struct Recorder {
+    delivered: Vec<u64>,
+}
+
+impl Model for Recorder {
+    type Event = u32;
+    fn handle(&mut self, _ev: u32, ctx: &mut Ctx<u32>) {
+        self.delivered.push(ctx.now().as_micros());
+    }
+}
+
+proptest! {
+    /// Events are always delivered in nondecreasing time order regardless
+    /// of the order they were scheduled in.
+    #[test]
+    fn engine_delivers_in_time_order(delays in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut eng = Engine::new(Recorder { delivered: Vec::new() });
+        for (i, &d) in delays.iter().enumerate() {
+            eng.prime(SimDuration::from_micros(d), i as u32);
+        }
+        eng.run();
+        let times = &eng.model().delivered;
+        prop_assert_eq!(times.len(), delays.len());
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let mut expected = delays.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(times, &expected);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn engine_cancellation_is_exact(
+        delays in prop::collection::vec(1u64..100_000, 1..100),
+        kill_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut eng = Engine::new(Recorder { delivered: Vec::new() });
+        let ids: Vec<_> = delays
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| eng.prime(SimDuration::from_micros(d), i as u32))
+            .collect();
+        let mut kept = 0;
+        for (i, id) in ids.iter().enumerate() {
+            if *kill_mask.get(i).unwrap_or(&false) {
+                eng.ctx().cancel(*id);
+            } else {
+                kept += 1;
+            }
+        }
+        eng.run();
+        prop_assert_eq!(eng.model().delivered.len(), kept);
+    }
+
+    /// All samplers produce finite values respecting their support.
+    #[test]
+    fn distributions_respect_support(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let u = Uniform::new(2.0, 5.0).sample(&mut rng);
+            prop_assert!((2.0..5.0).contains(&u));
+            let lu = LogUniform::new(1.0, 1000.0).sample(&mut rng);
+            prop_assert!((1.0..1000.0 + 1e-9).contains(&lu));
+            let e = Exponential::new(3.0).sample(&mut rng);
+            prop_assert!(e.is_finite() && e >= 0.0);
+            let w = Weibull::new(2.0, 0.7).sample(&mut rng);
+            prop_assert!(w.is_finite() && w >= 0.0);
+            let n = Normal::new(0.0, 1.0).sample(&mut rng);
+            prop_assert!(n.is_finite());
+        }
+    }
+
+    /// Empirical quantile function is monotone nondecreasing.
+    #[test]
+    fn empirical_quantile_monotone(
+        points in prop::collection::vec((0.0f64..1e6, 0.01f64..100.0), 1..50),
+        qs in prop::collection::vec(0.0f64..1.0, 2..30),
+    ) {
+        let d = Empirical::from_weighted(points);
+        let mut sorted = qs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<f64> = sorted.iter().map(|&q| d.quantile(q)).collect();
+        prop_assert!(values.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    /// Split RNG streams never collide with their parents in practice and
+    /// are reproducible.
+    #[test]
+    fn rng_split_reproducible(seed in any::<u64>(), idx in 0u64..1_000) {
+        let root = SimRng::new(seed);
+        let mut a = root.split(idx);
+        let mut b = root.split(idx);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Server grants never overlap beyond capacity and respect FIFO
+    /// start ordering for same-arrival offers.
+    #[test]
+    fn server_same_instant_fifo(durations in prop::collection::vec(1u64..100, 2..40)) {
+        let mut s = Server::new(3);
+        let grants: Vec<_> = durations
+            .iter()
+            .map(|&d| s.offer(SimTime::ZERO, SimDuration::from_secs(d)))
+            .collect();
+        prop_assert!(grants.windows(2).all(|w| w[0].start <= w[1].start));
+        let busy_at_zero = grants.iter().filter(|g| g.start == SimTime::ZERO).count();
+        prop_assert!(busy_at_zero <= 3);
+    }
+}

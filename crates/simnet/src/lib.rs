@@ -1,0 +1,22 @@
+//! # simnet — shared-bandwidth network model
+//!
+//! The Lobster evaluation is bandwidth-dominated: the paper's §6 data
+//! processing run saturated the 10 Gbit/s campus uplink, and Figures 4, 5,
+//! 10 and 11 are all shaped by contention on shared links and servers.
+//!
+//! This crate models a network link as a max-min *fair-shared* resource
+//! using virtual service time ([`link::FairLink`]): `n` concurrent flows
+//! each receive `capacity · weight / Σweights`. Admissions, completions and
+//! aborts are all `O(log n)`, so multi-day simulations with millions of
+//! flows run in seconds.
+//!
+//! Wide-area disturbances — the transient XrootD outage that produces the
+//! failure burst in Figure 10 — are expressed as [`outage::OutageSchedule`]s
+//! consulted by the storage models.
+
+pub mod link;
+pub mod outage;
+pub mod units;
+
+pub use link::{FairLink, FlowId};
+pub use outage::{Outage, OutageSchedule};

@@ -1,0 +1,176 @@
+//! Scheduled service disturbances.
+//!
+//! The paper's Figure 10 shows a burst of task failures "due to a transient
+//! outage of the wide-area data handling system". An [`OutageSchedule`]
+//! holds non-overlapping degradation windows; the storage and link drivers
+//! consult it to fail requests or scale capacity while a window is active.
+
+use serde::{Deserialize, Serialize};
+use simkit::time::SimTime;
+
+/// One degradation window.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Outage {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Remaining capacity factor in `[0, 1]`: 0 = full outage.
+    pub capacity_factor: f64,
+    /// Probability that a request issued during the window fails outright
+    /// (rather than just running slowly).
+    pub failure_prob: f64,
+}
+
+impl Outage {
+    /// A complete outage over `[start, end)` that fails every request.
+    pub fn blackout(start: SimTime, end: SimTime) -> Self {
+        Outage { start, end, capacity_factor: 0.0, failure_prob: 1.0 }
+    }
+
+    /// A partial degradation: capacity scaled by `factor`, requests fail
+    /// with probability `failure_prob`.
+    pub fn brownout(start: SimTime, end: SimTime, factor: f64, failure_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&factor), "bad capacity factor");
+        assert!((0.0..=1.0).contains(&failure_prob), "bad failure probability");
+        Outage { start, end, capacity_factor: factor, failure_prob }
+    }
+
+    /// True if `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// An ordered set of non-overlapping outage windows.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OutageSchedule {
+    windows: Vec<Outage>,
+}
+
+impl OutageSchedule {
+    /// Empty schedule (always healthy).
+    pub fn none() -> Self {
+        OutageSchedule { windows: Vec::new() }
+    }
+
+    /// Build from windows; they are sorted and must not overlap.
+    pub fn new(mut windows: Vec<Outage>) -> Self {
+        windows.sort_by_key(|w| w.start);
+        for pair in windows.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "overlapping outage windows");
+        }
+        for w in &windows {
+            assert!(w.start < w.end, "empty outage window");
+        }
+        OutageSchedule { windows }
+    }
+
+    /// The window active at `t`, if any.
+    pub fn active(&self, t: SimTime) -> Option<&Outage> {
+        self.windows.iter().find(|w| w.contains(t))
+    }
+
+    /// True if any window is active at `t`.
+    pub fn is_degraded(&self, t: SimTime) -> bool {
+        self.active(t).is_some()
+    }
+
+    /// Capacity factor at `t` (1.0 when healthy).
+    pub fn capacity_factor(&self, t: SimTime) -> f64 {
+        self.active(t).map_or(1.0, |w| w.capacity_factor)
+    }
+
+    /// Request failure probability at `t` (0.0 when healthy).
+    pub fn failure_prob(&self, t: SimTime) -> f64 {
+        self.active(t).map_or(0.0, |w| w.failure_prob)
+    }
+
+    /// The next instant strictly after `t` at which the degradation state
+    /// changes (a window starts or ends). `None` when no more transitions.
+    pub fn next_transition(&self, t: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .flat_map(|w| [w.start, w.end])
+            .filter(|&edge| edge > t)
+            .min()
+    }
+
+    /// All windows in start order.
+    pub fn windows(&self) -> &[Outage] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_schedule_is_healthy() {
+        let s = OutageSchedule::none();
+        assert!(!s.is_degraded(t(100)));
+        assert_eq!(s.capacity_factor(t(100)), 1.0);
+        assert_eq!(s.failure_prob(t(100)), 0.0);
+        assert!(s.next_transition(t(0)).is_none());
+    }
+
+    #[test]
+    fn blackout_window() {
+        let s = OutageSchedule::new(vec![Outage::blackout(t(10), t(20))]);
+        assert!(!s.is_degraded(t(9)));
+        assert!(s.is_degraded(t(10)));
+        assert!(s.is_degraded(t(19)));
+        assert!(!s.is_degraded(t(20)), "end is exclusive");
+        assert_eq!(s.capacity_factor(t(15)), 0.0);
+        assert_eq!(s.failure_prob(t(15)), 1.0);
+    }
+
+    #[test]
+    fn brownout_partial_degradation() {
+        let s = OutageSchedule::new(vec![Outage::brownout(t(5), t(10), 0.3, 0.5)]);
+        assert_eq!(s.capacity_factor(t(7)), 0.3);
+        assert_eq!(s.failure_prob(t(7)), 0.5);
+    }
+
+    #[test]
+    fn transitions_in_order() {
+        let s = OutageSchedule::new(vec![
+            Outage::blackout(t(30), t(40)),
+            Outage::blackout(t(10), t(20)),
+        ]);
+        assert_eq!(s.next_transition(t(0)), Some(t(10)));
+        assert_eq!(s.next_transition(t(10)), Some(t(20)));
+        assert_eq!(s.next_transition(t(25)), Some(t(30)));
+        assert_eq!(s.next_transition(t(40)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn rejects_overlap() {
+        OutageSchedule::new(vec![
+            Outage::blackout(t(10), t(30)),
+            Outage::blackout(t(20), t(40)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty outage window")]
+    fn rejects_empty_window() {
+        OutageSchedule::new(vec![Outage::blackout(t(10), t(10))]);
+    }
+
+    #[test]
+    fn adjacent_windows_allowed() {
+        let s = OutageSchedule::new(vec![
+            Outage::blackout(t(10), t(20)),
+            Outage::brownout(t(20), t(30), 0.5, 0.1),
+        ]);
+        assert_eq!(s.capacity_factor(t(19)), 0.0);
+        assert_eq!(s.capacity_factor(t(20)), 0.5);
+    }
+}

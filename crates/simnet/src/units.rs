@@ -1,0 +1,65 @@
+//! Data-size and bandwidth units.
+//!
+//! Sizes are `u64` bytes; bandwidths are `f64` bytes per second. The
+//! constructors below keep experiment code readable (`gbit_per_s(10.0)`
+//! is the paper's campus uplink).
+
+/// Kilobyte (10³ bytes).
+pub const KB: u64 = 1_000;
+/// Megabyte (10⁶ bytes).
+pub const MB: u64 = 1_000_000;
+/// Gigabyte (10⁹ bytes).
+pub const GB: u64 = 1_000_000_000;
+/// Terabyte (10¹² bytes).
+pub const TB: u64 = 1_000_000_000_000;
+
+/// Bandwidth from megabits per second.
+pub fn mbit_per_s(mbit: f64) -> f64 {
+    mbit * 1e6 / 8.0
+}
+
+/// Bandwidth from gigabits per second.
+pub fn gbit_per_s(gbit: f64) -> f64 {
+    gbit * 1e9 / 8.0
+}
+
+/// Bandwidth from megabytes per second.
+pub fn mbyte_per_s(mb: f64) -> f64 {
+    mb * 1e6
+}
+
+/// Human-readable size.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= TB {
+        format!("{:.2} TB", b as f64 / TB as f64)
+    } else if b >= GB {
+        format!("{:.2} GB", b as f64 / GB as f64)
+    } else if b >= MB {
+        format!("{:.1} MB", b as f64 / MB as f64)
+    } else if b >= KB {
+        format!("{:.1} kB", b as f64 / KB as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert_eq!(gbit_per_s(10.0), 1.25e9); // 10 Gbit/s = 1.25 GB/s
+        assert_eq!(mbit_per_s(8.0), 1e6);
+        assert_eq!(mbyte_per_s(3.0), 3e6);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(500), "500 B");
+        assert_eq!(fmt_bytes(1_500), "1.5 kB");
+        assert_eq!(fmt_bytes(2 * MB), "2.0 MB");
+        assert_eq!(fmt_bytes(3 * GB + GB / 2), "3.50 GB");
+        assert_eq!(fmt_bytes(2 * TB), "2.00 TB");
+    }
+}

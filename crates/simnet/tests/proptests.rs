@@ -1,0 +1,96 @@
+//! Property-based tests for the fair-link model.
+
+use proptest::prelude::*;
+use simkit::time::{SimDuration, SimTime};
+use simnet::link::FairLink;
+use simnet::outage::{Outage, OutageSchedule};
+
+proptest! {
+    /// Completion events come out in nondecreasing time order.
+    #[test]
+    fn completions_time_ordered(
+        flows in prop::collection::vec((1u64..100_000, 0u64..10_000), 1..60),
+        capacity in 100.0f64..100_000.0,
+    ) {
+        let mut link = FairLink::new(capacity);
+        let mut t = SimTime::ZERO;
+        for (bytes, gap) in &flows {
+            t += SimDuration::from_millis(*gap);
+            link.admit_flow(t, *bytes);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((when, _)) = link.next_completion() {
+            prop_assert!(when >= last, "completion went backwards");
+            last = when;
+            let done = link.completions(when);
+            prop_assert!(!done.is_empty(), "predicted completion must yield flows");
+        }
+        prop_assert_eq!(link.active(), 0);
+        prop_assert_eq!(link.flows_completed() as usize, flows.len());
+    }
+
+    /// With equal admission times, a strictly heavier-weighted flow of the
+    /// same size never finishes after a lighter one.
+    #[test]
+    fn heavier_weight_finishes_first(
+        bytes in 1_000u64..1_000_000,
+        w_light in 0.1f64..2.0,
+        extra in 0.1f64..4.0,
+    ) {
+        let mut link = FairLink::new(1_000.0);
+        let heavy = link.admit(SimTime::ZERO, bytes, w_light + extra);
+        let light = link.admit(SimTime::ZERO, bytes, w_light);
+        let mut order = Vec::new();
+        while let Some((when, _)) = link.next_completion() {
+            order.extend(link.completions(when));
+        }
+        let heavy_pos = order.iter().position(|&f| f == heavy).unwrap();
+        let light_pos = order.iter().position(|&f| f == light).unwrap();
+        prop_assert!(heavy_pos <= light_pos);
+    }
+
+    /// Total simulated transfer time of one flow equals bytes/capacity
+    /// when it has the link alone (no cap).
+    #[test]
+    fn solo_flow_exact_duration(bytes in 1u64..10_000_000, capacity in 1.0f64..1e9) {
+        let mut link = FairLink::new(capacity);
+        link.admit_flow(SimTime::ZERO, bytes);
+        let (when, _) = link.next_completion().unwrap();
+        let expected = bytes as f64 / capacity;
+        prop_assert!((when.as_secs_f64() - expected).abs() <= expected * 1e-6 + 2e-6);
+    }
+
+    /// Outage schedules never report a transition that doesn't change
+    /// state, and capacity factors stay in [0, 1].
+    #[test]
+    fn outage_schedule_consistency(
+        windows in prop::collection::vec((0u64..1_000, 1u64..500, 0.0f64..1.0), 0..10),
+    ) {
+        // Build non-overlapping windows by accumulating offsets.
+        let mut start = 0u64;
+        let mut outages = Vec::new();
+        for (gap, len, factor) in windows {
+            start += gap + 1;
+            let s = SimTime::from_secs(start);
+            let e = SimTime::from_secs(start + len);
+            outages.push(Outage::brownout(s, e, factor, 1.0 - factor));
+            start += len;
+        }
+        let sched = OutageSchedule::new(outages);
+        let mut t = SimTime::ZERO;
+        let mut hops = 0;
+        while let Some(next) = sched.next_transition(t) {
+            prop_assert!(next > t);
+            let before = sched.is_degraded(t);
+            let after = sched.is_degraded(next);
+            // A transition always flips the degradation state (windows
+            // here never touch).
+            prop_assert_ne!(before, after, "transition without state change");
+            let f = sched.capacity_factor(next);
+            prop_assert!((0.0..=1.0).contains(&f));
+            t = next;
+            hops += 1;
+            prop_assert!(hops <= 40, "transition chain must terminate");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # wqueue — the Work Queue execution framework
+//!
+//! The paper executes all tasks through Work Queue (Albrecht et al. 2013):
+//! a user-space master generates tasks; workers — possibly behind a rank
+//! of foremen — connect back, receive task sandboxes, run them on their
+//! slots, and return results. Workers manage multiple cores with a shared
+//! cache directory, and can disappear at any moment (eviction).
+//!
+//! This crate provides two interchangeable backends:
+//!
+//! * [`local`] — a **real** multithreaded implementation: master scheduler
+//!   thread, optional foreman relays, multi-slot worker threads, crossbeam
+//!   channels for the wire protocol, a shared per-worker [`cache`], task
+//!   retries after eviction, and cooperative cancellation. The examples
+//!   run genuine Rust closures on it.
+//! * [`sim`] — the same task/lifecycle vocabulary for the discrete-event
+//!   world: worker slot bookkeeping and the ready-task dispatch buffer
+//!   (the paper keeps 400 tasks buffered for assignment), used by the
+//!   cluster-scale driver in the `lobster` crate.
+//!
+//! Shared vocabulary lives in [`task`]: specs, results, failure codes and
+//! the per-segment timing records the monitoring layer consumes.
+
+pub mod cache;
+pub mod local;
+pub mod sim;
+pub mod task;
+
+pub use cache::WorkerCache;
+pub use task::{FailureCode, TaskId, TaskResult, TaskSpec, TaskTimes};

@@ -1,0 +1,889 @@
+//! Real multithreaded Work Queue backend.
+//!
+//! This is an in-process implementation of the master/foreman/worker
+//! architecture of §3, faithful to its control flow:
+//!
+//! * the **master** ([`LocalMaster`]) owns the ready queue, dispatches
+//!   tasks to workers with free slots, collects results, and transparently
+//!   retries tasks lost to eviction;
+//! * **workers** are threads managing `cores` slots; each slot runs a task
+//!   payload (a Rust closure) on its own thread, all slots sharing one
+//!   [`WorkerCache`] — the "single cache directory" of the paper;
+//! * **foremen** are relay threads between master and workers, forming the
+//!   one-level hierarchy the paper uses at scale ("one intermediate rank
+//!   of four foremen driving a variable number of workers");
+//! * **eviction** can be injected at any time ([`LocalMaster::evict_worker`]):
+//!   running payloads observe a cooperative cancellation flag, their
+//!   results are discarded, and the master reschedules the lost tasks —
+//!   exactly the failure path a non-dedicated cluster exercises.
+//!
+//! Messages travel over crossbeam channels; there is no shared mutable
+//! state between master and workers other than the explicitly shared
+//! cache. Timestamps are real (`Instant`) and reported on the crate's
+//! `SimTime` axis relative to master creation, so monitoring code is
+//! backend-agnostic.
+
+use crate::cache::WorkerCache;
+use crate::task::{FailureCode, TaskId, TaskResult, TaskSpec, TaskTimes};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use simkit::time::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Re-invokable task payload. Returns output bytes or the failing
+/// segment's code. Must be `Fn` (not `FnOnce`) so evicted attempts can be
+/// retried.
+pub type Payload =
+    Arc<dyn Fn(&TaskContext) -> Result<Vec<u8>, FailureCode> + Send + Sync + 'static>;
+
+/// Build a payload from a closure.
+pub fn payload<F>(f: F) -> Payload
+where
+    F: Fn(&TaskContext) -> Result<Vec<u8>, FailureCode> + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+/// Execution context visible to a running payload.
+pub struct TaskContext {
+    /// Which task attempt this is.
+    pub task_id: TaskId,
+    /// Worker the payload runs on.
+    pub worker_id: u64,
+    /// Shared per-worker cache (see [`WorkerCache`]).
+    pub cache: Arc<WorkerCache>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl TaskContext {
+    /// True once the master evicted this worker or cancelled the task.
+    /// Long-running payloads should poll this and bail out.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Identifier of an attached worker.
+pub type WorkerId = u64;
+/// Identifier of an attached foreman.
+pub type ForemanId = u64;
+
+enum ToWorker {
+    Dispatch {
+        spec: TaskSpec,
+        attempt: u32,
+        payload: Payload,
+        dispatched_at: Instant,
+        cancel: Arc<AtomicBool>,
+    },
+    /// Immediate eviction: cancel running tasks and exit.
+    Evict,
+    /// Graceful retirement: finish running tasks, then exit.
+    Retire,
+}
+
+enum ToMaster {
+    Result {
+        worker: WorkerId,
+        id: TaskId,
+        attempt: u32,
+        outcome: Result<Vec<u8>, FailureCode>,
+        dispatched_at: Instant,
+        started_at: Instant,
+        finished_at: Instant,
+    },
+    /// Worker exited; any task assigned to it that has not produced a
+    /// result is lost.
+    WorkerGone { worker: WorkerId, evicted: bool },
+}
+
+enum ToForeman {
+    /// Introduce a worker's direct channel to the foreman.
+    Register(WorkerId, Sender<ToWorker>),
+    /// Relay a message to a registered worker.
+    Forward(WorkerId, ToWorker),
+}
+
+/// A routed handle for delivering `ToWorker` messages, either directly or
+/// through a foreman relay.
+#[derive(Clone)]
+enum WorkerRoute {
+    Direct(Sender<ToWorker>),
+    Via(Sender<ToForeman>, WorkerId),
+}
+
+impl WorkerRoute {
+    fn send(&self, msg: ToWorker) -> Result<(), ()> {
+        match self {
+            WorkerRoute::Direct(tx) => tx.send(msg).map_err(|_| ()),
+            WorkerRoute::Via(tx, id) => tx.send(ToForeman::Forward(*id, msg)).map_err(|_| ()),
+        }
+    }
+}
+
+struct WorkerInfo {
+    route: WorkerRoute,
+    cores: u32,
+    in_use: u32,
+    alive: bool,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct ForemanInfo {
+    tx: Sender<ToForeman>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct QueuedTask {
+    spec: TaskSpec,
+    payload: Payload,
+    attempt: u32,
+    queued_at: Instant,
+}
+
+struct InFlight {
+    spec: TaskSpec,
+    payload: Payload,
+    attempt: u32,
+    worker: WorkerId,
+    queued: Duration,
+    cancel: Arc<AtomicBool>,
+}
+
+/// Aggregate counters exposed by [`LocalMaster::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Tasks submitted by the user.
+    pub submitted: u64,
+    /// Final successful completions.
+    pub completed: u64,
+    /// Final failures (retries exhausted or cancelled).
+    pub failed: u64,
+    /// Attempts lost to eviction (each requeues or fails the task).
+    pub lost_to_eviction: u64,
+    /// Total dispatch attempts.
+    pub dispatched: u64,
+}
+
+/// The user-facing Work Queue master.
+pub struct LocalMaster {
+    epoch: Instant,
+    inbox_rx: Receiver<ToMaster>,
+    inbox_tx: Sender<ToMaster>,
+    workers: HashMap<WorkerId, WorkerInfo>,
+    foremen: HashMap<ForemanId, ForemanInfo>,
+    ready: VecDeque<QueuedTask>,
+    in_flight: HashMap<TaskId, InFlight>,
+    done: VecDeque<TaskResult>,
+    next_worker: WorkerId,
+    next_foreman: ForemanId,
+    stats: MasterStats,
+}
+
+impl Default for LocalMaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalMaster {
+    /// A master with no workers attached.
+    pub fn new() -> Self {
+        let (inbox_tx, inbox_rx) = unbounded();
+        LocalMaster {
+            epoch: Instant::now(),
+            inbox_rx,
+            inbox_tx,
+            workers: HashMap::new(),
+            foremen: HashMap::new(),
+            ready: VecDeque::new(),
+            in_flight: HashMap::new(),
+            done: VecDeque::new(),
+            next_worker: 0,
+            next_foreman: 0,
+            stats: MasterStats::default(),
+        }
+    }
+
+    fn sim_time(&self, at: Instant) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(at.duration_since(self.epoch).as_secs_f64())
+    }
+
+    /// Attach a foreman relay. Workers attached via this foreman receive
+    /// their traffic through an extra hop, as in the paper's hierarchy.
+    pub fn attach_foreman(&mut self) -> ForemanId {
+        let id = self.next_foreman;
+        self.next_foreman += 1;
+        let (tx, rx) = unbounded::<ToForeman>();
+        let handle = std::thread::Builder::new()
+            .name(format!("wq-foreman-{id}"))
+            .spawn(move || foreman_loop(rx))
+            .expect("spawn foreman");
+        self.foremen.insert(id, ForemanInfo { tx, handle: Some(handle) });
+        id
+    }
+
+    /// Attach a worker with `cores` slots directly to the master.
+    pub fn attach_worker(&mut self, cores: u32) -> WorkerId {
+        self.attach_worker_inner(cores, None)
+    }
+
+    /// Attach a worker behind a foreman.
+    ///
+    /// Panics if the foreman id is unknown.
+    pub fn attach_worker_via(&mut self, foreman: ForemanId, cores: u32) -> WorkerId {
+        assert!(self.foremen.contains_key(&foreman), "unknown foreman {foreman}");
+        self.attach_worker_inner(cores, Some(foreman))
+    }
+
+    fn attach_worker_inner(&mut self, cores: u32, via: Option<ForemanId>) -> WorkerId {
+        assert!(cores >= 1, "worker needs at least one core");
+        let id = self.next_worker;
+        self.next_worker += 1;
+        let (tx, rx) = unbounded::<ToWorker>();
+        let to_master = self.inbox_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("wq-worker-{id}"))
+            .spawn(move || worker_loop(id, rx, to_master))
+            .expect("spawn worker");
+
+        let route = match via {
+            None => WorkerRoute::Direct(tx),
+            Some(fid) => {
+                // Hand the worker's direct channel to the foreman; all
+                // master→worker traffic then takes the extra hop.
+                let f = self.foremen.get(&fid).expect("checked above");
+                f.tx.send(ToForeman::Register(id, tx)).ok();
+                WorkerRoute::Via(f.tx.clone(), id)
+            }
+        };
+        self.workers.insert(
+            id,
+            WorkerInfo { route, cores, in_use: 0, alive: true, handle: Some(handle) },
+        );
+        self.dispatch();
+        id
+    }
+
+    /// Submit a task for execution.
+    pub fn submit(&mut self, spec: TaskSpec, payload: Payload) -> TaskId {
+        let id = spec.id;
+        self.stats.submitted += 1;
+        self.ready.push_back(QueuedTask { spec, payload, attempt: 0, queued_at: Instant::now() });
+        self.dispatch();
+        id
+    }
+
+    /// Cancel a task. Queued tasks are dropped; running tasks get their
+    /// cancellation flag raised and their eventual result is discarded.
+    /// Either way a `Cancelled` result is reported through [`Self::wait`].
+    pub fn cancel(&mut self, id: TaskId) {
+        if let Some(pos) = self.ready.iter().position(|q| q.spec.id == id) {
+            let q = self.ready.remove(pos).expect("found");
+            self.finish_failure(q.spec, q.attempt, FailureCode::Cancelled);
+            return;
+        }
+        if let Some(fl) = self.in_flight.remove(&id) {
+            fl.cancel.store(true, Ordering::Relaxed);
+            if let Some(w) = self.workers.get_mut(&fl.worker) {
+                w.in_use = w.in_use.saturating_sub(fl.spec.cores);
+            }
+            self.finish_failure(fl.spec, fl.attempt, FailureCode::Cancelled);
+            self.dispatch();
+        }
+    }
+
+    /// Evict a worker immediately: running tasks are lost and requeued.
+    pub fn evict_worker(&mut self, id: WorkerId) {
+        if let Some(w) = self.workers.get(&id) {
+            if w.alive {
+                w.route.send(ToWorker::Evict).ok();
+            }
+        }
+    }
+
+    /// Number of attached, live workers.
+    pub fn live_workers(&self) -> usize {
+        self.workers.values().filter(|w| w.alive).count()
+    }
+
+    /// Tasks waiting in the ready queue.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Tasks currently dispatched.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> MasterStats {
+        self.stats
+    }
+
+    /// Wait up to `timeout` for the next *final* task result (success,
+    /// exhausted retries, or cancellation). Internal retries never
+    /// surface here.
+    pub fn wait(&mut self, timeout: Duration) -> Option<TaskResult> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(r) = self.done.pop_front() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.inbox_rx.recv_timeout(deadline - now) {
+                Ok(msg) => {
+                    self.on_message(msg);
+                    self.dispatch();
+                }
+                Err(RecvTimeoutError::Timeout) => return None,
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// Drain: wait until all submitted tasks have produced final results
+    /// or `timeout` elapses. Returns the collected results.
+    pub fn wait_all(&mut self, timeout: Duration) -> Vec<TaskResult> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::new();
+        while !self.ready.is_empty() || !self.in_flight.is_empty() || !self.done.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if let Some(r) = self.wait(deadline - now) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Retire all workers gracefully and join every thread.
+    pub fn shutdown(mut self) {
+        for w in self.workers.values() {
+            if w.alive {
+                w.route.send(ToWorker::Retire).ok();
+            }
+        }
+        for (_, mut w) in self.workers.drain() {
+            if let Some(h) = w.handle.take() {
+                h.join().ok();
+            }
+        }
+        for (_, mut f) in self.foremen.drain() {
+            drop(f.tx);
+            if let Some(h) = f.handle.take() {
+                h.join().ok();
+            }
+        }
+    }
+
+    fn on_message(&mut self, msg: ToMaster) {
+        match msg {
+            ToMaster::Result {
+                worker,
+                id,
+                attempt,
+                outcome,
+                dispatched_at,
+                started_at,
+                finished_at,
+            } => {
+                let Some(fl) = self.in_flight.get(&id) else {
+                    return; // stale result from a cancelled/evicted attempt
+                };
+                if fl.worker != worker || fl.attempt != attempt {
+                    return; // stale result from an earlier attempt
+                }
+                let fl = self.in_flight.remove(&id).expect("present");
+                if let Some(w) = self.workers.get_mut(&worker) {
+                    w.in_use = w.in_use.saturating_sub(fl.spec.cores);
+                }
+                let times = TaskTimes {
+                    queued: SimDuration::from_secs_f64(fl.queued.as_secs_f64()),
+                    wq_stage_in: SimDuration::from_secs_f64(
+                        started_at.duration_since(dispatched_at).as_secs_f64(),
+                    ),
+                    cpu: SimDuration::from_secs_f64(
+                        finished_at.duration_since(started_at).as_secs_f64(),
+                    ),
+                    ..TaskTimes::default()
+                };
+                match outcome {
+                    Ok(bytes) => {
+                        self.stats.completed += 1;
+                        self.done.push_back(TaskResult {
+                            id,
+                            category: fl.spec.category,
+                            attempt,
+                            outcome: Ok(()),
+                            times,
+                            dispatched_at: self.sim_time(dispatched_at),
+                            finished_at: self.sim_time(finished_at),
+                            worker,
+                            output_bytes: bytes.len() as u64,
+                        });
+                    }
+                    Err(code) => self.retry_or_fail(fl, code),
+                }
+            }
+            ToMaster::WorkerGone { worker, evicted } => {
+                if let Some(w) = self.workers.get_mut(&worker) {
+                    w.alive = false;
+                    w.in_use = 0;
+                    if let Some(h) = w.handle.take() {
+                        h.join().ok();
+                    }
+                }
+                // Requeue everything assigned to that worker.
+                let lost: Vec<TaskId> = self
+                    .in_flight
+                    .iter()
+                    .filter(|(_, fl)| fl.worker == worker)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in lost {
+                    let fl = self.in_flight.remove(&id).expect("present");
+                    fl.cancel.store(true, Ordering::Relaxed);
+                    if evicted {
+                        self.stats.lost_to_eviction += 1;
+                    }
+                    self.retry_or_fail(fl, FailureCode::Evicted);
+                }
+            }
+        }
+    }
+
+    fn retry_or_fail(&mut self, fl: InFlight, code: FailureCode) {
+        if fl.attempt < fl.spec.max_retries {
+            self.ready.push_back(QueuedTask {
+                spec: fl.spec,
+                payload: fl.payload,
+                attempt: fl.attempt + 1,
+                queued_at: Instant::now(),
+            });
+        } else {
+            self.finish_failure(fl.spec, fl.attempt, code);
+        }
+    }
+
+    fn finish_failure(&mut self, spec: TaskSpec, attempt: u32, code: FailureCode) {
+        self.stats.failed += 1;
+        let now = Instant::now();
+        self.done.push_back(TaskResult {
+            id: spec.id,
+            category: spec.category,
+            attempt,
+            outcome: Err(code),
+            times: TaskTimes::default(),
+            dispatched_at: self.sim_time(now),
+            finished_at: self.sim_time(now),
+            worker: u64::MAX,
+            output_bytes: 0,
+        });
+    }
+
+    /// Assign queued tasks to free slots (first-fit over live workers).
+    fn dispatch(&mut self) {
+        if self.ready.is_empty() {
+            return;
+        }
+        // Collect capacity first to keep the borrow checker happy.
+        let mut free: Vec<(WorkerId, u32)> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.alive && w.in_use < w.cores)
+            .map(|(&id, w)| (id, w.cores - w.in_use))
+            .collect();
+        free.sort_by_key(|&(id, _)| id);
+        for (wid, mut slots) in free {
+            while slots > 0 {
+                // Find the first queued task that fits.
+                let Some(pos) = self.ready.iter().position(|q| q.spec.cores <= slots) else {
+                    break;
+                };
+                let q = self.ready.remove(pos).expect("found");
+                let cancel = Arc::new(AtomicBool::new(false));
+                let dispatched_at = Instant::now();
+                let msg = ToWorker::Dispatch {
+                    spec: q.spec.clone(),
+                    attempt: q.attempt,
+                    payload: Arc::clone(&q.payload),
+                    dispatched_at,
+                    cancel: Arc::clone(&cancel),
+                };
+                let w = self.workers.get_mut(&wid).expect("live");
+                if w.route.send(msg).is_err() {
+                    // Worker channel closed under us; mark dead, requeue.
+                    w.alive = false;
+                    self.ready.push_front(q);
+                    break;
+                }
+                slots -= q.spec.cores;
+                w.in_use += q.spec.cores;
+                self.stats.dispatched += 1;
+                self.in_flight.insert(
+                    q.spec.id,
+                    InFlight {
+                        spec: q.spec,
+                        payload: q.payload,
+                        attempt: q.attempt,
+                        worker: wid,
+                        queued: dispatched_at.duration_since(q.queued_at),
+                        cancel,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Foreman: a pure relay between master and its registered workers, the
+/// scalability device of §3 ("introducing foremen between the master and
+/// the workers to create a hierarchy").
+fn foreman_loop(rx: Receiver<ToForeman>) {
+    let mut workers: HashMap<WorkerId, Sender<ToWorker>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToForeman::Register(id, tx) => {
+                workers.insert(id, tx);
+            }
+            ToForeman::Forward(id, m) => {
+                if let Some(tx) = workers.get(&id) {
+                    // A dead worker just drops the message; the master
+                    // learns about it through WorkerGone.
+                    tx.send(m).ok();
+                }
+            }
+        }
+    }
+    // Master dropped its sender: shut down and let worker channels close.
+}
+
+/// Worker: receives dispatches, runs each on its own slot thread, reports
+/// results directly to the master. On eviction it raises every running
+/// task's cancellation flag and exits immediately; on retirement it drains
+/// running tasks first.
+fn worker_loop(id: WorkerId, rx: Receiver<ToWorker>, to_master: Sender<ToMaster>) {
+    let cache = Arc::new(WorkerCache::new());
+    // Cancellation flags of running tasks; slot threads remove themselves.
+    let running: Arc<Mutex<HashMap<TaskId, Arc<AtomicBool>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let mut evicted = false;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Dispatch { spec, attempt, payload, dispatched_at, cancel } => {
+                running.lock().insert(spec.id, Arc::clone(&cancel));
+                let ctx = TaskContext {
+                    task_id: spec.id,
+                    worker_id: id,
+                    cache: Arc::clone(&cache),
+                    cancelled: Arc::clone(&cancel),
+                };
+                let to_master = to_master.clone();
+                let running = Arc::clone(&running);
+                std::thread::Builder::new()
+                    .name(format!("wq-worker-{id}-slot"))
+                    .spawn(move || {
+                        let started_at = Instant::now();
+                        let outcome = payload(&ctx);
+                        let finished_at = Instant::now();
+                        running.lock().remove(&ctx.task_id);
+                        to_master
+                            .send(ToMaster::Result {
+                                worker: id,
+                                id: ctx.task_id,
+                                attempt,
+                                outcome,
+                                dispatched_at,
+                                started_at,
+                                finished_at,
+                            })
+                            .ok();
+                    })
+                    .expect("spawn slot");
+            }
+            ToWorker::Evict => {
+                evicted = true;
+                for flag in running.lock().values() {
+                    flag.store(true, Ordering::Relaxed);
+                }
+                break;
+            }
+            ToWorker::Retire => {
+                // Drain: wait for slot threads to empty the running set.
+                while !running.lock().is_empty() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                break;
+            }
+        }
+    }
+    to_master.send(ToMaster::WorkerGone { worker: id, evicted }).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn quick_spec(i: u64) -> TaskSpec {
+        TaskSpec::new(TaskId(i), format!("t{i}"))
+    }
+
+    #[test]
+    fn runs_tasks_across_workers() {
+        let mut m = LocalMaster::new();
+        m.attach_worker(2);
+        m.attach_worker(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let c = Arc::clone(&counter);
+            m.submit(
+                quick_spec(i),
+                payload(move |_ctx| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![1])
+                }),
+            );
+        }
+        let results = m.wait_all(Duration::from_secs(10));
+        assert_eq!(results.len(), 20);
+        assert!(results.iter().all(|r| r.is_success()));
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        let stats = m.stats();
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.failed, 0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn parallelism_across_slots() {
+        let mut m = LocalMaster::new();
+        m.attach_worker(4);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for i in 0..8 {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            m.submit(
+                quick_spec(i),
+                payload(move |_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(50));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    Ok(vec![])
+                }),
+            );
+        }
+        let results = m.wait_all(Duration::from_secs(10));
+        assert_eq!(results.len(), 8);
+        assert!(peak.load(Ordering::SeqCst) >= 2, "expected concurrent slots");
+        assert!(peak.load(Ordering::SeqCst) <= 4, "never exceeds worker cores");
+        m.shutdown();
+    }
+
+    #[test]
+    fn results_name_the_worker() {
+        let mut m = LocalMaster::new();
+        let w0 = m.attach_worker(1);
+        let w1 = m.attach_worker(1);
+        for i in 0..10 {
+            m.submit(
+                quick_spec(i),
+                payload(|_| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    Ok(vec![])
+                }),
+            );
+        }
+        let results = m.wait_all(Duration::from_secs(10));
+        let workers: std::collections::HashSet<u64> =
+            results.iter().map(|r| r.worker).collect();
+        assert!(workers.contains(&w0) || workers.contains(&w1));
+        assert!(workers.iter().all(|w| *w == w0 || *w == w1));
+        m.shutdown();
+    }
+
+    #[test]
+    fn eviction_retries_lost_tasks() {
+        let mut m = LocalMaster::new();
+        let victim = m.attach_worker(2);
+        // Slow tasks that poll cancellation.
+        for i in 0..4 {
+            m.submit(
+                quick_spec(i).max_retries(3),
+                payload(move |ctx| {
+                    for _ in 0..100 {
+                        if ctx.is_cancelled() {
+                            return Err(FailureCode::Evicted);
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Ok(vec![])
+                }),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        m.evict_worker(victim);
+        // Give the survivors somewhere to run.
+        m.attach_worker(2);
+        let mut results = m.wait_all(Duration::from_secs(30));
+        assert_eq!(results.len(), 4, "all tasks eventually complete");
+        results.sort_by_key(|r| r.id);
+        assert!(results.iter().all(|r| r.is_success()));
+        assert!(m.stats().lost_to_eviction > 0, "eviction was observed");
+        m.shutdown();
+    }
+
+    #[test]
+    fn retries_exhaust_to_failure() {
+        let mut m = LocalMaster::new();
+        m.attach_worker(1);
+        m.submit(
+            quick_spec(0).max_retries(2),
+            payload(|_| Err(FailureCode::AppError)),
+        );
+        let r = m.wait(Duration::from_secs(10)).expect("final result");
+        assert_eq!(r.outcome, Err(FailureCode::AppError));
+        assert_eq!(r.attempt, 2, "ran 1 + 2 retries");
+        assert_eq!(m.stats().failed, 1);
+        m.shutdown();
+    }
+
+    #[test]
+    fn cache_shared_within_worker() {
+        let mut m = LocalMaster::new();
+        m.attach_worker(1); // single slot → sequential tasks, same cache
+        let fetches = Arc::new(AtomicUsize::new(0));
+        for i in 0..5 {
+            let fetches = Arc::clone(&fetches);
+            m.submit(
+                quick_spec(i),
+                payload(move |ctx| {
+                    let f = Arc::clone(&fetches);
+                    let data = ctx.cache.get_or_fetch("cmssw-release", move || {
+                        f.fetch_add(1, Ordering::SeqCst);
+                        vec![0u8; 1024]
+                    });
+                    assert_eq!(data.len(), 1024);
+                    Ok(vec![])
+                }),
+            );
+        }
+        let results = m.wait_all(Duration::from_secs(10));
+        assert_eq!(results.len(), 5);
+        assert_eq!(fetches.load(Ordering::SeqCst), 1, "cold once, hot after");
+        m.shutdown();
+    }
+
+    #[test]
+    fn foreman_relays_traffic() {
+        let mut m = LocalMaster::new();
+        let f = m.attach_foreman();
+        m.attach_worker_via(f, 2);
+        m.attach_worker_via(f, 2);
+        for i in 0..12 {
+            m.submit(quick_spec(i), payload(|_| Ok(vec![42])));
+        }
+        let results = m.wait_all(Duration::from_secs(10));
+        assert_eq!(results.len(), 12);
+        assert!(results.iter().all(|r| r.is_success()));
+        m.shutdown();
+    }
+
+    #[test]
+    fn cancel_queued_task() {
+        let mut m = LocalMaster::new();
+        // No workers: task stays queued.
+        m.submit(quick_spec(0), payload(|_| Ok(vec![])));
+        m.cancel(TaskId(0));
+        let r = m.wait(Duration::from_millis(200)).expect("cancel result");
+        assert_eq!(r.outcome, Err(FailureCode::Cancelled));
+        m.shutdown();
+    }
+
+    #[test]
+    fn cancel_running_task() {
+        let mut m = LocalMaster::new();
+        m.attach_worker(1);
+        m.submit(
+            quick_spec(0),
+            payload(|ctx| {
+                for _ in 0..200 {
+                    if ctx.is_cancelled() {
+                        return Err(FailureCode::Cancelled);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Ok(vec![])
+            }),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        m.cancel(TaskId(0));
+        let r = m.wait(Duration::from_secs(5)).expect("result");
+        assert_eq!(r.outcome, Err(FailureCode::Cancelled));
+        m.shutdown();
+    }
+
+    #[test]
+    fn wait_times_out_cleanly() {
+        let mut m = LocalMaster::new();
+        assert!(m.wait(Duration::from_millis(50)).is_none());
+        m.shutdown();
+    }
+
+    #[test]
+    fn multicores_task_occupies_slots() {
+        let mut m = LocalMaster::new();
+        m.attach_worker(2);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for i in 0..4 {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            let mut spec = quick_spec(i);
+            spec.cores = 2; // each task takes the whole worker
+            m.submit(
+                spec,
+                payload(move |_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(30));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    Ok(vec![])
+                }),
+            );
+        }
+        let results = m.wait_all(Duration::from_secs(10));
+        assert_eq!(results.len(), 4);
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "2-core tasks serialise on 2-core worker");
+        m.shutdown();
+    }
+
+    #[test]
+    fn queued_time_is_recorded() {
+        let mut m = LocalMaster::new();
+        m.submit(quick_spec(0), payload(|_| Ok(vec![])));
+        std::thread::sleep(Duration::from_millis(60));
+        m.attach_worker(1); // only now can it dispatch
+        let r = m.wait(Duration::from_secs(5)).expect("result");
+        assert!(
+            r.times.queued >= SimDuration::from_millis(40),
+            "queued {:?}",
+            r.times.queued
+        );
+        m.shutdown();
+    }
+}

@@ -1,0 +1,299 @@
+//! Simulation-side Work Queue bookkeeping.
+//!
+//! The cluster-scale experiments drive tens of thousands of workers inside
+//! the discrete-event engine. This module holds the master's view of that
+//! fleet: which workers exist, their slot occupancy and cache temperature,
+//! and the ready-task *dispatch buffer* — the paper maintains "a buffer of
+//! 400 tasks ... to be assigned as workers become available" (§4.1).
+//!
+//! The actual event loop lives in `lobster::driver`; these types keep its
+//! state transitions small and testable.
+
+use crate::task::TaskId;
+use simkit::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Master-side record of one simulated worker.
+#[derive(Clone, Debug)]
+pub struct SimWorker {
+    /// Worker identity.
+    pub id: u64,
+    /// Slots (cores) it manages.
+    pub cores: u32,
+    /// Slots currently running tasks.
+    pub busy: u32,
+    /// Whether the software cache has been populated (cold → hot after
+    /// the first task's environment setup).
+    pub cache_hot: bool,
+    /// When it connected.
+    pub connected_at: SimTime,
+    /// Which foreman it connects through (index into the foreman rank).
+    pub foreman: usize,
+}
+
+impl SimWorker {
+    /// Free slots.
+    pub fn free(&self) -> u32 {
+        self.cores - self.busy
+    }
+}
+
+/// The master's worker table with an index of workers that have free slots.
+///
+/// Free workers are indexed in two sets split by cache temperature so a
+/// claim is `O(log n)` even when the whole fleet is cold (10k+ workers).
+#[derive(Clone, Debug, Default)]
+pub struct WorkerTable {
+    workers: BTreeMap<u64, SimWorker>,
+    /// Hot-cache workers with at least one free slot.
+    free_hot: BTreeSet<u64>,
+    /// Cold-cache workers with at least one free slot.
+    free_cold: BTreeSet<u64>,
+    next_id: u64,
+}
+
+impl WorkerTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a connecting worker; returns its id.
+    pub fn connect(&mut self, cores: u32, foreman: usize, at: SimTime) -> u64 {
+        assert!(cores >= 1);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.workers.insert(
+            id,
+            SimWorker { id, cores, busy: 0, cache_hot: false, connected_at: at, foreman },
+        );
+        self.free_cold.insert(id);
+        id
+    }
+
+    /// Remove a worker (eviction/retirement). Returns its record.
+    pub fn disconnect(&mut self, id: u64) -> Option<SimWorker> {
+        self.free_hot.remove(&id);
+        self.free_cold.remove(&id);
+        self.workers.remove(&id)
+    }
+
+    /// Look up a worker.
+    pub fn get(&self, id: u64) -> Option<&SimWorker> {
+        self.workers.get(&id)
+    }
+
+    /// Mark a worker's cache hot (first environment setup finished).
+    pub fn set_cache_hot(&mut self, id: u64) {
+        if let Some(w) = self.workers.get_mut(&id) {
+            w.cache_hot = true;
+            if self.free_cold.remove(&id) {
+                self.free_hot.insert(id);
+            }
+        }
+    }
+
+    /// Claim one slot on the first worker with free capacity, preferring
+    /// hot-cache workers (they start tasks cheaper). Returns the worker id.
+    pub fn claim_slot(&mut self) -> Option<u64> {
+        let pick = self
+            .free_hot
+            .iter()
+            .next()
+            .copied()
+            .or_else(|| self.free_cold.iter().next().copied())?;
+        let w = self.workers.get_mut(&pick).expect("indexed");
+        w.busy += 1;
+        if w.free() == 0 {
+            self.free_hot.remove(&pick);
+            self.free_cold.remove(&pick);
+        }
+        Some(pick)
+    }
+
+    /// Release one slot on `id` (task finished or was collected).
+    pub fn release_slot(&mut self, id: u64) {
+        if let Some(w) = self.workers.get_mut(&id) {
+            debug_assert!(w.busy > 0, "release on idle worker");
+            w.busy = w.busy.saturating_sub(1);
+            if w.cache_hot {
+                self.free_hot.insert(id);
+            } else {
+                self.free_cold.insert(id);
+            }
+        }
+    }
+
+    /// Number of connected workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no workers are connected.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Total connected cores.
+    pub fn total_cores(&self) -> u64 {
+        self.workers.values().map(|w| w.cores as u64).sum()
+    }
+
+    /// Total busy slots.
+    pub fn busy_slots(&self) -> u64 {
+        self.workers.values().map(|w| w.busy as u64).sum()
+    }
+
+    /// Total free slots.
+    pub fn free_slots(&self) -> u64 {
+        self.total_cores() - self.busy_slots()
+    }
+
+    /// Iterate workers in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &SimWorker> {
+        self.workers.values()
+    }
+}
+
+/// The ready-task dispatch buffer. Lobster tops this up to `target`
+/// (default 400) so assignment never waits on task *creation*.
+#[derive(Clone, Debug)]
+pub struct DispatchBuffer {
+    target: usize,
+    ready: VecDeque<TaskId>,
+}
+
+impl DispatchBuffer {
+    /// Buffer with the paper's default target of 400 ready tasks.
+    pub fn new() -> Self {
+        Self::with_target(400)
+    }
+
+    /// Buffer with a custom target.
+    pub fn with_target(target: usize) -> Self {
+        DispatchBuffer { target, ready: VecDeque::new() }
+    }
+
+    /// The refill target.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Tasks currently buffered.
+    pub fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// True when no tasks are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// How many new tasks the creator should materialise right now.
+    pub fn deficit(&self) -> usize {
+        self.target.saturating_sub(self.ready.len())
+    }
+
+    /// Add a materialised task to the back of the buffer.
+    pub fn push(&mut self, id: TaskId) {
+        self.ready.push_back(id);
+    }
+
+    /// Return a task to the *front* (lost to eviction — retried first).
+    pub fn push_front(&mut self, id: TaskId) {
+        self.ready.push_front(id);
+    }
+
+    /// Take the next ready task.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        self.ready.pop_front()
+    }
+}
+
+impl Default for DispatchBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_and_slots() {
+        let mut t = WorkerTable::new();
+        let a = t.connect(2, 0, SimTime::ZERO);
+        let b = t.connect(1, 1, SimTime::ZERO);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_cores(), 3);
+        assert_eq!(t.free_slots(), 3);
+        // Claims fill a fully before b is touched (BTree order, both cold).
+        assert_eq!(t.claim_slot(), Some(a));
+        assert_eq!(t.claim_slot(), Some(a));
+        assert_eq!(t.claim_slot(), Some(b));
+        assert_eq!(t.claim_slot(), None, "all slots busy");
+        assert_eq!(t.busy_slots(), 3);
+    }
+
+    #[test]
+    fn hot_cache_preferred() {
+        let mut t = WorkerTable::new();
+        let _cold = t.connect(4, 0, SimTime::ZERO);
+        let hot = t.connect(4, 0, SimTime::ZERO);
+        t.set_cache_hot(hot);
+        assert_eq!(t.claim_slot(), Some(hot));
+    }
+
+    #[test]
+    fn release_returns_slot() {
+        let mut t = WorkerTable::new();
+        let a = t.connect(1, 0, SimTime::ZERO);
+        assert_eq!(t.claim_slot(), Some(a));
+        assert_eq!(t.claim_slot(), None);
+        t.release_slot(a);
+        assert_eq!(t.claim_slot(), Some(a));
+    }
+
+    #[test]
+    fn disconnect_removes_capacity() {
+        let mut t = WorkerTable::new();
+        let a = t.connect(8, 0, SimTime::ZERO);
+        t.claim_slot();
+        let w = t.disconnect(a).expect("present");
+        assert_eq!(w.busy, 1);
+        assert!(t.is_empty());
+        assert_eq!(t.claim_slot(), None);
+        assert!(t.disconnect(a).is_none(), "double disconnect");
+    }
+
+    #[test]
+    fn release_after_disconnect_is_noop() {
+        let mut t = WorkerTable::new();
+        let a = t.connect(1, 0, SimTime::ZERO);
+        t.claim_slot();
+        t.disconnect(a);
+        t.release_slot(a); // must not panic or resurrect the worker
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn buffer_deficit_and_order() {
+        let mut b = DispatchBuffer::with_target(3);
+        assert_eq!(b.deficit(), 3);
+        b.push(TaskId(1));
+        b.push(TaskId(2));
+        assert_eq!(b.deficit(), 1);
+        b.push_front(TaskId(99)); // evicted task retries first
+        assert_eq!(b.pop(), Some(TaskId(99)));
+        assert_eq!(b.pop(), Some(TaskId(1)));
+        assert_eq!(b.pop(), Some(TaskId(2)));
+        assert_eq!(b.pop(), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn default_buffer_matches_paper() {
+        assert_eq!(DispatchBuffer::new().target(), 400);
+    }
+}

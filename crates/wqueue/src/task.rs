@@ -1,0 +1,295 @@
+//! Task vocabulary shared by the local and simulated backends.
+//!
+//! A *task* is the unit Work Queue dispatches to one worker slot. The
+//! Lobster layer groups *tasklets* into tasks (§4.1); down here a task is
+//! opaque work plus bookkeeping: identity, category, the wrapper's
+//! per-segment timing record, and a failure code taxonomy matching the
+//! instrumentation described in §5 of the paper.
+
+use serde::{Deserialize, Serialize};
+use simkit::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Globally unique task identifier.
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// Work category — Lobster runs analysis and merge tasks through the same
+/// queue (§4.4) and the monitor reports them separately.
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub enum Category {
+    /// Ordinary data-processing / analysis work.
+    Analysis,
+    /// Output merging work.
+    Merge,
+    /// Simulation (event generation) work.
+    Simulation,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Analysis => write!(f, "analysis"),
+            Category::Merge => write!(f, "merge"),
+            Category::Simulation => write!(f, "simulation"),
+        }
+    }
+}
+
+/// Failure code emitted by a wrapper segment (§5: "a unique failure code
+/// ... for each segment").
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub enum FailureCode {
+    /// Machine failed the basic compatibility pre-check.
+    Incompatible,
+    /// Could not set up the software environment (CVMFS/squid trouble).
+    EnvSetup,
+    /// Could not obtain input data (XrootD/Chirp trouble).
+    StageIn,
+    /// The application itself failed.
+    AppError,
+    /// Could not write output back to the data tier.
+    StageOut,
+    /// The worker was evicted while the task ran.
+    Evicted,
+    /// The task was cancelled by the master.
+    Cancelled,
+}
+
+impl fmt::Display for FailureCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureCode::Incompatible => "incompatible-machine",
+            FailureCode::EnvSetup => "environment-setup",
+            FailureCode::StageIn => "stage-in",
+            FailureCode::AppError => "application",
+            FailureCode::StageOut => "stage-out",
+            FailureCode::Evicted => "evicted",
+            FailureCode::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of a task.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Identity.
+    pub id: TaskId,
+    /// Category for accounting.
+    pub category: Category,
+    /// Free-form label (e.g. dataset / workflow name).
+    pub label: String,
+    /// Tasklet indices covered by this task (Lobster bookkeeping).
+    pub tasklets: Vec<u64>,
+    /// Input bytes the task must obtain.
+    pub input_bytes: u64,
+    /// Output bytes the task will produce.
+    pub output_bytes: u64,
+    /// Cores required (1 for ordinary analysis tasks).
+    pub cores: u32,
+    /// Maximum automatic retries after non-application failures.
+    pub max_retries: u32,
+}
+
+impl TaskSpec {
+    /// Minimal single-core analysis task.
+    pub fn new(id: TaskId, label: impl Into<String>) -> Self {
+        TaskSpec {
+            id,
+            category: Category::Analysis,
+            label: label.into(),
+            tasklets: Vec::new(),
+            input_bytes: 0,
+            output_bytes: 0,
+            cores: 1,
+            max_retries: 3,
+        }
+    }
+
+    /// Builder: set category.
+    pub fn category(mut self, c: Category) -> Self {
+        self.category = c;
+        self
+    }
+
+    /// Builder: set tasklet coverage.
+    pub fn tasklets(mut self, t: Vec<u64>) -> Self {
+        self.tasklets = t;
+        self
+    }
+
+    /// Builder: set I/O volumes.
+    pub fn io_bytes(mut self, input: u64, output: u64) -> Self {
+        self.input_bytes = input;
+        self.output_bytes = output;
+        self
+    }
+
+    /// Builder: set retry budget.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+}
+
+/// Per-segment wall-clock breakdown of one task attempt — the wrapper
+/// instrumentation of §5 plus the master-side times it cannot see itself.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TaskTimes {
+    /// Master: waiting in the ready queue before dispatch.
+    pub queued: SimDuration,
+    /// Master: sandbox/input transfer to the worker (WQ stage-in).
+    pub wq_stage_in: SimDuration,
+    /// Wrapper: environment initialisation (CVMFS via squid).
+    pub env_setup: SimDuration,
+    /// Wrapper: obtaining input data (XrootD stream setup / Chirp copy).
+    pub stage_in: SimDuration,
+    /// Wrapper: CPU time of the application proper.
+    pub cpu: SimDuration,
+    /// Wrapper: time blocked on input data during execution (streaming).
+    pub io_wait: SimDuration,
+    /// Wrapper: writing output back (Chirp).
+    pub stage_out: SimDuration,
+    /// Master: collecting results (WQ stage-out).
+    pub wq_stage_out: SimDuration,
+}
+
+impl TaskTimes {
+    /// Total wall-clock of the attempt from dispatch to collection.
+    pub fn total(&self) -> SimDuration {
+        self.wq_stage_in
+            + self.env_setup
+            + self.stage_in
+            + self.cpu
+            + self.io_wait
+            + self.stage_out
+            + self.wq_stage_out
+    }
+
+    /// Efficiency: CPU time over total wall-clock (0 when empty).
+    pub fn efficiency(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.cpu.as_secs_f64() / total
+        }
+    }
+}
+
+/// Result of one task attempt.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Which task.
+    pub id: TaskId,
+    /// Category copied from the spec (accounting convenience).
+    pub category: Category,
+    /// Attempt number, 0-based.
+    pub attempt: u32,
+    /// `Ok(())` or the failing segment's code.
+    pub outcome: Result<(), FailureCode>,
+    /// Per-segment breakdown.
+    pub times: TaskTimes,
+    /// When the attempt was dispatched.
+    pub dispatched_at: SimTime,
+    /// When the result reached the master.
+    pub finished_at: SimTime,
+    /// Which worker ran it.
+    pub worker: u64,
+    /// Bytes of output actually produced (0 on failure).
+    pub output_bytes: u64,
+}
+
+impl TaskResult {
+    /// True if the attempt succeeded.
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder() {
+        let s = TaskSpec::new(TaskId(7), "ttbar")
+            .category(Category::Merge)
+            .tasklets(vec![1, 2, 3])
+            .io_bytes(100, 10)
+            .max_retries(5);
+        assert_eq!(s.id, TaskId(7));
+        assert_eq!(s.category, Category::Merge);
+        assert_eq!(s.tasklets, vec![1, 2, 3]);
+        assert_eq!((s.input_bytes, s.output_bytes), (100, 10));
+        assert_eq!(s.max_retries, 5);
+        assert_eq!(s.cores, 1);
+    }
+
+    #[test]
+    fn times_total_and_efficiency() {
+        let t = TaskTimes {
+            queued: SimDuration::from_mins(99), // not part of wall total
+            wq_stage_in: SimDuration::from_mins(1),
+            env_setup: SimDuration::from_mins(2),
+            stage_in: SimDuration::from_mins(1),
+            cpu: SimDuration::from_mins(12),
+            io_wait: SimDuration::from_mins(2),
+            stage_out: SimDuration::from_mins(1),
+            wq_stage_out: SimDuration::from_mins(1),
+        };
+        assert_eq!(t.total(), SimDuration::from_mins(20));
+        assert!((t.efficiency() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_times_zero_efficiency() {
+        assert_eq!(TaskTimes::default().efficiency(), 0.0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(TaskId(3).to_string(), "task#3");
+        assert_eq!(Category::Analysis.to_string(), "analysis");
+        assert_eq!(FailureCode::EnvSetup.to_string(), "environment-setup");
+    }
+
+    #[test]
+    fn result_success_flag() {
+        let mk = |outcome| TaskResult {
+            id: TaskId(1),
+            category: Category::Analysis,
+            attempt: 0,
+            outcome,
+            times: TaskTimes::default(),
+            dispatched_at: SimTime::ZERO,
+            finished_at: SimTime::ZERO,
+            worker: 0,
+            output_bytes: 0,
+        };
+        assert!(mk(Ok(())).is_success());
+        assert!(!mk(Err(FailureCode::StageIn)).is_success());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = TaskSpec::new(TaskId(1), "x").io_bytes(5, 6);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TaskSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, s.id);
+        assert_eq!(back.input_bytes, 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for Work Queue bookkeeping and the real executor.
+
+use proptest::prelude::*;
+use simkit::time::SimTime;
+use wqueue::sim::{DispatchBuffer, WorkerTable};
+use wqueue::task::TaskId;
+
+proptest! {
+    /// WorkerTable slot accounting: under any interleaving of connect /
+    /// claim / release / disconnect, busy ≤ cores and the free index
+    /// agrees with per-worker state.
+    #[test]
+    fn worker_table_slot_accounting(ops in prop::collection::vec(0u8..4, 1..300)) {
+        let mut t = WorkerTable::new();
+        let mut claimed: Vec<u64> = Vec::new();
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for op in ops {
+            match op {
+                0 => {
+                    t.connect(1 + (next() % 8) as u32, 0, SimTime::ZERO);
+                }
+                1 => {
+                    if let Some(w) = t.claim_slot() {
+                        claimed.push(w);
+                    }
+                }
+                2 => {
+                    if !claimed.is_empty() {
+                        let idx = (next() as usize) % claimed.len();
+                        let w = claimed.swap_remove(idx);
+                        t.release_slot(w);
+                    }
+                }
+                _ => {
+                    if !claimed.is_empty() {
+                        let idx = (next() as usize) % claimed.len();
+                        let w = claimed[idx];
+                        t.disconnect(w);
+                        claimed.retain(|&x| x != w);
+                    }
+                }
+            }
+            // Invariants after every step.
+            prop_assert!(t.busy_slots() + t.free_slots() == t.total_cores());
+            for w in t.iter() {
+                prop_assert!(w.busy <= w.cores);
+            }
+            let live_claims =
+                claimed.iter().filter(|w| t.get(**w).is_some()).count() as u64;
+            prop_assert_eq!(t.busy_slots(), live_claims);
+        }
+    }
+
+    /// Hot workers are always preferred over cold ones by claim_slot.
+    #[test]
+    fn hot_preference(n_cold in 1usize..20, n_hot in 1usize..20) {
+        let mut t = WorkerTable::new();
+        let mut hot_ids = std::collections::HashSet::new();
+        for _ in 0..n_cold {
+            t.connect(1, 0, SimTime::ZERO);
+        }
+        for _ in 0..n_hot {
+            let id = t.connect(1, 0, SimTime::ZERO);
+            t.set_cache_hot(id);
+            hot_ids.insert(id);
+        }
+        for i in 0..(n_cold + n_hot) {
+            let got = t.claim_slot().expect("slots remain");
+            if i < n_hot {
+                prop_assert!(hot_ids.contains(&got), "hot slots must go first");
+            } else {
+                prop_assert!(!hot_ids.contains(&got));
+            }
+        }
+        prop_assert!(t.claim_slot().is_none());
+    }
+
+    /// DispatchBuffer is FIFO with front-requeue priority and its deficit
+    /// tracks the target exactly.
+    #[test]
+    fn dispatch_buffer_fifo(pushes in prop::collection::vec(any::<u64>(), 0..100), target in 1usize..500) {
+        let mut b = DispatchBuffer::with_target(target);
+        for &p in &pushes {
+            b.push(TaskId(p));
+        }
+        prop_assert_eq!(b.len(), pushes.len());
+        prop_assert_eq!(b.deficit(), target.saturating_sub(pushes.len()));
+        b.push_front(TaskId(u64::MAX));
+        prop_assert_eq!(b.pop(), Some(TaskId(u64::MAX)));
+        let drained: Vec<u64> = std::iter::from_fn(|| b.pop()).map(|t| t.0).collect();
+        prop_assert_eq!(drained, pushes);
+        prop_assert!(b.is_empty());
+    }
+}
+
+/// The real executor completes arbitrary task batches exactly once each
+/// (smaller cases than the unit tests, but randomised shapes).
+#[test]
+fn local_master_completes_every_task() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use wqueue::local::{payload, LocalMaster};
+    use wqueue::task::TaskSpec;
+
+    for (workers, cores, tasks) in [(1u32, 1u32, 7u64), (2, 3, 25), (4, 2, 40)] {
+        let mut m = LocalMaster::new();
+        for _ in 0..workers {
+            m.attach_worker(cores);
+        }
+        let runs = Arc::new(AtomicU64::new(0));
+        for i in 0..tasks {
+            let runs = Arc::clone(&runs);
+            m.submit(
+                TaskSpec::new(TaskId(i), format!("t{i}")),
+                payload(move |_| {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![])
+                }),
+            );
+        }
+        let results = m.wait_all(std::time::Duration::from_secs(30));
+        assert_eq!(results.len() as u64, tasks);
+        assert_eq!(runs.load(Ordering::SeqCst), tasks, "each task ran exactly once");
+        let mut ids: Vec<u64> = results.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..tasks).collect::<Vec<_>>());
+        m.shutdown();
+    }
+}
