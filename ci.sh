@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Pre-merge gate for this workspace (see docs/determinism.md).
+#
+#   ./ci.sh            # full gate: fmt, clippy, simlint, tests
+#   ./ci.sh --fast     # skip clippy (useful while iterating)
+#
+# Every step must pass; the script stops at the first failure.
+
+set -eu
+
+cd "$(dirname "$0")"
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all -- --check
+
+if [ "$fast" -eq 0 ]; then
+    step cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+# Determinism & robustness lints (no-wall-clock, no-ambient-rng,
+# no-unordered-iteration, no-panic-in-lib). Fails on any finding not in
+# simlint.baseline.
+step cargo run -q -p simlint -- --check
+
+step cargo test --workspace -q
+
+echo
+echo "ci.sh: all gates passed"

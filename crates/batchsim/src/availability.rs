@@ -67,9 +67,16 @@ impl AvailabilityModel {
                 let d = Weibull::new(*scale_hours, *shape);
                 SimDuration::from_hours_f64(d.sample(rng))
             }
-            AvailabilityModel::Mixture { short_frac, short, long } => {
-                let (scale, shape) =
-                    if rng.chance(*short_frac) { *short } else { *long };
+            AvailabilityModel::Mixture {
+                short_frac,
+                short,
+                long,
+            } => {
+                let (scale, shape) = if rng.chance(*short_frac) {
+                    *short
+                } else {
+                    *long
+                };
                 let d = Weibull::new(scale, shape);
                 SimDuration::from_hours_f64(d.sample(rng))
             }
@@ -91,8 +98,7 @@ impl AvailabilityModel {
             _ => {
                 let mut rng = SimRng::new(0x5eed_ab1e);
                 let n = 10_000;
-                let total: f64 =
-                    (0..n).map(|_| self.sample(&mut rng).as_hours_f64()).sum();
+                let total: f64 = (0..n).map(|_| self.sample(&mut rng).as_hours_f64()).sum();
                 SimDuration::from_hours_f64(total / n as f64)
             }
         }
@@ -130,12 +136,10 @@ impl EvictionScenario {
     pub fn sample_survival(&self, rng: &mut SimRng) -> SimDuration {
         match self {
             EvictionScenario::None => SimDuration::MAX,
-            EvictionScenario::ConstantHazard { per_hour } => {
-                AvailabilityModel::Exponential {
-                    mean: SimDuration::from_hours_f64(1.0 / per_hour),
-                }
-                .sample(rng)
+            EvictionScenario::ConstantHazard { per_hour } => AvailabilityModel::Exponential {
+                mean: SimDuration::from_hours_f64(1.0 / per_hour),
             }
+            .sample(rng),
             EvictionScenario::Observed(model) => model.sample(rng),
         }
     }
@@ -155,22 +159,31 @@ mod tests {
 
     #[test]
     fn exponential_mean_matches() {
-        let m = AvailabilityModel::Exponential { mean: SimDuration::from_hours(4) };
+        let m = AvailabilityModel::Exponential {
+            mean: SimDuration::from_hours(4),
+        };
         let mut rng = SimRng::new(2);
         let n = 50_000;
-        let mean_h: f64 =
-            (0..n).map(|_| m.sample(&mut rng).as_hours_f64()).sum::<f64>() / n as f64;
+        let mean_h: f64 = (0..n)
+            .map(|_| m.sample(&mut rng).as_hours_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean_h - 4.0).abs() < 0.1, "{mean_h}");
     }
 
     #[test]
     fn weibull_shape_below_one_has_young_deaths() {
         // shape < 1 → more mass near zero than exponential of equal mean
-        let m = AvailabilityModel::Weibull { scale_hours: 4.0, shape: 0.7 };
+        let m = AvailabilityModel::Weibull {
+            scale_hours: 4.0,
+            shape: 0.7,
+        };
         let mut rng = SimRng::new(3);
         let n = 50_000;
-        let under_1h =
-            (0..n).filter(|_| m.sample(&mut rng).as_hours_f64() < 1.0).count() as f64 / n as f64;
+        let under_1h = (0..n)
+            .filter(|_| m.sample(&mut rng).as_hours_f64() < 1.0)
+            .count() as f64
+            / n as f64;
         // For Weibull(4, 0.7): F(1) = 1 - exp(-(1/4)^0.7) ≈ 0.315
         assert!((under_1h - 0.315).abs() < 0.02, "{under_1h}");
     }
@@ -183,7 +196,10 @@ mod tests {
             long: (10.0, 1.0),
         };
         let mean_h = m.mean().as_hours_f64();
-        assert!((mean_h - 5.5).abs() < 0.3, "mixture mean ≈ 5.5h, got {mean_h}");
+        assert!(
+            (mean_h - 5.5).abs() < 0.3,
+            "mixture mean ≈ 5.5h, got {mean_h}"
+        );
     }
 
     #[test]

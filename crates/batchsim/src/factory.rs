@@ -47,7 +47,12 @@ pub struct WorkerFactory {
 impl WorkerFactory {
     /// New factory with nothing submitted.
     pub fn new(cfg: FactoryConfig) -> Self {
-        WorkerFactory { cfg, pending: 0, live: 0, submitted_total: 0 }
+        WorkerFactory {
+            cfg,
+            pending: 0,
+            live: 0,
+            submitted_total: 0,
+        }
     }
 
     /// Configuration.
@@ -79,8 +84,7 @@ impl WorkerFactory {
             return Vec::new();
         }
         let want = (self.cfg.target_workers - have).min(self.cfg.burst);
-        let delay_dist =
-            simkit::dist::Exponential::new(self.cfg.mean_submit_delay.as_secs_f64());
+        let delay_dist = simkit::dist::Exponential::new(self.cfg.mean_submit_delay.as_secs_f64());
         let mut out = Vec::with_capacity(want as usize);
         for _ in 0..want {
             self.pending += 1;
@@ -163,6 +167,9 @@ mod tests {
         let delays = f.replenish(&mut rng);
         assert!(delays.iter().all(|d| *d >= SimDuration::ZERO));
         let first = delays[0];
-        assert!(delays.iter().any(|d| *d != first), "exponential draws differ");
+        assert!(
+            delays.iter().any(|d| *d != first),
+            "exponential draws differ"
+        );
     }
 }

@@ -14,7 +14,7 @@
 
 use simkit::stats::{binomial_ci, BinomialEstimate};
 use simkit::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Why a worker left.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,7 +47,7 @@ impl WorkerSpan {
 /// unique among concurrently-joined workers).
 #[derive(Clone, Debug, Default)]
 pub struct WorkerLog {
-    open: HashMap<u64, SimTime>,
+    open: BTreeMap<u64, SimTime>,
     spans: Vec<WorkerSpan>,
 }
 
@@ -67,7 +67,11 @@ impl WorkerLog {
     /// race a crash-recovery replay).
     pub fn leave(&mut self, worker: u64, at: SimTime, reason: LeaveReason) {
         if let Some(joined) = self.open.remove(&worker) {
-            self.spans.push(WorkerSpan { joined, left: at, reason });
+            self.spans.push(WorkerSpan {
+                joined,
+                left: at,
+                reason,
+            });
         }
     }
 
@@ -86,8 +90,7 @@ impl WorkerLog {
     /// beyond `max` are collected into the last bin.
     pub fn eviction_profile(&self, bin_width: SimDuration, max: SimDuration) -> EvictionProfile {
         assert!(!bin_width.is_zero(), "zero bin width");
-        let nbins = max.as_micros().div_ceil(bin_width.as_micros())
-            .max(1) as usize;
+        let nbins = max.as_micros().div_ceil(bin_width.as_micros()).max(1) as usize;
         let mut evicted = vec![0u64; nbins];
         let mut total = vec![0u64; nbins];
         for s in &self.spans {
@@ -187,8 +190,7 @@ mod tests {
         log.join(5, t(0.0));
         log.leave(5, t(1.6), LeaveReason::Retired);
 
-        let prof =
-            log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(4));
+        let prof = log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(4));
         assert_eq!(prof.bins.len(), 4);
         assert_eq!(prof.bins[0].1.p, 0.75);
         assert_eq!(prof.bins[1].1.p, 0.5);
@@ -200,8 +202,7 @@ mod tests {
         let mut log = WorkerLog::new();
         log.join(1, t(0.0));
         log.leave(1, t(100.0), LeaveReason::Evicted);
-        let prof =
-            log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(4));
+        let prof = log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(4));
         assert_eq!(prof.bins[3].1.trials, 1);
     }
 
@@ -210,8 +211,7 @@ mod tests {
         let mut log = WorkerLog::new();
         log.join(1, t(0.0));
         log.leave(1, t(0.5), LeaveReason::Evicted);
-        let prof =
-            log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(2));
+        let prof = log.eviction_profile(SimDuration::from_hours(1), SimDuration::from_hours(2));
         let rows = prof.rows();
         assert_eq!(rows.len(), 2);
         assert!((rows[0].0 - 0.5).abs() < 1e-9, "bin center at 0.5h");

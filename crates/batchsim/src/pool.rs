@@ -54,7 +54,13 @@ impl OpportunisticPool {
     /// New pool with owner demand starting at its mean.
     pub fn new(cfg: PoolConfig, rng: SimRng) -> Self {
         let demand = cfg.owner_mean;
-        OpportunisticPool { cfg, owner_demand: demand, ours: 0, last_tick: SimTime::ZERO, rng }
+        OpportunisticPool {
+            cfg,
+            owner_demand: demand,
+            ours: 0,
+            last_tick: SimTime::ZERO,
+            rng,
+        }
     }
 
     /// Total cores in the cluster.
@@ -74,7 +80,10 @@ impl OpportunisticPool {
 
     /// Cores free for us right now.
     pub fn idle_cores(&self) -> u32 {
-        self.cfg.total_cores.saturating_sub(self.owner_cores()).saturating_sub(self.ours)
+        self.cfg
+            .total_cores
+            .saturating_sub(self.owner_cores())
+            .saturating_sub(self.ours)
     }
 
     /// The tick interval on which [`OpportunisticPool::tick`] should be
@@ -93,8 +102,8 @@ impl OpportunisticPool {
         while now >= self.last_tick + self.cfg.tick {
             self.last_tick += self.cfg.tick;
             let noise = (self.rng.f64() * 2.0 - 1.0) * self.cfg.noise;
-            self.owner_demand += self.cfg.reversion * (self.cfg.owner_mean - self.owner_demand)
-                + noise;
+            self.owner_demand +=
+                self.cfg.reversion * (self.cfg.owner_mean - self.owner_demand) + noise;
             self.owner_demand = self.owner_demand.clamp(0.0, self.cfg.total_cores as f64);
             let available_for_us = self.cfg.total_cores - self.owner_cores();
             if self.ours > available_for_us {

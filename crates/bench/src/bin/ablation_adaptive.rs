@@ -9,8 +9,8 @@
 
 use batchsim::availability::AvailabilityModel;
 use batchsim::pool::PoolConfig;
-use lobster::adaptive::AdaptiveConfig;
 use gridstore::dbs::{DatasetSpec, Dbs};
+use lobster::adaptive::AdaptiveConfig;
 use lobster::config::LobsterConfig;
 use lobster::driver::{ClusterSim, SimParams};
 use lobster::workflow::Workflow;
@@ -35,7 +35,10 @@ fn run(adaptive: bool, mean_lifetime_h: u64) -> (f64, u64, f64, u32) {
         },
         6,
     );
-    let wf = Workflow::from_dataset(&cfg.workflows[0], dbs.query("/TTJets/Spring14/AOD").unwrap());
+    let wf = Workflow::from_dataset(
+        &cfg.workflows[0],
+        dbs.query("/TTJets/Spring14/AOD").unwrap(),
+    );
     let params = SimParams {
         availability: AvailabilityModel::Exponential {
             mean: SimDuration::from_hours(mean_lifetime_h),
@@ -59,9 +62,17 @@ fn run(adaptive: bool, mean_lifetime_h: u64) -> (f64, u64, f64, u32) {
         ..SimParams::default()
     };
     let report = ClusterSim::run(cfg, params, vec![wf]);
-    let makespan = report.finished_at.map(|t| t.as_hours_f64()).unwrap_or(f64::NAN);
+    let makespan = report
+        .finished_at
+        .map(|t| t.as_hours_f64())
+        .unwrap_or(f64::NAN);
     let lost_frac = report.accounting.failed / report.accounting.total();
-    (makespan, report.evictions, lost_frac, report.final_task_size)
+    (
+        makespan,
+        report.evictions,
+        lost_frac,
+        report.final_task_size,
+    )
 }
 
 fn main() {

@@ -34,7 +34,10 @@ fn run_alien(alien: bool) -> (f64, f64, u64) {
         },
         4,
     );
-    let wf = Workflow::from_dataset(&cfg.workflows[0], dbs.query("/TTJets/Spring14/AOD").unwrap());
+    let wf = Workflow::from_dataset(
+        &cfg.workflows[0],
+        dbs.query("/TTJets/Spring14/AOD").unwrap(),
+    );
     let params = SimParams {
         availability: AvailabilityModel::Dedicated,
         outages: OutageSchedule::none(),
@@ -50,13 +53,19 @@ fn run_alien(alien: bool) -> (f64, f64, u64) {
     };
     let report = ClusterSim::run(cfg, params, vec![wf]);
     let setup_h = report.accounting.io; // includes env setup
-    let makespan = report.finished_at.map(|t| t.as_hours_f64()).unwrap_or(f64::NAN);
+    let makespan = report
+        .finished_at
+        .map(|t| t.as_hours_f64())
+        .unwrap_or(f64::NAN);
     (setup_h, makespan, report.tasks_failed)
 }
 
 fn main() {
     println!("== Ablation: alien cache on/off (1024 cores, one squid) ==\n");
-    println!("{:>14} {:>16} {:>14} {:>10}", "alien cache", "task I/O (h)", "makespan (h)", "failures");
+    println!(
+        "{:>14} {:>16} {:>14} {:>10}",
+        "alien cache", "task I/O (h)", "makespan (h)", "failures"
+    );
     let on = run_alien(true);
     let off = run_alien(false);
     for (label, r) in [("on", on), ("off", off)] {

@@ -37,13 +37,19 @@ fn run_with_connections(conns: u32) -> (f64, f64) {
     let report = ClusterSim::run(cfg, params, vec![wf]);
     let n = report.tasks_completed.max(1) as f64;
     let stage_mins = (report.accounting.io * 60.0) / n;
-    let makespan = report.finished_at.map(|t| t.as_hours_f64()).unwrap_or(f64::NAN);
+    let makespan = report
+        .finished_at
+        .map(|t| t.as_hours_f64())
+        .unwrap_or(f64::NAN);
     (stage_mins, makespan)
 }
 
 fn main() {
     println!("== Ablation: Chirp concurrent-connection limit ==\n");
-    println!("{:>14} {:>24} {:>14}", "connections", "mean stage time (min)", "makespan (h)");
+    println!(
+        "{:>14} {:>24} {:>14}",
+        "connections", "mean stage time (min)", "makespan (h)"
+    );
     let mut rows = Vec::new();
     for conns in [8u32, 16, 32, 64, 128] {
         let (stage, mk) = run_with_connections(conns);

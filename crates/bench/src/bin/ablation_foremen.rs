@@ -32,7 +32,10 @@ fn run_with_foremen(n_foremen: u32) -> (f64, f64) {
         },
         3,
     );
-    let wf = Workflow::from_dataset(&cfg.workflows[0], dbs.query("/TTJets/Spring14/AOD").unwrap());
+    let wf = Workflow::from_dataset(
+        &cfg.workflows[0],
+        dbs.query("/TTJets/Spring14/AOD").unwrap(),
+    );
     let params = SimParams {
         availability: AvailabilityModel::Dedicated,
         outages: OutageSchedule::none(),
@@ -49,15 +52,20 @@ fn run_with_foremen(n_foremen: u32) -> (f64, f64) {
         ..SimParams::default()
     };
     let report = ClusterSim::run(cfg, params, vec![wf]);
-    let wq_in_mins =
-        report.accounting.wq_stage_in * 60.0 / report.tasks_completed.max(1) as f64;
-    let makespan = report.finished_at.map(|t| t.as_hours_f64()).unwrap_or(f64::NAN);
+    let wq_in_mins = report.accounting.wq_stage_in * 60.0 / report.tasks_completed.max(1) as f64;
+    let makespan = report
+        .finished_at
+        .map(|t| t.as_hours_f64())
+        .unwrap_or(f64::NAN);
     (wq_in_mins, makespan)
 }
 
 fn main() {
     println!("== Ablation: foreman fan-out (paper runs 1 rank of 4 foremen) ==\n");
-    println!("{:>10} {:>22} {:>14}", "foremen", "mean wq stage-in (min)", "makespan (h)");
+    println!(
+        "{:>10} {:>22} {:>14}",
+        "foremen", "mean wq stage-in (min)", "makespan (h)"
+    );
     let mut rows = Vec::new();
     for n in [1u32, 2, 4, 8] {
         let (wq, mk) = run_with_foremen(n);

@@ -44,10 +44,12 @@ fn main() {
         }
     }
 
-    let profile =
-        log.eviction_profile(SimDuration::from_hours(2), SimDuration::from_hours(48));
+    let profile = log.eviction_profile(SimDuration::from_hours(2), SimDuration::from_hours(48));
     println!("== Figure 2: worker eviction probability vs availability time ==\n");
-    println!("{:>12} {:>10} {:>10} {:>8}  ", "avail (h)", "P(evict)", "± (binom)", "workers");
+    println!(
+        "{:>12} {:>10} {:>10} {:>8}  ",
+        "avail (h)", "P(evict)", "± (binom)", "workers"
+    );
     for (center, est) in &profile.bins {
         if est.trials == 0 {
             continue;
@@ -66,7 +68,10 @@ fn main() {
     let long = rows.iter().rev().find(|r| r.1 > 0.0).expect("data");
     println!("\n-- shape check (paper: the eviction probability varies with availability");
     println!("   time, and binomial errors grow where the long bins run out of workers) --");
-    println!("P(evict | ~{:.0}h) = {:.3} ± {:.3}", short.0, short.1, short.2);
+    println!(
+        "P(evict | ~{:.0}h) = {:.3} ± {:.3}",
+        short.0, short.1, short.2
+    );
     println!("P(evict | ~{:.0}h) = {:.3} ± {:.3}", long.0, long.1, long.2);
     let max_err = rows.iter().map(|r| r.2).fold(0.0_f64, f64::max);
     println!("largest binomial error: {max_err:.3} (in a thin bin)");

@@ -28,7 +28,12 @@ fn main() {
     );
     let results: Vec<Vec<f64>> = scenarios
         .iter()
-        .map(|s| sweep(&cfg, s, &hours, 3).iter().map(|p| p.efficiency).collect())
+        .map(|s| {
+            sweep(&cfg, s, &hours, 3)
+                .iter()
+                .map(|p| p.efficiency)
+                .collect()
+        })
         .collect();
     for (i, h) in hours.iter().enumerate() {
         println!(

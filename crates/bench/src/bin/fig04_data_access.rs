@@ -38,7 +38,10 @@ fn run_mode(access: DataAccessMode) -> (f64, f64, f64, f64) {
         },
         9,
     );
-    let wf = Workflow::from_dataset(&cfg.workflows[0], dbs.query("/TTJets/Spring14/AOD").unwrap());
+    let wf = Workflow::from_dataset(
+        &cfg.workflows[0],
+        dbs.query("/TTJets/Spring14/AOD").unwrap(),
+    );
     let params = SimParams {
         availability: AvailabilityModel::Dedicated,
         outages: OutageSchedule::none(),
@@ -83,6 +86,12 @@ fn main() {
     }
     println!("\n-- shape check (paper: staging has lower CPU utilisation and longer");
     println!("   overall runtime than streaming) --");
-    println!("staging runtime  > streaming runtime : {}", staged.2 > stream.2);
-    println!("staging cpu util < streaming cpu util: {}", staged.3 < stream.3);
+    println!(
+        "staging runtime  > streaming runtime : {}",
+        staged.2 > stream.2
+    );
+    println!(
+        "staging cpu util < streaming cpu util: {}",
+        staged.3 < stream.3
+    );
 }

@@ -38,9 +38,15 @@ fn main() {
     let cold = catalog.total_bytes();
     let hot = catalog.hot_bytes();
     println!("== Figure 5: mean task overhead vs tasks sharing one proxy ==\n");
-    println!("cold working set: {} | hot revalidation: {}",
-        simnet::units::fmt_bytes(cold), simnet::units::fmt_bytes(hot));
-    println!("\n{:>10} {:>16} {:>16}", "clients", "cold (min)", "hot (min)");
+    println!(
+        "cold working set: {} | hot revalidation: {}",
+        simnet::units::fmt_bytes(cold),
+        simnet::units::fmt_bytes(hot)
+    );
+    println!(
+        "\n{:>10} {:>16} {:>16}",
+        "clients", "cold (min)", "hot (min)"
+    );
     let sweep = [50usize, 100, 250, 500, 750, 1000, 1500, 2000, 3000, 4000];
     let mut hot_points = Vec::new();
     for &n in &sweep {
@@ -56,7 +62,10 @@ fn main() {
         .find(|(_, h)| *h > base * 1.5)
         .map(|(n, _)| *n);
     println!("\n-- shape check --");
-    println!("theoretical knee: {:.0} clients (paper: ≈1000)", squid.knee_clients());
+    println!(
+        "theoretical knee: {:.0} clients (paper: ≈1000)",
+        squid.knee_clients()
+    );
     println!(
         "observed hot overhead departs from flat at: {} clients",
         knee.map_or("beyond sweep".into(), |n| n.to_string())

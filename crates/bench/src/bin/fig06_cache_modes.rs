@@ -21,7 +21,10 @@ fn main() {
     let node_cap = 12.5e6; // node NIC share
 
     println!("== Figure 6: cache sharing modes — node cold-start cost ==");
-    println!("(8 tasks per worker; working set {})\n", simnet::units::fmt_bytes(ws));
+    println!(
+        "(8 tasks per worker; working set {})\n",
+        simnet::units::fmt_bytes(ws)
+    );
     println!(
         "{:>30} {:>10} {:>12} {:>14} {:>12}",
         "mode", "streams", "copies", "bytes pulled", "cold (min)"
@@ -68,7 +71,11 @@ fn main() {
     println!("\n-- shape check (paper: the alien cache beats both pathologies — the");
     println!("   write-lock serialisation of (a) and the N× duplicated pulls of (b)/(c)) --");
     let t = |m| SetupPlan::plan(m, 8, 1, ws).wall_clock_secs(per_stream, node_cap);
-    let (a, b, d) = (t(CacheMode::SingleLocked), t(CacheMode::PerTask), t(CacheMode::AlienShared));
+    let (a, b, d) = (
+        t(CacheMode::SingleLocked),
+        t(CacheMode::PerTask),
+        t(CacheMode::AlienShared),
+    );
     println!("alien {d:.0}s vs locked {a:.0}s vs per-task {b:.0}s");
     println!("alien fastest: {}", d < a && d < b);
     let bytes = |m| SetupPlan::plan(m, 8, 1, ws).total_bytes();

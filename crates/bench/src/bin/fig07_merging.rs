@@ -42,8 +42,10 @@ fn run_mode(mode: MergeMode) -> RunReport {
         },
         11,
     );
-    let wf =
-        Workflow::from_dataset(&cfg.workflows[0], dbs.query("/SingleMu/Run2012A/AOD").unwrap());
+    let wf = Workflow::from_dataset(
+        &cfg.workflows[0],
+        dbs.query("/SingleMu/Run2012A/AOD").unwrap(),
+    );
     let params = SimParams {
         availability: AvailabilityModel::Dedicated,
         outages: OutageSchedule::none(),
@@ -67,14 +69,21 @@ fn main() {
     println!("== Figure 7: merging modes compared ==");
     println!("(one column = 30 simulated minutes)\n");
     let mut totals = Vec::new();
-    for mode in [MergeMode::Sequential, MergeMode::Hadoop, MergeMode::Interleaved] {
+    for mode in [
+        MergeMode::Sequential,
+        MergeMode::Hadoop,
+        MergeMode::Interleaved,
+    ] {
         let report = run_mode(mode);
         let done = report
             .finished_at
             .map(|t| t.as_hours_f64())
             .unwrap_or(f64::NAN);
         println!("--- {} ---", mode.label());
-        println!("{}", panel("analysis tasks / bin", &report.analysis_done.sums()));
+        println!(
+            "{}",
+            panel("analysis tasks / bin", &report.analysis_done.sums())
+        );
         println!("{}", panel("merge tasks / bin", &report.merge_done.sums()));
         println!(
             "merges: {}   merged files: {}   all work done at: {done:.1} h\n",
@@ -91,5 +100,8 @@ fn main() {
     let seq = totals[0].1;
     let had = totals[1].1;
     let int = totals[2].1;
-    println!("interleaved < hadoop < sequential : {}", int < had && had < seq);
+    println!(
+        "interleaved < hadoop < sequential : {}",
+        int < had && had < seq
+    );
 }

@@ -41,13 +41,31 @@ fn main() {
         .unwrap_or(0);
 
     println!("\n-- summary --");
-    println!("peak concurrent tasks     {:>12.0}   (paper: ~9,000-10,000)", report.peak_concurrency);
+    println!(
+        "peak concurrent tasks     {:>12.0}   (paper: ~9,000-10,000)",
+        report.peak_concurrency
+    );
     println!("tasks completed           {:>12}", report.tasks_completed);
-    println!("tasks failed              {:>12}   (burst at bin {burst_bin} ≈ h{})", report.tasks_failed, burst_bin / 2);
+    println!(
+        "tasks failed              {:>12}   (burst at bin {burst_bin} ≈ h{})",
+        report.tasks_failed,
+        burst_bin / 2
+    );
     println!("attempts lost to eviction {:>12}", report.evictions);
-    println!("peak steady efficiency    {:>12.2}   (paper: ≤ ~0.70)", peak_eff);
-    println!("merged files              {:>12}", report.merged_files.len());
-    println!("finished at               {:>12}", report.finished_at.map_or("horizon".into(), |t| t.to_string()));
+    println!(
+        "peak steady efficiency    {:>12.2}   (paper: ≤ ~0.70)",
+        peak_eff
+    );
+    println!(
+        "merged files              {:>12}",
+        report.merged_files.len()
+    );
+    println!(
+        "finished at               {:>12}",
+        report
+            .finished_at
+            .map_or("horizon".into(), |t| t.to_string())
+    );
     println!("advisor: {:?}", report.advice);
     eprintln!("[wall-clock {:.1?}]", started.elapsed());
 }

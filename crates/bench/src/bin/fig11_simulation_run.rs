@@ -32,10 +32,7 @@ fn main() {
     // Setup time is recorded at attempt completion, so the cold-fill
     // cohort appears as one early hump that decays once caches are hot.
     let peak_setup = setup.iter().copied().fold(0.0_f64, f64::max);
-    let peak_bin = setup
-        .iter()
-        .position(|&v| v == peak_setup)
-        .unwrap_or(0);
+    let peak_bin = setup.iter().position(|&v| v == peak_setup).unwrap_or(0);
     let tail = setup
         .iter()
         .rev()
@@ -62,11 +59,26 @@ fn main() {
         .count();
 
     println!("\n-- summary --");
-    println!("peak concurrent tasks   {:>12.0}   (paper: ~20,000)", report.peak_concurrency);
-    println!("peak setup time         {:>12.0} min (paper: ~400, cold stampede)", peak_setup);
+    println!(
+        "peak concurrent tasks   {:>12.0}   (paper: ~20,000)",
+        report.peak_concurrency
+    );
+    println!(
+        "peak setup time         {:>12.0} min (paper: ~400, cold stampede)",
+        peak_setup
+    );
     println!("setup peak→tail         {:>7.0} → {:.0} min (peak at bin {peak_bin}; paper: drops after caches fill)", peak_setup, tail);
-    println!("stage-out wave count    {:>12}   (paper: periodic waves)", waves);
-    println!("squid-related failures  {:>12}   ({} in the first 3h)", squid_failures, early_squid);
-    println!("total failed attempts   {:>12}   (paper: small continuous trickle)", report.tasks_failed);
+    println!(
+        "stage-out wave count    {:>12}   (paper: periodic waves)",
+        waves
+    );
+    println!(
+        "squid-related failures  {:>12}   ({} in the first 3h)",
+        squid_failures, early_squid
+    );
+    println!(
+        "total failed attempts   {:>12}   (paper: small continuous trickle)",
+        report.tasks_failed
+    );
     eprintln!("[wall-clock {:.1?}]", started.elapsed());
 }

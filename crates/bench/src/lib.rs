@@ -59,7 +59,10 @@ pub fn data_processing_setup(seed: u64) -> (LobsterConfig, SimParams, Vec<Workfl
         },
         seed ^ 0xD5,
     );
-    let wf = Workflow::from_dataset(&cfg.workflows[0], dbs.query("/TTJets/Spring14/AOD").unwrap());
+    let ds = dbs
+        .query("/TTJets/Spring14/AOD")
+        .expect("dataset registered above");
+    let wf = Workflow::from_dataset(&cfg.workflows[0], ds);
 
     // Transient XrootD outage around hour 17 (the Figure 10 burst).
     let outages = OutageSchedule::new(vec![Outage::brownout(
@@ -153,7 +156,10 @@ pub fn run(setup: (LobsterConfig, SimParams, Vec<Workflow>)) -> RunReport {
 /// Render a series of panel rows as `label: sparkline (max=…)`.
 pub fn panel(label: &str, series: &[f64]) -> String {
     let max = series.iter().copied().fold(0.0_f64, f64::max);
-    format!("{label:<28} {} (max {max:.1})", simkit::plot::sparkline(series))
+    format!(
+        "{label:<28} {} (max {max:.1})",
+        simkit::plot::sparkline(series)
+    )
 }
 
 #[cfg(test)]

@@ -62,7 +62,10 @@ impl ReleaseCatalog {
     /// Generate a release deterministically from `seed`.
     pub fn generate(name: impl Into<String>, cfg: CatalogConfig, seed: u64) -> Self {
         assert!(cfg.n_files > 0, "empty catalog");
-        assert!(cfg.min_file > 0 && cfg.max_file >= cfg.min_file, "bad size bounds");
+        assert!(
+            cfg.min_file > 0 && cfg.max_file >= cfg.min_file,
+            "bad size bounds"
+        );
         let mut rng = SimRng::new(seed);
         let dist = LogUniform::new(cfg.min_file as f64, cfg.max_file as f64);
         let mut files: Vec<CatalogFile> = (0..cfg.n_files)
@@ -78,7 +81,11 @@ impl ReleaseCatalog {
             f.size = ((f.size as f64 * scale).round() as u64).max(1);
         }
         let total_bytes = files.iter().map(|f| f.size).sum();
-        ReleaseCatalog { name: name.into(), files, total_bytes }
+        ReleaseCatalog {
+            name: name.into(),
+            files,
+            total_bytes,
+        }
     }
 
     /// The paper's default CMSSW-like release.
@@ -183,7 +190,10 @@ mod tests {
     fn rejects_zero_files() {
         ReleaseCatalog::generate(
             "x",
-            CatalogConfig { n_files: 0, ..CatalogConfig::default() },
+            CatalogConfig {
+                n_files: 0,
+                ..CatalogConfig::default()
+            },
             1,
         );
     }

@@ -71,7 +71,9 @@ impl FrontierDb {
     pub fn lookup(&self, run: u32) -> Option<&ConditionsIov> {
         // IOVs are sorted by first_run: binary search then bounds check.
         let idx = self.iovs.partition_point(|i| i.first_run <= run);
-        idx.checked_sub(1).map(|i| &self.iovs[i]).filter(|i| i.covers(run))
+        idx.checked_sub(1)
+            .map(|i| &self.iovs[i])
+            .filter(|i| i.covers(run))
     }
 
     /// Bytes a task must fetch to process `runs`, deduplicated by IOV —
@@ -142,8 +144,16 @@ mod tests {
     #[should_panic(expected = "overlapping IOVs")]
     fn rejects_overlap() {
         FrontierDb::new(vec![
-            ConditionsIov { first_run: 1, last_run: 10, bytes: 1 },
-            ConditionsIov { first_run: 5, last_run: 15, bytes: 1 },
+            ConditionsIov {
+                first_run: 1,
+                last_run: 10,
+                bytes: 1,
+            },
+            ConditionsIov {
+                first_run: 5,
+                last_run: 15,
+                bytes: 1,
+            },
         ]);
     }
 

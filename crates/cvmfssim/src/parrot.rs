@@ -208,7 +208,10 @@ mod tests {
         // turn beats pulling 8 duplicate copies (b).
         assert_eq!(d, e, "one worker per node → (d) == (e)");
         assert!(d < a, "alien beats lock serialisation: {d} vs {a}");
-        assert!(a < b, "one locked copy still beats 8 duplicated: {a} vs {b}");
+        assert!(
+            a < b,
+            "one locked copy still beats 8 duplicated: {a} vs {b}"
+        );
         // Concrete values: d = 1.5e9/40e6 = 37.5 s; a = 1.25·1.5e9/10e6.
         assert!((d - 37.5).abs() < 1e-9);
         assert!((a - 187.5).abs() < 1e-9);

@@ -39,6 +39,11 @@ impl Default for SquidConfig {
     }
 }
 
+/// A request was rejected because its projected completion exceeds the
+/// client timeout (the client would give up before the bytes arrive).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TimedOut;
+
 /// A single Squid proxy.
 #[derive(Clone, Debug)]
 pub struct Squid {
@@ -51,7 +56,11 @@ impl Squid {
     /// Proxy with the given sizing.
     pub fn new(cfg: SquidConfig) -> Self {
         let link = FairLink::new(cfg.bandwidth).with_unit_rate_cap(cfg.per_client_cap);
-        Squid { cfg, link, requests_failed: 0 }
+        Squid {
+            cfg,
+            link,
+            requests_failed: 0,
+        }
     }
 
     /// Proxy with the paper-calibrated defaults.
@@ -71,14 +80,14 @@ impl Squid {
     }
 
     /// Begin serving `bytes` to one client. Returns the flow handle, or
-    /// `Err(())` recording a failure if the *projected* completion already
-    /// exceeds the timeout (client would give up — the squid-related
-    /// failure mode of Figure 11).
-    pub fn request(&mut self, now: SimTime, bytes: u64) -> Result<FlowId, ()> {
+    /// [`TimedOut`] recording a failure if the *projected* completion
+    /// already exceeds the timeout (client would give up — the
+    /// squid-related failure mode of Figure 11).
+    pub fn request(&mut self, now: SimTime, bytes: u64) -> Result<FlowId, TimedOut> {
         let projected = self.estimate(now, bytes);
         if projected > self.cfg.timeout {
             self.requests_failed += 1;
-            return Err(());
+            return Err(TimedOut);
         }
         Ok(self.link.admit_flow(now, bytes))
     }

@@ -50,7 +50,12 @@ impl ChirpServer {
     pub fn new(cfg: ChirpConfig) -> Self {
         assert!(cfg.max_connections >= 1);
         assert!(cfg.per_connection_rate > 0.0);
-        ChirpServer { cfg, server: Server::new(cfg.max_connections), bytes_in: 0, bytes_out: 0 }
+        ChirpServer {
+            cfg,
+            server: Server::new(cfg.max_connections),
+            bytes_in: 0,
+            bytes_out: 0,
+        }
     }
 
     /// Paper-calibrated default sizing.

@@ -71,7 +71,11 @@ impl Dataset {
 
     /// Total lumi sections.
     pub fn total_lumis(&self) -> u64 {
-        self.files.iter().flat_map(|f| &f.lumis).map(|r| r.len()).sum()
+        self.files
+            .iter()
+            .flat_map(|f| &f.lumis)
+            .map(|r| r.len())
+            .sum()
     }
 }
 
@@ -148,8 +152,7 @@ impl Dbs {
             }];
             next_lumi += spec.lumis_per_file;
             // File sizes vary ±50% around the mean.
-            let bytes =
-                (spec.mean_file_bytes as f64 * rng.range_f64(0.5, 1.5)).round() as u64;
+            let bytes = (spec.mean_file_bytes as f64 * rng.range_f64(0.5, 1.5)).round() as u64;
             files.push(LogicalFile {
                 lfn: format!("/store{}/file_{i:06}.root", name),
                 bytes,
@@ -157,7 +160,10 @@ impl Dbs {
                 lumis,
             });
         }
-        let ds = Dataset { name: name.clone(), files };
+        let ds = Dataset {
+            name: name.clone(),
+            files,
+        };
         self.publish(ds);
         name
     }
@@ -169,7 +175,11 @@ mod tests {
 
     #[test]
     fn lumi_range_len() {
-        let r = LumiRange { run: 1, first: 10, last: 19 };
+        let r = LumiRange {
+            run: 1,
+            first: 10,
+            last: 19,
+        };
         assert_eq!(r.len(), 10);
         assert!(!r.is_empty());
     }
@@ -216,7 +226,14 @@ mod tests {
     #[test]
     fn lfns_are_unique() {
         let mut dbs = Dbs::new();
-        dbs.generate("/u/x/AOD", DatasetSpec { n_files: 200, ..DatasetSpec::default() }, 3);
+        dbs.generate(
+            "/u/x/AOD",
+            DatasetSpec {
+                n_files: 200,
+                ..DatasetSpec::default()
+            },
+            3,
+        );
         let ds = dbs.query("/u/x/AOD").unwrap();
         let set: std::collections::HashSet<&str> =
             ds.files.iter().map(|f| f.lfn.as_str()).collect();

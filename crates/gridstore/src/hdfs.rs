@@ -7,7 +7,7 @@
 //! content for the in-process Map-Reduce merge path.
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Default HDFS block size (128 MB).
@@ -25,8 +25,8 @@ pub struct FileMeta {
 struct Inner {
     n_datanodes: usize,
     replication: usize,
-    files: HashMap<String, FileMeta>,
-    content: HashMap<String, Arc<Vec<u8>>>,
+    files: BTreeMap<String, FileMeta>,
+    content: BTreeMap<String, Arc<Vec<u8>>>,
     used_per_node: Vec<u64>,
     next_node: usize,
 }
@@ -40,13 +40,16 @@ impl Hdfs {
     /// Cluster with `n_datanodes` nodes and `replication` copies per block.
     pub fn new(n_datanodes: usize, replication: usize) -> Self {
         assert!(n_datanodes >= 1);
-        assert!((1..=n_datanodes).contains(&replication), "replication > nodes");
+        assert!(
+            (1..=n_datanodes).contains(&replication),
+            "replication > nodes"
+        );
         Hdfs {
             inner: RwLock::new(Inner {
                 n_datanodes,
                 replication,
-                files: HashMap::new(),
-                content: HashMap::new(),
+                files: BTreeMap::new(),
+                content: BTreeMap::new(),
                 used_per_node: vec![0; n_datanodes],
                 next_node: 0,
             }),
@@ -98,8 +101,7 @@ impl Hdfs {
         let per_replica = block_sizes(meta.size);
         for (block, replicas) in meta.blocks.iter().enumerate() {
             for &node in replicas {
-                g.used_per_node[node] =
-                    g.used_per_node[node].saturating_sub(per_replica[block]);
+                g.used_per_node[node] = g.used_per_node[node].saturating_sub(per_replica[block]);
             }
         }
         true

@@ -13,7 +13,7 @@
 //! and the bucket hand-off at the phase barrier (Map-Reduce semantics
 //! require that barrier).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -38,15 +38,10 @@ impl MapReduce {
 
     /// Run a job: `map` turns each input into key/value pairs; `reduce`
     /// folds all values of one key. Returns key → reduced value.
-    pub fn run<I, K, V, R, MF, RF>(
-        &self,
-        inputs: Vec<I>,
-        map: MF,
-        reduce: RF,
-    ) -> HashMap<K, R>
+    pub fn run<I, K, V, R, MF, RF>(&self, inputs: Vec<I>, map: MF, reduce: RF) -> BTreeMap<K, R>
     where
         I: Send,
-        K: Hash + Eq + Send,
+        K: Hash + Eq + Ord + Send,
         V: Send,
         R: Send,
         MF: Fn(I) -> Vec<(K, V)> + Sync,
@@ -82,8 +77,6 @@ impl MapReduce {
                             let input =
                                 slots_ref[i].lock().expect("poisoned").take().expect("once");
                             for (k, v) in map_ref(input) {
-                                
-                                
                                 let b = (hasher_ref.hash_one(&k) as usize) % n_reducers;
                                 buckets[b].push((k, v));
                             }
@@ -92,7 +85,10 @@ impl MapReduce {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("mapper panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mapper panicked"))
+                .collect()
         });
 
         // --- Shuffle: merge mapper buckets per reducer -------------------
@@ -105,12 +101,12 @@ impl MapReduce {
 
         // --- Reduce phase ------------------------------------------------
         let reduce_ref = &reduce;
-        let partials: Vec<HashMap<K, R>> = std::thread::scope(|scope| {
+        let partials: Vec<BTreeMap<K, R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shuffled
                 .into_iter()
                 .map(|bucket| {
                     scope.spawn(move || {
-                        let mut grouped: HashMap<K, Vec<V>> = HashMap::new();
+                        let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
                         for (k, v) in bucket {
                             grouped.entry(k).or_default().push(v);
                         }
@@ -120,15 +116,18 @@ impl MapReduce {
                                 let r = reduce_ref(&k, vs);
                                 (k, r)
                             })
-                            .collect::<HashMap<K, R>>()
+                            .collect::<BTreeMap<K, R>>()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("reducer panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reducer panicked"))
+                .collect()
         });
 
         // Keys are partitioned, so the union is disjoint.
-        let mut out = HashMap::new();
+        let mut out = BTreeMap::new();
         for p in partials {
             out.extend(p);
         }
@@ -146,7 +145,11 @@ mod tests {
         let docs = vec!["a b a", "b c", "a"];
         let counts = mr.run(
             docs,
-            |doc: &str| doc.split_whitespace().map(|w| (w.to_string(), 1u64)).collect(),
+            |doc: &str| {
+                doc.split_whitespace()
+                    .map(|w| (w.to_string(), 1u64))
+                    .collect()
+            },
             |_k, vs| vs.iter().sum::<u64>(),
         );
         assert_eq!(counts["a"], 3);
@@ -158,7 +161,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let mr = MapReduce::new(2);
-        let out: HashMap<String, u64> = mr.run(
+        let out: BTreeMap<String, u64> = mr.run(
             Vec::<u32>::new(),
             |_| vec![],
             |_k, vs: Vec<u64>| vs.into_iter().sum(),

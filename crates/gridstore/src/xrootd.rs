@@ -16,7 +16,7 @@ use simkit::rng::SimRng;
 use simkit::time::SimTime;
 use simnet::link::{FairLink, FlowId};
 use simnet::outage::OutageSchedule;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Federation sizing.
 #[derive(Clone, Debug)]
@@ -55,11 +55,11 @@ pub struct Federation {
     link: FairLink,
     /// lfn → hosting site (redirector table). Files not present resolve
     /// to a deterministic pseudo-site, mimicking the global namespace.
-    locations: HashMap<String, String>,
+    locations: BTreeMap<String, String>,
     /// Consumer label → bytes transferred (dashboard accounting).
-    consumed: HashMap<String, f64>,
+    consumed: BTreeMap<String, f64>,
     /// Flow → (consumer, bytes) for accounting at completion.
-    in_flight: HashMap<FlowId, (String, u64)>,
+    in_flight: BTreeMap<FlowId, (String, u64)>,
     opens: u64,
     open_failures: u64,
     last_capacity_factor: f64,
@@ -72,9 +72,9 @@ impl Federation {
         Federation {
             cfg,
             link,
-            locations: HashMap::new(),
-            consumed: HashMap::new(),
-            in_flight: HashMap::new(),
+            locations: BTreeMap::new(),
+            consumed: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
             opens: 0,
             open_failures: 0,
             last_capacity_factor: 1.0,
@@ -179,7 +179,7 @@ impl Federation {
     pub fn dashboard(&self) -> Vec<(String, f64)> {
         let mut rows: Vec<(String, f64)> =
             self.consumed.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
         rows
     }
 }

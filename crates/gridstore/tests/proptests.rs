@@ -65,8 +65,8 @@ proptest! {
         );
         prop_assert_eq!(ds.total_lumis(), (n_files * 20) as u64);
         // Within each run, lumi ranges must not overlap.
-        let mut by_run: std::collections::HashMap<u32, Vec<(u32, u32)>> =
-            std::collections::HashMap::new();
+        let mut by_run: std::collections::BTreeMap<u32, Vec<(u32, u32)>> =
+            std::collections::BTreeMap::new();
         for f in &ds.files {
             for r in &f.lumis {
                 by_run.entry(r.run).or_default().push((r.first, r.last));
@@ -93,8 +93,8 @@ proptest! {
             move |x| vec![(x % modulus, x as u64)],
             |_k, vs| vs.into_iter().sum::<u64>(),
         );
-        let mut reference: std::collections::HashMap<u32, u64> =
-            std::collections::HashMap::new();
+        let mut reference: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
         for x in &inputs {
             *reference.entry(x % modulus).or_default() += *x as u64;
         }

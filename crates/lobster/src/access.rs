@@ -72,11 +72,15 @@ impl AccessTiming {
                 // Only the part of the transfer not hidden behind the CPU
                 // shows up as a stall.
                 let io_wait = transfer.saturating_sub(cpu);
-                AccessTiming { stage_in: Self::STREAM_OPEN, io_wait }
+                AccessTiming {
+                    stage_in: Self::STREAM_OPEN,
+                    io_wait,
+                }
             }
-            DataAccessMode::StageWq | DataAccessMode::StageChirp => {
-                AccessTiming { stage_in: Self::STAGE_SETUP + transfer, io_wait: SimDuration::ZERO }
-            }
+            DataAccessMode::StageWq | DataAccessMode::StageChirp => AccessTiming {
+                stage_in: Self::STAGE_SETUP + transfer,
+                io_wait: SimDuration::ZERO,
+            },
         }
     }
 
@@ -143,7 +147,10 @@ mod tests {
             10e6,
         );
         assert_eq!(t.io_wait, SimDuration::ZERO);
-        assert_eq!(t.stage_in, AccessTiming::STAGE_SETUP + SimDuration::from_secs(600));
+        assert_eq!(
+            t.stage_in,
+            AccessTiming::STAGE_SETUP + SimDuration::from_secs(600)
+        );
     }
 
     #[test]
@@ -163,7 +170,10 @@ mod tests {
         let t = AccessTiming::compute(DataAccessMode::Stream, 0, cpu, 1e6);
         let u = t.utilisation(cpu);
         assert!(u > 0.0 && u <= 1.0);
-        let empty = AccessTiming { stage_in: SimDuration::ZERO, io_wait: SimDuration::ZERO };
+        let empty = AccessTiming {
+            stage_in: SimDuration::ZERO,
+            io_wait: SimDuration::ZERO,
+        };
         assert_eq!(empty.utilisation(SimDuration::ZERO), 0.0);
     }
 

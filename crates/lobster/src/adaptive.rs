@@ -61,7 +61,11 @@ impl AdaptiveSizer {
     /// Sizer starting at `initial` tasklets per task.
     pub fn new(cfg: AdaptiveConfig, initial: u32) -> Self {
         let current = initial.clamp(cfg.min_tasklets, cfg.max_tasklets);
-        AdaptiveSizer { cfg, current, window: VecDeque::new() }
+        AdaptiveSizer {
+            cfg,
+            current,
+            window: VecDeque::new(),
+        }
     }
 
     /// Current recommended tasklets per task.
@@ -105,8 +109,7 @@ impl AdaptiveSizer {
             }
         };
         // Young's formula: T* = sqrt(2 · o · MTBF).
-        let target_secs =
-            (2.0 * self.cfg.per_task_overhead.as_secs_f64() * mtbf_secs).sqrt();
+        let target_secs = (2.0 * self.cfg.per_task_overhead.as_secs_f64() * mtbf_secs).sqrt();
         let ideal = target_secs / self.cfg.tasklet_mean.as_secs_f64();
         // Rate-limit the move.
         let lo = (self.current as f64 * (1.0 - self.cfg.max_step)).floor();
@@ -194,7 +197,11 @@ mod tests {
 
     #[test]
     fn respects_bounds() {
-        let cfg = AdaptiveConfig { min_tasklets: 3, max_tasklets: 12, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            min_tasklets: 3,
+            max_tasklets: 12,
+            ..Default::default()
+        };
         let mut s = AdaptiveSizer::new(cfg, 100);
         assert_eq!(s.current(), 12, "initial clamped");
         for _ in 0..100 {
@@ -218,7 +225,10 @@ mod tests {
 
     #[test]
     fn window_slides() {
-        let cfg = AdaptiveConfig { window: 10, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            window: 10,
+            ..Default::default()
+        };
         let mut s = AdaptiveSizer::new(cfg, 6);
         for _ in 0..10 {
             s.record(&attempt(600, true));

@@ -34,14 +34,18 @@ fn usage() -> ExitCode {
 
 /// Pull `--key value` out of an argument list.
 fn flag(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("init") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let cfg = LobsterConfig::default();
             if let Err(e) = cfg.save(path) {
                 eprintln!("lobster: cannot write {path}: {e}");
@@ -51,7 +55,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("validate") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             match LobsterConfig::load(path) {
                 Ok(cfg) => {
                     let problems = cfg.validate();
@@ -72,7 +78,9 @@ fn main() -> ExitCode {
             }
         }
         Some("simulate") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let mut cfg = match LobsterConfig::load(path) {
                 Ok(c) => c,
                 Err(e) => {
@@ -86,8 +94,9 @@ fn main() -> ExitCode {
             if let Some(cores) = flag(&args, "--cores").and_then(|s| s.parse().ok()) {
                 cfg.workers.target_cores = cores;
             }
-            let hours: u64 =
-                flag(&args, "--hours").and_then(|s| s.parse().ok()).unwrap_or(48);
+            let hours: u64 = flag(&args, "--hours")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(48);
             let problems = cfg.validate();
             if !problems.is_empty() {
                 for p in problems {
@@ -102,7 +111,10 @@ fn main() -> ExitCode {
                 .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
                 .unwrap_or_else(|| vec![0.5, 1.0, 2.0, 4.0, 8.0]);
             let cfg = TaskSizeConfig::default();
-            println!("{:>10} {:>14} {:>14} {:>14}", "task (h)", "none", "constant", "observed");
+            println!(
+                "{:>10} {:>14} {:>14} {:>14}",
+                "task (h)", "none", "constant", "observed"
+            );
             let scenarios = [
                 EvictionScenario::None,
                 EvictionScenario::ConstantHazard { per_hour: 0.1 },
@@ -110,7 +122,12 @@ fn main() -> ExitCode {
             ];
             let cols: Vec<Vec<f64>> = scenarios
                 .iter()
-                .map(|s| sweep(&cfg, s, &hours, 1).iter().map(|p| p.efficiency).collect())
+                .map(|s| {
+                    sweep(&cfg, s, &hours, 1)
+                        .iter()
+                        .map(|p| p.efficiency)
+                        .collect()
+                })
                 .collect();
             for (i, h) in hours.iter().enumerate() {
                 println!(
@@ -134,8 +151,7 @@ fn run_simulation(cfg: LobsterConfig, hours: u64) -> ExitCode {
             WorkloadKind::DataProcessing => {
                 // Size the synthetic dataset to the fleet: ~12 tasklets
                 // per target core, ~100 MB of input per tasklet.
-                let files =
-                    ((cfg.workers.target_cores as usize * 12) / 10).max(10);
+                let files = ((cfg.workers.target_cores as usize * 12) / 10).max(10);
                 dbs.generate(
                     &w.dataset,
                     DatasetSpec {
@@ -169,10 +185,22 @@ fn run_simulation(cfg: LobsterConfig, hours: u64) -> ExitCode {
     };
     let report = ClusterSim::run(cfg, params, workflows);
 
-    println!("\nconcurrent tasks  {}", sparkline(&report.timeline.concurrency()));
-    println!("completions/bin   {}", sparkline(&report.timeline.completions()));
-    println!("failures/bin      {}", sparkline(&report.timeline.failures()));
-    println!("efficiency        {}", sparkline(&report.timeline.efficiency()));
+    println!(
+        "\nconcurrent tasks  {}",
+        sparkline(&report.timeline.concurrency())
+    );
+    println!(
+        "completions/bin   {}",
+        sparkline(&report.timeline.completions())
+    );
+    println!(
+        "failures/bin      {}",
+        sparkline(&report.timeline.failures())
+    );
+    println!(
+        "efficiency        {}",
+        sparkline(&report.timeline.efficiency())
+    );
     println!("\npeak concurrency  {:.0}", report.peak_concurrency);
     println!("tasks completed   {}", report.tasks_completed);
     println!(

@@ -108,7 +108,10 @@ pub struct WorkerConfig {
 
 impl Default for WorkerConfig {
     fn default() -> Self {
-        WorkerConfig { cores_per_worker: 8, target_cores: 10_000 }
+        WorkerConfig {
+            cores_per_worker: 8,
+            target_cores: 10_000,
+        }
     }
 }
 
@@ -178,7 +181,10 @@ impl LobsterConfig {
                 problems.push(format!("workflow {}: tasklets_per_task is 0", w.name));
             }
             if w.kind == WorkloadKind::DataProcessing && w.dataset.is_empty() {
-                problems.push(format!("workflow {}: data processing without dataset", w.name));
+                problems.push(format!(
+                    "workflow {}: data processing without dataset",
+                    w.name
+                ));
             }
             if w.tasklet_mean_mins <= 0.0 {
                 problems.push(format!("workflow {}: non-positive tasklet mean", w.name));

@@ -45,12 +45,30 @@ pub struct OutputFile {
 /// Journal records — one per state transition.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 enum Record {
-    Workflow { name: String, tasklets: u64 },
-    TaskCreated { id: TaskId, workflow: String, tasklets: Vec<u64> },
-    TaskRunning { id: TaskId },
-    TaskDone { id: TaskId, output_bytes: u64 },
-    TaskLost { id: TaskId },
-    Merged { outputs: Vec<TaskId>, into: String, bytes: u64 },
+    Workflow {
+        name: String,
+        tasklets: u64,
+    },
+    TaskCreated {
+        id: TaskId,
+        workflow: String,
+        tasklets: Vec<u64>,
+    },
+    TaskRunning {
+        id: TaskId,
+    },
+    TaskDone {
+        id: TaskId,
+        output_bytes: u64,
+    },
+    TaskLost {
+        id: TaskId,
+    },
+    Merged {
+        outputs: Vec<TaskId>,
+        into: String,
+        bytes: u64,
+    },
 }
 
 #[derive(Clone, Debug, Default)]
@@ -99,8 +117,12 @@ impl LobsterDb {
     /// DB journaled at `path` (created or appended).
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let mut db = Self::recover(&path)?;
-        db.journal =
-            Some(OpenOptions::new().create(true).append(true).open(path.as_ref())?);
+        db.journal = Some(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path.as_ref())?,
+        );
         Ok(db)
     }
 
@@ -128,8 +150,13 @@ impl LobsterDb {
 
     fn log(&mut self, rec: &Record) {
         if let Some(j) = self.journal.as_mut() {
+            // simlint::allow(no-panic-in-lib): Record is a closed set of journal shapes
             let mut line = serde_json::to_string(rec).expect("record serialises");
             line.push('\n');
+            // A failed WAL append is unrecoverable by design (footnote 1 of the
+            // paper requires crash-consistent recovery): crashing here preserves
+            // the durable prefix, whereas continuing would fork memory from disk.
+            // simlint::allow(no-panic-in-lib): WAL append failure is fatal by design
             j.write_all(line.as_bytes()).expect("journal write");
         }
     }
@@ -139,11 +166,21 @@ impl LobsterDb {
             Record::Workflow { name, tasklets } => {
                 self.workflows.insert(
                     name.clone(),
-                    WorkflowState { total_tasklets: *tasklets, ..WorkflowState::default() },
+                    WorkflowState {
+                        total_tasklets: *tasklets,
+                        ..WorkflowState::default()
+                    },
                 );
             }
-            Record::TaskCreated { id, workflow, tasklets } => {
-                let wf = self.workflows.get_mut(workflow).expect("workflow registered");
+            Record::TaskCreated {
+                id,
+                workflow,
+                tasklets,
+            } => {
+                let wf = self
+                    .workflows
+                    .get_mut(workflow)
+                    .expect("workflow registered");
                 for t in tasklets {
                     // Claim from the returned pool or advance the cursor.
                     if !wf.returned.remove(t) {
@@ -173,7 +210,11 @@ impl LobsterDb {
                 wf.done += t.tasklets.len() as u64;
                 self.outputs.insert(
                     *id,
-                    OutputFile { task: *id, bytes: *output_bytes, merged_into: None },
+                    OutputFile {
+                        task: *id,
+                        bytes: *output_bytes,
+                        merged_into: None,
+                    },
                 );
             }
             Record::TaskLost { id } => {
@@ -182,7 +223,11 @@ impl LobsterDb {
                 let wf = self.workflows.get_mut(&t.workflow).expect("workflow");
                 wf.returned.extend(t.tasklets.iter().copied());
             }
-            Record::Merged { outputs, into, bytes } => {
+            Record::Merged {
+                outputs,
+                into,
+                bytes,
+            } => {
                 for id in outputs {
                     if let Some(o) = self.outputs.get_mut(id) {
                         o.merged_into = Some(into.clone());
@@ -204,7 +249,10 @@ impl LobsterDb {
             !self.workflows.contains_key(name),
             "workflow {name} already registered"
         );
-        self.apply_and_log(Record::Workflow { name: name.to_string(), tasklets });
+        self.apply_and_log(Record::Workflow {
+            name: name.to_string(),
+            tasklets,
+        });
     }
 
     /// Tasklets not yet assigned to any live task.
@@ -316,7 +364,10 @@ impl LobsterDb {
 
     /// Merged files as `(name, bytes)`.
     pub fn merged_files(&self) -> Vec<(String, u64)> {
-        self.merged_files.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.merged_files
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Number of tasks ever created.

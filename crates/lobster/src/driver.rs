@@ -26,14 +26,14 @@ use batchsim::factory::{FactoryConfig, WorkerFactory};
 use batchsim::log::{LeaveReason, WorkerLog};
 use batchsim::pool::{OpportunisticPool, PoolConfig};
 use cvmfssim::catalog::ReleaseCatalog;
-use cvmfssim::squid::{Squid, SquidConfig};
+use cvmfssim::squid::{Squid, SquidConfig, TimedOut};
 use gridstore::chirp::{ChirpConfig, ChirpServer};
 use gridstore::xrootd::{Federation, FederationConfig};
 use simkit::prelude::*;
 use simkit::stats::TimeSeries;
 use simnet::link::FlowId;
 use simnet::outage::OutageSchedule;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wqueue::sim::{DispatchBuffer, WorkerTable};
 use wqueue::task::{Category, TaskId};
 
@@ -207,7 +207,7 @@ pub struct ClusterSim {
     rng: SimRng,
     db: LobsterDb,
     workflows: Vec<Workflow>,
-    tasks: HashMap<TaskId, TaskInfo>,
+    tasks: BTreeMap<TaskId, TaskInfo>,
     buffer: DispatchBuffer,
     /// Merge tasks awaiting dispatch (kept out of the analysis buffer so
     /// bookkeeping stays by category).
@@ -216,23 +216,23 @@ pub struct ClusterSim {
     factory: WorkerFactory,
     pool: OpportunisticPool,
     log: WorkerLog,
-    worker_evict_ev: HashMap<u64, EventId>,
-    running_on: HashMap<u64, HashSet<TaskId>>,
+    worker_evict_ev: BTreeMap<u64, EventId>,
+    running_on: BTreeMap<u64, BTreeSet<TaskId>>,
     foremen: Vec<Server>,
     squids: Vec<Squid>,
     squid_wake: Vec<Option<EventId>>,
-    squid_flows: Vec<HashMap<FlowId, TaskId>>,
+    squid_flows: Vec<BTreeMap<FlowId, TaskId>>,
     /// Per-squid: cold-fill flow → worker (alien-cache shared fills).
-    squid_fill_flows: Vec<HashMap<FlowId, u64>>,
+    squid_fill_flows: Vec<BTreeMap<FlowId, u64>>,
     /// Worker → (squid, fill flow, tasks waiting on the fill).
-    env_fill: HashMap<u64, (usize, FlowId, Vec<TaskId>)>,
+    env_fill: BTreeMap<u64, (usize, FlowId, Vec<TaskId>)>,
     fed: Federation,
     fed_wake: Option<EventId>,
-    fed_flows: HashMap<FlowId, TaskId>,
+    fed_flows: BTreeMap<FlowId, TaskId>,
     chirp: ChirpServer,
     catalog: ReleaseCatalog,
     planner: MergePlanner,
-    outputs_in_merge: HashSet<TaskId>,
+    outputs_in_merge: BTreeSet<TaskId>,
     /// Finished outputs not yet claimed by any merge group, in finish
     /// order (incremental — avoids rescanning the DB per completion).
     pending_outputs: VecDeque<(TaskId, u64)>,
@@ -266,15 +266,22 @@ impl ClusterSim {
     /// the workflows' decompositions (one per `cfg.workflows` entry,
     /// produced by [`Workflow::from_dataset`] / [`Workflow::simulation`]).
     pub fn new(cfg: LobsterConfig, params: SimParams, workflows: Vec<Workflow>) -> Self {
-        assert_eq!(cfg.workflows.len(), workflows.len(), "one decomposition per workflow");
-        assert!(cfg.validate().is_empty(), "invalid config: {:?}", cfg.validate());
+        assert_eq!(
+            cfg.workflows.len(),
+            workflows.len(),
+            "one decomposition per workflow"
+        );
+        assert!(
+            cfg.validate().is_empty(),
+            "invalid config: {:?}",
+            cfg.validate()
+        );
         let mut db = LobsterDb::in_memory();
         for wf in &workflows {
             db.register_workflow(&wf.name, wf.n_tasklets());
         }
         let rng = SimRng::new(cfg.seed);
-        let n_workers =
-            (cfg.workers.target_cores / cfg.workers.cores_per_worker).max(1);
+        let n_workers = (cfg.workers.target_cores / cfg.workers.cores_per_worker).max(1);
         let factory = WorkerFactory::new(FactoryConfig {
             target_workers: n_workers,
             cores_per_worker: cfg.workers.cores_per_worker,
@@ -309,28 +316,28 @@ impl ClusterSim {
             params,
             db,
             workflows,
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
             buffer: DispatchBuffer::new(),
             merge_queue: VecDeque::new(),
             table: WorkerTable::new(),
             factory,
             pool,
             log: WorkerLog::new(),
-            worker_evict_ev: HashMap::new(),
-            running_on: HashMap::new(),
+            worker_evict_ev: BTreeMap::new(),
+            running_on: BTreeMap::new(),
             foremen,
             squid_wake: vec![None; n_squids],
-            squid_flows: (0..n_squids).map(|_| HashMap::new()).collect(),
-            squid_fill_flows: (0..n_squids).map(|_| HashMap::new()).collect(),
-            env_fill: HashMap::new(),
+            squid_flows: (0..n_squids).map(|_| BTreeMap::new()).collect(),
+            squid_fill_flows: (0..n_squids).map(|_| BTreeMap::new()).collect(),
+            env_fill: BTreeMap::new(),
             squids,
             fed,
             fed_wake: None,
-            fed_flows: HashMap::new(),
+            fed_flows: BTreeMap::new(),
             chirp,
             catalog,
             planner,
-            outputs_in_merge: HashSet::new(),
+            outputs_in_merge: BTreeSet::new(),
             pending_outputs: VecDeque::new(),
             pending_bytes: 0,
             unmerged_count: 0,
@@ -498,8 +505,7 @@ impl ClusterSim {
             t.worker = Some(worker);
             t.attempt += 1;
             t.phase_started = now;
-            let mut builder =
-                ReportBuilder::new(id, t.category, t.attempt - 1, worker, now);
+            let mut builder = ReportBuilder::new(id, t.category, t.attempt - 1, worker, now);
             builder.times_mut().queued = now - t.enqueued_at;
             builder.times_mut().wq_stage_in = grant.done - now;
             t.builder = Some(builder);
@@ -515,7 +521,9 @@ impl ClusterSim {
 
     fn on_sandbox_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(t) = self.tasks.get_mut(&id) else { return };
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return;
+        };
         if t.phase != Phase::Sandbox {
             return; // stale (evicted meanwhile)
         }
@@ -530,11 +538,10 @@ impl ClusterSim {
             match self.squids[squid_idx].request(now, bytes) {
                 Ok(flow) => {
                     self.squid_flows[squid_idx].insert(flow, id);
-                    self.tasks.get_mut(&id).expect("present").env_flow =
-                        Some((squid_idx, flow));
+                    self.tasks.get_mut(&id).expect("present").env_flow = Some((squid_idx, flow));
                     self.reschedule_squid(squid_idx, ctx);
                 }
-                Err(()) => self.fail_task(id, Segment::EnvInit, ctx),
+                Err(TimedOut) => self.fail_task(id, Segment::EnvInit, ctx),
             }
         } else if self.cfg.infra.alien_cache {
             // Alien cache (§4.3): one cold fill per worker; concurrent
@@ -551,7 +558,7 @@ impl ClusterSim {
                     self.env_fill.insert(worker, (squid_idx, flow, vec![id]));
                     self.reschedule_squid(squid_idx, ctx);
                 }
-                Err(()) => self.fail_task(id, Segment::EnvInit, ctx),
+                Err(TimedOut) => self.fail_task(id, Segment::EnvInit, ctx),
             }
         } else {
             // No alien cache: every task pays the full cold fill into its
@@ -560,11 +567,10 @@ impl ClusterSim {
             match self.squids[squid_idx].request(now, bytes) {
                 Ok(flow) => {
                     self.squid_flows[squid_idx].insert(flow, id);
-                    self.tasks.get_mut(&id).expect("present").env_flow =
-                        Some((squid_idx, flow));
+                    self.tasks.get_mut(&id).expect("present").env_flow = Some((squid_idx, flow));
                     self.reschedule_squid(squid_idx, ctx);
                 }
-                Err(()) => self.fail_task(id, Segment::EnvInit, ctx),
+                Err(TimedOut) => self.fail_task(id, Segment::EnvInit, ctx),
             }
         }
     }
@@ -593,7 +599,9 @@ impl ClusterSim {
                     .map(|(_, _, w)| w)
                     .unwrap_or_default();
                 for id in waiters {
-                    let Some(t) = self.tasks.get_mut(&id) else { continue };
+                    let Some(t) = self.tasks.get_mut(&id) else {
+                        continue;
+                    };
                     if t.phase != Phase::EnvSetup || t.worker != Some(worker) {
                         continue;
                     }
@@ -604,8 +612,12 @@ impl ClusterSim {
                 }
                 continue;
             }
-            let Some(id) = self.squid_flows[idx].remove(&flow) else { continue };
-            let Some(t) = self.tasks.get_mut(&id) else { continue };
+            let Some(id) = self.squid_flows[idx].remove(&flow) else {
+                continue;
+            };
+            let Some(t) = self.tasks.get_mut(&id) else {
+                continue;
+            };
             if t.phase != Phase::EnvSetup {
                 continue;
             }
@@ -626,8 +638,7 @@ impl ClusterSim {
         let (kind, input, cpu, category) =
             (self.workflows[t.wf].kind, t.input_bytes, t.cpu, t.category);
         let streaming = category == Category::Merge
-            || (kind == WorkloadKind::DataProcessing
-                && self.cfg.access == DataAccessMode::Stream);
+            || (kind == WorkloadKind::DataProcessing && self.cfg.access == DataAccessMode::Stream);
         if input == 0 {
             // Pure generation: straight to execution.
             if let Some(b) = t.builder.as_mut() {
@@ -690,8 +701,12 @@ impl ClusterSim {
         self.fed_wake = None;
         let done = self.fed.completions(now);
         for flow in done {
-            let Some(id) = self.fed_flows.remove(&flow) else { continue };
-            let Some(t) = self.tasks.get_mut(&id) else { continue };
+            let Some(id) = self.fed_flows.remove(&flow) else {
+                continue;
+            };
+            let Some(t) = self.tasks.get_mut(&id) else {
+                continue;
+            };
             if t.data_flow != Some(flow) {
                 continue;
             }
@@ -727,7 +742,9 @@ impl ClusterSim {
 
     fn on_exec_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(t) = self.tasks.get_mut(&id) else { return };
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return;
+        };
         if t.phase != Phase::Exec || t.data_flow.is_some() {
             return; // stale, or the input stream is still in flight
         }
@@ -741,7 +758,9 @@ impl ClusterSim {
     }
 
     fn on_stage_out_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
-        let Some(t) = self.tasks.get_mut(&id) else { return };
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return;
+        };
         if t.phase != Phase::StageOut {
             return;
         }
@@ -761,7 +780,11 @@ impl ClusterSim {
         let mut t = self.tasks.remove(&id).expect("present");
         let worker = t.worker.expect("running");
         self.release_task_slot(worker, id);
-        let report = t.builder.take().expect("built").succeed(now, t.output_bytes);
+        let report = t
+            .builder
+            .take()
+            .expect("built")
+            .succeed(now, t.output_bytes);
         self.ingest(&report);
         if t.category == Category::Merge {
             self.merges_completed += 1;
@@ -800,7 +823,9 @@ impl ClusterSim {
         let mut group = Vec::new();
         let mut acc = 0u64;
         while acc < target {
-            let Some((id, bytes)) = self.pending_outputs.pop_front() else { break };
+            let Some((id, bytes)) = self.pending_outputs.pop_front() else {
+                break;
+            };
             acc += bytes;
             self.pending_bytes -= bytes;
             group.push((id, bytes));
@@ -814,8 +839,11 @@ impl ClusterSim {
 
     fn analysis_progress(&self) -> f64 {
         let total: u64 = self.workflows.iter().map(|w| w.n_tasklets()).sum();
-        let done: u64 =
-            self.workflows.iter().map(|w| self.db.done_tasklets(&w.name)).sum();
+        let done: u64 = self
+            .workflows
+            .iter()
+            .map(|w| self.db.done_tasklets(&w.name))
+            .sum();
         if total == 0 {
             1.0
         } else {
@@ -864,16 +892,16 @@ impl ClusterSim {
         while let Some(group) = self.drain_group(true) {
             outs.push(group);
         }
-        let mut groups: Vec<crate::merge::MergeGroup> =
-            outs.into_iter().map(|inputs| crate::merge::MergeGroup { inputs }).collect();
+        let mut groups: Vec<crate::merge::MergeGroup> = outs
+            .into_iter()
+            .map(|inputs| crate::merge::MergeGroup { inputs })
+            .collect();
         groups.sort_by_key(|g| std::cmp::Reverse(g.bytes()));
-        let mut reducer_free =
-            vec![SimDuration::ZERO; self.params.hadoop_reducers.max(1)];
+        let mut reducer_free = vec![SimDuration::ZERO; self.params.hadoop_reducers.max(1)];
         for g in groups {
             let bytes = g.bytes();
             // The merge reads and writes the data once each, in-cluster.
-            let dur =
-                SimDuration::from_secs_f64(2.0 * bytes as f64 / self.params.hadoop_rate);
+            let dur = SimDuration::from_secs_f64(2.0 * bytes as f64 / self.params.hadoop_rate);
             let r = reducer_free
                 .iter()
                 .enumerate()
@@ -911,7 +939,9 @@ impl ClusterSim {
 
     fn fail_task(&mut self, id: TaskId, segment: Segment, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(mut t) = self.tasks.remove(&id) else { return };
+        let Some(mut t) = self.tasks.remove(&id) else {
+            return;
+        };
         let worker = t.worker.expect("running");
         if segment == Segment::EnvInit {
             // The proxy tier is overloaded: hold the slot back instead of
@@ -972,7 +1002,9 @@ impl ClusterSim {
 
     fn evict_worker(&mut self, worker: u64, release_pool: bool, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(w) = self.table.disconnect(worker) else { return };
+        let Some(w) = self.table.disconnect(worker) else {
+            return;
+        };
         if let Some(ev) = self.worker_evict_ev.remove(&worker) {
             ctx.cancel(ev);
         }
@@ -986,11 +1018,17 @@ impl ClusterSim {
             self.squids[idx].abort(now, flow);
             self.squid_fill_flows[idx].remove(&flow);
         }
-        let mut victims: Vec<TaskId> =
-            self.running_on.remove(&worker).unwrap_or_default().into_iter().collect();
+        let mut victims: Vec<TaskId> = self
+            .running_on
+            .remove(&worker)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
         victims.sort();
         for id in victims {
-            let Some(mut t) = self.tasks.remove(&id) else { continue };
+            let Some(mut t) = self.tasks.remove(&id) else {
+                continue;
+            };
             self.abort_flows(&mut t, now);
             if let Some(b) = t.builder.take() {
                 let report = b.evict(now);
@@ -1175,7 +1213,10 @@ mod tests {
         );
         let total_tasklets = wfs[0].n_tasklets();
         let report = ClusterSim::run(cfg, params, wfs);
-        assert!(report.finished_at.is_some(), "run should finish: {report:?}");
+        assert!(
+            report.finished_at.is_some(),
+            "run should finish: {report:?}"
+        );
         assert!(report.tasks_completed > 0);
         assert_eq!(report.tasks_failed, 0, "dedicated workers, no outage");
         assert!(report.merges_completed > 0);
@@ -1219,7 +1260,10 @@ mod tests {
         let report = ClusterSim::run(cfg, params, wfs);
         assert!(report.finished_at.is_some());
         assert!(report.merges_completed > 0);
-        assert!(report.merged_files.iter().all(|(n, _)| n.starts_with("merged_h")));
+        assert!(report
+            .merged_files
+            .iter()
+            .all(|(n, _)| n.starts_with("merged_h")));
     }
 
     #[test]
@@ -1235,14 +1279,19 @@ mod tests {
         };
         let ts = run(MergeMode::Sequential);
         let ti = run(MergeMode::Interleaved);
-        assert!(ti <= ts, "interleaved {ti:?} should not lose to sequential {ts:?}");
+        assert!(
+            ti <= ts,
+            "interleaved {ti:?} should not lose to sequential {ts:?}"
+        );
     }
 
     #[test]
     fn evictions_cause_retries_but_work_completes() {
         let (cfg, params, wfs) = small_setup(
             MergeMode::Interleaved,
-            AvailabilityModel::Exponential { mean: SimDuration::from_hours(3) },
+            AvailabilityModel::Exponential {
+                mean: SimDuration::from_hours(3),
+            },
             OutageSchedule::none(),
             20,
         );
@@ -1269,7 +1318,10 @@ mod tests {
             120,
         );
         let report = ClusterSim::run(cfg, params, wfs);
-        assert!(report.tasks_failed > 0, "blackout must fail stage-ins: {report:?}");
+        assert!(
+            report.tasks_failed > 0,
+            "blackout must fail stage-ins: {report:?}"
+        );
         assert!(
             report.timeline.failure_events().iter().any(|(t, code)| {
                 *code == wqueue::task::FailureCode::StageIn
@@ -1369,7 +1421,9 @@ mod tests {
     fn adaptive_sizer_stays_in_bounds() {
         let (cfg, mut params, wfs) = small_setup(
             MergeMode::Interleaved,
-            AvailabilityModel::Exponential { mean: SimDuration::from_hours(2) },
+            AvailabilityModel::Exponential {
+                mean: SimDuration::from_hours(2),
+            },
             OutageSchedule::none(),
             20,
         );

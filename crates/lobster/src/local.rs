@@ -79,8 +79,7 @@ impl LocalLobster {
         assert!(cfg.workers >= 1 && cfg.cores_per_worker >= 1);
         let mut master = LocalMaster::new();
         if cfg.foremen > 0 {
-            let foremen: Vec<_> =
-                (0..cfg.foremen).map(|_| master.attach_foreman()).collect();
+            let foremen: Vec<_> = (0..cfg.foremen).map(|_| master.attach_foreman()).collect();
             for i in 0..cfg.workers {
                 let f = foremen[(i % cfg.foremen) as usize];
                 master.attach_worker_via(f, cfg.cores_per_worker);
@@ -129,8 +128,7 @@ impl LocalLobster {
         // output bytes.
         for (id, tasklets) in &specs {
             self.db.mark_running(*id);
-            let spec = TaskSpec::new(*id, format!("{name}/{id}"))
-                .tasklets(tasklets.clone());
+            let spec = TaskSpec::new(*id, format!("{name}/{id}")).tasklets(tasklets.clone());
             let p = task_payload(tasklets.clone(), Arc::clone(&work));
             self.master.submit(spec, p);
         }
@@ -154,8 +152,10 @@ impl LocalLobster {
         // the Work Queue result carried only the size.)
         let unmerged = self.db.unmerged_outputs();
         for (id, bytes) in &unmerged {
-            self.hdfs
-                .put_bytes(&small_name(name, *id), vec![(id.0 % 251) as u8; *bytes as usize]);
+            self.hdfs.put_bytes(
+                &small_name(name, *id),
+                vec![(id.0 % 251) as u8; *bytes as usize],
+            );
         }
         // Real Hadoop-mode merge.
         let planner = MergePlanner::new(self.cfg.merge_target_bytes);
@@ -166,7 +166,10 @@ impl LocalLobster {
             .map(|(gi, g)| {
                 (
                     format!("/store/{name}/merged_{gi}.root"),
-                    g.inputs.iter().map(|(id, _)| small_name(name, *id)).collect(),
+                    g.inputs
+                        .iter()
+                        .map(|(id, _)| small_name(name, *id))
+                        .collect(),
                 )
             })
             .collect();
@@ -276,12 +279,10 @@ mod tests {
         let f2 = Arc::clone(&fetches);
         let work: TaskletFn = Arc::new(move |_t, ctx| {
             let f = Arc::clone(&f2);
-            let data = ctx
-                .cache
-                .get_or_fetch("conditions-db", move || {
-                    f.fetch_add(1, Ordering::SeqCst);
-                    vec![9; 64]
-                });
+            let data = ctx.cache.get_or_fetch("conditions-db", move || {
+                f.fetch_add(1, Ordering::SeqCst);
+                vec![9; 64]
+            });
             data[..8].to_vec()
         });
         let mut lob = LocalLobster::new(LocalConfig {

@@ -77,7 +77,10 @@ impl MergePlanner {
     /// Planner targeting `target_bytes` per merged file.
     pub fn new(target_bytes: u64) -> Self {
         assert!(target_bytes > 0);
-        MergePlanner { target_bytes, progress_gate: 0.10 }
+        MergePlanner {
+            target_bytes,
+            progress_gate: 0.10,
+        }
     }
 
     /// The merged-file size target.
@@ -95,7 +98,9 @@ impl MergePlanner {
             current.push((id, bytes));
             acc += bytes;
             if acc >= self.target_bytes {
-                groups.push(MergeGroup { inputs: std::mem::take(&mut current) });
+                groups.push(MergeGroup {
+                    inputs: std::mem::take(&mut current),
+                });
                 acc = 0;
             }
         }
@@ -182,7 +187,11 @@ mod tests {
     use super::*;
 
     fn outputs(sizes: &[u64]) -> Vec<(TaskId, u64)> {
-        sizes.iter().enumerate().map(|(i, &s)| (TaskId(i as u64), s)).collect()
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (TaskId(i as u64), s))
+            .collect()
     }
 
     #[test]
@@ -212,7 +221,10 @@ mod tests {
     fn interleaved_respects_progress_gate() {
         let p = MergePlanner::new(100);
         let outs = outputs(&[60, 60]);
-        assert!(p.plan_ready(&outs, 0.05, false).is_empty(), "below 10% gate");
+        assert!(
+            p.plan_ready(&outs, 0.05, false).is_empty(),
+            "below 10% gate"
+        );
         let ready = p.plan_ready(&outs, 0.20, false);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].bytes(), 120);

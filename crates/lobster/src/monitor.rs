@@ -120,7 +120,8 @@ impl Timeline {
         if r.is_success() {
             self.completed.mark(end);
             self.setup_mins.record(end, r.times.env_setup.as_mins_f64());
-            self.stageout_mins.record(end, r.times.stage_out.as_mins_f64());
+            self.stageout_mins
+                .record(end, r.times.stage_out.as_mins_f64());
         } else {
             self.failed.mark(end);
             if let Some(code) = r.failure_code() {
@@ -251,12 +252,24 @@ impl SegmentHistograms {
         };
         vec![
             ("queued", mean(&self.queued), self.queued.overflow()),
-            ("wq stage-in", mean(&self.wq_stage_in), self.wq_stage_in.overflow()),
-            ("env setup", mean(&self.env_setup), self.env_setup.overflow()),
+            (
+                "wq stage-in",
+                mean(&self.wq_stage_in),
+                self.wq_stage_in.overflow(),
+            ),
+            (
+                "env setup",
+                mean(&self.env_setup),
+                self.env_setup.overflow(),
+            ),
             ("stage-in", mean(&self.stage_in), self.stage_in.overflow()),
             ("cpu", mean(&self.cpu), self.cpu.overflow()),
             ("io wait", mean(&self.io_wait), self.io_wait.overflow()),
-            ("stage-out", mean(&self.stage_out), self.stage_out.overflow()),
+            (
+                "stage-out",
+                mean(&self.stage_out),
+                self.stage_out.overflow(),
+            ),
             ("wall", mean(&self.wall), self.wall.overflow()),
         ]
     }
@@ -326,8 +339,7 @@ impl Advisor {
         self.lost += r.lost_runtime().as_secs_f64();
         self.wq_stage_in_mins += r.times.wq_stage_in.as_mins_f64();
         self.setup_mins += r.times.env_setup.as_mins_f64();
-        self.stage_mins +=
-            (r.times.stage_in + r.times.stage_out).as_mins_f64() / 2.0;
+        self.stage_mins += (r.times.stage_in + r.times.stage_out).as_mins_f64() / 2.0;
     }
 
     /// Apply the diagnosis rules.
@@ -359,13 +371,7 @@ mod tests {
     use crate::wrapper::{ReportBuilder, Segment};
     use wqueue::task::Category;
 
-    fn report(
-        cpu_mins: u64,
-        io_mins: u64,
-        fail: bool,
-        start_s: u64,
-        end_s: u64,
-    ) -> SegmentReport {
+    fn report(cpu_mins: u64, io_mins: u64, fail: bool, start_s: u64, end_s: u64) -> SegmentReport {
         let mut b = ReportBuilder::new(
             wqueue::task::TaskId(1),
             Category::Analysis,
@@ -425,7 +431,10 @@ mod tests {
         );
         b.times_mut().cpu = SimDuration::from_secs(50);
         tl2.record(&b.succeed(SimTime::from_secs(100), 1));
-        assert!((tl.concurrency()[0] - 1.8).abs() < 1e-9, "2 tasks × 90s / 100s bin");
+        assert!(
+            (tl.concurrency()[0] - 1.8).abs() < 1e-9,
+            "2 tasks × 90s / 100s bin"
+        );
         assert_eq!(tl.completions()[0], 2.0);
         assert!((tl2.efficiency()[0] - 0.5).abs() < 1e-9);
     }
@@ -495,7 +504,9 @@ mod tests {
 
     #[test]
     fn advisor_empty_is_silent() {
-        assert!(Advisor::new().diagnose(&AdvisorConfig::default()).is_empty());
+        assert!(Advisor::new()
+            .diagnose(&AdvisorConfig::default())
+            .is_empty());
     }
 
     #[test]

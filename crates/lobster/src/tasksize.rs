@@ -95,7 +95,11 @@ pub fn simulate(
         started: bool,
     }
     let mut workers: Vec<Worker> = (0..cfg.workers)
-        .map(|_| Worker { uptime: SimDuration::ZERO, survival: SimDuration::ZERO, started: false })
+        .map(|_| Worker {
+            uptime: SimDuration::ZERO,
+            survival: SimDuration::ZERO,
+            started: false,
+        })
         .collect();
 
     let mut remaining = cfg.total_tasklets;
@@ -178,7 +182,11 @@ mod tests {
 
     /// Smaller pool for fast tests; same shape.
     fn small() -> TaskSizeConfig {
-        TaskSizeConfig { total_tasklets: 5_000, workers: 400, ..TaskSizeConfig::default() }
+        TaskSizeConfig {
+            total_tasklets: 5_000,
+            workers: 400,
+            ..TaskSizeConfig::default()
+        }
     }
 
     #[test]
@@ -241,14 +249,24 @@ mod tests {
         // §4.1: "This simulation is not sensitive to differences between
         // the observed probability and a constant one."
         let cfg = small();
-        let c = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, 6, 5);
+        let c = simulate(
+            &cfg,
+            &EvictionScenario::ConstantHazard { per_hour: 0.1 },
+            6,
+            5,
+        );
         let o = simulate(
             &cfg,
             &EvictionScenario::Observed(AvailabilityModel::notre_dame()),
             6,
             5,
         );
-        assert!((c.efficiency - o.efficiency).abs() < 0.12, "{} vs {}", c.efficiency, o.efficiency);
+        assert!(
+            (c.efficiency - o.efficiency).abs() < 0.12,
+            "{} vs {}",
+            c.efficiency,
+            o.efficiency
+        );
     }
 
     #[test]
@@ -256,7 +274,12 @@ mod tests {
         let cfg = small();
         for &n in &[3u32, 12, 30] {
             let none = simulate(&cfg, &EvictionScenario::None, n, 6);
-            let hz = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, n, 6);
+            let hz = simulate(
+                &cfg,
+                &EvictionScenario::ConstantHazard { per_hour: 0.1 },
+                n,
+                6,
+            );
             assert!(none.efficiency >= hz.efficiency - 0.01, "n={n}");
         }
     }
@@ -264,18 +287,36 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let cfg = small();
-        let a = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, 6, 7);
-        let b = simulate(&cfg, &EvictionScenario::ConstantHazard { per_hour: 0.1 }, 6, 7);
+        let a = simulate(
+            &cfg,
+            &EvictionScenario::ConstantHazard { per_hour: 0.1 },
+            6,
+            7,
+        );
+        let b = simulate(
+            &cfg,
+            &EvictionScenario::ConstantHazard { per_hour: 0.1 },
+            6,
+            7,
+        );
         assert_eq!(a.efficiency, b.efficiency);
         assert_eq!(a.evictions, b.evictions);
     }
 
     #[test]
     fn all_tasklets_accounted() {
-        let cfg = TaskSizeConfig { total_tasklets: 997, workers: 13, ..small() };
+        let cfg = TaskSizeConfig {
+            total_tasklets: 997,
+            workers: 13,
+            ..small()
+        };
         let p = simulate(&cfg, &EvictionScenario::None, 10, 8);
         // effective time ≈ 997 × ~10 min (truncation pulls mean slightly up)
         let mins = p.effective_secs / 60.0;
-        assert!((mins / 997.0 - 10.0).abs() < 0.8, "mean tasklet {} min", mins / 997.0);
+        assert!(
+            (mins / 997.0 - 10.0).abs() < 0.8,
+            "mean tasklet {} min",
+            mins / 997.0
+        );
     }
 }

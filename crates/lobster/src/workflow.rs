@@ -55,7 +55,11 @@ impl Workflow {
     /// A simulation workflow of `n_tasklets` generation batches. Inputs
     /// are negligible except the pile-up overlay staged via Chirp, folded
     /// into `pileup_bytes_per_tasklet`.
-    pub fn simulation(cfg: &WorkflowConfig, n_tasklets: u64, pileup_bytes_per_tasklet: u64) -> Self {
+    pub fn simulation(
+        cfg: &WorkflowConfig,
+        n_tasklets: u64,
+        pileup_bytes_per_tasklet: u64,
+    ) -> Self {
         assert_eq!(cfg.kind, WorkloadKind::Simulation);
         Workflow {
             name: cfg.name.clone(),

@@ -170,7 +170,13 @@ mod tests {
     use super::*;
 
     fn builder() -> ReportBuilder {
-        ReportBuilder::new(TaskId(1), Category::Analysis, 0, 42, SimTime::from_secs(100))
+        ReportBuilder::new(
+            TaskId(1),
+            Category::Analysis,
+            0,
+            42,
+            SimTime::from_secs(100),
+        )
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl LogUniform {
     /// Log-uniform on `[lo, hi)`; both bounds must be positive.
     pub fn new(lo: f64, hi: f64) -> Self {
         assert!(lo > 0.0 && hi >= lo, "LogUniform: need 0 < lo <= hi");
-        LogUniform { ln_lo: lo.ln(), ln_hi: hi.ln() }
+        LogUniform {
+            ln_lo: lo.ln(),
+            ln_hi: hi.ln(),
+        }
     }
 }
 
@@ -130,7 +133,10 @@ impl TruncatedNormal {
             sigma == 0.0 || (floor - mu) / sigma < 6.0,
             "TruncatedNormal: floor too far above mean"
         );
-        TruncatedNormal { inner: Normal::new(mu, sigma), floor }
+        TruncatedNormal {
+            inner: Normal::new(mu, sigma),
+            floor,
+        }
     }
 }
 
@@ -185,7 +191,10 @@ pub struct Weibull {
 impl Weibull {
     /// Weibull with `scale > 0` and `shape > 0`.
     pub fn new(scale: f64, shape: f64) -> Self {
-        assert!(scale > 0.0 && shape > 0.0, "Weibull: non-positive parameter");
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "Weibull: non-positive parameter"
+        );
         Weibull { scale, shape }
     }
 
@@ -209,7 +218,7 @@ fn gamma(x: f64) -> f64 {
     const C: [f64; 9] = [
         0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
+        -1_259.139_216_722_402_8,
         771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
@@ -250,7 +259,7 @@ impl Empirical {
     /// with a positive sum; values are sorted internally.
     pub fn from_weighted(mut points: Vec<(f64, f64)>) -> Self {
         assert!(!points.is_empty(), "Empirical: no support points");
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN support"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total: f64 = points.iter().map(|p| p.1).sum();
         assert!(total > 0.0, "Empirical: zero total weight");
         let mut acc = 0.0;

@@ -14,6 +14,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
+// simlint::allow(no-unordered-iteration): tombstone set is insert/remove/contains only
 use std::collections::{BinaryHeap, HashSet};
 
 /// Identifier of a scheduled event, usable for cancellation.
@@ -64,6 +65,7 @@ pub struct Ctx<E> {
     seq: u64,
     next_id: u64,
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    // simlint::allow(no-unordered-iteration): membership tests only; never iterated
     cancelled: HashSet<EventId>,
     /// Count of events delivered so far (diagnostics).
     delivered: u64,
@@ -76,6 +78,7 @@ impl<E> Ctx<E> {
             seq: 0,
             next_id: 0,
             heap: BinaryHeap::new(),
+            // simlint::allow(no-unordered-iteration): membership tests only; never iterated
             cancelled: HashSet::new(),
             delivered: 0,
         }
@@ -94,6 +97,15 @@ impl<E> Ctx<E> {
     /// Number of events still pending (including tombstoned ones).
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Number of unreclaimed tombstones (cancelled events that have not
+    /// yet surfaced at the head of the queue). Draining the queue
+    /// reclaims every tombstone for an event that was still pending when
+    /// it was cancelled, so after [`Engine::run`] this counts only
+    /// cancellations of already-fired events (which are no-ops).
+    pub fn tombstones(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Schedule `ev` to fire after `delay`.
@@ -158,7 +170,10 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Create an engine around `model` with an empty event queue.
     pub fn new(model: M) -> Self {
-        Engine { model, ctx: Ctx::new() }
+        Engine {
+            model,
+            ctx: Ctx::new(),
+        }
     }
 
     /// Seed the queue with an initial event at t=0 (or later).
@@ -250,10 +265,7 @@ mod tests {
         eng.prime(SimDuration::from_micros(10), 1);
         let end = eng.run();
         assert_eq!(end, SimTime::from_micros(20));
-        assert_eq!(
-            eng.model().seen,
-            vec![(10, 1), (15, 10), (15, 11), (20, 2)]
-        );
+        assert_eq!(eng.model().seen, vec![(10, 1), (15, 10), (15, 11), (20, 2)]);
     }
 
     #[test]
@@ -284,7 +296,10 @@ mod tests {
                 }
             }
         }
-        let mut eng = Engine::new(Canceller { victim: None, fired: vec![] });
+        let mut eng = Engine::new(Canceller {
+            victim: None,
+            fired: vec![],
+        });
         eng.prime(SimDuration::from_micros(1), 1);
         let victim = eng.prime(SimDuration::from_micros(2), 2);
         eng.prime(SimDuration::from_micros(3), 3);

@@ -74,7 +74,12 @@ pub fn timeline(values: &[f64], height: usize) -> String {
 /// plus optional extra columns.
 pub fn xy_table(header: &[&str], rows: &[Vec<f64>]) -> String {
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| format!("{h:>14}")).collect::<String>());
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| format!("{h:>14}"))
+            .collect::<String>(),
+    );
     out.push('\n');
     for row in rows {
         for v in row {
@@ -124,7 +129,7 @@ mod tests {
         let s = timeline(&[1.0, 2.0, 3.0, 4.0], 4);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5); // 4 rows + axis
-        // top row has exactly one filled column (the max)
+                                    // top row has exactly one filled column (the max)
         assert_eq!(lines[0].matches('█').count(), 1);
         // bottom data row has all four
         assert_eq!(lines[3].matches('█').count(), 4);

@@ -72,7 +72,11 @@ impl Server {
         self.jobs += 1;
         self.busy += service;
         self.total_wait += start - now;
-        Grant { start, done, waited: start - now }
+        Grant {
+            start,
+            done,
+            waited: start - now,
+        }
     }
 
     /// How many jobs would be queued or in service at `now` if offered now
@@ -83,7 +87,12 @@ impl Server {
 
     /// Instant at which a job offered at `now` would begin service.
     pub fn next_start(&self, now: SimTime) -> SimTime {
-        self.free_at.iter().map(|Reverse(t)| *t).min().unwrap_or(SimTime::ZERO).max(now)
+        self.free_at
+            .iter()
+            .map(|Reverse(t)| *t)
+            .min()
+            .unwrap_or(SimTime::ZERO)
+            .max(now)
     }
 
     /// Jobs served so far.
@@ -134,7 +143,14 @@ mod tests {
     fn single_server_serialises() {
         let mut s = Server::new(1);
         let g1 = s.offer(t(0), d(10));
-        assert_eq!(g1, Grant { start: t(0), done: t(10), waited: SimDuration::ZERO });
+        assert_eq!(
+            g1,
+            Grant {
+                start: t(0),
+                done: t(10),
+                waited: SimDuration::ZERO
+            }
+        );
         let g2 = s.offer(t(2), d(5));
         assert_eq!(g2.start, t(10));
         assert_eq!(g2.done, t(15));

@@ -29,7 +29,14 @@ pub struct BinomialEstimate {
 pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> BinomialEstimate {
     assert!(successes <= trials, "more successes than trials");
     if trials == 0 {
-        return BinomialEstimate { successes, trials, p: 0.0, std_err: 0.0, lo: 0.0, hi: 0.0 };
+        return BinomialEstimate {
+            successes,
+            trials,
+            p: 0.0,
+            std_err: 0.0,
+            lo: 0.0,
+            hi: 0.0,
+        };
     }
     let n = trials as f64;
     let p = successes as f64 / n;

@@ -19,7 +19,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(hi > lo, "Histogram: empty range");
         assert!(nbins >= 1, "Histogram: zero bins");
-        Histogram { lo, hi, counts: vec![0; nbins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Record one observation.

@@ -40,7 +40,10 @@ impl TimeSeries {
     /// New series with the given bin width.
     pub fn new(width: SimDuration) -> Self {
         assert!(!width.is_zero(), "TimeSeries: zero bin width");
-        TimeSeries { width, bins: Vec::new() }
+        TimeSeries {
+            width,
+            bins: Vec::new(),
+        }
     }
 
     /// Bin width.

@@ -17,7 +17,9 @@ pub struct Trace<T> {
 impl<T> Trace<T> {
     /// Empty trace.
     pub fn new() -> Self {
-        Trace { entries: Vec::new() }
+        Trace {
+            entries: Vec::new(),
+        }
     }
 
     /// Append a record at `at`.
@@ -42,7 +44,9 @@ impl<T> Trace<T> {
 
     /// Records within the half-open window `[from, to)`.
     pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &(SimTime, T)> {
-        self.entries.iter().filter(move |(t, _)| *t >= from && *t < to)
+        self.entries
+            .iter()
+            .filter(move |(t, _)| *t >= from && *t < to)
     }
 
     /// Consume, returning the raw entries.
@@ -60,7 +64,10 @@ impl<T: Serialize> Trace<T> {
             record: &'a T,
         }
         for (t, r) in &self.entries {
-            let line = Line { t_us: t.as_micros(), record: r };
+            let line = Line {
+                t_us: t.as_micros(),
+                record: r,
+            };
             serde_json::to_writer(&mut w, &line)?;
             writeln!(w)?;
         }
@@ -90,8 +97,10 @@ mod tests {
         for s in 0..10u64 {
             tr.push(SimTime::from_secs(s), s);
         }
-        let w: Vec<u64> =
-            tr.window(SimTime::from_secs(3), SimTime::from_secs(6)).map(|&(_, r)| r).collect();
+        let w: Vec<u64> = tr
+            .window(SimTime::from_secs(3), SimTime::from_secs(6))
+            .map(|&(_, r)| r)
+            .collect();
         assert_eq!(w, vec![3, 4, 5]);
     }
 

@@ -1,0 +1,19 @@
+//! simlint fixture: contains a violation of every rule, each suppressed
+//! by an escape hatch — the linter must report nothing.
+//! Not compiled — scanned as text by the self-tests.
+
+// simlint::allow-file(no-wall-clock): fixture exercising the file-level marker
+// simlint::allow-file(no-ambient-rng): fixture exercising the file-level marker
+
+use std::collections::HashMap; // simlint::allow(no-unordered-iteration): fixture; never iterated
+
+pub fn now_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+// simlint::allow(no-unordered-iteration): fixture; single-key lookup only
+pub fn pick(m: &HashMap<u64, u64>) -> u64 {
+    let seed = thread_rng().next_u64();
+    // simlint::allow(no-panic-in-lib): fixture; key always inserted by constructor
+    m.get(&seed).copied().unwrap()
+}

@@ -1,0 +1,7 @@
+//! simlint fixture: trips `no-ambient-rng` and nothing else.
+//! Not compiled — scanned as text by the self-tests.
+
+pub fn roll_die() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64() % 6 + 1
+}

@@ -1,0 +1,6 @@
+//! simlint fixture: trips `no-panic-in-lib` and nothing else.
+//! Not compiled — scanned as text by the self-tests.
+
+pub fn head(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}

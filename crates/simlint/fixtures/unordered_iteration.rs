@@ -1,0 +1,8 @@
+//! simlint fixture: trips `no-unordered-iteration` and nothing else.
+//! Not compiled — scanned as text by the self-tests.
+
+use std::collections::HashMap;
+
+pub fn first_key(m: &HashMap<u64, u64>) -> Option<u64> {
+    m.keys().next().copied()
+}

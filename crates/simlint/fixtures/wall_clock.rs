@@ -1,0 +1,9 @@
+//! simlint fixture: trips `no-wall-clock` and nothing else.
+//! Not compiled — scanned as text by the self-tests.
+
+use std::time::Instant;
+
+pub fn elapsed_ms(start: Instant) -> u128 {
+    let later = Instant::now();
+    later.duration_since(start).as_millis()
+}

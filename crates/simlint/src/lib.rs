@@ -1,0 +1,810 @@
+//! simlint — workspace determinism & robustness linter.
+//!
+//! A source-level static analysis pass for the simulation workspace. It is
+//! deliberately *lexical* (no full parser is available offline): it strips
+//! comments and string/char literals, tracks `#[cfg(test)]` boundaries, and
+//! matches identifier-bounded tokens. That makes it fast and dependency-free
+//! at the cost of type awareness — which is why every rule has an explicit
+//! escape hatch and a baseline file for the pre-existing tail.
+//!
+//! ## Rules
+//!
+//! | rule | what it flags | where |
+//! |------|---------------|-------|
+//! | `no-wall-clock` | `SystemTime::now`, `Instant::now` | sim-crate library code |
+//! | `no-ambient-rng` | `thread_rng`, `from_entropy`, `StdRng::seed_from_u64` | everywhere except `simkit::rng` |
+//! | `no-unordered-iteration` | `HashMap` / `HashSet` tokens | sim-crate library code |
+//! | `no-panic-in-lib` | `.unwrap()`, `.expect(`, `panic!` | all library code |
+//!
+//! `no-unordered-iteration` flags the unordered container *types* rather
+//! than iteration sites: lexically, the type name is the reliable signal,
+//! and a container that is never iterated is exactly the case the allow
+//! marker exists to document.
+//!
+//! ## Escape hatches
+//!
+//! * `// simlint::allow(<rule>): <reason>` — on the offending line or the
+//!   line directly above. The reason is mandatory.
+//! * `// simlint::allow-file(<rule>): <reason>` — anywhere in the file;
+//!   suppresses the rule for the whole file (e.g. a real-execution harness
+//!   that legitimately reads wall-clock time).
+//! * the baseline file (`simlint.baseline`) — a generated multiset of
+//!   `(rule, file, trimmed-line)` entries for pre-existing violations,
+//!   keyed on line *content* so line-number drift does not invalidate it.
+//!
+//! Scanned scope: `crates/*/src/**/*.rs`, excluding `main.rs`, `src/bin/`,
+//! fixtures, and everything at or after a `#[cfg(test)]` marker (by
+//! convention test modules sit at the end of a file in this workspace).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The four lint rules.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock time sources in simulation library code.
+    WallClock,
+    /// Ambient (OS- or thread-seeded) randomness outside `simkit::rng`.
+    AmbientRng,
+    /// Unordered containers in simulation state.
+    UnorderedIteration,
+    /// Panic paths in library code.
+    PanicInLib,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 4] = [
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::UnorderedIteration,
+        Rule::PanicInLib,
+    ];
+
+    /// The kebab-case name used in allow markers and the baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "no-wall-clock",
+            Rule::AmbientRng => "no-ambient-rng",
+            Rule::UnorderedIteration => "no-unordered-iteration",
+            Rule::PanicInLib => "no-panic-in-lib",
+        }
+    }
+
+    /// Parse a rule name (as written in allow markers / the baseline).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Human explanation attached to findings.
+    pub fn message(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "wall-clock time in simulation library code; use simkit::time::SimTime"
+            }
+            Rule::AmbientRng => {
+                "ambient RNG outside simkit::rng; derive streams with SimRng::split"
+            }
+            Rule::UnorderedIteration => {
+                "unordered container in simulation state; iteration order is \
+                 nondeterministic — use BTreeMap/BTreeSet, or allow if never iterated"
+            }
+            Rule::PanicInLib => {
+                "panic path in library code; return Result, or document the invariant \
+                 with expect + an allow"
+            }
+        }
+    }
+
+    /// The identifier-bounded tokens this rule matches.
+    fn patterns(self) -> &'static [&'static str] {
+        match self {
+            Rule::WallClock => &["SystemTime::now", "Instant::now"],
+            Rule::AmbientRng => &["thread_rng", "from_entropy", "StdRng::seed_from_u64"],
+            Rule::UnorderedIteration => &["HashMap", "HashSet"],
+            Rule::PanicInLib => &[".unwrap()", ".expect(", "panic!"],
+        }
+    }
+}
+
+/// Crates whose library code is simulation state / simulation logic.
+const SIM_CRATES: [&str; 7] = [
+    "simkit",
+    "simnet",
+    "batchsim",
+    "wqueue",
+    "cvmfssim",
+    "gridstore",
+    "lobster",
+];
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The trimmed source line (the baseline key).
+    pub content: String,
+    /// Whether the baseline covers this finding.
+    pub baselined: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.rule.message()
+        )
+    }
+}
+
+/// Linter failure (I/O or malformed input).
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simlint: {}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<io::Error> for LintError {
+    fn from(e: io::Error) -> Self {
+        LintError(e.to_string())
+    }
+}
+
+// ---- source preprocessing --------------------------------------------------
+
+/// Strip comments and string/char literal *contents* from a source file,
+/// preserving line structure so line numbers survive. Handles nested block
+/// comments, escapes, and distinguishes lifetimes from char literals.
+fn strip_noise(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut block_depth = 0usize;
+    for raw in source.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut line = String::with_capacity(raw.len());
+        let mut i = 0;
+        while i < chars.len() {
+            if block_depth > 0 {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    block_depth -= 1;
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    block_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match chars[i] {
+                '/' if chars.get(i + 1) == Some(&'/') => break, // line comment
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    block_depth += 1;
+                    i += 2;
+                }
+                '"' => {
+                    // Skip string literal contents.
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    line.push_str("\"\"");
+                }
+                '\'' => {
+                    // Char literal or lifetime? A char literal closes within
+                    // a few chars; a lifetime has no closing quote.
+                    let close = if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char: find the terminating quote.
+                        (i + 2..chars.len().min(i + 8)).find(|&j| chars[j] == '\'')
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        Some(i + 2)
+                    } else {
+                        None
+                    };
+                    match close {
+                        Some(j) => {
+                            line.push_str("' '");
+                            i = j + 1;
+                        }
+                        None => {
+                            line.push('\'');
+                            i += 1;
+                        }
+                    }
+                }
+                c => {
+                    line.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Whether `c` can be part of an identifier.
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `line` contain `pattern` as an identifier-bounded token? A pattern
+/// edge that is itself punctuation (`.`, `(`, `!`, …) is its own boundary.
+fn has_token(line: &str, pattern: &str) -> bool {
+    let first_is_ident = pattern.chars().next().is_some_and(is_ident_char);
+    let last_is_ident = pattern.chars().next_back().is_some_and(is_ident_char);
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(pattern) {
+        let at = start + pos;
+        let before_ok = !first_is_ident
+            || at == 0
+            || !is_ident_char(line[..at].chars().next_back().unwrap_or(' '));
+        let end = at + pattern.len();
+        let after_ok =
+            !last_is_ident || end >= line.len() || !line[end..].starts_with(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + pattern.len();
+    }
+    false
+}
+
+// ---- allow markers ---------------------------------------------------------
+
+/// Allow markers present on one line.
+#[derive(Default, Clone)]
+struct LineAllows {
+    line_rules: Vec<Rule>,
+    file_rules: Vec<Rule>,
+}
+
+/// Parse `simlint::allow(<rule>): <reason>` / `simlint::allow-file(...)`
+/// markers from a raw (unstripped) source line. Malformed markers — an
+/// unknown rule name or a missing reason — suppress nothing.
+fn parse_allows(raw: &str) -> LineAllows {
+    let mut allows = LineAllows::default();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("simlint::allow") {
+        rest = &rest[pos + "simlint::allow".len()..];
+        let file_scope = rest.starts_with("-file");
+        let after = if file_scope {
+            &rest["-file".len()..]
+        } else {
+            rest
+        };
+        let Some(open) = after.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            continue;
+        };
+        let rule_name = open[..close].trim();
+        let tail = &open[close + 1..];
+        let has_reason = tail
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if !has_reason {
+            continue;
+        }
+        if let Some(rule) = Rule::from_name(rule_name) {
+            if file_scope {
+                allows.file_rules.push(rule);
+            } else {
+                allows.line_rules.push(rule);
+            }
+        }
+        rest = tail;
+    }
+    allows
+}
+
+// ---- per-file linting ------------------------------------------------------
+
+/// Which rules apply to a library file at `rel_path` (repo-relative).
+fn applicable_rules(rel_path: &str) -> Vec<Rule> {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    let is_sim_crate = SIM_CRATES.contains(&crate_name);
+    let mut rules = Vec::new();
+    if is_sim_crate {
+        rules.push(Rule::WallClock);
+    }
+    if rel_path != "crates/simkit/src/rng.rs" {
+        rules.push(Rule::AmbientRng);
+    }
+    if is_sim_crate {
+        rules.push(Rule::UnorderedIteration);
+    }
+    rules.push(Rule::PanicInLib);
+    rules
+}
+
+/// Lint one file's source. `rel_path` determines rule scoping; findings
+/// suppressed by allow markers are omitted. Everything at or after a
+/// `#[cfg(test)]` line is treated as test code (workspace convention puts
+/// test modules at the end of the file).
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let rules = applicable_rules(rel_path);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let stripped = strip_noise(source);
+    let allows: Vec<LineAllows> = raw_lines.iter().map(|l| parse_allows(l)).collect();
+    let file_allowed: Vec<Rule> = allows
+        .iter()
+        .flat_map(|a| a.file_rules.iter().copied())
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut in_test = false;
+    for (idx, line) in stripped.iter().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)") {
+            in_test = true;
+        }
+        if in_test {
+            continue;
+        }
+        for &rule in &rules {
+            if file_allowed.contains(&rule) {
+                continue;
+            }
+            let line_allowed = allows[idx].line_rules.contains(&rule)
+                || idx > 0 && allows[idx - 1].line_rules.contains(&rule);
+            if line_allowed {
+                continue;
+            }
+            if rule.patterns().iter().any(|p| has_token(line, p)) {
+                findings.push(Finding {
+                    rule,
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    content: raw_lines
+                        .get(idx)
+                        .map(|l| l.trim())
+                        .unwrap_or("")
+                        .to_string(),
+                    baselined: false,
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---- workspace walking -----------------------------------------------------
+
+/// Is this repo-relative path library code in scope for linting?
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/")
+        && rel.ends_with(".rs")
+        && rel.contains("/src/")
+        && !rel.contains("/bin/")
+        && !rel.contains("/fixtures/")
+        && !rel.ends_with("/main.rs")
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// All in-scope library files under `<root>/crates`, sorted.
+pub fn collect_files(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError> {
+    let crates_dir = root.join("crates");
+    let mut all = Vec::new();
+    walk(&crates_dir, &mut all)?;
+    let mut files: Vec<(String, PathBuf)> = all
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .ok()?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            in_scope(&rel).then_some((rel, path))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Lint the whole workspace under `root`. Findings are sorted by
+/// `(file, line, rule)` and not yet baseline-marked.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
+    let mut findings = Vec::new();
+    for (rel, path) in collect_files(root)? {
+        let source =
+            fs::read_to_string(&path).map_err(|e| LintError(format!("reading {rel}: {e}")))?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+// ---- baseline --------------------------------------------------------------
+
+/// Baseline multiset: `(rule, file, trimmed-line-content)` → count.
+pub type Baseline = BTreeMap<(String, String, String), usize>;
+
+/// Parse a baseline file (tab-separated: rule, file, content). Blank lines
+/// and `#` comments are skipped.
+pub fn parse_baseline(text: &str) -> Result<Baseline, LintError> {
+    let mut baseline = Baseline::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (rule, file, content) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(r), Some(f), Some(c)) => (r, f, c),
+            _ => {
+                return Err(LintError(format!(
+                    "baseline line {} is not rule<TAB>file<TAB>content",
+                    idx + 1
+                )))
+            }
+        };
+        if Rule::from_name(rule).is_none() {
+            return Err(LintError(format!(
+                "baseline line {}: unknown rule `{rule}`",
+                idx + 1
+            )));
+        }
+        *baseline
+            .entry((rule.to_string(), file.to_string(), content.to_string()))
+            .or_insert(0) += 1;
+    }
+    Ok(baseline)
+}
+
+/// Render findings as a baseline file (sorted, one entry per occurrence).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}\t{}\t{}", f.rule.name(), f.file, f.content))
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# simlint baseline — pre-existing violations, keyed on (rule, file, line content).\n\
+         # Regenerate with: cargo run -p simlint -- --write-baseline\n",
+    );
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Mark findings covered by the baseline (consuming multiset counts in
+/// file order).
+pub fn apply_baseline(findings: &mut [Finding], baseline: &Baseline) {
+    let mut remaining = baseline.clone();
+    for f in findings.iter_mut() {
+        let key = (f.rule.name().to_string(), f.file.clone(), f.content.clone());
+        if let Some(n) = remaining.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                f.baselined = true;
+            }
+        }
+    }
+}
+
+// ---- output ----------------------------------------------------------------
+
+/// Escape a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array.
+pub fn render_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"content\":\"{}\",\
+                 \"message\":\"{}\",\"baselined\":{}}}",
+                f.rule.name(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.content),
+                json_escape(f.rule.message()),
+                f.baselined
+            )
+        })
+        .collect();
+    format!("[{}]\n", items.join(",\n "))
+}
+
+/// Render the human report: one `file:line: rule: message` per
+/// non-baselined finding, then a per-rule summary.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings.iter().filter(|f| !f.baselined) {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    let mut fresh = BTreeMap::new();
+    let mut base = BTreeMap::new();
+    for f in findings {
+        *if f.baselined { &mut base } else { &mut fresh }
+            .entry(f.rule.name())
+            .or_insert(0) += 1;
+    }
+    out.push_str("simlint summary:\n");
+    for rule in Rule::ALL {
+        out.push_str(&format!(
+            "  {:<24} {:>4} new {:>4} baselined\n",
+            rule.name(),
+            fresh.get(rule.name()).copied().unwrap_or(0),
+            base.get(rule.name()).copied().unwrap_or(0),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<Rule> {
+        let mut rules: Vec<Rule> = lint_source(rel, src).into_iter().map(|f| f.rule).collect();
+        rules.dedup();
+        rules
+    }
+
+    // ---- fixtures: each trips exactly its own rule ----
+
+    #[test]
+    fn fixture_wall_clock() {
+        let src = include_str!("../fixtures/wall_clock.rs");
+        assert_eq!(
+            rules_hit("crates/simkit/src/fixture.rs", src),
+            vec![Rule::WallClock]
+        );
+    }
+
+    #[test]
+    fn fixture_ambient_rng() {
+        let src = include_str!("../fixtures/ambient_rng.rs");
+        assert_eq!(
+            rules_hit("crates/simkit/src/fixture.rs", src),
+            vec![Rule::AmbientRng]
+        );
+    }
+
+    #[test]
+    fn fixture_unordered_iteration() {
+        let src = include_str!("../fixtures/unordered_iteration.rs");
+        assert_eq!(
+            rules_hit("crates/simkit/src/fixture.rs", src),
+            vec![Rule::UnorderedIteration]
+        );
+    }
+
+    #[test]
+    fn fixture_panic_in_lib() {
+        let src = include_str!("../fixtures/panic_in_lib.rs");
+        assert_eq!(
+            rules_hit("crates/simkit/src/fixture.rs", src),
+            vec![Rule::PanicInLib]
+        );
+    }
+
+    #[test]
+    fn fixture_allowed_is_clean() {
+        let src = include_str!("../fixtures/allowed.rs");
+        assert_eq!(lint_source("crates/simkit/src/fixture.rs", src), vec![]);
+    }
+
+    // ---- scoping ----
+
+    #[test]
+    fn wall_clock_only_in_sim_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_hit("crates/simlint/src/x.rs", src), vec![]);
+        assert_eq!(
+            rules_hit("crates/wqueue/src/x.rs", src),
+            vec![Rule::WallClock]
+        );
+    }
+
+    #[test]
+    fn rng_module_is_exempt_from_rng_rule() {
+        let src = "fn f() { let r = thread_rng(); }\n";
+        assert_eq!(rules_hit("crates/simkit/src/rng.rs", src), vec![]);
+        assert_eq!(
+            rules_hit("crates/simkit/src/engine.rs", src),
+            vec![Rule::AmbientRng]
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n";
+        assert_eq!(rules_hit("crates/simkit/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn scope_filter() {
+        assert!(in_scope("crates/simkit/src/engine.rs"));
+        assert!(!in_scope("crates/simkit/src/main.rs"));
+        assert!(!in_scope("crates/bench/src/bin/fig9.rs"));
+        assert!(!in_scope("crates/simlint/fixtures/wall_clock.rs"));
+        assert!(!in_scope("crates/simkit/tests/proptests.rs"));
+        assert!(!in_scope("vendor/serde/src/lib.rs"));
+    }
+
+    // ---- lexical details ----
+
+    #[test]
+    fn tokens_are_identifier_bounded() {
+        assert!(has_token("let x = Instant::now();", "Instant::now"));
+        assert!(has_token("std::time::Instant::now()", "Instant::now"));
+        assert!(!has_token("MyInstant::nowhere()", "Instant::now"));
+        assert!(!has_token("fn unwrap_all()", ".unwrap()"));
+        assert!(has_token("x.unwrap()", ".unwrap()"));
+        assert!(!has_token("HashMapLike", "HashMap"));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let src = "// HashMap in a comment\nfn f() { let s = \"Instant::now\"; }\n\
+                   /* panic! in\n a block comment */\n";
+        assert_eq!(rules_hit("crates/simkit/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* panic! */ still comment .unwrap() */ fn f() {}\n";
+        assert_eq!(rules_hit("crates/simkit/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\"' }\n";
+        assert_eq!(rules_hit("crates/simkit/src/x.rs", src), vec![]);
+    }
+
+    // ---- allow markers ----
+
+    #[test]
+    fn allow_requires_reason() {
+        let src = "x.unwrap(); // simlint::allow(no-panic-in-lib)\n";
+        assert_eq!(
+            rules_hit("crates/simkit/src/x.rs", src),
+            vec![Rule::PanicInLib]
+        );
+        let src = "x.unwrap(); // simlint::allow(no-panic-in-lib): init-only\n";
+        assert_eq!(rules_hit("crates/simkit/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allow_on_line_above() {
+        let src = "// simlint::allow(no-panic-in-lib): invariant documented\nx.unwrap();\n";
+        assert_eq!(rules_hit("crates/simkit/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allow_wrong_rule_does_not_suppress() {
+        let src = "x.unwrap(); // simlint::allow(no-wall-clock): wrong rule\n";
+        assert_eq!(
+            rules_hit("crates/simkit/src/x.rs", src),
+            vec![Rule::PanicInLib]
+        );
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let src = "// simlint::allow-file(no-wall-clock): real-time harness\n\
+                   fn a() -> Instant { Instant::now() }\n\
+                   fn b() -> Instant { Instant::now() }\n";
+        assert_eq!(rules_hit("crates/wqueue/src/x.rs", src), vec![]);
+    }
+
+    // ---- baseline ----
+
+    #[test]
+    fn baseline_roundtrip_and_multiset() {
+        let src = "fn f() { a.unwrap(); }\nfn g() { a.unwrap(); }\nfn h() { b.unwrap(); }\n";
+        let mut findings = lint_source("crates/simkit/src/x.rs", src);
+        assert_eq!(findings.len(), 3);
+        // Baseline only one of the two identical `a.unwrap()` lines.
+        let baseline =
+            parse_baseline("no-panic-in-lib\tcrates/simkit/src/x.rs\tfn f() { a.unwrap(); }\n")
+                .unwrap();
+        apply_baseline(&mut findings, &baseline);
+        assert_eq!(findings.iter().filter(|f| f.baselined).count(), 1);
+
+        // Full render/parse round-trip covers everything.
+        let rendered = render_baseline(&findings);
+        let full = parse_baseline(&rendered).unwrap();
+        let mut findings2 = lint_source("crates/simkit/src/x.rs", src);
+        apply_baseline(&mut findings2, &full);
+        assert!(findings2.iter().all(|f| f.baselined));
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(parse_baseline("not a baseline line").is_err());
+        assert!(parse_baseline("no-such-rule\tf.rs\tcontent").is_err());
+        assert!(parse_baseline("# comment\n\n").unwrap().is_empty());
+    }
+
+    // ---- output ----
+
+    #[test]
+    fn json_output_is_wellformed() {
+        let findings = lint_source(
+            "crates/simkit/src/x.rs",
+            "fn f(m: &HashMap<u64, u64>) { let tag = \"k\"; }\n",
+        );
+        let json = render_json(&findings);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"rule\":\"no-unordered-iteration\""));
+        assert!(json.contains("\"line\":1"));
+        // The content contains quotes that must be escaped.
+        assert!(json.contains("\\\""));
+    }
+
+    #[test]
+    fn human_output_has_location_and_summary() {
+        let findings = lint_source(
+            "crates/simkit/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        let human = render_human(&findings);
+        assert!(human.contains("crates/simkit/src/x.rs:1: no-wall-clock:"));
+        assert!(human.contains("simlint summary:"));
+    }
+}

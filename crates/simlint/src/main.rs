@@ -1,0 +1,104 @@
+//! simlint CLI.
+//!
+//! ```text
+//! cargo run -p simlint                       # report, exit 0
+//! cargo run -p simlint -- --check            # exit 1 on non-baselined findings
+//! cargo run -p simlint -- --json             # machine-readable output
+//! cargo run -p simlint -- --write-baseline   # regenerate simlint.baseline
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{
+    apply_baseline, lint_workspace, parse_baseline, render_baseline, render_human, render_json,
+};
+
+const BASELINE_FILE: &str = "simlint.baseline";
+
+fn usage() -> &'static str {
+    "usage: simlint [--check] [--json] [--write-baseline] [--root <dir>]\n\
+     \n\
+     --check           exit 1 when non-baselined violations exist (CI gate)\n\
+     --json            emit findings as a JSON array\n\
+     --write-baseline  rewrite simlint.baseline from the current tree\n\
+     --root <dir>      workspace root (default: this crate's ../..)"
+}
+
+fn run() -> Result<bool, simlint::LintError> {
+    let mut check = false;
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => {
+                root = Some(PathBuf::from(args.next().ok_or_else(|| {
+                    simlint::LintError("--root requires a directory argument".into())
+                })?));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(true);
+            }
+            other => {
+                return Err(simlint::LintError(format!(
+                    "unknown argument `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+
+    // The linter is path-scoped, so anchor at the workspace root regardless
+    // of the invoking directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    let root = root.canonicalize().unwrap_or(root);
+
+    let mut findings = lint_workspace(&root)?;
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if write_baseline {
+        std::fs::write(&baseline_path, render_baseline(&findings))?;
+        println!(
+            "simlint: wrote {} entries to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    if baseline_path.exists() {
+        let baseline = parse_baseline(&std::fs::read_to_string(&baseline_path)?)?;
+        apply_baseline(&mut findings, &baseline);
+    }
+
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+
+    let fresh = findings.iter().filter(|f| !f.baselined).count();
+    Ok(!check || fresh == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -19,8 +19,8 @@
 
 use simkit::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 /// Identifier for a flow on a particular link.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -59,7 +59,7 @@ pub struct FairLink {
     last: SimTime,
     total_weight: f64,
     heap: BinaryHeap<Reverse<(Tag, FlowId)>>,
-    flows: HashMap<FlowId, FlowState>,
+    flows: BTreeMap<FlowId, FlowState>,
     next_id: u64,
     bytes_delivered: f64,
     flows_completed: u64,
@@ -69,7 +69,10 @@ pub struct FairLink {
 impl FairLink {
     /// A link with `capacity` bytes/second, no per-flow cap.
     pub fn new(capacity: f64) -> Self {
-        assert!(capacity >= 0.0 && capacity.is_finite(), "FairLink: bad capacity");
+        assert!(
+            capacity >= 0.0 && capacity.is_finite(),
+            "FairLink: bad capacity"
+        );
         FairLink {
             capacity,
             unit_rate_cap: None,
@@ -77,7 +80,7 @@ impl FairLink {
             last: SimTime::ZERO,
             total_weight: 0.0,
             heap: BinaryHeap::new(),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             next_id: 0,
             bytes_delivered: 0.0,
             flows_completed: 0,
@@ -129,7 +132,15 @@ impl FairLink {
         let id = FlowId(self.next_id);
         self.next_id += 1;
         let tag = self.v + bytes as f64 / weight;
-        self.flows.insert(id, FlowState { weight, bytes, admitted_v: self.v, tag });
+        self.flows.insert(
+            id,
+            FlowState {
+                weight,
+                bytes,
+                admitted_v: self.v,
+                tag,
+            },
+        );
         self.total_weight += weight;
         self.heap.push(Reverse((Tag(tag), id)));
         id
@@ -233,7 +244,10 @@ impl FairLink {
     /// Change link capacity at `now` (0 = outage/stall). In-flight flows
     /// keep their progress and resume when capacity returns.
     pub fn set_capacity(&mut self, now: SimTime, capacity: f64) {
-        assert!(capacity >= 0.0 && capacity.is_finite(), "FairLink: bad capacity");
+        assert!(
+            capacity >= 0.0 && capacity.is_finite(),
+            "FairLink: bad capacity"
+        );
         self.advance(now);
         self.capacity = capacity;
     }
@@ -383,7 +397,10 @@ mod tests {
         let mut link = FairLink::new(100.0);
         let id = link.admit_flow(t(0.0), 1000);
         link.set_capacity(t(5.0), 0.0); // outage after 500B
-        assert!(link.next_completion().is_none(), "stalled link never completes");
+        assert!(
+            link.next_completion().is_none(),
+            "stalled link never completes"
+        );
         assert!(link.completions(t(60.0)).is_empty());
         link.set_capacity(t(65.0), 100.0); // restore
         let (when, who) = link.next_completion().unwrap();

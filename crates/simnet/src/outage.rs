@@ -25,15 +25,28 @@ pub struct Outage {
 impl Outage {
     /// A complete outage over `[start, end)` that fails every request.
     pub fn blackout(start: SimTime, end: SimTime) -> Self {
-        Outage { start, end, capacity_factor: 0.0, failure_prob: 1.0 }
+        Outage {
+            start,
+            end,
+            capacity_factor: 0.0,
+            failure_prob: 1.0,
+        }
     }
 
     /// A partial degradation: capacity scaled by `factor`, requests fail
     /// with probability `failure_prob`.
     pub fn brownout(start: SimTime, end: SimTime, factor: f64, failure_prob: f64) -> Self {
         assert!((0.0..=1.0).contains(&factor), "bad capacity factor");
-        assert!((0.0..=1.0).contains(&failure_prob), "bad failure probability");
-        Outage { start, end, capacity_factor: factor, failure_prob }
+        assert!(
+            (0.0..=1.0).contains(&failure_prob),
+            "bad failure probability"
+        );
+        Outage {
+            start,
+            end,
+            capacity_factor: factor,
+            failure_prob,
+        }
     }
 
     /// True if `t` falls inside the window.
@@ -51,7 +64,9 @@ pub struct OutageSchedule {
 impl OutageSchedule {
     /// Empty schedule (always healthy).
     pub fn none() -> Self {
-        OutageSchedule { windows: Vec::new() }
+        OutageSchedule {
+            windows: Vec::new(),
+        }
     }
 
     /// Build from windows; they are sorted and must not overlap.

@@ -14,7 +14,7 @@
 //! Figure 6(d)/(e) (concurrent population), and the tests assert it.
 
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ enum Entry {
 
 /// A concurrent, populate-once keyed byte cache shared by worker slots.
 pub struct WorkerCache {
-    map: RwLock<HashMap<String, Entry>>,
+    map: RwLock<BTreeMap<String, Entry>>,
     stats: CacheStats,
 }
 
@@ -49,7 +49,10 @@ impl Default for WorkerCache {
 impl WorkerCache {
     /// Empty cache.
     pub fn new() -> Self {
-        WorkerCache { map: RwLock::new(HashMap::new()), stats: CacheStats::default() }
+        WorkerCache {
+            map: RwLock::new(BTreeMap::new()),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Look up `key`; on a miss invoke `fetch` (at most once per key across
@@ -98,7 +101,9 @@ impl WorkerCache {
                 let mut slot = cell.lock();
                 let data = Arc::new(fetch());
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                self.stats.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                self.stats
+                    .bytes
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
                 *slot = Some(Arc::clone(&data));
                 drop(slot);
                 let mut map = self.map.write();
@@ -136,7 +141,11 @@ impl WorkerCache {
 
     /// Number of completed fetches (unique keys cached).
     pub fn len(&self) -> usize {
-        self.map.read().values().filter(|e| matches!(e, Entry::Ready(_))).count()
+        self.map
+            .read()
+            .values()
+            .filter(|e| matches!(e, Entry::Ready(_)))
+            .count()
     }
 
     /// True if nothing is cached yet.

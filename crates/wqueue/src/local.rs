@@ -23,12 +23,14 @@
 //! `SimTime` axis relative to master creation, so monitoring code is
 //! backend-agnostic.
 
+// simlint::allow-file(no-wall-clock): real-execution backend; timestamps are genuinely
+// wall-clock here and only projected onto the SimTime axis for reporting.
 use crate::cache::WorkerCache;
 use crate::task::{FailureCode, TaskId, TaskResult, TaskSpec, TaskTimes};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use simkit::time::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -174,10 +176,10 @@ pub struct LocalMaster {
     epoch: Instant,
     inbox_rx: Receiver<ToMaster>,
     inbox_tx: Sender<ToMaster>,
-    workers: HashMap<WorkerId, WorkerInfo>,
-    foremen: HashMap<ForemanId, ForemanInfo>,
+    workers: BTreeMap<WorkerId, WorkerInfo>,
+    foremen: BTreeMap<ForemanId, ForemanInfo>,
     ready: VecDeque<QueuedTask>,
-    in_flight: HashMap<TaskId, InFlight>,
+    in_flight: BTreeMap<TaskId, InFlight>,
     done: VecDeque<TaskResult>,
     next_worker: WorkerId,
     next_foreman: ForemanId,
@@ -198,10 +200,10 @@ impl LocalMaster {
             epoch: Instant::now(),
             inbox_rx,
             inbox_tx,
-            workers: HashMap::new(),
-            foremen: HashMap::new(),
+            workers: BTreeMap::new(),
+            foremen: BTreeMap::new(),
             ready: VecDeque::new(),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             done: VecDeque::new(),
             next_worker: 0,
             next_foreman: 0,
@@ -223,7 +225,13 @@ impl LocalMaster {
             .name(format!("wq-foreman-{id}"))
             .spawn(move || foreman_loop(rx))
             .expect("spawn foreman");
-        self.foremen.insert(id, ForemanInfo { tx, handle: Some(handle) });
+        self.foremen.insert(
+            id,
+            ForemanInfo {
+                tx,
+                handle: Some(handle),
+            },
+        );
         id
     }
 
@@ -236,7 +244,10 @@ impl LocalMaster {
     ///
     /// Panics if the foreman id is unknown.
     pub fn attach_worker_via(&mut self, foreman: ForemanId, cores: u32) -> WorkerId {
-        assert!(self.foremen.contains_key(&foreman), "unknown foreman {foreman}");
+        assert!(
+            self.foremen.contains_key(&foreman),
+            "unknown foreman {foreman}"
+        );
         self.attach_worker_inner(cores, Some(foreman))
     }
 
@@ -263,7 +274,13 @@ impl LocalMaster {
         };
         self.workers.insert(
             id,
-            WorkerInfo { route, cores, in_use: 0, alive: true, handle: Some(handle) },
+            WorkerInfo {
+                route,
+                cores,
+                in_use: 0,
+                alive: true,
+                handle: Some(handle),
+            },
         );
         self.dispatch();
         id
@@ -273,7 +290,12 @@ impl LocalMaster {
     pub fn submit(&mut self, spec: TaskSpec, payload: Payload) -> TaskId {
         let id = spec.id;
         self.stats.submitted += 1;
-        self.ready.push_back(QueuedTask { spec, payload, attempt: 0, queued_at: Instant::now() });
+        self.ready.push_back(QueuedTask {
+            spec,
+            payload,
+            attempt: 0,
+            queued_at: Instant::now(),
+        });
         self.dispatch();
         id
     }
@@ -374,12 +396,12 @@ impl LocalMaster {
                 w.route.send(ToWorker::Retire).ok();
             }
         }
-        for (_, mut w) in self.workers.drain() {
+        for (_, mut w) in std::mem::take(&mut self.workers) {
             if let Some(h) = w.handle.take() {
                 h.join().ok();
             }
         }
-        for (_, mut f) in self.foremen.drain() {
+        for (_, mut f) in std::mem::take(&mut self.foremen) {
             drop(f.tx);
             if let Some(h) = f.handle.take() {
                 h.join().ok();
@@ -551,7 +573,7 @@ impl LocalMaster {
 /// scalability device of §3 ("introducing foremen between the master and
 /// the workers to create a hierarchy").
 fn foreman_loop(rx: Receiver<ToForeman>) {
-    let mut workers: HashMap<WorkerId, Sender<ToWorker>> = HashMap::new();
+    let mut workers: BTreeMap<WorkerId, Sender<ToWorker>> = BTreeMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToForeman::Register(id, tx) => {
@@ -576,13 +598,19 @@ fn foreman_loop(rx: Receiver<ToForeman>) {
 fn worker_loop(id: WorkerId, rx: Receiver<ToWorker>, to_master: Sender<ToMaster>) {
     let cache = Arc::new(WorkerCache::new());
     // Cancellation flags of running tasks; slot threads remove themselves.
-    let running: Arc<Mutex<HashMap<TaskId, Arc<AtomicBool>>>> =
-        Arc::new(Mutex::new(HashMap::new()));
+    let running: Arc<Mutex<BTreeMap<TaskId, Arc<AtomicBool>>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
     let mut evicted = false;
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            ToWorker::Dispatch { spec, attempt, payload, dispatched_at, cancel } => {
+            ToWorker::Dispatch {
+                spec,
+                attempt,
+                payload,
+                dispatched_at,
+                cancel,
+            } => {
                 running.lock().insert(spec.id, Arc::clone(&cancel));
                 let ctx = TaskContext {
                     task_id: spec.id,
@@ -629,7 +657,12 @@ fn worker_loop(id: WorkerId, rx: Receiver<ToWorker>, to_master: Sender<ToMaster>
             }
         }
     }
-    to_master.send(ToMaster::WorkerGone { worker: id, evicted }).ok();
+    to_master
+        .send(ToMaster::WorkerGone {
+            worker: id,
+            evicted,
+        })
+        .ok();
 }
 
 #[cfg(test)]
@@ -689,8 +722,14 @@ mod tests {
         }
         let results = m.wait_all(Duration::from_secs(10));
         assert_eq!(results.len(), 8);
-        assert!(peak.load(Ordering::SeqCst) >= 2, "expected concurrent slots");
-        assert!(peak.load(Ordering::SeqCst) <= 4, "never exceeds worker cores");
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "expected concurrent slots"
+        );
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "never exceeds worker cores"
+        );
         m.shutdown();
     }
 
@@ -709,8 +748,7 @@ mod tests {
             );
         }
         let results = m.wait_all(Duration::from_secs(10));
-        let workers: std::collections::HashSet<u64> =
-            results.iter().map(|r| r.worker).collect();
+        let workers: std::collections::BTreeSet<u64> = results.iter().map(|r| r.worker).collect();
         assert!(workers.contains(&w0) || workers.contains(&w1));
         assert!(workers.iter().all(|w| *w == w0 || *w == w1));
         m.shutdown();
@@ -868,7 +906,11 @@ mod tests {
         }
         let results = m.wait_all(Duration::from_secs(10));
         assert_eq!(results.len(), 4);
-        assert_eq!(peak.load(Ordering::SeqCst), 1, "2-core tasks serialise on 2-core worker");
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "2-core tasks serialise on 2-core worker"
+        );
         m.shutdown();
     }
 

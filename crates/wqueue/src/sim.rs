@@ -65,7 +65,14 @@ impl WorkerTable {
         self.next_id += 1;
         self.workers.insert(
             id,
-            SimWorker { id, cores, busy: 0, cache_hot: false, connected_at: at, foreman },
+            SimWorker {
+                id,
+                cores,
+                busy: 0,
+                cache_hot: false,
+                connected_at: at,
+                foreman,
+            },
         );
         self.free_cold.insert(id);
         id
@@ -171,7 +178,10 @@ impl DispatchBuffer {
 
     /// Buffer with a custom target.
     pub fn with_target(target: usize) -> Self {
-        DispatchBuffer { target, ready: VecDeque::new() }
+        DispatchBuffer {
+            target,
+            ready: VecDeque::new(),
+        }
     }
 
     /// The refill target.

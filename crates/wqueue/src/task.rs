@@ -11,9 +11,7 @@ use simkit::time::{SimDuration, SimTime};
 use std::fmt;
 
 /// Globally unique task identifier.
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct TaskId(pub u64);
 
 impl fmt::Display for TaskId {
@@ -24,9 +22,7 @@ impl fmt::Display for TaskId {
 
 /// Work category — Lobster runs analysis and merge tasks through the same
 /// queue (§4.4) and the monitor reports them separately.
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
 pub enum Category {
     /// Ordinary data-processing / analysis work.
     Analysis,
@@ -48,9 +44,7 @@ impl fmt::Display for Category {
 
 /// Failure code emitted by a wrapper segment (§5: "a unique failure code
 /// ... for each segment").
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
 pub enum FailureCode {
     /// Machine failed the basic compatibility pre-check.
     Incompatible,

@@ -126,7 +126,11 @@ fn local_master_completes_every_task() {
         }
         let results = m.wait_all(std::time::Duration::from_secs(30));
         assert_eq!(results.len() as u64, tasks);
-        assert_eq!(runs.load(Ordering::SeqCst), tasks, "each task ran exactly once");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            tasks,
+            "each task ran exactly once"
+        );
         let mut ids: Vec<u64> = results.iter().map(|r| r.id.0).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..tasks).collect::<Vec<_>>());

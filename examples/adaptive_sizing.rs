@@ -32,7 +32,10 @@ fn main() {
     let mut sizer = AdaptiveSizer::new(cfg, 6);
     let mut rng = SimRng::new(8);
 
-    println!("{:>8} {:>12} {:>14} {:>12}", "batch", "regime", "evict rate", "task size");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "batch", "regime", "evict rate", "task size"
+    );
     for batch in 0..30 {
         // Regime shift at batch 15: mean worker lifetime drops 12h → 1.5h.
         let (regime, p_evict) = if batch < 15 {

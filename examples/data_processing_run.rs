@@ -67,18 +67,35 @@ fn main() {
     };
 
     let report = ClusterSim::run(cfg, params, vec![wf]);
-    println!("concurrent tasks  {}", sparkline(&report.timeline.concurrency()));
-    println!("completions/bin   {}", sparkline(&report.timeline.completions()));
-    println!("failures/bin      {}", sparkline(&report.timeline.failures()));
-    println!("efficiency        {}", sparkline(&report.timeline.efficiency()));
+    println!(
+        "concurrent tasks  {}",
+        sparkline(&report.timeline.concurrency())
+    );
+    println!(
+        "completions/bin   {}",
+        sparkline(&report.timeline.completions())
+    );
+    println!(
+        "failures/bin      {}",
+        sparkline(&report.timeline.failures())
+    );
+    println!(
+        "efficiency        {}",
+        sparkline(&report.timeline.efficiency())
+    );
     println!();
     println!("peak concurrency  {:.0}", report.peak_concurrency);
     println!("tasks completed   {}", report.tasks_completed);
-    println!("tasks failed      {} ({} evictions)", report.tasks_failed, report.evictions);
+    println!(
+        "tasks failed      {} ({} evictions)",
+        report.tasks_failed, report.evictions
+    );
     println!("merged files      {}", report.merged_files.len());
     println!(
         "finished at       {}",
-        report.finished_at.map_or("ran out of horizon".into(), |t| t.to_string())
+        report
+            .finished_at
+            .map_or("ran out of horizon".into(), |t| t.to_string())
     );
     println!("\nruntime breakdown (Figure 8 shape):");
     for (phase, hours, frac) in report.accounting.table() {

@@ -43,8 +43,10 @@ fn simulate(mode: MergeMode) -> f64 {
         },
         5,
     );
-    let wf =
-        Workflow::from_dataset(&cfg.workflows[0], dbs.query("/SingleMu/Run2012A/AOD").unwrap());
+    let wf = Workflow::from_dataset(
+        &cfg.workflows[0],
+        dbs.query("/SingleMu/Run2012A/AOD").unwrap(),
+    );
     let params = SimParams {
         availability: AvailabilityModel::Dedicated,
         outages: OutageSchedule::none(),
@@ -67,8 +69,16 @@ fn simulate(mode: MergeMode) -> f64 {
 
 fn main() {
     println!("== part 1: simulated merge-mode comparison ==");
-    for mode in [MergeMode::Sequential, MergeMode::Hadoop, MergeMode::Interleaved] {
-        println!("  {:<12} completes in {:.1} h", mode.label(), simulate(mode));
+    for mode in [
+        MergeMode::Sequential,
+        MergeMode::Hadoop,
+        MergeMode::Interleaved,
+    ] {
+        println!(
+            "  {:<12} completes in {:.1} h",
+            mode.label(),
+            simulate(mode)
+        );
     }
 
     println!("\n== part 2: a real Hadoop-mode merge ==");
@@ -80,18 +90,24 @@ fn main() {
             vec![(i % 251) as u8; 64 * 1024],
         );
     }
-    let outputs: Vec<(TaskId, u64)> =
-        (0..60).map(|i| (TaskId(i), 64 * 1024)).collect();
+    let outputs: Vec<(TaskId, u64)> = (0..60).map(|i| (TaskId(i), 64 * 1024)).collect();
     let planner = MergePlanner::new(1024 * 1024); // 1 MiB targets
     let groups = planner.plan_full(&outputs);
-    println!("  {} small files → {} merge groups", outputs.len(), groups.len());
+    println!(
+        "  {} small files → {} merge groups",
+        outputs.len(),
+        groups.len()
+    );
     let named: Vec<(String, Vec<String>)> = groups
         .iter()
         .enumerate()
         .map(|(gi, g)| {
             (
                 format!("/store/user/merged_{gi}.root"),
-                g.inputs.iter().map(|(id, _)| format!("/store/user/out_{}.root", id.0)).collect(),
+                g.inputs
+                    .iter()
+                    .map(|(id, _)| format!("/store/user/out_{}.root", id.0))
+                    .collect(),
             )
         })
         .collect();
@@ -99,7 +115,14 @@ fn main() {
     println!("  merged files written by the Map-Reduce engine:");
     for name in &merged {
         let meta = hdfs.stat(name).expect("merged file exists");
-        println!("    {name}  {} bytes, {} blocks", meta.size, meta.blocks.len());
+        println!(
+            "    {name}  {} bytes, {} blocks",
+            meta.size,
+            meta.blocks.len()
+        );
     }
-    println!("  storage now holds {} files (small inputs deleted)", hdfs.file_count());
+    println!(
+        "  storage now holds {} files (small inputs deleted)",
+        hdfs.file_count()
+    );
 }

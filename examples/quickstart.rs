@@ -22,7 +22,9 @@ fn main() {
         let calib = ctx.cache.get_or_fetch("conditions-db", || vec![7u8; 4096]);
         let mut acc = calib[0] as u64;
         for i in 0..50_000u64 {
-            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(tasklet + i);
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(tasklet + i);
         }
         acc.to_le_bytes().repeat(16) // 128 B of "physics output"
     });
@@ -35,21 +37,33 @@ fn main() {
         merge_target_bytes: 4 * 1024,
         timeout: Duration::from_secs(120),
     };
-    println!("starting Lobster: {} workers × {} cores behind {} foreman", cfg.workers, cfg.cores_per_worker, cfg.foremen);
+    println!(
+        "starting Lobster: {} workers × {} cores behind {} foreman",
+        cfg.workers, cfg.cores_per_worker, cfg.foremen
+    );
 
     let mut lob = LocalLobster::new(cfg);
     let summary = lob.run_workflow("quickstart", 200, analysis);
 
     println!("\nworkflow complete:");
-    println!("  analysis tasks  {:>6} ok / {} failed", summary.tasks_completed, summary.tasks_failed);
-    println!("  small outputs   {:>6} files, {} bytes", summary.outputs, summary.output_bytes);
+    println!(
+        "  analysis tasks  {:>6} ok / {} failed",
+        summary.tasks_completed, summary.tasks_failed
+    );
+    println!(
+        "  small outputs   {:>6} files, {} bytes",
+        summary.outputs, summary.output_bytes
+    );
     println!("  merged files    {:>6}", summary.merged.len());
     for (name, bytes) in &summary.merged {
         println!("    {name}  ({bytes} bytes)");
     }
     let storage = lob.storage();
-    println!("  storage now holds {} files, {} logical bytes",
-        storage.file_count(), storage.logical_bytes());
+    println!(
+        "  storage now holds {} files, {} logical bytes",
+        storage.file_count(),
+        storage.logical_bytes()
+    );
     lob.shutdown();
     println!("done.");
 }

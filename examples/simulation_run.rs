@@ -28,7 +28,10 @@ fn main() {
     cfg.seed = 11;
 
     let wf = Workflow::simulation(&cfg.workflows[0], 20_000, 15_000_000);
-    println!("simulation workflow: {} generation tasklets\n", wf.n_tasklets());
+    println!(
+        "simulation workflow: {} generation tasklets\n",
+        wf.n_tasklets()
+    );
 
     let params = SimParams {
         availability: AvailabilityModel::Mixture {
@@ -56,10 +59,22 @@ fn main() {
     };
 
     let report = ClusterSim::run(cfg, params, vec![wf]);
-    println!("concurrent tasks     {}", sparkline(&report.timeline.concurrency()));
-    println!("release setup (min)  {}", sparkline(&report.timeline.setup_minutes()));
-    println!("stage-out (min)      {}", sparkline(&report.timeline.stageout_minutes()));
-    println!("failures/bin         {}", sparkline(&report.timeline.failures()));
+    println!(
+        "concurrent tasks     {}",
+        sparkline(&report.timeline.concurrency())
+    );
+    println!(
+        "release setup (min)  {}",
+        sparkline(&report.timeline.setup_minutes())
+    );
+    println!(
+        "stage-out (min)      {}",
+        sparkline(&report.timeline.stageout_minutes())
+    );
+    println!(
+        "failures/bin         {}",
+        sparkline(&report.timeline.failures())
+    );
     println!();
     let setup = report.timeline.setup_minutes();
     let peak_setup = setup.iter().copied().fold(0.0_f64, f64::max);

@@ -13,9 +13,12 @@ use lobster::db::LobsterDb;
 use lobster::driver::{ClusterSim, SimParams};
 use lobster::local::{LocalConfig, LocalLobster, TaskletFn};
 use lobster::merge::{merge_in_hadoop, MergeMode, MergePlanner};
+use lobster::monitor::Accounting;
 use lobster::tasksize::{simulate, TaskSizeConfig};
 use lobster::workflow::Workflow;
-use simkit::time::SimDuration;
+use serde::Serialize;
+use simkit::time::{SimDuration, SimTime};
+use simkit::trace::Trace;
 use simnet::outage::OutageSchedule;
 use std::sync::Arc;
 use std::time::Duration;
@@ -83,7 +86,9 @@ fn sim_pipeline_conserves_output_bytes() {
     let wf = Workflow::from_dataset(&cfg.workflows[0], &ds);
     let expected_outputs = wf.n_tasklets() * cfg.workflows[0].output_bytes_per_tasklet;
     let params = SimParams {
-        availability: AvailabilityModel::Exponential { mean: SimDuration::from_hours(6) },
+        availability: AvailabilityModel::Exponential {
+            mean: SimDuration::from_hours(6),
+        },
         outages: OutageSchedule::none(),
         pool: PoolConfig {
             total_cores: 128,
@@ -98,7 +103,108 @@ fn sim_pipeline_conserves_output_bytes() {
     let report = ClusterSim::run(cfg, params, vec![wf]);
     assert!(report.finished_at.is_some());
     let merged: u64 = report.merged_files.iter().map(|m| m.1).sum();
-    assert_eq!(merged, expected_outputs, "no output bytes lost or duplicated");
+    assert_eq!(
+        merged, expected_outputs,
+        "no output bytes lost or duplicated"
+    );
+}
+
+/// Determinism end to end: two runs with the same seed and configuration
+/// must serialise to byte-identical traces. This is stronger than the
+/// driver's own `finished_at` check — it covers the accounting ledger,
+/// the binned time evolution, the merged-file manifest, and the dashboard,
+/// so any hidden source of nondeterminism (wall-clock reads, ambient RNG,
+/// hash-order iteration) shows up as a digest mismatch.
+#[test]
+fn same_seed_runs_serialise_to_identical_traces() {
+    /// Everything observable about a run that is cheap to serialise.
+    #[derive(Serialize)]
+    struct RunTraceRecord {
+        tasks_completed: u64,
+        tasks_failed: u64,
+        evictions: u64,
+        merges_completed: u64,
+        final_task_size: u32,
+        peak_concurrency: f64,
+        finished_at: Option<SimTime>,
+        accounting: Accounting,
+        merged_files: Vec<(String, u64)>,
+        dashboard: Vec<(String, f64)>,
+        concurrency: Vec<f64>,
+        completions: Vec<f64>,
+        failures: Vec<f64>,
+        efficiency: Vec<f64>,
+    }
+
+    /// FNV-1a over the serialised trace bytes.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    let run_once = || {
+        let mut cfg = LobsterConfig::default();
+        cfg.workers.target_cores = 64;
+        cfg.workers.cores_per_worker = 4;
+        cfg.seed = 4242;
+        let ds = small_dataset(11);
+        let wf = Workflow::from_dataset(&cfg.workflows[0], &ds);
+        let params = SimParams {
+            // Stochastic evictions and pool noise on purpose: every random
+            // draw must come from the seeded stream.
+            availability: AvailabilityModel::Exponential {
+                mean: SimDuration::from_hours(8),
+            },
+            outages: OutageSchedule::none(),
+            pool: PoolConfig {
+                total_cores: 128,
+                owner_mean: 5.0,
+                reversion: 0.1,
+                noise: 0.25,
+                tick: SimDuration::from_mins(5),
+            },
+            horizon: SimDuration::from_hours(250),
+            ..SimParams::default()
+        };
+        let report = ClusterSim::run(cfg, params, vec![wf]);
+        let record = RunTraceRecord {
+            tasks_completed: report.tasks_completed,
+            tasks_failed: report.tasks_failed,
+            evictions: report.evictions,
+            merges_completed: report.merges_completed,
+            final_task_size: report.final_task_size,
+            peak_concurrency: report.peak_concurrency,
+            finished_at: report.finished_at,
+            accounting: report.accounting.clone(),
+            merged_files: report.merged_files.clone(),
+            dashboard: report.dashboard.clone(),
+            concurrency: report.timeline.concurrency(),
+            completions: report.timeline.completions(),
+            failures: report.timeline.failures(),
+            efficiency: report.timeline.efficiency(),
+        };
+        let mut trace = Trace::new();
+        trace.push(report.ended_at, record);
+        let mut buf = Vec::new();
+        trace
+            .write_jsonl(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        let digest = fnv1a(&buf);
+        (buf, digest)
+    };
+
+    let (bytes_a, digest_a) = run_once();
+    let (bytes_b, digest_b) = run_once();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(
+        digest_a, digest_b,
+        "trace digests diverged between same-seed runs"
+    );
+    assert_eq!(bytes_a, bytes_b, "serialised traces are not byte-identical");
 }
 
 /// The driver's measured efficiency must agree with the §4.1 analytical
@@ -239,7 +345,10 @@ fn db_recovery_then_real_merge() {
             .map(|(gi, g)| {
                 (
                     format!("/merged_{gi}.root"),
-                    g.inputs.iter().map(|(id, _)| format!("/out_{}.root", id.0)).collect(),
+                    g.inputs
+                        .iter()
+                        .map(|(id, _)| format!("/out_{}.root", id.0))
+                        .collect(),
                 )
             })
             .collect();

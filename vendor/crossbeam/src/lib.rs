@@ -1,0 +1,41 @@
+//! Offline shim for `crossbeam`.
+//!
+//! The workspace uses only `crossbeam::channel::{unbounded, Sender,
+//! Receiver, RecvTimeoutError}` with single-consumer receivers, which
+//! `std::sync::mpsc` covers exactly.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn recv_timeout_variants() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro over `name in strategy` bindings, numeric range
+//! strategies, `any::<T>()`, tuples of strategies, and
+//! `prop::collection::vec`. Sampling is fully deterministic: case `i` of
+//! every test derives its generator from a fixed seed and `i`, so failures
+//! reproduce without a persistence file. No shrinking is performed — the
+//! failing inputs are printed instead.
+
+use std::ops::Range;
+
+/// Number of cases per property (overridable via `PROPTEST_CASES`).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-case generator (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for case `case` of a property run.
+    pub fn for_case(case: u64) -> Self {
+        TestRng {
+            state: 0x9E3779B97F4A7C15u64.wrapping_mul(case.wrapping_add(1)),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift with rejection for exactness.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= n || (m as u64) >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// The full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+    // Lets `prop::collection::vec(...)` resolve, as in real proptest.
+    pub use crate as prop;
+}
+
+/// Defines `#[test]` functions that run a body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut __rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    // Render inputs up front: the body may move the bindings.
+                    let __inputs = ::std::format!(
+                        concat!("" $(, " ", stringify!($arg), "={:?}")*),
+                        $(&$arg,)*
+                    );
+                    let result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        panic!(
+                            "property `{}` failed at case {}:\n{}\ninputs:{}",
+                            stringify!($name),
+                            case,
+                            msg,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the enclosing property case when the values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+/// Fails the enclosing property case when the values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = prop::collection::vec(0u64..100, 1..10);
+        let mut a = crate::TestRng::for_case(3);
+        let mut b = crate::TestRng::for_case(3);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_case(0);
+        for _ in 0..1000 {
+            let x = (5u64..17).sample(&mut rng);
+            assert!((5..17).contains(&x));
+            let y = (-3i64..4).sample(&mut rng);
+            assert!((-3..4).contains(&y));
+            let z = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(xs in prop::collection::vec(any::<bool>(), 0..20), n in 1u32..5) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!((1..5).contains(&n));
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(n, 0);
+        }
+    }
+}

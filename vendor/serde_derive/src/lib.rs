@@ -1,0 +1,658 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — named-field structs, tuple
+//! structs, and unit enums — by lexically parsing the stringified token
+//! stream (the environment has no `syn`/`quote`). Unsupported shapes
+//! produce a `compile_error!` naming what was missing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input.to_string(), Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input.to_string(), Mode::Deserialize)
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(src: &str, mode: Mode) -> TokenStream {
+    let src = strip_comments(src);
+    let generated = match parse_item(&src) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    generated.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive shim produced invalid code: {e:?}\");")
+            .parse()
+            .expect("literal compile_error parses")
+    })
+}
+
+/// Remove `//` line comments and `/* */` block comments. Stringified token
+/// streams keep doc comments as literal `/// ...` text, which would
+/// otherwise confuse the scanner (they may even contain commas and braces).
+fn strip_comments(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    out.push(chars[i]);
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        out.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    let closed = chars[i] == '"';
+                    i += 1;
+                    if closed {
+                        break;
+                    }
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i < chars.len() && !(chars[i] == '*' && chars.get(i + 1) == Some(&'/')) {
+                    i += 1;
+                }
+                i = (i + 2).min(chars.len());
+                // Comments separate tokens; keep that property.
+                out.push(' ');
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+// ---- parsed item model -----------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Generic parameter declarations, e.g. `'a, T` (with bounds).
+    generics_decl: String,
+    /// Generic argument names, e.g. `'a, T`.
+    generics_args: String,
+    /// Type parameter names needing trait bounds.
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Enum whose variants are unit (`fields: None`) or named-field
+    /// (`fields: Some(names)`). Serialised externally tagged, like serde:
+    /// unit → `"Variant"`, named → `{"Variant": {..fields..}}`.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
+
+// ---- lexical scanner -------------------------------------------------------
+
+struct Scanner<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'s str,
+}
+
+impl<'s> Scanner<'s> {
+    fn new(src: &'s str) -> Self {
+        Scanner {
+            chars: src.chars().collect(),
+            pos: 0,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip `#[...]` / `#![...]` attribute tokens (doc comments arrive as
+    /// `#[doc = "..."]` in a stringified token stream).
+    fn skip_attrs(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.peek() != Some('#') {
+                return;
+            }
+            self.pos += 1;
+            self.skip_ws();
+            if self.peek() == Some('!') {
+                self.pos += 1;
+                self.skip_ws();
+            }
+            if self.peek() == Some('[') {
+                self.skip_balanced('[', ']');
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Consume a balanced `open ... close` group, respecting string
+    /// literals (attribute payloads may contain brackets in strings).
+    fn skip_balanced(&mut self, open: char, close: char) {
+        debug_assert_eq!(self.peek(), Some(open));
+        let mut depth = 0usize;
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => self.skip_string(),
+                c if c == open => depth += 1,
+                c if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume the remainder of a string literal (opening quote already
+    /// consumed).
+    fn skip_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.pos += 1;
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if !matches!(self.peek(), Some(c) if c.is_alphabetic() || c == '_') {
+            return None;
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        Some(self.chars[start..self.pos].iter().collect())
+    }
+
+    /// Consume an expected keyword, returning whether it was present.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        match self.ident() {
+            Some(id) if id == kw => true,
+            _ => {
+                self.pos = save;
+                false
+            }
+        }
+    }
+
+    /// Capture the source of a balanced group, excluding the delimiters.
+    fn capture_balanced(&mut self, open: char, close: char) -> String {
+        let start = self.pos + 1;
+        self.skip_balanced(open, close);
+        self.chars[start..self.pos.saturating_sub(1)]
+            .iter()
+            .collect()
+    }
+
+    /// Capture a `<...>` generics header (angle brackets are not a token
+    /// group, so balance them manually).
+    fn capture_generics(&mut self) -> String {
+        debug_assert_eq!(self.peek(), Some('<'));
+        let start = self.pos + 1;
+        let mut depth = 0usize;
+        while let Some(c) = self.bump() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.chars[start..self.pos.saturating_sub(1)]
+            .iter()
+            .collect()
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!(
+            "{msg} (while parsing `{}`)",
+            self.src.chars().take(120).collect::<String>()
+        )
+    }
+}
+
+/// Split `s` on commas that sit at depth 0 of every bracket kind.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut angle = 0i32;
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '<' => angle += 1,
+            '>' => angle -= 1,
+            '(' => paren += 1,
+            ')' => paren -= 1,
+            '[' => bracket += 1,
+            ']' => bracket -= 1,
+            '{' => brace += 1,
+            '}' => brace -= 1,
+            '"' => {
+                current.push(c);
+                for c2 in chars.by_ref() {
+                    current.push(c2);
+                    if c2 == '"' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            ',' if angle == 0 && paren == 0 && bracket == 0 && brace == 0 => {
+                let t = current.trim().to_string();
+                if !t.is_empty() {
+                    parts.push(t);
+                }
+                current.clear();
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    let t = current.trim().to_string();
+    if !t.is_empty() {
+        parts.push(t);
+    }
+    parts
+}
+
+/// Strip leading attributes and visibility from one field/variant chunk.
+fn strip_attrs_and_vis(chunk: &str) -> String {
+    let mut sc = Scanner::new(chunk);
+    sc.skip_attrs();
+    sc.skip_ws();
+    if sc.eat_keyword("pub") {
+        sc.skip_ws();
+        if sc.peek() == Some('(') {
+            sc.skip_balanced('(', ')');
+        }
+    }
+    sc.skip_ws();
+    sc.chars[sc.pos..]
+        .iter()
+        .collect::<String>()
+        .trim()
+        .to_string()
+}
+
+fn parse_item(src: &str) -> Result<Item, String> {
+    let mut sc = Scanner::new(src);
+    sc.skip_attrs();
+    sc.skip_ws();
+    if sc.eat_keyword("pub") {
+        sc.skip_ws();
+        if sc.peek() == Some('(') {
+            sc.skip_balanced('(', ')');
+        }
+    }
+    let is_enum = if sc.eat_keyword("struct") {
+        false
+    } else if sc.eat_keyword("enum") {
+        true
+    } else {
+        return Err(sc.error("serde shim derive supports only `struct` and `enum` items"));
+    };
+    let name = sc.ident().ok_or_else(|| sc.error("missing item name"))?;
+    sc.skip_ws();
+    let generics_decl = if sc.peek() == Some('<') {
+        sc.capture_generics()
+    } else {
+        String::new()
+    };
+    let (generics_args, type_params) = generic_args(&generics_decl);
+    sc.skip_ws();
+    // `struct Foo<T> where ...` is not used in this workspace; reject it
+    // loudly rather than silently generating unbounded impls.
+    let rest: String = sc.chars[sc.pos..].iter().collect();
+    let mut probe = Scanner::new(&rest);
+    if probe.eat_keyword("where") {
+        return Err(sc.error("serde shim derive does not support `where` clauses"));
+    }
+    let kind = if is_enum {
+        let body = match sc.peek() {
+            Some('{') => sc.capture_balanced('{', '}'),
+            _ => return Err(sc.error("expected enum body")),
+        };
+        let mut variants = Vec::new();
+        for chunk in split_top_level(&body) {
+            let v = strip_attrs_and_vis(&chunk);
+            if let Some(brace) = v.find('{') {
+                let vname = v[..brace].trim().to_string();
+                let inner = v[brace + 1..].trim_end_matches('}');
+                let mut fields = Vec::new();
+                for field in split_top_level(inner) {
+                    let f = strip_attrs_and_vis(&field);
+                    let field_name = f
+                        .split(':')
+                        .next()
+                        .map(|n| n.trim().to_string())
+                        .filter(|n| !n.is_empty())
+                        .ok_or_else(|| format!("unparseable field `{f}` in `{name}::{vname}`"))?;
+                    fields.push(field_name);
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields: Some(fields),
+                });
+            } else if v.contains('(') || v.contains('=') {
+                return Err(format!(
+                    "serde shim derive supports only unit and named-field enum variants; \
+                     `{name}` has `{v}`"
+                ));
+            } else {
+                variants.push(Variant {
+                    name: v.trim().to_string(),
+                    fields: None,
+                });
+            }
+        }
+        Kind::Enum(variants)
+    } else {
+        match sc.peek() {
+            Some('{') => {
+                let body = sc.capture_balanced('{', '}');
+                let mut fields = Vec::new();
+                for chunk in split_top_level(&body) {
+                    let f = strip_attrs_and_vis(&chunk);
+                    let field_name = f
+                        .split(':')
+                        .next()
+                        .map(|n| n.trim().to_string())
+                        .filter(|n| !n.is_empty())
+                        .ok_or_else(|| format!("unparseable field `{f}` in `{name}`"))?;
+                    fields.push(field_name);
+                }
+                Kind::Struct(fields)
+            }
+            Some('(') => {
+                let body = sc.capture_balanced('(', ')');
+                Kind::Tuple(split_top_level(&body).len())
+            }
+            _ => return Err(sc.error("expected struct body")),
+        }
+    };
+    Ok(Item {
+        name,
+        generics_decl,
+        generics_args,
+        type_params,
+        kind,
+    })
+}
+
+/// From a generics declaration (`'a, T: Clone, const N: usize`) produce
+/// the argument list (`'a, T, N`) and the list of type parameter names.
+fn generic_args(decl: &str) -> (String, Vec<String>) {
+    let mut args = Vec::new();
+    let mut type_params = Vec::new();
+    for param in split_top_level(decl) {
+        let param = param.trim();
+        if let Some(rest) = param.strip_prefix('\'') {
+            let name = rest.split([':', ' ']).next().unwrap_or("");
+            args.push(format!("'{name}"));
+        } else if let Some(rest) = param.strip_prefix("const ") {
+            let name = rest.split([':', ' ']).next().unwrap_or("").to_string();
+            args.push(name);
+        } else {
+            let name = param.split([':', ' ']).next().unwrap_or("").to_string();
+            args.push(name.clone());
+            type_params.push(name);
+        }
+    }
+    (args.join(", "), type_params)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let impl_generics = if item.generics_decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_decl)
+    };
+    let ty_generics = if item.generics_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_args)
+    };
+    let where_clause = if item.type_params.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        format!(" where {}", bounds.join(", "))
+    };
+    format!(
+        "impl{impl_generics} ::serde::{trait_name} for {}{ty_generics}{where_clause}",
+        item.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "Serialize");
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {} ::serde::Value::Object(fields)",
+                pushes.join(" ")
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),",
+                            name = item.name
+                        ),
+                        Some(fields) => {
+                            let bindings = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push((::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => {{ \
+                                 let mut inner: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new(); {pushes} \
+                                 ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(inner))]) }}",
+                                name = item.name,
+                                pushes = pushes.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!("{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::Value::get_field(obj, {f:?}).ok_or_else(|| \
+                         ::serde::DeError::custom(concat!(\"missing field `\", {f:?}, \"`\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(concat!(\"expected object for \", {name:?})))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})), _ => \
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!(\"expected {n}-element array for \", {name:?}))) }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some({v:?}) => \
+                         ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v.name.as_str(), fields)))
+                .map(|(vname, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::Value::get_field(inner, {f:?}).ok_or_else(|| \
+                                 ::serde::DeError::custom(concat!(\"missing field `\", \
+                                 {f:?}, \"`\")))?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => {{ let inner = val.as_object().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected object variant payload\"))?; \
+                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}",
+                        inits = inits.join(" ")
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(_) => match v.as_str() {{ {unit_arms} _ => \
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!(\"unknown variant for \", {name:?}))) }}, \
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                 let (tag, val) = &entries[0]; \
+                 match tag.as_str() {{ {tagged_arms} _ => \
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!(\"unknown variant for \", {name:?}))) }} }}, \
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!(\"expected string or single-key object for \", {name:?}))) }}",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
