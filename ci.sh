@@ -37,5 +37,9 @@ step cargo run -q -p simlint -- --check
 
 step cargo test --workspace -q
 
+# Release-mode cluster-run smoke: fixed seed, failure-policy machinery
+# included; writes throughput numbers to BENCH_cluster.json.
+step cargo run -q --release -p lobster-bench --bin bench_cluster
+
 echo
 echo "ci.sh: all gates passed"

@@ -13,6 +13,7 @@
 //! mechanism behind the squid-related task failures early in the paper's
 //! 20k-core run (Figure 11, bottom panel).
 
+use simkit::fault::FaultState;
 use simkit::time::{SimDuration, SimTime};
 use simnet::link::{FairLink, FlowId};
 
@@ -49,6 +50,7 @@ pub struct TimedOut;
 pub struct Squid {
     cfg: SquidConfig,
     link: FairLink,
+    fault: FaultState,
     requests_failed: u64,
 }
 
@@ -59,6 +61,7 @@ impl Squid {
         Squid {
             cfg,
             link,
+            fault: FaultState::healthy(),
             requests_failed: 0,
         }
     }
@@ -95,10 +98,32 @@ impl Squid {
     /// Projected service time for `bytes` given the current client count
     /// (assumes the population stays as-is — an estimate, not a promise).
     pub fn estimate(&mut self, now: SimTime, bytes: u64) -> SimDuration {
+        if self.fault.is_black_hole() {
+            // No bytes would ever arrive; from_secs_f64 clamps non-finite
+            // inputs to ZERO, so return "never" explicitly.
+            return SimDuration::MAX;
+        }
         let clients = (self.link.active() + 1) as f64;
-        let rate = (self.cfg.bandwidth / clients).min(self.cfg.per_client_cap);
+        let bandwidth = self.cfg.bandwidth * self.fault.capacity_factor();
+        let rate = (bandwidth / clients).min(self.cfg.per_client_cap);
         let _ = now;
         SimDuration::from_secs_f64(bytes as f64 / rate)
+    }
+
+    /// Apply an injected fault state; returns `true` if anything changed
+    /// (capacity is rescaled on the underlying link immediately).
+    pub fn set_fault(&mut self, now: SimTime, capacity_factor: f64, failure_prob: f64) -> bool {
+        let changed = self.fault.set(capacity_factor, failure_prob);
+        if changed {
+            self.link
+                .set_capacity(now, self.cfg.bandwidth * self.fault.capacity_factor());
+        }
+        changed
+    }
+
+    /// Current injected fault state.
+    pub fn fault(&self) -> FaultState {
+        self.fault
     }
 
     /// Next flow completion (see [`FairLink::next_completion`]).
@@ -234,6 +259,37 @@ mod tests {
         let (when, _) = s.next_completion().unwrap();
         s.completions(when);
         assert!((s.bytes_served(when) - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn black_holed_squid_rejects_everything() {
+        let mut s = small_squid();
+        assert!(s.set_fault(t(0.0), 0.0, 1.0));
+        assert_eq!(s.estimate(t(0.0), 1), SimDuration::MAX);
+        assert_eq!(s.request(t(0.0), 1), Err(TimedOut));
+        assert_eq!(s.requests_failed(), 1);
+        // Recovery restores service.
+        assert!(s.set_fault(t(5.0), 1.0, 0.0));
+        assert!(s.request(t(5.0), 100).is_ok());
+    }
+
+    #[test]
+    fn degraded_squid_serves_slower() {
+        let mut s = small_squid(); // 100 B/s pipe, 10 B/s per-client cap
+        s.set_fault(t(0.0), 0.05, 0.0); // 5 B/s aggregate
+        let _ = s.request(t(0.0), 100).unwrap();
+        let (when, _) = s.next_completion().unwrap();
+        // 100 bytes at 5 B/s: the injected factor now binds, not the cap.
+        assert!((when.as_secs_f64() - 20.0).abs() < 1e-6, "{when:?}");
+    }
+
+    #[test]
+    fn fault_state_change_detection() {
+        let mut s = small_squid();
+        assert!(!s.set_fault(t(0.0), 1.0, 0.0), "healthy -> healthy");
+        assert!(s.set_fault(t(0.0), 0.5, 0.0));
+        assert!(!s.set_fault(t(1.0), 0.5, 0.0));
+        assert!(s.fault().capacity_factor() == 0.5);
     }
 
     #[test]

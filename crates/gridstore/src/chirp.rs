@@ -12,6 +12,7 @@
 //! per-job service time is `bytes / per_connection_rate` plus a fixed
 //! connection setup cost.
 
+use simkit::fault::FaultState;
 use simkit::queue::{Grant, Server};
 use simkit::time::{SimDuration, SimTime};
 
@@ -36,11 +37,17 @@ impl Default for ChirpConfig {
     }
 }
 
+/// The server is black-holed by an injected fault: it accepts no new
+/// transfers until the fault window ends.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChirpDown;
+
 /// The stage-out server.
 #[derive(Clone, Debug)]
 pub struct ChirpServer {
     cfg: ChirpConfig,
     server: Server,
+    fault: FaultState,
     bytes_in: u64,
     bytes_out: u64,
 }
@@ -53,6 +60,7 @@ impl ChirpServer {
         ChirpServer {
             cfg,
             server: Server::new(cfg.max_connections),
+            fault: FaultState::healthy(),
             bytes_in: 0,
             bytes_out: 0,
         }
@@ -69,8 +77,16 @@ impl ChirpServer {
     }
 
     fn service_time(&self, bytes: u64) -> SimDuration {
-        self.cfg.setup_cost
-            + SimDuration::from_secs_f64(bytes as f64 / self.cfg.per_connection_rate)
+        // An injected brownout slows every connection proportionally. A
+        // black hole must be caught by try_put/try_get before this point:
+        // bytes/0 would be +inf, which from_secs_f64 clamps to ZERO —
+        // turning "server down" into "instant transfer".
+        assert!(
+            !self.fault.is_black_hole(),
+            "transfer offered to a black-holed Chirp server"
+        );
+        let rate = self.cfg.per_connection_rate * self.fault.capacity_factor();
+        self.cfg.setup_cost + SimDuration::from_secs_f64(bytes as f64 / rate)
     }
 
     /// Offer an upload (stage-out) of `bytes` arriving at `now`. The
@@ -84,6 +100,34 @@ impl ChirpServer {
     pub fn get(&mut self, now: SimTime, bytes: u64) -> Grant {
         self.bytes_out += bytes;
         self.server.offer(now, self.service_time(bytes))
+    }
+
+    /// Fallible upload: refused while the server is black-holed.
+    pub fn try_put(&mut self, now: SimTime, bytes: u64) -> Result<Grant, ChirpDown> {
+        if self.fault.is_black_hole() {
+            return Err(ChirpDown);
+        }
+        Ok(self.put(now, bytes))
+    }
+
+    /// Fallible download: refused while the server is black-holed.
+    pub fn try_get(&mut self, now: SimTime, bytes: u64) -> Result<Grant, ChirpDown> {
+        if self.fault.is_black_hole() {
+            return Err(ChirpDown);
+        }
+        Ok(self.get(now, bytes))
+    }
+
+    /// Apply an injected fault state; returns `true` if anything changed.
+    /// In-flight grants are unaffected (their completion instants were
+    /// fixed at admission); new transfers see the degraded rate.
+    pub fn set_fault(&mut self, capacity_factor: f64, failure_prob: f64) -> bool {
+        self.fault.set(capacity_factor, failure_prob)
+    }
+
+    /// Current injected fault state.
+    pub fn fault(&self) -> FaultState {
+        self.fault
     }
 
     /// Transfers served so far.
@@ -181,5 +225,26 @@ mod tests {
     fn default_sizing_sane() {
         let c = ChirpServer::default_sized();
         assert_eq!(c.config().max_connections, 64);
+    }
+
+    #[test]
+    fn black_holed_server_refuses_transfers() {
+        let mut c = small();
+        assert!(c.set_fault(0.0, 1.0));
+        assert_eq!(c.try_put(t(0), 100), Err(ChirpDown));
+        assert_eq!(c.try_get(t(0), 100), Err(ChirpDown));
+        assert_eq!(c.volume(), (0, 0), "refused transfers add no bytes");
+        // Recovery: transfers flow again.
+        assert!(c.set_fault(1.0, 0.0));
+        assert!(c.try_put(t(10), 100).is_ok());
+    }
+
+    #[test]
+    fn brownout_slows_transfers() {
+        let mut c = small(); // 100 B/s per connection, 1s setup
+        c.set_fault(0.5, 0.0);
+        let g = c.try_put(t(0), 100).unwrap();
+        // 100 bytes at 50 B/s + 1s setup = 3s.
+        assert_eq!(g.done, t(3));
     }
 }

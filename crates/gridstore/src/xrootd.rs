@@ -12,6 +12,7 @@
 //! window, new opens fail with the window's probability and the link
 //! capacity is scaled — the mechanism behind Figure 10's failure burst.
 
+use simkit::fault::FaultState;
 use simkit::rng::SimRng;
 use simkit::time::SimTime;
 use simnet::link::{FairLink, FlowId};
@@ -62,6 +63,7 @@ pub struct Federation {
     in_flight: BTreeMap<FlowId, (String, u64)>,
     opens: u64,
     open_failures: u64,
+    injected: FaultState,
     last_capacity_factor: f64,
 }
 
@@ -77,6 +79,7 @@ impl Federation {
             in_flight: BTreeMap::new(),
             opens: 0,
             open_failures: 0,
+            injected: FaultState::healthy(),
             last_capacity_factor: 1.0,
         }
     }
@@ -95,7 +98,28 @@ impl Federation {
     /// this at every instant returned by
     /// [`OutageSchedule::next_transition`].
     pub fn apply_outage(&mut self, now: SimTime) {
-        let factor = self.cfg.outages.capacity_factor(now);
+        self.refresh_capacity(now);
+    }
+
+    /// Apply an injected fault state on top of the outage schedule;
+    /// returns `true` if anything changed. The effective capacity is the
+    /// product of the scheduled and injected factors; the effective open
+    /// failure probability is the max of the two.
+    pub fn set_fault(&mut self, now: SimTime, capacity_factor: f64, failure_prob: f64) -> bool {
+        let changed = self.injected.set(capacity_factor, failure_prob);
+        if changed {
+            self.refresh_capacity(now);
+        }
+        changed
+    }
+
+    /// Current injected fault state.
+    pub fn fault(&self) -> FaultState {
+        self.injected
+    }
+
+    fn refresh_capacity(&mut self, now: SimTime) {
+        let factor = self.cfg.outages.capacity_factor(now) * self.injected.capacity_factor();
         if (factor - self.last_capacity_factor).abs() > f64::EPSILON {
             self.link.set_capacity(now, self.cfg.wan_bandwidth * factor);
             self.last_capacity_factor = factor;
@@ -117,7 +141,11 @@ impl Federation {
         rng: &mut SimRng,
     ) -> Result<FlowId, XrdError> {
         self.opens += 1;
-        let p_fail = self.cfg.outages.failure_prob(now);
+        let p_fail = self
+            .cfg
+            .outages
+            .failure_prob(now)
+            .max(self.injected.failure_prob());
         if p_fail > 0.0 && rng.chance(p_fail) {
             self.open_failures += 1;
             return Err(XrdError::WideAreaOutage);
@@ -279,6 +307,37 @@ mod tests {
         let dash = f.dashboard();
         assert_eq!(dash[0].0, "T3_US_NotreDame");
         assert_eq!(dash[2].0, "T2_DE_DESY");
+    }
+
+    #[test]
+    fn injected_fault_blocks_opens_and_stalls_streams() {
+        let mut f = small_fed(OutageSchedule::none());
+        let mut rng = SimRng::new(6);
+        f.open(t(0), "nd", 1000, &mut rng).unwrap();
+        assert!(f.set_fault(t(10), 0.0, 1.0));
+        assert_eq!(
+            f.open(t(10), "nd", 100, &mut rng),
+            Err(XrdError::WideAreaOutage)
+        );
+        assert!(f.next_completion().is_none(), "stalled during black hole");
+        assert!(f.set_fault(t(30), 1.0, 0.0));
+        let (when, _) = f.next_completion().unwrap();
+        assert!(when > t(30), "stream resumes after recovery");
+    }
+
+    #[test]
+    fn injected_fault_composes_with_outage_schedule() {
+        // Scheduled brownout to 50% plus injected brownout to 50%:
+        // effective capacity 25 B/s across the window.
+        let sched = OutageSchedule::new(vec![Outage::brownout(t(0), t(1000), 0.5, 0.0)]);
+        let mut f = small_fed(sched);
+        f.apply_outage(t(0));
+        f.set_fault(t(0), 0.5, 0.0);
+        let mut rng = SimRng::new(7);
+        for _ in 0..20 {
+            f.open(t(0), "nd", 1000, &mut rng).unwrap();
+        }
+        assert!((f.stream_rate(t(0)) - 1.25).abs() < 1e-9, "25 B/s over 20");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 use crate::access::DataAccessMode;
 use crate::merge::MergeMode;
 use serde::{Deserialize, Serialize};
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
 use std::io;
 use std::path::Path;
 
@@ -115,6 +117,104 @@ impl Default for WorkerConfig {
     }
 }
 
+/// Exponential backoff schedule with deterministic jitter.
+///
+/// Delay for the `n`-th consecutive failure is
+/// `base * factor^(n-1)`, capped at `max`, then jittered by a uniform
+/// `±jitter` fraction drawn from the caller's [`SimRng`] — the only
+/// randomness source permitted under the determinism lint.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay after the first failure. `ZERO` disables the wait entirely.
+    pub base: SimDuration,
+    /// Multiplier applied per additional consecutive failure (≥ 1).
+    pub factor: f64,
+    /// Ceiling on the un-jittered delay.
+    pub max: SimDuration,
+    /// Jitter fraction in `[0, 1]`: the delay is scaled by a uniform
+    /// draw from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Backoff {
+    /// A constant (non-growing, un-jittered) backoff.
+    pub fn fixed(delay: SimDuration) -> Self {
+        Backoff {
+            base: delay,
+            factor: 1.0,
+            max: delay,
+            jitter: 0.0,
+        }
+    }
+
+    /// Delay before the next try after `failures` consecutive failures
+    /// (`failures >= 1`; zero is treated as one).
+    pub fn delay(&self, failures: u32, rng: &mut SimRng) -> SimDuration {
+        if self.base.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let exp = failures.saturating_sub(1).min(1023);
+        // Cap in f64-space *before* converting: factor^exp can reach
+        // +inf, and from_secs_f64 clamps non-finite inputs to ZERO,
+        // which would turn "wait very long" into "retry immediately".
+        let secs =
+            (self.base.as_secs_f64() * self.factor.powi(exp as i32)).min(self.max.as_secs_f64());
+        let scale = 1.0 + self.jitter * (2.0 * rng.f64() - 1.0);
+        SimDuration::from_secs_f64(secs * scale)
+    }
+}
+
+/// Optional per-segment watchdog deadlines, measured from entry into the
+/// segment. `None` leaves that segment unguarded (legacy behaviour).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SegmentDeadlines {
+    /// Sandbox unpack + CVMFS environment population.
+    pub env_setup: Option<SimDuration>,
+    /// Input staging: WAN stream open/transfer or Chirp read.
+    pub stage_in: Option<SimDuration>,
+    /// CPU execution (for streaming tasks this spans the stream too).
+    pub execute: Option<SimDuration>,
+    /// Output upload through Chirp.
+    pub stage_out: Option<SimDuration>,
+}
+
+/// Failure-handling policy: how long to watch each segment, how often to
+/// retry, and how to back off (§5's troubleshooting loop, made explicit).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per task before it is dead-lettered. `None` retries
+    /// forever (the legacy behaviour).
+    pub max_attempts: Option<u32>,
+    /// Backoff for the slot hold after an `EnvInit` failure, keyed by the
+    /// worker's consecutive-failure streak (replaces the old hardcoded
+    /// 15-minute hold).
+    pub slot_hold: Backoff,
+    /// Backoff before a failed task re-enters the dispatch queue, keyed
+    /// by the task's attempt count.
+    pub requeue: Backoff,
+    /// Watchdog deadlines per segment.
+    pub deadlines: SegmentDeadlines,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: None,
+            // First EnvInit failure holds the slot 15 min (the paper's
+            // squid-recovery pause), doubling per consecutive failure.
+            slot_hold: Backoff {
+                base: SimDuration::from_mins(15),
+                factor: 2.0,
+                max: SimDuration::from_hours(2),
+                jitter: 0.1,
+            },
+            // Failed tasks historically re-queued immediately.
+            requeue: Backoff::fixed(SimDuration::ZERO),
+            deadlines: SegmentDeadlines::default(),
+        }
+    }
+}
+
 /// The top-level Lobster configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LobsterConfig {
@@ -130,6 +230,8 @@ pub struct LobsterConfig {
     pub infra: InfraConfig,
     /// Worker shape.
     pub workers: WorkerConfig,
+    /// Failure handling: watchdog deadlines, retry budget, backoff.
+    pub retry: RetryPolicy,
     /// Master seed for all randomness.
     pub seed: u64,
 }
@@ -143,6 +245,7 @@ impl Default for LobsterConfig {
             merge_target_bytes: 3_500_000_000,
             infra: InfraConfig::default(),
             workers: WorkerConfig::default(),
+            retry: RetryPolicy::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -202,6 +305,23 @@ impl LobsterConfig {
         if self.merge_target_bytes == 0 {
             problems.push("merge_target_bytes is 0".into());
         }
+        if self.retry.max_attempts == Some(0) {
+            problems.push("retry.max_attempts of 0 would dead-letter every task".into());
+        }
+        for (name, b) in [
+            ("slot_hold", &self.retry.slot_hold),
+            ("requeue", &self.retry.requeue),
+        ] {
+            if !b.factor.is_finite() || b.factor < 1.0 {
+                problems.push(format!("retry.{name}: backoff factor must be >= 1"));
+            }
+            if !(0.0..=1.0).contains(&b.jitter) {
+                problems.push(format!("retry.{name}: jitter must be in [0, 1]"));
+            }
+            if b.max < b.base {
+                problems.push(format!("retry.{name}: max below base"));
+            }
+        }
         problems
     }
 }
@@ -252,6 +372,74 @@ mod tests {
         let back = LobsterConfig::load(&path).unwrap();
         assert_eq!(back.merge_target_bytes, cfg.merge_target_bytes);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = Backoff {
+            base: SimDuration::from_mins(15),
+            factor: 2.0,
+            max: SimDuration::from_hours(2),
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::new(7);
+        assert_eq!(b.delay(1, &mut rng), SimDuration::from_mins(15));
+        assert_eq!(b.delay(2, &mut rng), SimDuration::from_mins(30));
+        assert_eq!(b.delay(3, &mut rng), SimDuration::from_mins(60));
+        // 15 min * 2^3 = 120 min; further failures stay capped.
+        assert_eq!(b.delay(4, &mut rng), SimDuration::from_hours(2));
+        assert_eq!(b.delay(40, &mut rng), SimDuration::from_hours(2));
+        // Astronomically many failures must not overflow to ZERO.
+        assert_eq!(b.delay(u32::MAX, &mut rng), SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band() {
+        let b = Backoff {
+            base: SimDuration::from_mins(10),
+            factor: 1.0,
+            max: SimDuration::from_mins(10),
+            jitter: 0.2,
+        };
+        let mut rng = SimRng::new(11);
+        for _ in 0..200 {
+            let d = b.delay(1, &mut rng).as_mins_f64();
+            assert!((8.0..=12.0).contains(&d), "jittered delay {d} min");
+        }
+    }
+
+    #[test]
+    fn zero_base_backoff_is_free() {
+        let mut rng = SimRng::new(3);
+        let b = Backoff::fixed(SimDuration::ZERO);
+        assert_eq!(b.delay(5, &mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retry_policy_roundtrips_with_deadlines() {
+        let mut cfg = LobsterConfig::default();
+        cfg.retry.max_attempts = Some(4);
+        cfg.retry.deadlines.stage_in = Some(SimDuration::from_mins(30));
+        let back = LobsterConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.retry.max_attempts, Some(4));
+        assert_eq!(
+            back.retry.deadlines.stage_in,
+            Some(SimDuration::from_mins(30))
+        );
+        assert_eq!(back.retry.deadlines.execute, None);
+        assert_eq!(back.retry.slot_hold, cfg.retry.slot_hold);
+    }
+
+    #[test]
+    fn validation_catches_bad_retry_policy() {
+        let mut cfg = LobsterConfig::default();
+        cfg.retry.max_attempts = Some(0);
+        cfg.retry.slot_hold.factor = 0.5;
+        cfg.retry.requeue.jitter = 2.0;
+        cfg.retry.requeue.base = SimDuration::from_mins(10);
+        cfg.retry.requeue.max = SimDuration::from_mins(1);
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 4, "{problems:?}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::access::{AccessTiming, DataAccessMode};
 use crate::adaptive::{AdaptiveConfig, AdaptiveSizer};
 use crate::config::{LobsterConfig, WorkloadKind};
 use crate::db::LobsterDb;
+use crate::fault::{FaultPlan, FaultTarget};
 use crate::merge::{MergeMode, MergePlanner};
 use crate::monitor::{Accounting, Advisor, AdvisorConfig, SegmentHistograms, Timeline};
 use crate::workflow::Workflow;
@@ -27,15 +28,16 @@ use batchsim::log::{LeaveReason, WorkerLog};
 use batchsim::pool::{OpportunisticPool, PoolConfig};
 use cvmfssim::catalog::ReleaseCatalog;
 use cvmfssim::squid::{Squid, SquidConfig, TimedOut};
-use gridstore::chirp::{ChirpConfig, ChirpServer};
+use gridstore::chirp::{ChirpConfig, ChirpDown, ChirpServer};
 use gridstore::xrootd::{Federation, FederationConfig};
 use simkit::prelude::*;
+use simkit::queue::Grant;
 use simkit::stats::TimeSeries;
 use simnet::link::FlowId;
 use simnet::outage::OutageSchedule;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wqueue::sim::{DispatchBuffer, WorkerTable};
-use wqueue::task::{Category, TaskId};
+use wqueue::task::{Category, DeadLetter, FailureCode, TaskId};
 
 /// Simulation-only parameters on top of [`LobsterConfig`].
 #[derive(Clone, Debug)]
@@ -72,6 +74,9 @@ pub struct SimParams {
     pub wan_stream_cap: f64,
     /// Squid proxy sizing.
     pub squid: SquidConfig,
+    /// Injected infrastructure faults (squid / Chirp / federation
+    /// degradation windows), applied on top of the outage schedule.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimParams {
@@ -92,6 +97,7 @@ impl Default for SimParams {
             adaptive_cfg: AdaptiveConfig::default(),
             wan_stream_cap: 10e6,
             squid: SquidConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -111,24 +117,33 @@ pub enum Ev {
     WorkerEvict(u64),
     /// Try to assign buffered tasks to free slots.
     Dispatch,
-    /// Sandbox transfer finished; begin environment setup.
-    SandboxDone(TaskId),
+    /// Sandbox transfer finished; begin environment setup. Carries the
+    /// attempt number so events from superseded attempts are ignored.
+    SandboxDone(TaskId, u32),
     /// A squid may have finished serving flows.
     SquidWake(usize),
     /// The federation may have finished transfers.
     FedWake,
     /// An outage window starts or ends.
     OutageWake,
+    /// An injected fault window starts or ends.
+    FaultWake,
+    /// A Chirp-staged input fully landed; execution starts.
+    DataStaged(TaskId, u32),
     /// CPU (and streaming input) finished; begin stage-out.
-    ExecDone(TaskId),
+    ExecDone(TaskId, u32),
     /// Chirp upload finished; begin result collection.
-    StageOutDone(TaskId),
+    StageOutDone(TaskId, u32),
     /// Result reached the master; the task is complete.
-    CollectDone(TaskId),
+    CollectDone(TaskId, u32),
     /// One Hadoop merge group finished.
     HadoopGroupDone(usize),
     /// A slot held back after an environment-setup failure frees up.
     SlotFree(u64),
+    /// A segment watchdog deadline expired (sequence guards staleness).
+    Deadline(TaskId, u64),
+    /// A backed-off retry re-enters the ready queue.
+    Requeue(TaskId),
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -159,6 +174,8 @@ struct TaskInfo {
     /// Outputs a merge task combines (None for analysis tasks).
     merge_inputs: Option<Vec<(TaskId, u64)>>,
     attempt: u32,
+    /// Armed segment watchdog: (sequence, guarded segment, deadline event).
+    watchdog: Option<(u64, Segment, EventId)>,
 }
 
 /// The harvestable outcome of a run.
@@ -198,6 +215,10 @@ pub struct RunReport {
     pub peak_concurrency: f64,
     /// Final task size chosen by the adaptive controller (if enabled).
     pub final_task_size: u32,
+    /// Tasks withdrawn after exhausting their retry budget.
+    pub dead_letters: Vec<DeadLetter>,
+    /// Engine events delivered over the run (throughput diagnostics).
+    pub events_delivered: u64,
 }
 
 /// The cluster simulation model.
@@ -255,7 +276,16 @@ pub struct ClusterSim {
     evictions: u64,
     merges_completed: u64,
     finished_at: Option<SimTime>,
-    sizer: AdaptiveSizer,
+    /// One adaptive sizing controller per workflow.
+    sizers: Vec<AdaptiveSizer>,
+    /// Monotone sequence distinguishing watchdog armings.
+    watchdog_seq: u64,
+    /// Per-worker consecutive environment-setup failures (slot-hold
+    /// backoff input; reset on the next env success there).
+    env_fail_streak: BTreeMap<u64, u32>,
+    dead_letters: Vec<DeadLetter>,
+    /// Per-workflow tasklets withdrawn with dead-lettered tasks.
+    dead_tasklets: Vec<u64>,
 }
 
 impl ClusterSim {
@@ -307,8 +337,14 @@ impl ClusterSim {
         let timeline = Timeline::new(params.timeline_bin);
         let analysis_done = TimeSeries::new(params.timeline_bin);
         let merge_done = TimeSeries::new(params.timeline_bin);
-        let initial_size = cfg.workflows[0].tasklets_per_task;
-        let sizer = AdaptiveSizer::new(params.adaptive_cfg, initial_size);
+        // One controller per workflow, each seeded from its own task size
+        // (workflows may mix very different tasklet densities).
+        let sizers: Vec<AdaptiveSizer> = cfg
+            .workflows
+            .iter()
+            .map(|w| AdaptiveSizer::new(params.adaptive_cfg, w.tasklets_per_task))
+            .collect();
+        let dead_tasklets = vec![0u64; workflows.len()];
         let catalog = ReleaseCatalog::cmssw_default(cfg.seed ^ 0xCAFE);
         ClusterSim {
             rng: rng.split(0),
@@ -356,7 +392,11 @@ impl ClusterSim {
             evictions: 0,
             merges_completed: 0,
             finished_at: None,
-            sizer,
+            sizers,
+            watchdog_seq: 0,
+            env_fail_streak: BTreeMap::new(),
+            dead_letters: Vec::new(),
+            dead_tasklets,
         }
     }
 
@@ -366,6 +406,7 @@ impl ClusterSim {
         let mut engine = Engine::new(ClusterSim::new(cfg, params, workflows));
         engine.prime(SimDuration::ZERO, Ev::Start);
         let ended_at = engine.run_until(SimTime::ZERO + horizon);
+        let events_delivered = engine.ctx().delivered();
         let sim = engine.into_model();
         let concurrency = sim.timeline.concurrency();
         let peak = concurrency.iter().copied().fold(0.0, f64::max);
@@ -386,7 +427,9 @@ impl ClusterSim {
             finished_at: sim.finished_at,
             ended_at,
             peak_concurrency: peak,
-            final_task_size: sim.sizer.current(),
+            final_task_size: sim.sizers[0].current(),
+            dead_letters: sim.dead_letters,
+            events_delivered,
         }
     }
 
@@ -396,19 +439,19 @@ impl ClusterSim {
 
     // ----- task creation ---------------------------------------------------
 
-    fn task_size(&self) -> u32 {
+    fn task_size(&self, wf: usize) -> u32 {
         if self.params.adaptive {
-            self.sizer.current()
+            self.sizers[wf].current()
         } else {
-            self.cfg.workflows[0].tasklets_per_task
+            self.cfg.workflows[wf].tasklets_per_task
         }
     }
 
     fn refill_buffer(&mut self, now: SimTime) {
         while self.buffer.deficit() > 0 {
-            let size = self.task_size();
             let mut created = false;
             for wf_idx in 0..self.workflows.len() {
+                let size = self.task_size(wf_idx);
                 let name = self.workflows[wf_idx].name.clone();
                 if let Some(id) = self.db.create_task(&name, size) {
                     let n = self.db.task_tasklets(id).expect("created").len() as u32;
@@ -431,6 +474,7 @@ impl ClusterSim {
                             data_flow: None,
                             merge_inputs: None,
                             attempt: 0,
+                            watchdog: None,
                         },
                     );
                     self.buffer.push(id);
@@ -469,6 +513,7 @@ impl ClusterSim {
                 data_flow: None,
                 merge_inputs: Some(inputs),
                 attempt: 0,
+                watchdog: None,
             },
         );
         self.merge_queue.push_back(id);
@@ -505,6 +550,7 @@ impl ClusterSim {
             t.worker = Some(worker);
             t.attempt += 1;
             t.phase_started = now;
+            let attempt = t.attempt;
             let mut builder = ReportBuilder::new(id, t.category, t.attempt - 1, worker, now);
             builder.times_mut().queued = now - t.enqueued_at;
             builder.times_mut().wq_stage_in = grant.done - now;
@@ -513,35 +559,41 @@ impl ClusterSim {
                 self.db.mark_running(id);
             }
             self.running_on.entry(worker).or_default().insert(id);
-            ctx.schedule_at(grant.done, Ev::SandboxDone(id));
+            ctx.schedule_at(grant.done, Ev::SandboxDone(id, attempt));
         }
     }
 
     // ----- wrapper segments -------------------------------------------------
 
-    fn on_sandbox_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+    fn on_sandbox_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(t) = self.tasks.get_mut(&id) else {
-            return;
+        let worker = {
+            let Some(t) = self.tasks.get_mut(&id) else {
+                return;
+            };
+            if t.phase != Phase::Sandbox || t.attempt != attempt {
+                return; // stale (evicted or retried meanwhile)
+            }
+            t.phase = Phase::EnvSetup;
+            t.phase_started = now;
+            let Some(w) = t.worker else { return };
+            w
         };
-        if t.phase != Phase::Sandbox {
-            return; // stale (evicted meanwhile)
-        }
-        t.phase = Phase::EnvSetup;
-        t.phase_started = now;
-        let worker = t.worker.expect("dispatched");
+        self.arm_watchdog(id, Segment::EnvInit, ctx);
         let hot = self.table.get(worker).map(|w| w.cache_hot).unwrap_or(false);
         let squid_idx = (worker as usize) % self.squids.len();
         if hot {
             // Cheap re-validation + conditions payload, one per task.
             let bytes = self.catalog.hot_bytes();
-            match self.squids[squid_idx].request(now, bytes) {
+            match self.squid_admit(squid_idx, now, bytes) {
                 Ok(flow) => {
                     self.squid_flows[squid_idx].insert(flow, id);
-                    self.tasks.get_mut(&id).expect("present").env_flow = Some((squid_idx, flow));
+                    if let Some(t) = self.tasks.get_mut(&id) {
+                        t.env_flow = Some((squid_idx, flow));
+                    }
                     self.reschedule_squid(squid_idx, ctx);
                 }
-                Err(TimedOut) => self.fail_task(id, Segment::EnvInit, ctx),
+                Err(TimedOut) => self.fail_attempt(id, Segment::EnvInit, false, ctx),
             }
         } else if self.cfg.infra.alien_cache {
             // Alien cache (§4.3): one cold fill per worker; concurrent
@@ -552,27 +604,126 @@ impl ClusterSim {
                 return;
             }
             let bytes = self.catalog.total_bytes();
-            match self.squids[squid_idx].request(now, bytes) {
+            match self.squid_admit(squid_idx, now, bytes) {
                 Ok(flow) => {
                     self.squid_fill_flows[squid_idx].insert(flow, worker);
                     self.env_fill.insert(worker, (squid_idx, flow, vec![id]));
                     self.reschedule_squid(squid_idx, ctx);
                 }
-                Err(TimedOut) => self.fail_task(id, Segment::EnvInit, ctx),
+                Err(TimedOut) => self.fail_attempt(id, Segment::EnvInit, false, ctx),
             }
         } else {
             // No alien cache: every task pays the full cold fill into its
             // own cache directory (Figure 6(b) economics).
             let bytes = self.catalog.total_bytes();
-            match self.squids[squid_idx].request(now, bytes) {
+            match self.squid_admit(squid_idx, now, bytes) {
                 Ok(flow) => {
                     self.squid_flows[squid_idx].insert(flow, id);
-                    self.tasks.get_mut(&id).expect("present").env_flow = Some((squid_idx, flow));
+                    if let Some(t) = self.tasks.get_mut(&id) {
+                        t.env_flow = Some((squid_idx, flow));
+                    }
                     self.reschedule_squid(squid_idx, ctx);
                 }
-                Err(TimedOut) => self.fail_task(id, Segment::EnvInit, ctx),
+                Err(TimedOut) => self.fail_attempt(id, Segment::EnvInit, false, ctx),
             }
         }
+    }
+
+    /// Squid request with any injected failure probability applied first
+    /// (the fault layer models proxies that drop connections outright).
+    fn squid_admit(&mut self, idx: usize, now: SimTime, bytes: u64) -> Result<FlowId, TimedOut> {
+        let p = self.squids[idx].fault().failure_prob();
+        if p > 0.0 && self.rng.chance(p) {
+            return Err(TimedOut);
+        }
+        self.squids[idx].request(now, bytes)
+    }
+
+    /// Chirp read with any injected failure probability applied first.
+    fn chirp_admit_get(&mut self, now: SimTime, bytes: u64) -> Result<Grant, ChirpDown> {
+        let p = self.chirp.fault().failure_prob();
+        if p > 0.0 && self.rng.chance(p) {
+            return Err(ChirpDown);
+        }
+        self.chirp.try_get(now, bytes)
+    }
+
+    /// Chirp write with any injected failure probability applied first.
+    fn chirp_admit_put(&mut self, now: SimTime, bytes: u64) -> Result<Grant, ChirpDown> {
+        let p = self.chirp.fault().failure_prob();
+        if p > 0.0 && self.rng.chance(p) {
+            return Err(ChirpDown);
+        }
+        self.chirp.try_put(now, bytes)
+    }
+
+    // ----- segment watchdogs -------------------------------------------------
+
+    /// The configured deadline for `segment`, if any.
+    fn segment_deadline(&self, segment: Segment) -> Option<SimDuration> {
+        let d = &self.cfg.retry.deadlines;
+        match segment {
+            Segment::EnvInit => d.env_setup,
+            Segment::StageIn => d.stage_in,
+            Segment::Execute => d.execute,
+            Segment::StageOut => d.stage_out,
+            Segment::Compatibility => None,
+        }
+    }
+
+    /// Arm (or re-arm) `id`'s watchdog for `segment`, expiring `deadline`
+    /// after `from`. No-op when the segment has no configured deadline —
+    /// any previously armed watchdog is still cancelled, so segments
+    /// without deadlines never inherit a stale one.
+    fn arm_watchdog_from(
+        &mut self,
+        id: TaskId,
+        segment: Segment,
+        from: SimTime,
+        ctx: &mut Ctx<Ev>,
+    ) {
+        let deadline = self.segment_deadline(segment);
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return;
+        };
+        if let Some((_, _, ev)) = t.watchdog.take() {
+            ctx.cancel(ev);
+        }
+        let Some(dl) = deadline else { return };
+        self.watchdog_seq += 1;
+        let seq = self.watchdog_seq;
+        let ev = ctx.schedule_at(from + dl, Ev::Deadline(id, seq));
+        t.watchdog = Some((seq, segment, ev));
+    }
+
+    /// Arm `id`'s watchdog for `segment`, measured from now.
+    fn arm_watchdog(&mut self, id: TaskId, segment: Segment, ctx: &mut Ctx<Ev>) {
+        self.arm_watchdog_from(id, segment, ctx.now(), ctx);
+    }
+
+    /// Cancel `id`'s armed watchdog, if any.
+    fn disarm_watchdog(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            if let Some((_, _, ev)) = t.watchdog.take() {
+                ctx.cancel(ev);
+            }
+        }
+    }
+
+    fn on_deadline(&mut self, id: TaskId, seq: u64, ctx: &mut Ctx<Ev>) {
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return;
+        };
+        let Some((armed, segment, _)) = t.watchdog else {
+            return;
+        };
+        if armed != seq {
+            return; // stale: the watchdog was re-armed since
+        }
+        // This very event fired; clear without cancelling so the engine's
+        // tombstone set stays clean.
+        t.watchdog = None;
+        self.fail_attempt(id, segment, true, ctx);
     }
 
     fn reschedule_squid(&mut self, idx: usize, ctx: &mut Ctx<Ev>) {
@@ -593,6 +744,7 @@ impl ClusterSim {
                 // A shared cold fill finished: the worker is hot and every
                 // waiting task proceeds.
                 self.table.set_cache_hot(worker);
+                self.env_fail_streak.remove(&worker);
                 let waiters = self
                     .env_fill
                     .remove(&worker)
@@ -622,6 +774,9 @@ impl ClusterSim {
                 continue;
             }
             t.env_flow = None;
+            if let Some(w) = t.worker {
+                self.env_fail_streak.remove(&w);
+            }
             if let Some(b) = t.builder.as_mut() {
                 b.times_mut().env_setup = now - t.phase_started;
             }
@@ -632,42 +787,68 @@ impl ClusterSim {
 
     fn begin_data_phase(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let t = self.tasks.get_mut(&id).expect("present");
+        self.disarm_watchdog(id, ctx);
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return;
+        };
         t.phase = Phase::Exec;
         t.phase_started = now;
-        let (kind, input, cpu, category) =
-            (self.workflows[t.wf].kind, t.input_bytes, t.cpu, t.category);
-        let streaming = category == Category::Merge
-            || (kind == WorkloadKind::DataProcessing && self.cfg.access == DataAccessMode::Stream);
+        let (kind, input, cpu, category, attempt) = (
+            self.workflows[t.wf].kind,
+            t.input_bytes,
+            t.cpu,
+            t.category,
+            t.attempt,
+        );
+        let streaming = kind == WorkloadKind::DataProcessing
+            && self.cfg.access == DataAccessMode::Stream
+            && category != Category::Merge;
         if input == 0 {
             // Pure generation: straight to execution.
             if let Some(b) = t.builder.as_mut() {
                 b.times_mut().cpu = cpu;
             }
-            ctx.schedule(cpu, Ev::ExecDone(id));
-        } else if kind == WorkloadKind::Simulation {
-            // Pile-up overlay staged from *local* storage via Chirp (§6):
-            // the only input a simulation task has.
-            let grant = self.chirp.get(now, input);
-            if let Some(b) = t.builder.as_mut() {
-                b.times_mut().stage_in = grant.done - now;
-                b.times_mut().cpu = cpu;
+            ctx.schedule(cpu, Ev::ExecDone(id, attempt));
+            self.arm_watchdog(id, Segment::Execute, ctx);
+        } else if kind == WorkloadKind::Simulation || category == Category::Merge {
+            // Input staged from *local* storage via Chirp: the pile-up
+            // overlay for simulation tasks (§6), and the already
+            // staged-out analysis outputs for merge tasks (§4.4) — merge
+            // inputs never cross the WAN.
+            match self.chirp_admit_get(now, input) {
+                Ok(grant) => {
+                    let Some(t) = self.tasks.get_mut(&id) else {
+                        return;
+                    };
+                    t.phase = Phase::Data;
+                    if let Some(b) = t.builder.as_mut() {
+                        b.times_mut().stage_in = grant.done - now;
+                    }
+                    ctx.schedule_at(grant.done, Ev::DataStaged(id, attempt));
+                    self.arm_watchdog(id, Segment::StageIn, ctx);
+                }
+                Err(ChirpDown) => self.fail_attempt(id, Segment::StageIn, false, ctx),
             }
-            ctx.schedule_at(grant.done + cpu, Ev::ExecDone(id));
         } else if streaming {
             // XrootD stream: execution overlaps the WAN transfer.
             match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
                 Ok(flow) => {
                     self.fed_flows.insert(flow, id);
-                    let t = self.tasks.get_mut(&id).expect("present");
+                    let Some(t) = self.tasks.get_mut(&id) else {
+                        return;
+                    };
                     t.data_flow = Some(flow);
                     if let Some(b) = t.builder.as_mut() {
                         b.times_mut().stage_in = AccessTiming::STREAM_OPEN;
                         b.times_mut().cpu = cpu;
                     }
                     self.reschedule_fed(ctx);
+                    // The stage-in watchdog covers the whole stream: a
+                    // blackout that freezes the WAN mid-transfer would
+                    // otherwise pin this slot to the horizon.
+                    self.arm_watchdog(id, Segment::StageIn, ctx);
                 }
-                Err(_) => self.fail_task(id, Segment::StageIn, ctx),
+                Err(_) => self.fail_attempt(id, Segment::StageIn, false, ctx),
             }
         } else {
             // Staged remote input (Chirp or WQ transfer, §4.2): the data
@@ -677,14 +858,36 @@ impl ClusterSim {
             match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
                 Ok(flow) => {
                     self.fed_flows.insert(flow, id);
-                    let t = self.tasks.get_mut(&id).expect("present");
+                    let Some(t) = self.tasks.get_mut(&id) else {
+                        return;
+                    };
                     t.data_flow = Some(flow);
                     t.phase = Phase::Data;
+                    self.arm_watchdog(id, Segment::StageIn, ctx);
                 }
-                Err(_) => self.fail_task(id, Segment::StageIn, ctx),
+                Err(_) => self.fail_attempt(id, Segment::StageIn, false, ctx),
             }
             self.reschedule_fed(ctx);
         }
+    }
+
+    /// A Chirp-staged input landed: start the CPU clock.
+    fn on_data_staged(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
+        let now = ctx.now();
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return;
+        };
+        if t.phase != Phase::Data || t.attempt != attempt {
+            return;
+        }
+        t.phase = Phase::Exec;
+        t.phase_started = now;
+        let cpu = t.cpu;
+        if let Some(b) = t.builder.as_mut() {
+            b.times_mut().cpu = cpu;
+        }
+        ctx.schedule(cpu, Ev::ExecDone(id, attempt));
+        self.arm_watchdog(id, Segment::Execute, ctx);
     }
 
     fn reschedule_fed(&mut self, ctx: &mut Ctx<Ev>) {
@@ -720,7 +923,13 @@ impl ClusterSim {
                     if let Some(b) = t.builder.as_mut() {
                         b.times_mut().io_wait = now.since(cpu_end);
                     }
-                    ctx.schedule_at(end, Ev::ExecDone(id));
+                    let (attempt, started) = (t.attempt, t.phase_started);
+                    ctx.schedule_at(end, Ev::ExecDone(id, attempt));
+                    // The stream survived its watchdog; hand over to the
+                    // execute deadline, measured from the segment entry
+                    // (stream open). Completion is scheduled first, so a
+                    // deadline landing at the same instant loses the tie.
+                    self.arm_watchdog_from(id, Segment::Execute, started, ctx);
                 }
                 Phase::Data => {
                     t.data_flow = None;
@@ -732,7 +941,9 @@ impl ClusterSim {
                         b.times_mut().stage_in = AccessTiming::STAGE_SETUP + stage_in;
                         b.times_mut().cpu = t.cpu;
                     }
-                    ctx.schedule_at(now + t.cpu, Ev::ExecDone(id));
+                    let (attempt, cpu) = (t.attempt, t.cpu);
+                    ctx.schedule_at(now + cpu, Ev::ExecDone(id, attempt));
+                    self.arm_watchdog(id, Segment::Execute, ctx);
                 }
                 _ => {}
             }
@@ -740,52 +951,69 @@ impl ClusterSim {
         self.reschedule_fed(ctx);
     }
 
-    fn on_exec_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+    fn on_exec_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(t) = self.tasks.get_mut(&id) else {
-            return;
+        let output = {
+            let Some(t) = self.tasks.get_mut(&id) else {
+                return;
+            };
+            if t.phase != Phase::Exec || t.attempt != attempt || t.data_flow.is_some() {
+                return; // stale, or the input stream is still in flight
+            }
+            t.phase = Phase::StageOut;
+            t.phase_started = now;
+            t.output_bytes
         };
-        if t.phase != Phase::Exec || t.data_flow.is_some() {
-            return; // stale, or the input stream is still in flight
+        match self.chirp_admit_put(now, output) {
+            Ok(grant) => {
+                let Some(t) = self.tasks.get_mut(&id) else {
+                    return;
+                };
+                if let Some(b) = t.builder.as_mut() {
+                    b.times_mut().stage_out = grant.done - now;
+                }
+                ctx.schedule_at(grant.done, Ev::StageOutDone(id, attempt));
+                self.arm_watchdog(id, Segment::StageOut, ctx);
+            }
+            Err(ChirpDown) => self.fail_attempt(id, Segment::StageOut, false, ctx),
         }
-        t.phase = Phase::StageOut;
-        t.phase_started = now;
-        let grant = self.chirp.put(now, t.output_bytes);
-        if let Some(b) = t.builder.as_mut() {
-            b.times_mut().stage_out = grant.done - now;
-        }
-        ctx.schedule_at(grant.done, Ev::StageOutDone(id));
     }
 
-    fn on_stage_out_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
-        let Some(t) = self.tasks.get_mut(&id) else {
-            return;
-        };
-        if t.phase != Phase::StageOut {
-            return;
+    fn on_stage_out_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
+        {
+            let Some(t) = self.tasks.get_mut(&id) else {
+                return;
+            };
+            if t.phase != Phase::StageOut || t.attempt != attempt {
+                return;
+            }
+            t.phase = Phase::Collect;
+            if let Some(b) = t.builder.as_mut() {
+                b.times_mut().wq_stage_out = self.params.wq_collect;
+            }
         }
-        t.phase = Phase::Collect;
-        if let Some(b) = t.builder.as_mut() {
-            b.times_mut().wq_stage_out = self.params.wq_collect;
-        }
-        ctx.schedule(self.params.wq_collect, Ev::CollectDone(id));
+        ctx.schedule(self.params.wq_collect, Ev::CollectDone(id, attempt));
+        self.disarm_watchdog(id, ctx);
     }
 
-    fn on_collect_done(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
+    fn on_collect_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         match self.tasks.get(&id) {
-            Some(t) if t.phase == Phase::Collect => {}
+            Some(t) if t.phase == Phase::Collect && t.attempt == attempt => {}
             _ => return,
         }
-        let mut t = self.tasks.remove(&id).expect("present");
+        let Some(mut t) = self.tasks.remove(&id) else {
+            return;
+        };
+        if let Some((_, _, ev)) = t.watchdog.take() {
+            ctx.cancel(ev);
+        }
         let worker = t.worker.expect("running");
+        let Some(report) = t.builder.take().map(|b| b.succeed(now, t.output_bytes)) else {
+            return;
+        };
         self.release_task_slot(worker, id);
-        let report = t
-            .builder
-            .take()
-            .expect("built")
-            .succeed(now, t.output_bytes);
-        self.ingest(&report);
+        self.ingest(&report, t.wf);
         if t.category == Category::Merge {
             self.merges_completed += 1;
             self.merge_done.mark(now);
@@ -852,7 +1080,12 @@ impl ClusterSim {
     }
 
     fn analysis_exhausted(&self) -> bool {
-        self.db.all_done()
+        // Dead-lettered tasklets count against the total: a withdrawn
+        // task must not hold the merge flush (and the run) hostage.
+        self.workflows
+            .iter()
+            .enumerate()
+            .all(|(i, w)| self.db.done_tasklets(&w.name) + self.dead_tasklets[i] >= w.n_tasklets())
     }
 
     fn maybe_plan_merges(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
@@ -937,31 +1170,176 @@ impl ClusterSim {
 
     // ----- failure & eviction ------------------------------------------------
 
-    fn fail_task(&mut self, id: TaskId, segment: Segment, ctx: &mut Ctx<Ev>) {
+    /// Fail one attempt of `id` in `segment` — either rejected at
+    /// admission (`by_watchdog == false`) or stuck mid-flight and killed
+    /// by its segment watchdog. Releases or holds the slot, aborts any
+    /// in-flight transfers, reports the failure, and routes the task
+    /// through the retry policy.
+    fn fail_attempt(&mut self, id: TaskId, segment: Segment, by_watchdog: bool, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         let Some(mut t) = self.tasks.remove(&id) else {
             return;
         };
-        let worker = t.worker.expect("running");
+        if let Some((_, _, ev)) = t.watchdog.take() {
+            ctx.cancel(ev);
+        }
+        let Some(worker) = t.worker else { return };
+        // A task waiting on a shared alien-cache fill holds no flow of
+        // its own; drop it from the fill's waiter list (killing the fill
+        // when it was the last waiter).
+        if t.phase == Phase::EnvSetup {
+            self.scrub_env_fill(id, worker, now, ctx);
+        }
         if segment == Segment::EnvInit {
             // The proxy tier is overloaded: hold the slot back instead of
             // immediately re-dispatching into the same congestion (the
-            // client-side retry backoff of §6).
+            // client-side retry backoff of §6). The hold grows with the
+            // worker's consecutive env failures, per the retry policy.
             if let Some(set) = self.running_on.get_mut(&worker) {
                 set.remove(&id);
             }
-            ctx.schedule(SimDuration::from_mins(15), Ev::SlotFree(worker));
+            let streak = self.env_fail_streak.entry(worker).or_insert(0);
+            *streak += 1;
+            let failures = *streak;
+            let hold = self.cfg.retry.slot_hold.delay(failures, &mut self.rng);
+            self.accounting.record_backoff(hold);
+            ctx.schedule(hold, Ev::SlotFree(worker));
         } else {
             self.release_task_slot(worker, id);
         }
+        let squid_aborted = t.env_flow.map(|(idx, _)| idx);
+        let fed_aborted = t.data_flow.is_some();
         self.abort_flows(&mut t, now);
+        // A mid-flight abort re-times the component's remaining flows.
+        if let Some(idx) = squid_aborted {
+            self.reschedule_squid(idx, ctx);
+        }
+        if fed_aborted {
+            self.reschedule_fed(ctx);
+        }
         if let Some(b) = t.builder.take() {
-            let report = b.fail(segment, now);
-            self.ingest(&report);
+            let report = if by_watchdog {
+                b.abort_by_watchdog(segment, now)
+            } else {
+                b.fail(segment, now)
+            };
+            self.ingest(&report, t.wf);
         }
         self.tasks_failed += 1;
-        self.requeue(id, t, now);
+        self.retry_or_dead_letter(id, t, segment.failure_code(), now, ctx);
+        self.check_finished(now);
         self.dispatch(ctx);
+    }
+
+    /// Remove `id` from its worker's shared cold-fill waiters; when it
+    /// was the last waiter, abort the fill itself.
+    fn scrub_env_fill(&mut self, id: TaskId, worker: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let Some((idx, flow, waiters)) = self.env_fill.get_mut(&worker) else {
+            return;
+        };
+        waiters.retain(|w| *w != id);
+        if waiters.is_empty() {
+            let (idx, flow) = (*idx, *flow);
+            self.env_fill.remove(&worker);
+            self.squids[idx].abort(now, flow);
+            self.squid_fill_flows[idx].remove(&flow);
+            self.reschedule_squid(idx, ctx);
+        }
+    }
+
+    /// After a failed attempt: retry within the configured budget, or
+    /// withdraw the task to the dead-letter ledger.
+    fn retry_or_dead_letter(
+        &mut self,
+        id: TaskId,
+        t: TaskInfo,
+        code: FailureCode,
+        now: SimTime,
+        ctx: &mut Ctx<Ev>,
+    ) {
+        let Some(max) = self.cfg.retry.max_attempts else {
+            // Unbounded legacy policy: merges re-enqueue whole, analysis
+            // tasklets return to the pool for re-covering.
+            self.requeue(id, t, now);
+            return;
+        };
+        if t.attempt >= max {
+            self.dead_letter(id, t, code, now, ctx);
+            return;
+        }
+        // Bounded budget: the same task identity retries so the attempt
+        // count carries across failures.
+        let delay = self.cfg.retry.requeue.delay(t.attempt, &mut self.rng);
+        let mut t = t;
+        t.phase = Phase::Queued;
+        t.worker = None;
+        t.builder = None;
+        t.env_flow = None;
+        t.data_flow = None;
+        t.watchdog = None;
+        t.enqueued_at = now + delay;
+        let category = t.category;
+        self.tasks.insert(id, t);
+        if delay.is_zero() {
+            self.enqueue_retry(id, category);
+        } else {
+            self.accounting.record_backoff(delay);
+            ctx.schedule(delay, Ev::Requeue(id));
+        }
+    }
+
+    fn enqueue_retry(&mut self, id: TaskId, category: Category) {
+        if category == Category::Merge {
+            self.merge_queue.push_back(id);
+        } else {
+            self.buffer.push(id);
+        }
+    }
+
+    /// Withdraw a task whose retry budget is spent. The work it covered
+    /// is accounted as dead so the run can still quiesce.
+    fn dead_letter(
+        &mut self,
+        id: TaskId,
+        mut t: TaskInfo,
+        code: FailureCode,
+        now: SimTime,
+        ctx: &mut Ctx<Ev>,
+    ) {
+        let units = match t.category {
+            Category::Merge => {
+                let inputs = t.merge_inputs.take().unwrap_or_default();
+                self.unmerged_count = self.unmerged_count.saturating_sub(inputs.len() as u64);
+                for (tid, _) in &inputs {
+                    self.outputs_in_merge.remove(tid);
+                }
+                inputs.len() as u64
+            }
+            _ => {
+                // The tasklets stay assigned to the withdrawn task in the
+                // db — never re-issued — and are accounted as dead here.
+                let n = self
+                    .db
+                    .task_tasklets(id)
+                    .map(|v| v.len() as u64)
+                    .unwrap_or(0);
+                self.dead_tasklets[t.wf] += n;
+                n
+            }
+        };
+        self.dead_letters.push(DeadLetter {
+            task: id,
+            category: t.category,
+            code,
+            attempts: t.attempt,
+            units,
+            at: now,
+        });
+        self.accounting.record_dead_letter();
+        self.timeline.record_dead_letter(now);
+        // Withdrawing work can complete the analysis phase, which in turn
+        // unblocks the merge planner's flush conditions.
+        self.maybe_plan_merges(now, ctx);
     }
 
     fn abort_flows(&mut self, t: &mut TaskInfo, now: SimTime) {
@@ -975,7 +1353,8 @@ impl ClusterSim {
         }
     }
 
-    /// Return a task's work to the system after a failed attempt.
+    /// Return a task's work to the system after a failed attempt under
+    /// the unbounded (legacy) retry policy.
     fn requeue(&mut self, id: TaskId, t: TaskInfo, now: SimTime) {
         if t.category == Category::Merge {
             // Re-enqueue the same merge group.
@@ -1017,7 +1396,9 @@ impl ClusterSim {
         if let Some((idx, flow, _)) = self.env_fill.remove(&worker) {
             self.squids[idx].abort(now, flow);
             self.squid_fill_flows[idx].remove(&flow);
+            self.reschedule_squid(idx, ctx);
         }
+        self.env_fail_streak.remove(&worker);
         let mut victims: Vec<TaskId> = self
             .running_on
             .remove(&worker)
@@ -1029,15 +1410,19 @@ impl ClusterSim {
             let Some(mut t) = self.tasks.remove(&id) else {
                 continue;
             };
+            if let Some((_, _, ev)) = t.watchdog.take() {
+                ctx.cancel(ev);
+            }
             self.abort_flows(&mut t, now);
             if let Some(b) = t.builder.take() {
                 let report = b.evict(now);
-                self.ingest(&report);
+                self.ingest(&report, t.wf);
             }
             self.tasks_failed += 1;
             self.evictions += 1;
-            self.requeue(id, t, now);
+            self.retry_or_dead_letter(id, t, FailureCode::Evicted, now, ctx);
         }
+        self.check_finished(now);
         self.dispatch(ctx);
     }
 
@@ -1064,16 +1449,46 @@ impl ClusterSim {
 
     // ----- monitoring -----------------------------------------------------------
 
-    fn ingest(&mut self, report: &SegmentReport) {
+    fn ingest(&mut self, report: &SegmentReport, wf: usize) {
         self.accounting.record(report);
         self.timeline.record(report);
         self.advisor.record(report);
         self.seg_hist.record(report);
         if self.params.adaptive {
-            self.sizer.record(report);
-            if report.evicted || report.task.0.is_multiple_of(20) {
-                self.sizer.adjust();
+            if let Some(sizer) = self.sizers.get_mut(wf) {
+                sizer.record(report);
+                if report.evicted || report.task.0.is_multiple_of(20) {
+                    sizer.adjust();
+                }
             }
+        }
+    }
+
+    // ----- fault injection ---------------------------------------------------
+
+    /// Apply the injected fault plan's state at `now` to every component,
+    /// re-timing wakes for components whose in-flight flows changed, and
+    /// schedule the next transition. Called at start-up and on every
+    /// [`Ev::FaultWake`].
+    fn apply_faults(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if self.params.faults.is_empty() {
+            return;
+        }
+        let plan = self.params.faults.clone();
+        for idx in 0..self.squids.len() {
+            let (cf, fp) = plan.state(FaultTarget::Squid { index: idx }, now);
+            if self.squids[idx].set_fault(now, cf, fp) {
+                self.reschedule_squid(idx, ctx);
+            }
+        }
+        let (cf, fp) = plan.state(FaultTarget::Chirp, now);
+        self.chirp.set_fault(cf, fp);
+        let (cf, fp) = plan.state(FaultTarget::Federation, now);
+        if self.fed.set_fault(now, cf, fp) {
+            self.reschedule_fed(ctx);
+        }
+        if let Some(t) = plan.next_transition(now) {
+            ctx.schedule_at(t, Ev::FaultWake);
         }
     }
 
@@ -1101,6 +1516,7 @@ impl Model for ClusterSim {
                 if let Some(t) = self.fed.next_outage_transition(ctx.now()) {
                     ctx.schedule_at(t, Ev::OutageWake);
                 }
+                self.apply_faults(ctx.now(), ctx);
             }
             Ev::Replenish => {
                 if !self.done() {
@@ -1133,7 +1549,7 @@ impl Model for ClusterSim {
             }
             Ev::WorkerEvict(w) => self.evict_worker(w, true, ctx),
             Ev::Dispatch => self.dispatch(ctx),
-            Ev::SandboxDone(id) => self.on_sandbox_done(id, ctx),
+            Ev::SandboxDone(id, a) => self.on_sandbox_done(id, a, ctx),
             Ev::SquidWake(i) => self.on_squid_wake(i, ctx),
             Ev::FedWake => self.on_fed_wake(ctx),
             Ev::OutageWake => {
@@ -1144,13 +1560,27 @@ impl Model for ClusterSim {
                     ctx.schedule_at(t, Ev::OutageWake);
                 }
             }
-            Ev::ExecDone(id) => self.on_exec_done(id, ctx),
-            Ev::StageOutDone(id) => self.on_stage_out_done(id, ctx),
-            Ev::CollectDone(id) => self.on_collect_done(id, ctx),
+            Ev::FaultWake => self.apply_faults(ctx.now(), ctx),
+            Ev::DataStaged(id, a) => self.on_data_staged(id, a, ctx),
+            Ev::ExecDone(id, a) => self.on_exec_done(id, a, ctx),
+            Ev::StageOutDone(id, a) => self.on_stage_out_done(id, a, ctx),
+            Ev::CollectDone(id, a) => self.on_collect_done(id, a, ctx),
             Ev::HadoopGroupDone(g) => self.on_hadoop_group_done(g, ctx),
             Ev::SlotFree(worker) => {
                 self.table.release_slot(worker);
                 self.dispatch(ctx);
+            }
+            Ev::Deadline(id, seq) => self.on_deadline(id, seq, ctx),
+            Ev::Requeue(id) => {
+                let ready = self
+                    .tasks
+                    .get(&id)
+                    .filter(|t| t.phase == Phase::Queued && t.worker.is_none())
+                    .map(|t| t.category);
+                if let Some(category) = ready {
+                    self.enqueue_retry(id, category);
+                    self.dispatch(ctx);
+                }
             }
         }
     }
@@ -1159,8 +1589,24 @@ impl Model for ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::WorkflowConfig;
+    use crate::config::{Backoff, WorkflowConfig};
+    use crate::fault::Fault;
     use gridstore::dbs::{DatasetSpec, Dbs};
+    use simnet::outage::Outage;
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(m)
+    }
+
+    /// WAN bytes the dashboard credits to the Lobster consumer.
+    fn lobster_wan_bytes(report: &RunReport) -> f64 {
+        report
+            .dashboard
+            .iter()
+            .filter(|(s, _)| s.contains("Lobster"))
+            .map(|(_, b)| *b)
+            .sum()
+    }
 
     fn small_setup(
         merge: MergeMode,
@@ -1225,6 +1671,8 @@ mod tests {
         let merged_bytes: u64 = report.merged_files.iter().map(|m| m.1).sum();
         assert_eq!(merged_bytes, total_tasklets * 12_000_000);
         assert!(report.peak_concurrency > 1.0);
+        assert!(report.events_delivered > 0);
+        assert!(report.dead_letters.is_empty(), "no retry budget configured");
     }
 
     #[test]
@@ -1311,11 +1759,15 @@ mod tests {
             SimTime::ZERO + SimDuration::from_mins(70),
             SimTime::ZERO + SimDuration::from_mins(130),
         )]);
+        // Enough files that dispatches continue past the first task wave:
+        // the second wave's stage-ins land inside the blackout window.
+        // (Merge tasks no longer stream over the WAN, so the burst must
+        // come from analysis staging.)
         let (cfg, params, wfs) = small_setup(
             MergeMode::Interleaved,
             AvailabilityModel::Dedicated,
             outage,
-            120,
+            360,
         );
         let report = ClusterSim::run(cfg, params, wfs);
         assert!(
@@ -1408,13 +1860,7 @@ mod tests {
         let report = ClusterSim::run(cfg, params, vec![wf]);
         assert!(report.finished_at.is_some(), "{report:?}");
         // No WAN consumption: everything moved through Chirp.
-        let lobster_bytes: f64 = report
-            .dashboard
-            .iter()
-            .filter(|(s, _)| s.contains("Lobster"))
-            .map(|(_, b)| *b)
-            .sum();
-        assert_eq!(lobster_bytes, 0.0);
+        assert_eq!(lobster_wan_bytes(&report), 0.0);
     }
 
     #[test]
@@ -1431,5 +1877,274 @@ mod tests {
         let report = ClusterSim::run(cfg, params, wfs);
         assert!(report.finished_at.is_some());
         assert!((1..=60).contains(&report.final_task_size));
+    }
+
+    /// A WAN blackout spanning the horizon pins every in-flight stream
+    /// forever under the legacy (watchdog-free) policy: the run never
+    /// finishes, yet nothing is ever *reported* failed.
+    #[test]
+    fn wan_blackout_without_watchdog_hangs_to_horizon() {
+        let (cfg, mut params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            120,
+        );
+        // ~1 MB/s per stream: a 1.5 GB task input takes ~25 min, so the
+        // first wave's streams are mid-flight when the fault lands.
+        params.wan_stream_cap = 1.0e6;
+        params.faults = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Federation,
+            OutageSchedule::new(vec![Outage::blackout(mins(30), mins(20 * 60))]),
+        )]);
+        params.horizon = SimDuration::from_hours(6);
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_none(), "stuck streams pin the run");
+        assert_eq!(report.accounting.watchdog_aborts, 0);
+        assert_eq!(report.tasks_failed, 0, "nothing even reports a failure");
+    }
+
+    /// Same blackout, but a StageIn watchdog deadline plus a retry budget
+    /// kills the stuck streams, backs off through the window, and retries
+    /// them to success once the WAN returns.
+    #[test]
+    fn stage_in_watchdog_rescues_streams_from_blackout() {
+        let (mut cfg, mut params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            120,
+        );
+        params.wan_stream_cap = 1.0e6;
+        params.faults = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Federation,
+            OutageSchedule::new(vec![Outage::blackout(mins(30), mins(120))]),
+        )]);
+        cfg.retry.max_attempts = Some(50);
+        cfg.retry.deadlines.stage_in = Some(SimDuration::from_mins(30));
+        cfg.retry.requeue = Backoff {
+            base: SimDuration::from_mins(5),
+            factor: 2.0,
+            max: SimDuration::from_mins(30),
+            jitter: 0.0,
+        };
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some(), "{report:?}");
+        assert!(report.accounting.watchdog_aborts > 0, "{report:?}");
+        assert!(report
+            .timeline
+            .watchdog_events()
+            .iter()
+            .any(|(_, s)| *s == Segment::StageIn));
+        assert!(report.accounting.retries > 0);
+        assert!(report.accounting.backoff_hours > 0.0);
+        assert!(report.dead_letters.is_empty(), "budget of 50 is plenty");
+    }
+
+    /// A WAN fault outliving the retry budget lands the unluckly tasks in
+    /// the dead-letter ledger; the run still completes, merging what did
+    /// finish, and the accounting totals reconcile with the ledger.
+    #[test]
+    fn exhausted_retry_budget_lands_in_dead_letter_ledger() {
+        let (mut cfg, mut params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            360,
+        );
+        let total_tasklets = wfs[0].n_tasklets();
+        params.faults = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Federation,
+            OutageSchedule::new(vec![Outage::blackout(mins(30), mins(20 * 60))]),
+        )]);
+        cfg.retry.max_attempts = Some(3);
+        cfg.retry.requeue = Backoff::fixed(SimDuration::from_mins(10));
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some(), "dead-lettering unblocks");
+        assert!(!report.dead_letters.is_empty(), "{report:?}");
+        for d in &report.dead_letters {
+            assert_eq!(d.code, wqueue::task::FailureCode::StageIn);
+            assert_eq!(d.attempts, 3);
+        }
+        assert_eq!(
+            report.accounting.dead_lettered,
+            report.dead_letters.len() as u64
+        );
+        // Every tasklet is either merged or accounted dead.
+        let merged_bytes: u64 = report.merged_files.iter().map(|m| m.1).sum();
+        let dead_units: u64 = report.dead_letters.iter().map(|d| d.units).sum();
+        assert_eq!(merged_bytes / 12_000_000 + dead_units, total_tasklets);
+        let ledgered: f64 = report.timeline.dead_letters().iter().sum();
+        assert_eq!(ledgered as u64, report.accounting.dead_lettered);
+    }
+
+    /// Black-holed squids stall alien-cache fills mid-flight; the EnvInit
+    /// watchdog reclaims the slots, the per-worker slot-hold backoff
+    /// spaces the retries, and the run recovers when the proxies return.
+    #[test]
+    fn squid_blackhole_recovers_via_env_watchdog_and_slot_holds() {
+        let (mut cfg, mut params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            120,
+        );
+        let windows = || OutageSchedule::new(vec![Outage::blackout(mins(5), mins(60))]);
+        params.faults = FaultPlan::new(vec![
+            Fault::new(FaultTarget::Squid { index: 0 }, windows()),
+            Fault::new(FaultTarget::Squid { index: 1 }, windows()),
+        ]);
+        // A healthy cold fill takes ~15-20 min; 45 min only trips when
+        // the fill is actually stalled by the fault window. A bounded
+        // budget keeps the same task identity across retries (the
+        // unbounded policy re-covers tasklets with fresh tasks instead).
+        cfg.retry.max_attempts = Some(20);
+        cfg.retry.deadlines.env_setup = Some(SimDuration::from_mins(45));
+        cfg.retry.slot_hold = Backoff {
+            base: SimDuration::from_mins(5),
+            factor: 2.0,
+            max: SimDuration::from_mins(30),
+            jitter: 0.0,
+        };
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some(), "{report:?}");
+        assert!(report
+            .timeline
+            .watchdog_events()
+            .iter()
+            .any(|(_, s)| *s == Segment::EnvInit));
+        assert!(report
+            .timeline
+            .failure_events()
+            .iter()
+            .any(|(_, c)| *c == wqueue::task::FailureCode::EnvSetup));
+        assert!(report.accounting.retries > 0);
+        assert!(report.accounting.backoff_hours > 0.0, "slot holds accrue");
+    }
+
+    /// A black-holed Chirp server fails both ends of a simulation task's
+    /// I/O — pile-up stage-in and output stage-out — and the retry policy
+    /// rides out the window without dead-lettering anything.
+    #[test]
+    fn chirp_blackhole_fails_stage_in_and_out_then_recovers() {
+        let mut cfg = LobsterConfig::default();
+        cfg.workflows = vec![WorkflowConfig::simulation("gen")];
+        cfg.workers.target_cores = 32;
+        cfg.workers.cores_per_worker = 4;
+        cfg.merge = MergeMode::Interleaved;
+        cfg.merge_target_bytes = 100_000_000;
+        cfg.retry.max_attempts = Some(50);
+        cfg.retry.requeue = Backoff::fixed(SimDuration::from_mins(5));
+        let wf = Workflow::simulation(&cfg.workflows[0], 500, 5_000_000);
+        let params = SimParams {
+            availability: AvailabilityModel::Dedicated,
+            horizon: SimDuration::from_hours(200),
+            pool: PoolConfig {
+                total_cores: 100,
+                owner_mean: 0.0,
+                reversion: 0.1,
+                noise: 0.0,
+                tick: SimDuration::from_mins(5),
+            },
+            faults: FaultPlan::new(vec![Fault::new(
+                FaultTarget::Chirp,
+                OutageSchedule::new(vec![Outage::blackout(mins(30), mins(150))]),
+            )]),
+            ..SimParams::default()
+        };
+        let report = ClusterSim::run(cfg, params, vec![wf]);
+        assert!(report.finished_at.is_some(), "{report:?}");
+        let codes: BTreeSet<wqueue::task::FailureCode> = report
+            .timeline
+            .failure_events()
+            .iter()
+            .map(|(_, c)| *c)
+            .collect();
+        assert!(
+            codes.contains(&wqueue::task::FailureCode::StageIn),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&wqueue::task::FailureCode::StageOut),
+            "{codes:?}"
+        );
+        assert!(report.dead_letters.is_empty());
+    }
+
+    /// Regression (merge routing): merge inputs come off local storage
+    /// via Chirp, so WAN consumption must not grow with the number of
+    /// merges — only analysis staging touches the federation.
+    #[test]
+    fn merge_inputs_do_not_cross_the_wan() {
+        let run = |merge_target_bytes: u64| {
+            let (mut cfg, params, wfs) = small_setup(
+                MergeMode::Interleaved,
+                AvailabilityModel::Dedicated,
+                OutageSchedule::none(),
+                20,
+            );
+            cfg.merge_target_bytes = merge_target_bytes;
+            ClusterSim::run(cfg, params, wfs)
+        };
+        let few_merges = run(400_000_000);
+        let many_merges = run(100_000_000);
+        assert!(many_merges.merges_completed > few_merges.merges_completed);
+        let wan_few = lobster_wan_bytes(&few_merges);
+        let wan_many = lobster_wan_bytes(&many_merges);
+        assert!(wan_few > 0.0, "analysis streaming does use the WAN");
+        assert_eq!(wan_few, wan_many, "merge count must not move WAN bytes");
+    }
+
+    /// Regression (multi-workflow sizing): each workflow is carved into
+    /// tasks with *its own* `tasklets_per_task`, not workflow 0's.
+    #[test]
+    fn per_workflow_task_sizing() {
+        let mut cfg = LobsterConfig::default();
+        cfg.workers.target_cores = 64;
+        cfg.workers.cores_per_worker = 4;
+        cfg.merge = MergeMode::Interleaved;
+        cfg.merge_target_bytes = 200_000_000;
+        cfg.seed = 42;
+        cfg.workflows = vec![
+            WorkflowConfig::analysis("wf-small", "/DS/A"),
+            WorkflowConfig::analysis("wf-large", "/DS/B"),
+        ];
+        cfg.workflows[0].tasklets_per_task = 4;
+        cfg.workflows[1].tasklets_per_task = 10;
+        let spec = DatasetSpec {
+            n_files: 10,
+            mean_file_bytes: 500_000_000,
+            events_per_lumi: 100,
+            lumis_per_file: 50,
+        };
+        let mut dbs = Dbs::new();
+        dbs.generate("/DS/A", spec, 7);
+        dbs.generate("/DS/B", spec, 8);
+        let wfs = vec![
+            Workflow::from_dataset(&cfg.workflows[0], dbs.query("/DS/A").unwrap()),
+            Workflow::from_dataset(&cfg.workflows[1], dbs.query("/DS/B").unwrap()),
+        ];
+        // 10 files x 50 lumis = 500 lumis = 20 tasklets per workflow.
+        assert_eq!(wfs[0].n_tasklets(), 20);
+        assert_eq!(wfs[1].n_tasklets(), 20);
+        let params = SimParams {
+            availability: AvailabilityModel::Dedicated,
+            pool: PoolConfig {
+                total_cores: 200,
+                owner_mean: 20.0,
+                reversion: 0.1,
+                noise: 0.0,
+                tick: SimDuration::from_mins(5),
+            },
+            horizon: SimDuration::from_hours(96),
+            ..SimParams::default()
+        };
+        let report = ClusterSim::run(cfg, params, wfs);
+        assert!(report.finished_at.is_some(), "{report:?}");
+        // ceil(20/4) + ceil(20/10): sizing each workflow by workflow 0's
+        // knob would instead yield 5 + 5 = 10 tasks.
+        assert_eq!(report.tasks_completed, 5 + 2, "{report:?}");
+        let merged_bytes: u64 = report.merged_files.iter().map(|m| m.1).sum();
+        assert_eq!(merged_bytes, 40 * 12_000_000);
     }
 }

@@ -1,0 +1,180 @@
+//! Fault-injection plans for cluster runs.
+//!
+//! The paper's most instructive moments are failures: the Figure 11
+//! squid burst, the Figure 10 WAN outage, Chirp connection exhaustion.
+//! A [`FaultPlan`] names a component ([`FaultTarget`]) and gives it an
+//! [`OutageSchedule`] of degradation windows; the driver applies the
+//! resulting [`simkit::fault::FaultState`] at window edges so tests can
+//! black-hole a squid or the federation on demand and watch the retry
+//! policy dig the run out.
+
+use serde::{Deserialize, Serialize};
+use simkit::time::SimTime;
+use simnet::outage::OutageSchedule;
+
+/// Which component a fault degrades.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// One squid proxy, by index into the deployed set.
+    Squid {
+        /// Index into `InfraConfig::n_squids`.
+        index: usize,
+    },
+    /// The Chirp stage-in/stage-out server.
+    Chirp,
+    /// The XRootD federation (WAN streaming and staged downloads).
+    Federation,
+}
+
+/// One component's degradation schedule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fault {
+    /// Component to degrade.
+    pub target: FaultTarget,
+    /// When and how hard.
+    pub windows: OutageSchedule,
+}
+
+impl Fault {
+    /// Degrade `target` per `windows`.
+    pub fn new(target: FaultTarget, windows: OutageSchedule) -> Self {
+        Fault { target, windows }
+    }
+}
+
+/// A set of injected faults for one run. Empty by default (no faults).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build from individual faults. Multiple entries may name the same
+    /// target; their effects combine (factors multiply, probabilities
+    /// take the max).
+    pub fn new(faults: Vec<Fault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Effective `(capacity_factor, failure_prob)` for `target` at `t`.
+    pub fn state(&self, target: FaultTarget, t: SimTime) -> (f64, f64) {
+        let mut factor = 1.0;
+        let mut prob: f64 = 0.0;
+        for f in self.faults.iter().filter(|f| f.target == target) {
+            factor *= f.windows.capacity_factor(t);
+            prob = prob.max(f.windows.failure_prob(t));
+        }
+        (factor, prob)
+    }
+
+    /// Next instant strictly after `t` at which any fault's state changes.
+    pub fn next_transition(&self, t: SimTime) -> Option<SimTime> {
+        self.faults
+            .iter()
+            .filter_map(|f| f.windows.next_transition(t))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::outage::Outage;
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::from_secs(m * 60)
+    }
+
+    #[test]
+    fn empty_plan_is_healthy_forever() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.state(FaultTarget::Chirp, mins(10)), (1.0, 0.0));
+        assert_eq!(p.next_transition(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn state_tracks_windows_per_target() {
+        let p = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Squid { index: 1 },
+            OutageSchedule::new(vec![Outage::blackout(mins(10), mins(20))]),
+        )]);
+        assert_eq!(
+            p.state(FaultTarget::Squid { index: 1 }, mins(15)),
+            (0.0, 1.0)
+        );
+        // Other squids and other components are untouched.
+        assert_eq!(
+            p.state(FaultTarget::Squid { index: 0 }, mins(15)),
+            (1.0, 0.0)
+        );
+        assert_eq!(p.state(FaultTarget::Federation, mins(15)), (1.0, 0.0));
+        // Healthy outside the window.
+        assert_eq!(
+            p.state(FaultTarget::Squid { index: 1 }, mins(25)),
+            (1.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn overlapping_faults_combine() {
+        let p = FaultPlan::new(vec![
+            Fault::new(
+                FaultTarget::Chirp,
+                OutageSchedule::new(vec![Outage::brownout(mins(0), mins(30), 0.5, 0.2)]),
+            ),
+            Fault::new(
+                FaultTarget::Chirp,
+                OutageSchedule::new(vec![Outage::brownout(mins(10), mins(20), 0.5, 0.6)]),
+            ),
+        ]);
+        let (factor, prob) = p.state(FaultTarget::Chirp, mins(15));
+        assert!((factor - 0.25).abs() < 1e-12);
+        assert!((prob - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitions_cover_all_faults() {
+        let p = FaultPlan::new(vec![
+            Fault::new(
+                FaultTarget::Federation,
+                OutageSchedule::new(vec![Outage::blackout(mins(40), mins(50))]),
+            ),
+            Fault::new(
+                FaultTarget::Chirp,
+                OutageSchedule::new(vec![Outage::blackout(mins(10), mins(20))]),
+            ),
+        ]);
+        assert_eq!(p.next_transition(SimTime::ZERO), Some(mins(10)));
+        assert_eq!(p.next_transition(mins(10)), Some(mins(20)));
+        assert_eq!(p.next_transition(mins(20)), Some(mins(40)));
+        assert_eq!(p.next_transition(mins(50)), None);
+    }
+
+    #[test]
+    fn plan_serialises() {
+        let p = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Squid { index: 0 },
+            OutageSchedule::new(vec![Outage::brownout(mins(5), mins(6), 0.1, 0.9)]),
+        )]);
+        let json = serde_json::to_string(&p).expect("fault plan serialises");
+        let back: FaultPlan = serde_json::from_str(&json).expect("fault plan parses");
+        assert_eq!(back.faults().len(), 1);
+        assert_eq!(back.faults()[0].target, FaultTarget::Squid { index: 0 });
+    }
+}

@@ -27,6 +27,9 @@
 //!   troubleshooting advisor of §5.
 //! * [`adaptive`] — dynamic task sizing from observed eviction rates (the
 //!   paper's future-work feature, §8).
+//! * [`fault`] — fault-injection plans that degrade or black-hole a
+//!   squid/Chirp/federation for a window (Figure 11-style bursts on
+//!   demand).
 //! * [`driver`] — the full-cluster discrete-event driver behind the §6
 //!   production runs (Figures 9–11).
 //! * [`local`] — the laptop-scale driver that runs real closures through
@@ -37,6 +40,7 @@ pub mod adaptive;
 pub mod config;
 pub mod db;
 pub mod driver;
+pub mod fault;
 pub mod local;
 pub mod merge;
 pub mod monitor;

@@ -13,7 +13,7 @@
 //!   stage-in → more foremen; long setup → overloaded squid; long
 //!   stage-in/out → overloaded chirp).
 
-use crate::wrapper::SegmentReport;
+use crate::wrapper::{Segment, SegmentReport};
 use serde::Serialize;
 use simkit::stats::{Histogram, TimeSeries};
 use simkit::time::{SimDuration, SimTime};
@@ -33,12 +33,26 @@ pub struct Accounting {
     pub wq_stage_in: f64,
     /// Work Queue result collection hours.
     pub wq_stage_out: f64,
+    /// Attempts that were retries (attempt number > 0).
+    pub retries: u64,
+    /// Attempts killed by a segment watchdog deadline.
+    pub watchdog_aborts: u64,
+    /// Tasks that exhausted their retry budget.
+    pub dead_lettered: u64,
+    /// Hours spent waiting in retry/slot-hold backoff.
+    pub backoff_hours: f64,
 }
 
 impl Accounting {
     /// Ingest one attempt.
     pub fn record(&mut self, r: &SegmentReport) {
         let h = |d: SimDuration| d.as_hours_f64();
+        if r.attempt > 0 {
+            self.retries += 1;
+        }
+        if r.watchdog {
+            self.watchdog_aborts += 1;
+        }
         if r.is_success() {
             self.cpu += h(r.times.cpu);
             self.io += h(r.times.env_setup)
@@ -50,6 +64,16 @@ impl Accounting {
         } else {
             self.failed += h(r.wall());
         }
+    }
+
+    /// Record time spent in a backoff wait (slot hold or requeue delay).
+    pub fn record_backoff(&mut self, d: SimDuration) {
+        self.backoff_hours += d.as_hours_f64();
+    }
+
+    /// Record a task landing in the dead-letter ledger.
+    pub fn record_dead_letter(&mut self) {
+        self.dead_lettered += 1;
     }
 
     /// Total hours across all phases.
@@ -90,6 +114,10 @@ pub struct Timeline {
     stageout_mins: TimeSeries,
     /// Failure codes per bin, for the Figure 11 bottom panel.
     failures_by_code: Vec<(SimTime, FailureCode)>,
+    /// Watchdog aborts with the segment whose deadline fired.
+    watchdog_aborts: Vec<(SimTime, Segment)>,
+    /// Dead-lettered tasks per bin.
+    dead_lettered: TimeSeries,
 }
 
 impl Timeline {
@@ -103,6 +131,8 @@ impl Timeline {
             setup_mins: TimeSeries::new(bin),
             stageout_mins: TimeSeries::new(bin),
             failures_by_code: Vec::new(),
+            watchdog_aborts: Vec::new(),
+            dead_lettered: TimeSeries::new(bin),
         }
     }
 
@@ -127,7 +157,15 @@ impl Timeline {
             if let Some(code) = r.failure_code() {
                 self.failures_by_code.push((end, code));
             }
+            if let Some(seg) = r.failed_segment.filter(|_| r.watchdog) {
+                self.watchdog_aborts.push((end, seg));
+            }
         }
+    }
+
+    /// Record a task landing in the dead-letter ledger at `at`.
+    pub fn record_dead_letter(&mut self, at: SimTime) {
+        self.dead_lettered.mark(at);
     }
 
     /// Bin width.
@@ -174,6 +212,16 @@ impl Timeline {
     /// Failure events with codes (Fig. 11 bottom panel).
     pub fn failure_events(&self) -> &[(SimTime, FailureCode)] {
         &self.failures_by_code
+    }
+
+    /// Watchdog-abort events with the segment whose deadline fired.
+    pub fn watchdog_events(&self) -> &[(SimTime, Segment)] {
+        &self.watchdog_aborts
+    }
+
+    /// Dead-lettered tasks per bin.
+    pub fn dead_letters(&self) -> Vec<f64> {
+        self.dead_lettered.sums()
     }
 }
 
@@ -286,6 +334,9 @@ pub struct AdvisorConfig {
     pub setup_mins: f64,
     /// Mean stage-in/out minutes above which chirp is deemed overloaded.
     pub stage_mins: f64,
+    /// Fraction of attempts aborted by one segment's watchdog above which
+    /// that segment's deadline is deemed too tight.
+    pub watchdog_abort_frac: f64,
 }
 
 impl Default for AdvisorConfig {
@@ -295,6 +346,7 @@ impl Default for AdvisorConfig {
             wq_stage_in_mins: 5.0,
             setup_mins: 20.0,
             stage_mins: 10.0,
+            watchdog_abort_frac: 0.05,
         }
     }
 }
@@ -312,7 +364,32 @@ pub enum Advice {
     /// "Increased stage-in and stage-out times suggest an overloaded
     /// Chirp server."
     TuneChirpConnections,
+    /// A large share of attempts are killed by one segment's watchdog:
+    /// the deadline is tighter than the infrastructure can serve.
+    RaiseSegmentDeadline {
+        /// The segment whose watchdog keeps firing.
+        segment: Segment,
+    },
 }
+
+/// Stable index for per-segment counters.
+fn segment_index(s: Segment) -> usize {
+    match s {
+        Segment::Compatibility => 0,
+        Segment::EnvInit => 1,
+        Segment::StageIn => 2,
+        Segment::Execute => 3,
+        Segment::StageOut => 4,
+    }
+}
+
+const SEGMENTS: [Segment; 5] = [
+    Segment::Compatibility,
+    Segment::EnvInit,
+    Segment::StageIn,
+    Segment::Execute,
+    Segment::StageOut,
+];
 
 /// The troubleshooting advisor: aggregates attempt metrics and applies
 /// the four §5 rules.
@@ -324,6 +401,7 @@ pub struct Advisor {
     wq_stage_in_mins: f64,
     setup_mins: f64,
     stage_mins: f64,
+    watchdog_by_segment: [u64; 5],
 }
 
 impl Advisor {
@@ -340,6 +418,9 @@ impl Advisor {
         self.wq_stage_in_mins += r.times.wq_stage_in.as_mins_f64();
         self.setup_mins += r.times.env_setup.as_mins_f64();
         self.stage_mins += (r.times.stage_in + r.times.stage_out).as_mins_f64() / 2.0;
+        if let Some(seg) = r.failed_segment.filter(|_| r.watchdog) {
+            self.watchdog_by_segment[segment_index(seg)] += 1;
+        }
     }
 
     /// Apply the diagnosis rules.
@@ -360,6 +441,12 @@ impl Advisor {
         }
         if self.stage_mins / n > cfg.stage_mins {
             advice.push(Advice::TuneChirpConnections);
+        }
+        for seg in SEGMENTS {
+            let aborts = self.watchdog_by_segment[segment_index(seg)];
+            if aborts as f64 / n > cfg.watchdog_abort_frac {
+                advice.push(Advice::RaiseSegmentDeadline { segment: seg });
+            }
         }
         advice
     }
@@ -507,6 +594,69 @@ mod tests {
         assert!(Advisor::new()
             .diagnose(&AdvisorConfig::default())
             .is_empty());
+    }
+
+    fn watchdog_report(seg: Segment, start_s: u64, end_s: u64, attempt: u32) -> SegmentReport {
+        ReportBuilder::new(
+            wqueue::task::TaskId(9),
+            Category::Analysis,
+            attempt,
+            7,
+            SimTime::from_secs(start_s),
+        )
+        .abort_by_watchdog(seg, SimTime::from_secs(end_s))
+    }
+
+    #[test]
+    fn accounting_tracks_failure_policy_counters() {
+        let mut acc = Accounting::default();
+        acc.record(&watchdog_report(Segment::StageIn, 0, 600, 0));
+        acc.record(&watchdog_report(Segment::StageIn, 700, 1300, 1));
+        acc.record(&report(60, 0, false, 1400, 5000)); // healthy success
+        acc.record_backoff(SimDuration::from_mins(30));
+        acc.record_dead_letter();
+        assert_eq!(acc.watchdog_aborts, 2);
+        assert_eq!(acc.retries, 1, "only the attempt-1 report is a retry");
+        assert_eq!(acc.dead_lettered, 1);
+        assert!((acc.backoff_hours - 0.5).abs() < 1e-9);
+        // The Figure 8 table shape is unchanged by the new counters.
+        assert_eq!(acc.table().len(), 5);
+        let frac_sum: f64 = acc.table().iter().map(|r| r.2).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_tracks_watchdog_and_dead_letters() {
+        let mut tl = Timeline::new(SimDuration::from_secs(60));
+        tl.record(&watchdog_report(Segment::StageIn, 0, 30, 0));
+        tl.record(&report(0, 0, true, 0, 30)); // plain failure
+        tl.record_dead_letter(SimTime::from_secs(45));
+        assert_eq!(tl.watchdog_events().len(), 1);
+        assert_eq!(tl.watchdog_events()[0].1, Segment::StageIn);
+        assert_eq!(tl.failures()[0], 2.0, "watchdog aborts are failures too");
+        assert_eq!(tl.dead_letters()[0], 1.0);
+    }
+
+    #[test]
+    fn advisor_flags_tight_stage_in_deadline() {
+        let mut adv = Advisor::new();
+        for i in 0..10 {
+            adv.record(&report(30, 1, false, i * 4000, i * 4000 + 2000));
+        }
+        adv.record(&watchdog_report(Segment::StageIn, 0, 600, 0));
+        let advice = adv.diagnose(&AdvisorConfig::default());
+        assert!(
+            advice.contains(&Advice::RaiseSegmentDeadline {
+                segment: Segment::StageIn
+            }),
+            "{advice:?}"
+        );
+        assert!(
+            !advice.contains(&Advice::RaiseSegmentDeadline {
+                segment: Segment::EnvInit
+            }),
+            "quiet segments stay quiet"
+        );
     }
 
     #[test]

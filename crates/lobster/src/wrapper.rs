@@ -59,6 +59,9 @@ pub struct SegmentReport {
     pub times: TaskTimes,
     /// The failing segment, if the attempt failed.
     pub failed_segment: Option<Segment>,
+    /// The failure was forced by a segment watchdog deadline (the task
+    /// was stuck mid-flight, not rejected at admission).
+    pub watchdog: bool,
     /// Eviction cut the attempt short.
     pub evicted: bool,
     /// Dispatch instant.
@@ -125,6 +128,7 @@ impl ReportBuilder {
                 worker,
                 times: TaskTimes::default(),
                 failed_segment: None,
+                watchdog: false,
                 evicted: false,
                 dispatched_at,
                 finished_at: dispatched_at,
@@ -143,6 +147,14 @@ impl ReportBuilder {
         self.report.failed_segment = Some(segment);
         self.report.finished_at = at;
         self.report
+    }
+
+    /// Mark a segment as aborted by its watchdog deadline: same failure
+    /// code as [`fail`](Self::fail), but flagged so the monitor can tell
+    /// "stuck and killed" from "rejected at admission".
+    pub fn abort_by_watchdog(mut self, segment: Segment, at: SimTime) -> SegmentReport {
+        self.report.watchdog = true;
+        self.fail(segment, at)
     }
 
     /// Mark the attempt evicted.
@@ -212,6 +224,16 @@ mod tests {
         assert!(!r.is_success());
         assert_eq!(r.failure_code(), Some(FailureCode::StageIn));
         assert_eq!(r.lost_runtime(), SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn watchdog_abort_report() {
+        let r = builder().abort_by_watchdog(Segment::StageIn, SimTime::from_secs(500));
+        assert!(!r.is_success());
+        assert!(r.watchdog);
+        assert_eq!(r.failure_code(), Some(FailureCode::StageIn));
+        let plain = builder().fail(Segment::StageIn, SimTime::from_secs(500));
+        assert!(!plain.watchdog, "admission-time failures are not watchdog");
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Fault-injection hook shared by component models.
+//!
+//! Real systems at the paper's scale fail partially: a squid serves at a
+//! crawl, a Chirp server stops accepting connections, the WAN browns out
+//! (Figure 11's squid burst, §6's outage). Components embed a
+//! [`FaultState`] and expose a `set_fault` method; an injection plan at
+//! the driver level flips these states at window boundaries, letting
+//! tests exercise retry/timeout policies the way the real cluster did.
+//!
+//! The hook itself carries no randomness and no clock — degradation
+//! factors are applied by the owning component at simulated instants, and
+//! any probabilistic failure draw happens in the caller from its seeded
+//! [`crate::rng::SimRng`].
+
+/// Injected health of one component: a capacity multiplier and an
+/// admission failure probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultState {
+    capacity_factor: f64,
+    failure_prob: f64,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        Self::healthy()
+    }
+}
+
+impl FaultState {
+    /// Fully healthy: full capacity, no admission failures.
+    pub fn healthy() -> Self {
+        FaultState {
+            capacity_factor: 1.0,
+            failure_prob: 0.0,
+        }
+    }
+
+    /// Update the injected state; values are clamped to `[0, 1]`.
+    /// Returns `true` when anything actually changed, so callers can
+    /// skip recomputing capacities on no-op transitions.
+    pub fn set(&mut self, capacity_factor: f64, failure_prob: f64) -> bool {
+        let next = FaultState {
+            capacity_factor: capacity_factor.clamp(0.0, 1.0),
+            failure_prob: failure_prob.clamp(0.0, 1.0),
+        };
+        let changed = next != *self;
+        *self = next;
+        changed
+    }
+
+    /// Current capacity multiplier in `[0, 1]`.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// Current admission failure probability in `[0, 1]`.
+    pub fn failure_prob(&self) -> f64 {
+        self.failure_prob
+    }
+
+    /// True when the component passes no traffic at all.
+    pub fn is_black_hole(&self) -> bool {
+        self.capacity_factor <= 0.0
+    }
+
+    /// True when no fault is injected.
+    pub fn is_healthy(&self) -> bool {
+        self.capacity_factor >= 1.0 && self.failure_prob <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_by_default() {
+        let f = FaultState::default();
+        assert!(f.is_healthy());
+        assert!(!f.is_black_hole());
+        assert_eq!(f.capacity_factor(), 1.0);
+        assert_eq!(f.failure_prob(), 0.0);
+    }
+
+    #[test]
+    fn set_reports_change() {
+        let mut f = FaultState::healthy();
+        assert!(f.set(0.5, 0.1));
+        assert!(!f.set(0.5, 0.1), "no-op transition");
+        assert!(f.set(1.0, 0.0));
+        assert!(f.is_healthy());
+    }
+
+    #[test]
+    fn set_clamps_out_of_range() {
+        let mut f = FaultState::healthy();
+        f.set(-2.0, 7.0);
+        assert_eq!(f.capacity_factor(), 0.0);
+        assert_eq!(f.failure_prob(), 1.0);
+        assert!(f.is_black_hole());
+    }
+}

@@ -10,6 +10,9 @@
 //!   scheduling future events through a [`engine::Ctx`]. Simultaneous
 //!   events are ordered by insertion sequence, so runs are fully
 //!   deterministic.
+//! * [`fault`] — an injected-health hook component models embed so fault
+//!   plans can degrade or black-hole them for a window (Figure 11-style
+//!   failure bursts, on demand and deterministic).
 //! * [`rng`] — a seedable, splittable random source so every experiment is
 //!   reproducible from a single `u64` seed.
 //! * [`dist`] — the distributions the paper's models need (normal via
@@ -30,6 +33,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod plot;
 pub mod queue;
 pub mod rng;

@@ -209,7 +209,12 @@ impl DispatchBuffer {
         self.ready.push_back(id);
     }
 
-    /// Return a task to the *front* (lost to eviction — retried first).
+    /// Return a task to the *front* of the buffer. Used when a popped
+    /// task could not be placed (no free slot at dispatch time): it keeps
+    /// its position and is offered again before anything behind it.
+    /// Eviction recovery does *not* come through here — lost tasks go back
+    /// to the tasklet pool (`mark_lost`) and are re-materialised as fresh
+    /// tasks at the back of the buffer.
     pub fn push_front(&mut self, id: TaskId) {
         self.ready.push_front(id);
     }
@@ -294,12 +299,36 @@ mod tests {
         b.push(TaskId(1));
         b.push(TaskId(2));
         assert_eq!(b.deficit(), 1);
-        b.push_front(TaskId(99)); // evicted task retries first
+        b.push_front(TaskId(99)); // unplaceable task keeps its turn
         assert_eq!(b.pop(), Some(TaskId(99)));
         assert_eq!(b.pop(), Some(TaskId(1)));
         assert_eq!(b.pop(), Some(TaskId(2)));
         assert_eq!(b.pop(), None);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn requeue_ordering_matches_driver_protocol() {
+        // The driver's two requeue paths behave differently by design:
+        // a popped task that found no free slot goes back to the *front*
+        // (keeps its turn); a task lost to eviction is re-materialised and
+        // joins at the *back* like any fresh task.
+        let mut b = DispatchBuffer::with_target(4);
+        b.push(TaskId(1));
+        b.push(TaskId(2));
+        // Dispatch pops task 1, claim_slot fails, task returns up front.
+        let popped = b.pop().unwrap();
+        assert_eq!(popped, TaskId(1));
+        b.push_front(popped);
+        // Meanwhile an evicted task's replacement is materialised.
+        b.push(TaskId(3));
+        assert_eq!(b.pop(), Some(TaskId(1)), "unplaced task kept its turn");
+        assert_eq!(b.pop(), Some(TaskId(2)));
+        assert_eq!(
+            b.pop(),
+            Some(TaskId(3)),
+            "eviction replacement waits behind existing work"
+        );
     }
 
     #[test]

@@ -214,6 +214,26 @@ impl TaskResult {
     }
 }
 
+/// A task that exhausted its retry budget and was withdrawn from the
+/// queue. The ledger entry keeps enough context for an operator (or a
+/// later resubmission pass) to understand what was lost and why.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadLetter {
+    /// Which task.
+    pub task: TaskId,
+    /// Work category.
+    pub category: Category,
+    /// The failure code of the final attempt.
+    pub code: FailureCode,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// Work units withdrawn with the task (tasklets for analysis tasks,
+    /// input files for merges).
+    pub units: u64,
+    /// When the task was dead-lettered.
+    pub at: SimTime,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +305,20 @@ mod tests {
         let back: TaskSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back.id, s.id);
         assert_eq!(back.input_bytes, 5);
+    }
+
+    #[test]
+    fn dead_letter_roundtrip() {
+        let d = DeadLetter {
+            task: TaskId(12),
+            category: Category::Analysis,
+            code: FailureCode::StageIn,
+            attempts: 3,
+            units: 6,
+            at: SimTime::from_secs(500),
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeadLetter = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
     }
 }

@@ -57,6 +57,99 @@ proptest! {
         }
     }
 
+    /// The driver's slot-hold protocol: a dispatched task either finishes
+    /// (slot released at collection), fails EnvInit (slot *held* until a
+    /// deferred SlotFree fires), or dies with its evicted worker. Under
+    /// any interleaving, busy never exceeds capacity, busy always equals
+    /// live-running + live-holds, and draining the system leaks nothing.
+    #[test]
+    fn slot_hold_protocol_leaks_nothing(ops in prop::collection::vec(0u8..7, 1..400)) {
+        let mut t = WorkerTable::new();
+        // Tasks occupying a claimed slot right now, by worker.
+        let mut running: Vec<u64> = Vec::new();
+        // EnvInit failures: the slot stays busy until SlotFree fires.
+        let mut holds: Vec<u64> = Vec::new();
+        let mut rng = 0xD1B54A32D192ED03u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for op in ops {
+            match op {
+                0 => {
+                    t.connect(1 + (next() % 4) as u32, 0, SimTime::ZERO);
+                }
+                // Dispatch: claim a slot and run a task on it.
+                1 | 2 => {
+                    if let Some(w) = t.claim_slot() {
+                        running.push(w);
+                    }
+                }
+                // Collection: the task finishes and frees its slot.
+                3 => {
+                    if !running.is_empty() {
+                        let idx = (next() as usize) % running.len();
+                        let w = running.swap_remove(idx);
+                        t.release_slot(w);
+                    }
+                }
+                // EnvInit failure: the task leaves but the slot is held
+                // back (the driver schedules SlotFree later instead of
+                // releasing immediately).
+                4 => {
+                    if !running.is_empty() {
+                        let idx = (next() as usize) % running.len();
+                        holds.push(running.swap_remove(idx));
+                    }
+                }
+                // SlotFree fires for one pending hold. The worker may be
+                // gone by now — release must be a no-op then.
+                5 => {
+                    if !holds.is_empty() {
+                        let idx = (next() as usize) % holds.len();
+                        let w = holds.swap_remove(idx);
+                        t.release_slot(w);
+                    }
+                }
+                // Eviction: a worker with busy slots disconnects, taking
+                // its running tasks and any held slots with it (their
+                // later SlotFree events become no-ops).
+                _ => {
+                    let busy: Vec<u64> =
+                        running.iter().chain(holds.iter()).copied().collect();
+                    if !busy.is_empty() {
+                        let w = busy[(next() as usize) % busy.len()];
+                        t.disconnect(w);
+                        running.retain(|&x| x != w);
+                        // Keep the worker's holds: the driver's already
+                        // scheduled SlotFree events still fire against
+                        // the disconnected id and must be no-ops.
+                    }
+                }
+            }
+            prop_assert!(t.busy_slots() <= t.total_cores());
+            prop_assert_eq!(t.busy_slots() + t.free_slots(), t.total_cores());
+            let live = running
+                .iter()
+                .chain(holds.iter())
+                .filter(|w| t.get(**w).is_some())
+                .count() as u64;
+            prop_assert_eq!(t.busy_slots(), live);
+        }
+        // Quiescence: finish every running task and fire every pending
+        // SlotFree — no slot may stay busy afterwards.
+        for w in running.drain(..).chain(holds.drain(..)) {
+            t.release_slot(w);
+        }
+        prop_assert_eq!(t.busy_slots(), 0, "leaked slots after drain");
+        prop_assert_eq!(t.free_slots(), t.total_cores());
+        for w in t.iter() {
+            prop_assert_eq!(w.busy, 0);
+        }
+    }
+
     /// Hot workers are always preferred over cold ones by claim_slot.
     #[test]
     fn hot_preference(n_cold in 1usize..20, n_hot in 1usize..20) {
