@@ -31,8 +31,8 @@ if [ "$fast" -eq 0 ]; then
 fi
 
 # Determinism & robustness lints (no-wall-clock, no-ambient-rng,
-# no-unordered-iteration, no-panic-in-lib). Fails on any finding not in
-# simlint.baseline.
+# no-unordered-iteration, no-panic-in-lib, wal-expect-confined). Fails on
+# any finding not in simlint.baseline.
 step cargo run -q -p simlint -- --check
 
 step cargo test --workspace -q
@@ -40,6 +40,12 @@ step cargo test --workspace -q
 # Release-mode cluster-run smoke: fixed seed, failure-policy machinery
 # included; writes throughput numbers to BENCH_cluster.json.
 step cargo run -q --release -p lobster-bench --bin bench_cluster
+
+# Crash-consistency smoke: the sampled crash-point matrix (boundary and
+# torn-append crashes, resume, convergence). The full 64-point sweep
+# stays behind --ignored; run it with:
+#   cargo test --release -p lobster --test crash_matrix -- --ignored
+step cargo test --release -q -p lobster --test crash_matrix
 
 echo
 echo "ci.sh: all gates passed"

@@ -215,6 +215,32 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Durability policy for the Lobster DB journal (see `docs/recovery.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalPolicy {
+    /// Compact the journal into a snapshot frame after this many appended
+    /// records, bounding replay cost after a crash. `None` never
+    /// compacts (full-journal replay on recovery).
+    pub snapshot_every_records: Option<u64>,
+}
+
+impl Default for JournalPolicy {
+    fn default() -> Self {
+        JournalPolicy {
+            snapshot_every_records: Some(4096),
+        }
+    }
+}
+
+impl JournalPolicy {
+    /// Never compact: recovery replays the whole journal.
+    pub fn never() -> Self {
+        JournalPolicy {
+            snapshot_every_records: None,
+        }
+    }
+}
+
 /// The top-level Lobster configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LobsterConfig {
@@ -232,6 +258,8 @@ pub struct LobsterConfig {
     pub workers: WorkerConfig,
     /// Failure handling: watchdog deadlines, retry budget, backoff.
     pub retry: RetryPolicy,
+    /// Journal durability: snapshot/compaction cadence.
+    pub journal: JournalPolicy,
     /// Master seed for all randomness.
     pub seed: u64,
 }
@@ -246,6 +274,7 @@ impl Default for LobsterConfig {
             infra: InfraConfig::default(),
             workers: WorkerConfig::default(),
             retry: RetryPolicy::default(),
+            journal: JournalPolicy::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -322,6 +351,10 @@ impl LobsterConfig {
                 problems.push(format!("retry.{name}: max below base"));
             }
         }
+        if self.journal.snapshot_every_records == Some(0) {
+            problems
+                .push("journal.snapshot_every_records of 0 would compact on every append".into());
+        }
         problems
     }
 }
@@ -353,6 +386,18 @@ mod tests {
         cfg.workers.cores_per_worker = 0;
         let problems = cfg.validate();
         assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn journal_policy_roundtrip_and_validation() {
+        let mut cfg = LobsterConfig::default();
+        assert_eq!(cfg.journal.snapshot_every_records, Some(4096));
+        cfg.journal = JournalPolicy::never();
+        let back = LobsterConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.journal, JournalPolicy::never());
+        cfg.journal.snapshot_every_records = Some(0);
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 1, "{problems:?}");
     }
 
     #[test]

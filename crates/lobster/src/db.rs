@@ -6,17 +6,102 @@
 //! quickly and automatically recovered if the scheduler node should crash
 //! and reboot".
 //!
-//! Here the DB is an embedded store with an append-only JSON-lines
-//! journal: every state transition is one journal record, and
-//! [`LobsterDb::recover`] replays the journal to rebuild the exact
-//! in-memory state — same durability contract, no external database.
+//! Here the DB is an embedded store with an append-only journal: every
+//! state transition is one journal record, and [`LobsterDb::recover`]
+//! replays the journal to rebuild the exact in-memory state — same
+//! durability contract, no external database.
+//!
+//! # Journal format v2
+//!
+//! The file starts with a 16-byte header (`LBSTRWAL` magic, `u32` LE
+//! format version, `u32` LE flags — zero in v2), followed by frames of
+//! `u32` LE payload length, `u32` LE CRC-32 (IEEE) of the payload, then
+//! the JSON-encoded [`Record`]. A truncated or corrupt *final* frame is
+//! the signature of a crash mid-append and is discarded on recovery;
+//! corruption anywhere before the final frame is a hard
+//! [`io::ErrorKind::InvalidData`] error. Periodic compaction rewrites the
+//! journal as header + one [`Record::Snapshot`] frame (tmp file + fsync +
+//! atomic rename), bounding replay cost by the work since the last
+//! snapshot. See `docs/recovery.md`.
 
+use crate::monitor::Accounting;
+use crate::wrapper::SegmentReport;
 use serde::{Deserialize, Serialize};
+use simkit::time::SimDuration;
 use std::collections::{BTreeMap, BTreeSet};
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
-use std::path::Path;
-use wqueue::task::TaskId;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use wqueue::task::{Category, DeadLetter, TaskId};
+
+/// Journal magic bytes.
+const MAGIC: &[u8; 8] = b"LBSTRWAL";
+/// Journal format version written by this build.
+pub const FORMAT_VERSION: u32 = 2;
+/// Header: magic + version + flags.
+const HEADER_LEN: usize = 16;
+/// Frame header: payload length + CRC-32.
+const FRAME_HEADER_LEN: usize = 8;
+/// Upper bound on a single record; larger lengths are corruption.
+const MAX_RECORD_LEN: u32 = 256 * 1024 * 1024;
+
+/// Merge tasks are numbered from this base so they never collide with
+/// analysis task ids (which count up from zero).
+pub const MERGE_ID_BASE: u64 = 1_000_000_000;
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB8_8320`) lookup table.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // Bytes 12..16 are flags, all zero in v2.
+    h
+}
+
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&crc32(payload).to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+fn read_u32_le(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
 
 /// Lifecycle of a task in the DB.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,6 +114,8 @@ pub enum TaskState {
     Done,
     /// Lost (eviction/failure); its tasklets were returned to the pool.
     Lost,
+    /// Dead-lettered: retry budget exhausted, withdrawn from the run.
+    Withdrawn,
 }
 
 /// A produced output file awaiting (or past) merging.
@@ -40,6 +127,51 @@ pub struct OutputFile {
     pub bytes: u64,
     /// Name of the merged file this went into, if merged.
     pub merged_into: Option<String>,
+    /// The merge that would have consumed this output was dead-lettered;
+    /// the file is withdrawn from further merge planning.
+    pub withdrawn: bool,
+}
+
+/// The `(producer, bytes)` inputs of one planned merge group.
+pub type MergeInputs = Vec<(TaskId, u64)>;
+
+/// A transition request that was rejected because the task was not in a
+/// legal source state (or did not exist). The DB state is unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejectedTransition {
+    /// The task the transition targeted.
+    pub task: TaskId,
+    /// Its state at rejection time (`None` — unknown task).
+    pub from: Option<TaskState>,
+    /// The attempted operation.
+    pub action: &'static str,
+}
+
+impl fmt::Display for RejectedTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.from {
+            Some(s) => write!(f, "{}: illegal {} from {s:?}", self.task, self.action),
+            None => write!(f, "{}: {} on unknown task", self.task, self.action),
+        }
+    }
+}
+
+impl std::error::Error for RejectedTransition {}
+
+/// Monotonic run counters, journaled so a resumed run continues them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Analysis tasks that finished successfully.
+    pub tasks_completed: u64,
+    /// Failed attempts (any category).
+    pub tasks_failed: u64,
+    /// Attempts lost to worker eviction.
+    pub evictions: u64,
+    /// Merge files produced.
+    pub merges_completed: u64,
+    /// Transition requests rejected as illegal (diagnostic; not journaled,
+    /// so it counts rejections since open, not since the run began).
+    pub rejected_transitions: u64,
 }
 
 /// Journal records — one per state transition.
@@ -64,11 +196,65 @@ enum Record {
     TaskLost {
         id: TaskId,
     },
+    MergeCreated {
+        id: TaskId,
+        inputs: MergeInputs,
+    },
     Merged {
+        task: Option<TaskId>,
         outputs: Vec<TaskId>,
         into: String,
         bytes: u64,
     },
+    Attempt {
+        report: Box<SegmentReport>,
+    },
+    Backoff {
+        wait: SimDuration,
+    },
+    DeadLettered {
+        letter: Box<DeadLetter>,
+    },
+    Snapshot {
+        state: Box<SnapshotState>,
+    },
+}
+
+/// Serialisable image of one workflow (snapshot form).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct WorkflowSnap {
+    name: String,
+    total: u64,
+    cursor: u64,
+    returned: Vec<u64>,
+    done: u64,
+    dead: u64,
+}
+
+/// Serialisable image of one task row (snapshot form).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct TaskSnap {
+    id: TaskId,
+    workflow: String,
+    tasklets: Vec<u64>,
+    state: TaskState,
+    attempts: u32,
+}
+
+/// Full-state image written by compaction; replay restarts from here.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct SnapshotState {
+    workflows: Vec<WorkflowSnap>,
+    tasks: Vec<TaskSnap>,
+    outputs: Vec<OutputFile>,
+    done_order: Vec<TaskId>,
+    merged_files: Vec<(String, u64)>,
+    merge_groups: Vec<(TaskId, MergeInputs)>,
+    next_task: u64,
+    next_merge: u64,
+    dead_letters: Vec<DeadLetter>,
+    accounting: Accounting,
+    counters: Counters,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -80,6 +266,8 @@ struct WorkflowState {
     returned: BTreeSet<u64>,
     /// Tasklets finished.
     done: u64,
+    /// Tasklets withdrawn with dead-lettered tasks.
+    dead: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -91,13 +279,31 @@ struct TaskRow {
 }
 
 /// The bookkeeping store.
+#[derive(Debug)]
 pub struct LobsterDb {
     workflows: BTreeMap<String, WorkflowState>,
     tasks: BTreeMap<TaskId, TaskRow>,
     outputs: BTreeMap<TaskId, OutputFile>,
+    /// Done tasks in finish order (drives merge planning on resume).
+    done_order: Vec<TaskId>,
     merged_files: BTreeMap<String, u64>,
+    /// Planned merges not yet completed, keyed by merge task id.
+    merge_groups: BTreeMap<TaskId, MergeInputs>,
+    /// Outputs claimed by an open merge group.
+    grouped: BTreeSet<TaskId>,
+    dead_letters: Vec<DeadLetter>,
+    accounting: Accounting,
+    counters: Counters,
     next_task: u64,
+    next_merge: u64,
     journal: Option<File>,
+    journal_path: Option<PathBuf>,
+    /// Compact after this many appended records (`None` — never).
+    snapshot_every: Option<u64>,
+    records_since_snapshot: u64,
+    /// Attempt reports replayed since the last snapshot, for the driver
+    /// to rebuild monitor state on resume.
+    replayed_attempts: Vec<SegmentReport>,
 }
 
 impl LobsterDb {
@@ -108,21 +314,48 @@ impl LobsterDb {
             workflows: BTreeMap::new(),
             tasks: BTreeMap::new(),
             outputs: BTreeMap::new(),
+            done_order: Vec::new(),
             merged_files: BTreeMap::new(),
+            merge_groups: BTreeMap::new(),
+            grouped: BTreeSet::new(),
+            dead_letters: Vec::new(),
+            accounting: Accounting::default(),
+            counters: Counters::default(),
             next_task: 0,
+            next_merge: 0,
             journal: None,
+            journal_path: None,
+            snapshot_every: None,
+            records_since_snapshot: 0,
+            replayed_attempts: Vec::new(),
         }
     }
 
-    /// DB journaled at `path` (created or appended).
+    /// DB journaled at `path` (created or appended), no auto-compaction.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let mut db = Self::recover(&path)?;
-        db.journal = Some(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path.as_ref())?,
-        );
+        Self::open_with_policy(path, None)
+    }
+
+    /// DB journaled at `path`; with `snapshot_every = Some(n)` the journal
+    /// is compacted into a snapshot frame after every `n` appended
+    /// records. Any torn tail left by a crash is truncated so the next
+    /// append starts at a frame boundary.
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        snapshot_every: Option<u64>,
+    ) -> io::Result<Self> {
+        let path = path.as_ref();
+        let (mut db, valid_len, header_present) = Self::recover_internal(path)?;
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if header_present {
+            file.set_len(valid_len)?;
+        } else {
+            file.set_len(0)?;
+            file.write_all(&header_bytes())?;
+        }
+        db.journal = Some(file);
+        db.journal_path = Some(path.to_path_buf());
+        db.snapshot_every = snapshot_every;
         Ok(db)
     }
 
@@ -130,34 +363,130 @@ impl LobsterDb {
     /// empty DB). The returned DB is *not* attached to the journal; use
     /// [`LobsterDb::open`] for that.
     pub fn recover(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::recover_internal(path.as_ref())?.0)
+    }
+
+    /// Replay the journal. Returns the DB, the byte offset of the end of
+    /// the last intact frame (the torn tail beyond it should be
+    /// truncated before appending), and whether an intact header was
+    /// found.
+    fn recover_internal(path: &Path) -> io::Result<(Self, u64, bool)> {
         let mut db = Self::in_memory();
-        let file = match File::open(path.as_ref()) {
-            Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(db),
+        let buf = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((db, 0, false)),
             Err(e) => return Err(e),
         };
-        for line in BufReader::new(file).lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let rec: Record = serde_json::from_str(&line)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            db.apply(&rec);
+        if buf.is_empty() {
+            return Ok((db, 0, false));
         }
-        Ok(db)
+        let canonical = header_bytes();
+        if buf.len() < HEADER_LEN {
+            // A crash can tear even the initial header write; anything
+            // else this short is not a Lobster journal.
+            return if canonical.starts_with(&buf) {
+                Ok((db, 0, false))
+            } else {
+                Err(invalid("unrecognised journal header".to_string()))
+            };
+        }
+        if buf[..HEADER_LEN] != canonical {
+            return Err(invalid(format!(
+                "bad journal header (want magic {MAGIC:?} version {FORMAT_VERSION})"
+            )));
+        }
+        let mut pos = HEADER_LEN;
+        while pos < buf.len() {
+            if buf.len() - pos < FRAME_HEADER_LEN {
+                break; // torn frame header at EOF: interrupted append
+            }
+            let len = read_u32_le(&buf, pos) as usize;
+            let crc = read_u32_le(&buf, pos + 4);
+            let frame_end = pos + FRAME_HEADER_LEN + len;
+            if len > MAX_RECORD_LEN as usize {
+                if frame_end >= buf.len() {
+                    break; // garbage length from a torn final frame
+                }
+                return Err(invalid(format!("oversized journal record ({len} bytes)")));
+            }
+            if frame_end > buf.len() {
+                break; // frame extends past EOF: interrupted append
+            }
+            let payload = &buf[pos + FRAME_HEADER_LEN..frame_end];
+            let is_final = frame_end == buf.len();
+            if crc32(payload) != crc {
+                if is_final {
+                    break; // corrupt final frame: interrupted append
+                }
+                return Err(invalid(format!("journal CRC mismatch at offset {pos}")));
+            }
+            let parsed = std::str::from_utf8(payload)
+                .map_err(|e| e.to_string())
+                .and_then(|s| serde_json::from_str::<Record>(s).map_err(|e| e.to_string()));
+            let rec = match parsed {
+                Ok(r) => r,
+                Err(e) => {
+                    if is_final {
+                        break; // undecodable final frame: interrupted append
+                    }
+                    return Err(invalid(format!(
+                        "undecodable journal record at offset {pos}: {e}"
+                    )));
+                }
+            };
+            if matches!(rec, Record::Snapshot { .. }) {
+                db.records_since_snapshot = 0;
+                db.replayed_attempts.clear();
+            } else {
+                db.records_since_snapshot += 1;
+            }
+            if let Record::Attempt { report } = &rec {
+                db.replayed_attempts.push((**report).clone());
+            }
+            db.apply(&rec);
+            pos = frame_end;
+        }
+        Ok((db, pos as u64, true))
+    }
+
+    /// Rewrite the journal as header + one snapshot frame of the current
+    /// state (tmp file, fsync, atomic rename). Bounds future replay cost.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let path = match self.journal_path.clone() {
+            Some(p) => p,
+            None => return Ok(()), // in-memory: nothing to compact
+        };
+        let rec = Record::Snapshot {
+            state: Box::new(self.snapshot_state()),
+        };
+        // simlint::allow(no-panic-in-lib): Record is a closed set of journal shapes
+        let payload = serde_json::to_string(&rec).expect("record serialises");
+        let mut buf = Vec::with_capacity(HEADER_LEN + FRAME_HEADER_LEN + payload.len());
+        buf.extend_from_slice(&header_bytes());
+        buf.extend_from_slice(&encode_frame(payload.as_bytes()));
+        let tmp = path.with_extension("waltmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.journal = Some(OpenOptions::new().append(true).open(&path)?);
+        self.records_since_snapshot = 0;
+        Ok(())
     }
 
     fn log(&mut self, rec: &Record) {
         if let Some(j) = self.journal.as_mut() {
             // simlint::allow(no-panic-in-lib): Record is a closed set of journal shapes
-            let mut line = serde_json::to_string(rec).expect("record serialises");
-            line.push('\n');
+            let payload = serde_json::to_string(rec).expect("record serialises");
             // A failed WAL append is unrecoverable by design (footnote 1 of the
             // paper requires crash-consistent recovery): crashing here preserves
             // the durable prefix, whereas continuing would fork memory from disk.
-            // simlint::allow(no-panic-in-lib): WAL append failure is fatal by design
-            j.write_all(line.as_bytes()).expect("journal write");
+            j.write_all(&encode_frame(payload.as_bytes()))
+                // simlint::allow(no-panic-in-lib): WAL append failure is fatal by design
+                .expect("journal write");
+            self.records_since_snapshot += 1;
         }
     }
 
@@ -214,8 +543,11 @@ impl LobsterDb {
                         task: *id,
                         bytes: *output_bytes,
                         merged_into: None,
+                        withdrawn: false,
                     },
                 );
+                self.done_order.push(*id);
+                self.counters.tasks_completed += 1;
             }
             Record::TaskLost { id } => {
                 let t = self.tasks.get_mut(id).expect("task exists");
@@ -223,7 +555,15 @@ impl LobsterDb {
                 let wf = self.workflows.get_mut(&t.workflow).expect("workflow");
                 wf.returned.extend(t.tasklets.iter().copied());
             }
+            Record::MergeCreated { id, inputs } => {
+                for (src, _) in inputs {
+                    self.grouped.insert(*src);
+                }
+                self.merge_groups.insert(*id, inputs.clone());
+                self.next_merge = self.next_merge.max(id.0 - MERGE_ID_BASE + 1);
+            }
             Record::Merged {
+                task,
                 outputs,
                 into,
                 bytes,
@@ -232,8 +572,50 @@ impl LobsterDb {
                     if let Some(o) = self.outputs.get_mut(id) {
                         o.merged_into = Some(into.clone());
                     }
+                    self.grouped.remove(id);
                 }
                 self.merged_files.insert(into.clone(), *bytes);
+                self.counters.merges_completed += 1;
+                if let Some(t) = task {
+                    self.merge_groups.remove(t);
+                }
+            }
+            Record::Attempt { report } => {
+                self.accounting.record(report);
+                if !report.is_success() {
+                    self.counters.tasks_failed += 1;
+                }
+                if report.evicted {
+                    self.counters.evictions += 1;
+                }
+            }
+            Record::Backoff { wait } => {
+                self.accounting.record_backoff(*wait);
+            }
+            Record::DeadLettered { letter } => {
+                let l = **letter;
+                if l.category == Category::Merge {
+                    // Withdraw the group: its inputs leave merge planning
+                    // for good (they are neither merged nor re-groupable).
+                    if let Some(inputs) = self.merge_groups.remove(&l.task) {
+                        for (src, _) in inputs {
+                            self.grouped.remove(&src);
+                            if let Some(o) = self.outputs.get_mut(&src) {
+                                o.withdrawn = true;
+                            }
+                        }
+                    }
+                } else if let Some(t) = self.tasks.get_mut(&l.task) {
+                    t.state = TaskState::Withdrawn;
+                    if let Some(wf) = self.workflows.get_mut(&t.workflow) {
+                        wf.dead += l.units;
+                    }
+                }
+                self.dead_letters.push(l);
+                self.accounting.record_dead_letter();
+            }
+            Record::Snapshot { state } => {
+                self.install(state.as_ref().clone());
             }
         }
     }
@@ -241,6 +623,117 @@ impl LobsterDb {
     fn apply_and_log(&mut self, rec: Record) {
         self.apply(&rec);
         self.log(&rec);
+        if let Some(n) = self.snapshot_every {
+            if self.journal.is_some() && self.records_since_snapshot >= n {
+                // Compaction failure would strand an unbounded journal
+                // while memory marches on; same fatal-by-design stance as
+                // a failed append.
+                // simlint::allow(no-panic-in-lib): WAL compaction failure is fatal by design
+                self.compact().expect("journal compaction");
+            }
+        }
+    }
+
+    fn snapshot_state(&self) -> SnapshotState {
+        SnapshotState {
+            workflows: self
+                .workflows
+                .iter()
+                .map(|(name, w)| WorkflowSnap {
+                    name: name.clone(),
+                    total: w.total_tasklets,
+                    cursor: w.cursor,
+                    returned: w.returned.iter().copied().collect(),
+                    done: w.done,
+                    dead: w.dead,
+                })
+                .collect(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|(id, t)| TaskSnap {
+                    id: *id,
+                    workflow: t.workflow.clone(),
+                    tasklets: t.tasklets.clone(),
+                    state: t.state,
+                    attempts: t.attempts,
+                })
+                .collect(),
+            outputs: self.outputs.values().cloned().collect(),
+            done_order: self.done_order.clone(),
+            merged_files: self
+                .merged_files
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            merge_groups: self
+                .merge_groups
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            next_task: self.next_task,
+            next_merge: self.next_merge,
+            dead_letters: self.dead_letters.clone(),
+            accounting: self.accounting.clone(),
+            counters: self.counters,
+        }
+    }
+
+    fn install(&mut self, s: SnapshotState) {
+        self.workflows = s
+            .workflows
+            .into_iter()
+            .map(|w| {
+                (
+                    w.name,
+                    WorkflowState {
+                        total_tasklets: w.total,
+                        cursor: w.cursor,
+                        returned: w.returned.into_iter().collect(),
+                        done: w.done,
+                        dead: w.dead,
+                    },
+                )
+            })
+            .collect();
+        self.tasks = s
+            .tasks
+            .into_iter()
+            .map(|t| {
+                (
+                    t.id,
+                    TaskRow {
+                        workflow: t.workflow,
+                        tasklets: t.tasklets,
+                        state: t.state,
+                        attempts: t.attempts,
+                    },
+                )
+            })
+            .collect();
+        self.outputs = s.outputs.into_iter().map(|o| (o.task, o)).collect();
+        self.done_order = s.done_order;
+        self.merged_files = s.merged_files.into_iter().collect();
+        self.grouped = s
+            .merge_groups
+            .iter()
+            .flat_map(|(_, inputs)| inputs.iter().map(|(src, _)| *src))
+            .collect();
+        self.merge_groups = s.merge_groups.into_iter().collect();
+        self.next_task = s.next_task;
+        self.next_merge = s.next_merge;
+        self.dead_letters = s.dead_letters;
+        self.accounting = s.accounting;
+        self.counters = s.counters;
+    }
+
+    fn reject(&mut self, task: TaskId, action: &'static str) -> RejectedTransition {
+        self.counters.rejected_transitions += 1;
+        RejectedTransition {
+            task,
+            from: self.tasks.get(&task).map(|t| t.state),
+            action,
+        }
     }
 
     /// Register a workflow of `tasklets` total tasklets.
@@ -266,9 +759,24 @@ impl LobsterDb {
         self.workflows[workflow].done
     }
 
+    /// Tasklets withdrawn with dead-lettered tasks.
+    pub fn dead_tasklets(&self, workflow: &str) -> u64 {
+        self.workflows[workflow].dead
+    }
+
     /// Total tasklets in the workflow.
     pub fn total_tasklets(&self, workflow: &str) -> u64 {
         self.workflows[workflow].total_tasklets
+    }
+
+    /// True if the workflow is registered.
+    pub fn has_workflow(&self, workflow: &str) -> bool {
+        self.workflows.contains_key(workflow)
+    }
+
+    /// Number of registered workflows.
+    pub fn workflow_count(&self) -> usize {
+        self.workflows.len()
     }
 
     /// True once every tasklet of every workflow is done.
@@ -302,7 +810,6 @@ impl LobsterDb {
             return None;
         }
         let id = TaskId(self.next_task);
-        self.next_task += 1;
         self.apply_and_log(Record::TaskCreated {
             id,
             workflow: workflow.to_string(),
@@ -311,30 +818,127 @@ impl LobsterDb {
         Some(id)
     }
 
-    /// Mark a task dispatched.
-    pub fn mark_running(&mut self, id: TaskId) {
-        assert!(self.tasks.contains_key(&id), "unknown task");
-        self.apply_and_log(Record::TaskRunning { id });
+    /// Plan a merge over `inputs` (each a done, unmerged, unclaimed
+    /// output). Journals the group so a resumed run re-issues exactly
+    /// this merge; returns the merge task id (numbered from
+    /// [`MERGE_ID_BASE`]).
+    pub fn create_merge_group(
+        &mut self,
+        inputs: &[(TaskId, u64)],
+    ) -> Result<TaskId, RejectedTransition> {
+        for (src, _) in inputs {
+            let ok = self
+                .outputs
+                .get(src)
+                .is_some_and(|o| o.merged_into.is_none() && !o.withdrawn)
+                && !self.grouped.contains(src);
+            if !ok {
+                return Err(self.reject(*src, "create_merge_group"));
+            }
+        }
+        let id = TaskId(MERGE_ID_BASE + self.next_merge);
+        self.apply_and_log(Record::MergeCreated {
+            id,
+            inputs: inputs.to_vec(),
+        });
+        Ok(id)
     }
 
-    /// Mark a task finished with `output_bytes` of output.
-    pub fn mark_done(&mut self, id: TaskId, output_bytes: u64) {
-        assert!(self.tasks.contains_key(&id), "unknown task");
-        self.apply_and_log(Record::TaskDone { id, output_bytes });
+    /// Mark a task dispatched. Legal from `Ready` or `Running` (a
+    /// re-dispatch after a vanished worker).
+    pub fn mark_running(&mut self, id: TaskId) -> Result<(), RejectedTransition> {
+        match self.tasks.get(&id).map(|t| t.state) {
+            Some(TaskState::Ready | TaskState::Running) => {
+                self.apply_and_log(Record::TaskRunning { id });
+                Ok(())
+            }
+            _ => Err(self.reject(id, "mark_running")),
+        }
     }
 
-    /// Mark a task lost; its tasklets return to the pool.
-    pub fn mark_lost(&mut self, id: TaskId) {
-        assert!(self.tasks.contains_key(&id), "unknown task");
-        self.apply_and_log(Record::TaskLost { id });
+    /// Mark a task finished with `output_bytes` of output. Legal from
+    /// `Running` only.
+    pub fn mark_done(&mut self, id: TaskId, output_bytes: u64) -> Result<(), RejectedTransition> {
+        match self.tasks.get(&id).map(|t| t.state) {
+            Some(TaskState::Running) => {
+                self.apply_and_log(Record::TaskDone { id, output_bytes });
+                Ok(())
+            }
+            _ => Err(self.reject(id, "mark_done")),
+        }
     }
 
-    /// Record a merge of `outputs` into `into` totalling `bytes`.
-    pub fn mark_merged(&mut self, outputs: &[TaskId], into: &str, bytes: u64) {
+    /// Mark a task lost; its tasklets return to the pool. Legal from
+    /// `Ready` or `Running`.
+    pub fn mark_lost(&mut self, id: TaskId) -> Result<(), RejectedTransition> {
+        match self.tasks.get(&id).map(|t| t.state) {
+            Some(TaskState::Ready | TaskState::Running) => {
+                self.apply_and_log(Record::TaskLost { id });
+                Ok(())
+            }
+            _ => Err(self.reject(id, "mark_lost")),
+        }
+    }
+
+    /// Record a merge of `outputs` into `into` totalling `bytes`. `task`
+    /// is the planned merge group being completed (`None` for merges
+    /// planned outside the DB, e.g. the Hadoop-style global plan). Every
+    /// output must be done, unmerged and not withdrawn; the file name
+    /// must be unused.
+    pub fn mark_merged(
+        &mut self,
+        task: Option<TaskId>,
+        outputs: &[TaskId],
+        into: &str,
+        bytes: u64,
+    ) -> Result<(), RejectedTransition> {
+        if let Some(t) = task {
+            if !self.merge_groups.contains_key(&t) {
+                return Err(self.reject(t, "mark_merged (unknown merge group)"));
+            }
+        }
+        if self.merged_files.contains_key(into) {
+            let id = task
+                .or_else(|| outputs.first().copied())
+                .unwrap_or(TaskId(0));
+            return Err(self.reject(id, "mark_merged (duplicate merged file)"));
+        }
+        for id in outputs {
+            let ok = self
+                .outputs
+                .get(id)
+                .is_some_and(|o| o.merged_into.is_none() && !o.withdrawn);
+            if !ok {
+                return Err(self.reject(*id, "mark_merged"));
+            }
+        }
         self.apply_and_log(Record::Merged {
+            task,
             outputs: outputs.to_vec(),
             into: into.to_string(),
             bytes,
+        });
+        Ok(())
+    }
+
+    /// Journal one attempt report into the durable accounting.
+    pub fn record_attempt(&mut self, report: &SegmentReport) {
+        self.apply_and_log(Record::Attempt {
+            report: Box::new(report.clone()),
+        });
+    }
+
+    /// Journal time spent in a backoff wait.
+    pub fn record_backoff(&mut self, wait: SimDuration) {
+        self.apply_and_log(Record::Backoff { wait });
+    }
+
+    /// Journal a task landing in the dead-letter ledger. For analysis
+    /// tasks the task is withdrawn and its tasklets counted dead; for
+    /// merges the group is dissolved and its inputs withdrawn.
+    pub fn record_dead_letter(&mut self, letter: DeadLetter) {
+        self.apply_and_log(Record::DeadLettered {
+            letter: Box::new(letter),
         });
     }
 
@@ -353,12 +957,63 @@ impl LobsterDb {
         self.tasks.get(&id).map(|t| t.tasklets.as_slice())
     }
 
-    /// Outputs not yet merged, as `(task, bytes)` sorted by task id.
+    /// Workflow a task belongs to.
+    pub fn task_workflow(&self, id: TaskId) -> Option<&str> {
+        self.tasks.get(&id).map(|t| t.workflow.as_str())
+    }
+
+    /// Outputs not yet merged (nor withdrawn), as `(task, bytes)` sorted
+    /// by task id.
     pub fn unmerged_outputs(&self) -> Vec<(TaskId, u64)> {
         self.outputs
             .values()
-            .filter(|o| o.merged_into.is_none())
+            .filter(|o| o.merged_into.is_none() && !o.withdrawn)
             .map(|o| (o.task, o.bytes))
+            .collect()
+    }
+
+    /// Unmerged, unwithdrawn outputs not claimed by any open merge group,
+    /// in task *finish* order — the shape of the driver's pending-merge
+    /// buffer at crash time.
+    pub fn done_order_unmerged(&self) -> Vec<(TaskId, u64)> {
+        self.done_order
+            .iter()
+            .filter_map(|id| {
+                self.outputs
+                    .get(id)
+                    .filter(|o| {
+                        o.merged_into.is_none() && !o.withdrawn && !self.grouped.contains(id)
+                    })
+                    .map(|o| (o.task, o.bytes))
+            })
+            .collect()
+    }
+
+    /// Open (planned, incomplete) merge groups as `(merge id, inputs)`.
+    pub fn open_merge_groups(&self) -> Vec<(TaskId, MergeInputs)> {
+        self.merge_groups
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Tasks currently in `Running` state (in-flight at crash time).
+    pub fn running_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|(_, t)| t.state == TaskState::Running)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Tasks still in `Ready` state: created (their tasklets are claimed
+    /// off the workflow cursor) but never dispatched. A recovered master
+    /// must re-dispatch these — nothing else will re-cover the tasklets.
+    pub fn ready_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|(_, t)| t.state == TaskState::Ready)
+            .map(|(id, _)| *id)
             .collect()
     }
 
@@ -370,15 +1025,89 @@ impl LobsterDb {
             .collect()
     }
 
+    /// Number of merged files produced so far.
+    pub fn merged_file_count(&self) -> usize {
+        self.merged_files.len()
+    }
+
     /// Number of tasks ever created.
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// The dead-letter ledger, in dead-letter order.
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
+    }
+
+    /// Durable run accounting (rebuilt on recovery).
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    /// Durable run counters (rebuilt on recovery).
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Records appended since the last snapshot (or since the journal
+    /// began, if never compacted).
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.records_since_snapshot
+    }
+
+    /// Attempt reports replayed from the journal tail during recovery
+    /// (empties the buffer). The driver uses these to rebuild monitor
+    /// timelines on resume.
+    pub fn take_replayed_attempts(&mut self) -> Vec<SegmentReport> {
+        std::mem::take(&mut self.replayed_attempts)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wrapper::Segment;
+    use simkit::time::SimTime;
+    use wqueue::task::{FailureCode, TaskTimes};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lobster-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{tag}-{}.wal", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    fn report(task: u64, ok: bool) -> SegmentReport {
+        SegmentReport {
+            task: TaskId(task),
+            category: Category::Analysis,
+            attempt: 0,
+            worker: 1,
+            times: TaskTimes {
+                cpu: SimDuration::from_mins(10),
+                ..TaskTimes::default()
+            },
+            failed_segment: if ok { None } else { Some(Segment::StageIn) },
+            watchdog: false,
+            evicted: false,
+            dispatched_at: SimTime::ZERO,
+            finished_at: SimTime::from_secs(600),
+            output_bytes: if ok { 1000 } else { 0 },
+        }
+    }
+
+    fn letter(task: u64, category: Category, units: u64) -> DeadLetter {
+        DeadLetter {
+            task: TaskId(task),
+            category,
+            code: FailureCode::StageIn,
+            attempts: 3,
+            units,
+            at: SimTime::from_secs(900),
+        }
+    }
 
     #[test]
     fn workflow_decomposition_bookkeeping() {
@@ -401,8 +1130,8 @@ mod tests {
         let mut db = LobsterDb::in_memory();
         db.register_workflow("wf", 6);
         let t0 = db.create_task("wf", 3).unwrap();
-        db.mark_running(t0);
-        db.mark_lost(t0);
+        db.mark_running(t0).unwrap();
+        db.mark_lost(t0).unwrap();
         assert_eq!(db.unassigned_tasklets("wf"), 6);
         let t1 = db.create_task("wf", 4).unwrap();
         // Returned tasklets 0..3 come first, then fresh tasklet 3.
@@ -415,12 +1144,13 @@ mod tests {
         let mut db = LobsterDb::in_memory();
         db.register_workflow("wf", 4);
         let t = db.create_task("wf", 4).unwrap();
-        db.mark_running(t);
+        db.mark_running(t).unwrap();
         assert!(!db.all_done());
-        db.mark_done(t, 1000);
+        db.mark_done(t, 1000).unwrap();
         assert_eq!(db.done_tasklets("wf"), 4);
         assert!(db.all_done());
         assert_eq!(db.unmerged_outputs(), vec![(t, 1000)]);
+        assert_eq!(db.counters().tasks_completed, 1);
     }
 
     #[test]
@@ -428,11 +1158,11 @@ mod tests {
         let mut db = LobsterDb::in_memory();
         db.register_workflow("wf", 2);
         let t = db.create_task("wf", 2).unwrap();
-        db.mark_running(t);
-        db.mark_lost(t);
+        db.mark_running(t).unwrap();
+        db.mark_lost(t).unwrap();
         let t2 = db.create_task("wf", 2).unwrap();
-        db.mark_running(t2);
-        db.mark_running(t2); // re-dispatch after a worker vanished
+        db.mark_running(t2).unwrap();
+        db.mark_running(t2).unwrap(); // re-dispatch after a worker vanished
         assert_eq!(db.attempts(t2), 2);
     }
 
@@ -442,30 +1172,36 @@ mod tests {
         db.register_workflow("wf", 4);
         let a = db.create_task("wf", 2).unwrap();
         let b = db.create_task("wf", 2).unwrap();
-        db.mark_running(a);
-        db.mark_done(a, 100);
-        db.mark_running(b);
-        db.mark_done(b, 150);
-        db.mark_merged(&[a, b], "merged_0.root", 250);
+        db.mark_running(a).unwrap();
+        db.mark_done(a, 100).unwrap();
+        db.mark_running(b).unwrap();
+        db.mark_done(b, 150).unwrap();
+        let g = db.create_merge_group(&[(a, 100), (b, 150)]).unwrap();
+        assert_eq!(g, TaskId(MERGE_ID_BASE));
+        assert!(
+            db.done_order_unmerged().is_empty(),
+            "grouped outputs leave planning"
+        );
+        db.mark_merged(Some(g), &[a, b], "merged_0.root", 250)
+            .unwrap();
         assert!(db.unmerged_outputs().is_empty());
         assert_eq!(db.merged_files(), vec![("merged_0.root".into(), 250)]);
+        assert!(db.open_merge_groups().is_empty());
+        assert_eq!(db.counters().merges_completed, 1);
     }
 
     #[test]
     fn journal_recovery_rebuilds_state() {
-        let dir = std::env::temp_dir().join("lobster-db-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("journal-{}.jsonl", std::process::id()));
-        std::fs::remove_file(&path).ok();
+        let path = tmp_path("journal");
         {
             let mut db = LobsterDb::open(&path).unwrap();
             db.register_workflow("wf", 8);
             let t0 = db.create_task("wf", 3).unwrap();
             let t1 = db.create_task("wf", 3).unwrap();
-            db.mark_running(t0);
-            db.mark_done(t0, 500);
-            db.mark_running(t1);
-            db.mark_lost(t1);
+            db.mark_running(t0).unwrap();
+            db.mark_done(t0, 500).unwrap();
+            db.mark_running(t1).unwrap();
+            db.mark_lost(t1).unwrap();
         } // crash
         let db = LobsterDb::recover(&path).unwrap();
         assert_eq!(db.total_tasklets("wf"), 8);
@@ -480,10 +1216,7 @@ mod tests {
 
     #[test]
     fn recovered_db_continues_numbering() {
-        let dir = std::env::temp_dir().join("lobster-db-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("journal2-{}.jsonl", std::process::id()));
-        std::fs::remove_file(&path).ok();
+        let path = tmp_path("journal2");
         {
             let mut db = LobsterDb::open(&path).unwrap();
             db.register_workflow("wf", 10);
@@ -500,7 +1233,7 @@ mod tests {
 
     #[test]
     fn recover_missing_file_is_empty() {
-        let db = LobsterDb::recover("/nonexistent/path/journal.jsonl").unwrap();
+        let db = LobsterDb::recover("/nonexistent/path/journal.wal").unwrap();
         assert!(db.all_done(), "no workflows → vacuously done");
         assert_eq!(db.task_count(), 0);
     }
@@ -511,5 +1244,430 @@ mod tests {
         let mut db = LobsterDb::in_memory();
         db.register_workflow("wf", 1);
         db.register_workflow("wf", 1);
+    }
+
+    // ---- journal v2 framing & torn-tail tolerance ----------------------
+
+    /// Byte-truncate the final record at *every* offset: recovery must
+    /// succeed and yield exactly the state without that record.
+    #[test]
+    fn torn_tail_tolerated_at_every_offset() {
+        let path = tmp_path("torn");
+        let len_without_last;
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 6);
+            let t0 = db.create_task("wf", 3).unwrap();
+            db.mark_running(t0).unwrap();
+            db.mark_done(t0, 500).unwrap();
+            len_without_last = std::fs::metadata(&path).unwrap().len();
+            // The final record, to be torn:
+            db.create_task("wf", 3).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        assert!(full.len() as u64 > len_without_last);
+        for cut in len_without_last..full.len() as u64 {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let db = LobsterDb::recover(&path)
+                .unwrap_or_else(|e| panic!("torn tail at {cut} must be tolerated: {e}"));
+            assert_eq!(db.task_count(), 1, "cut at {cut}: last record discarded");
+            assert_eq!(db.done_tasklets("wf"), 3);
+            // Re-opening truncates the torn tail and continues cleanly.
+            let mut db = LobsterDb::open(&path).unwrap();
+            let t = db.create_task("wf", 3).unwrap();
+            assert_eq!(t, TaskId(1));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_final_record_discarded() {
+        let path = tmp_path("corrupt-final");
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 4);
+            db.create_task("wf", 2).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // CRC now fails on the final frame
+        std::fs::write(&path, &bytes).unwrap();
+        let db = LobsterDb::recover(&path).unwrap();
+        assert_eq!(db.task_count(), 0, "corrupt final record discarded");
+        assert_eq!(db.total_tasklets("wf"), 4, "earlier records intact");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_hard_error() {
+        let path = tmp_path("corrupt-mid");
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 4);
+            db.create_task("wf", 2).unwrap();
+            db.create_task("wf", 2).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the *first* frame (just past its header).
+        let at = HEADER_LEN + FRAME_HEADER_LEN + 2;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = LobsterDb::recover(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_header_rejected_torn_header_tolerated() {
+        let path = tmp_path("header");
+        // Garbage that is not a prefix of the canonical header: hard error.
+        std::fs::write(&path, b"NOTAWAL!").unwrap();
+        assert_eq!(
+            LobsterDb::recover(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Wrong version in an otherwise intact header: hard error.
+        let mut h = header_bytes();
+        h[8] = 99;
+        std::fs::write(&path, h).unwrap();
+        assert_eq!(
+            LobsterDb::recover(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A torn prefix of the canonical header (crash during the very
+        // first write): tolerated as an empty journal.
+        for cut in 1..HEADER_LEN {
+            std::fs::write(&path, &header_bytes()[..cut]).unwrap();
+            let db = LobsterDb::recover(&path).unwrap();
+            assert_eq!(db.task_count(), 0);
+            // open() resets it to a fresh, usable journal.
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_compaction_preserves_state_and_shrinks_journal() {
+        let path = tmp_path("compact");
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 8);
+            let t0 = db.create_task("wf", 4).unwrap();
+            db.mark_running(t0).unwrap();
+            db.mark_done(t0, 700).unwrap();
+            db.record_attempt(&report(t0.0, true));
+            db.record_backoff(SimDuration::from_mins(5));
+            let before = std::fs::metadata(&path).unwrap().len();
+            for _ in 0..50 {
+                let t = db.create_task("wf", 1).unwrap();
+                db.mark_running(t).unwrap();
+                db.mark_lost(t).unwrap();
+            }
+            db.compact().unwrap();
+            assert_eq!(db.records_since_snapshot(), 0);
+            let _ = before;
+            // Post-compaction appends land after the snapshot frame.
+            let t = db.create_task("wf", 2).unwrap();
+            db.mark_running(t).unwrap();
+        }
+        let mut db = LobsterDb::recover(&path).unwrap();
+        assert_eq!(db.done_tasklets("wf"), 4);
+        assert_eq!(db.counters().tasks_completed, 1);
+        assert!(db.accounting().cpu > 0.0);
+        assert!(db.accounting().backoff_hours > 0.0);
+        assert_eq!(db.task_state(TaskId(51)), Some(TaskState::Running));
+        // Attempts before the snapshot are folded into it, not replayed.
+        assert!(db.take_replayed_attempts().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn auto_snapshot_policy_compacts() {
+        let path = tmp_path("auto-compact");
+        {
+            let mut db = LobsterDb::open_with_policy(&path, Some(10)).unwrap();
+            db.register_workflow("wf", 64);
+            for _ in 0..30 {
+                let t = db.create_task("wf", 1).unwrap();
+                db.mark_running(t).unwrap();
+                db.mark_done(t, 10).unwrap();
+            }
+            assert!(
+                db.records_since_snapshot() < 10,
+                "policy keeps the tail short, got {}",
+                db.records_since_snapshot()
+            );
+        }
+        let db = LobsterDb::recover(&path).unwrap();
+        assert_eq!(db.done_tasklets("wf"), 30);
+        assert_eq!(db.counters().tasks_completed, 30);
+        assert_eq!(db.task_count(), 30);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_after_snapshot_tolerated() {
+        let path = tmp_path("torn-after-snap");
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 8);
+            let t = db.create_task("wf", 4).unwrap();
+            db.mark_running(t).unwrap();
+            db.mark_done(t, 100).unwrap();
+            db.compact().unwrap();
+            db.create_task("wf", 4).unwrap(); // the record to tear
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Tear half of the final record.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let db = LobsterDb::recover(&path).unwrap();
+        assert_eq!(db.task_count(), 1, "post-snapshot torn record discarded");
+        assert_eq!(db.done_tasklets("wf"), 4, "snapshot state intact");
+        std::fs::remove_file(&path).ok();
+    }
+
+    // ---- explicit transitions ------------------------------------------
+
+    #[test]
+    fn illegal_mark_done_from_ready() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        let err = db.mark_done(t, 10).unwrap_err();
+        assert_eq!(err.from, Some(TaskState::Ready));
+        assert_eq!(db.task_state(t), Some(TaskState::Ready), "state unchanged");
+        assert_eq!(db.done_tasklets("wf"), 0);
+        assert_eq!(db.counters().rejected_transitions, 1);
+    }
+
+    #[test]
+    fn illegal_mark_done_twice() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        db.mark_running(t).unwrap();
+        db.mark_done(t, 10).unwrap();
+        let err = db.mark_done(t, 10).unwrap_err();
+        assert_eq!(err.from, Some(TaskState::Done));
+        assert_eq!(db.done_tasklets("wf"), 2, "not double counted");
+    }
+
+    #[test]
+    fn illegal_mark_done_from_lost() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        db.mark_running(t).unwrap();
+        db.mark_lost(t).unwrap();
+        let err = db.mark_done(t, 10).unwrap_err();
+        assert_eq!(err.from, Some(TaskState::Lost));
+        assert_eq!(db.unassigned_tasklets("wf"), 2, "tasklets stay returned");
+    }
+
+    #[test]
+    fn illegal_mark_running_from_done() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        db.mark_running(t).unwrap();
+        db.mark_done(t, 10).unwrap();
+        let err = db.mark_running(t).unwrap_err();
+        assert_eq!(err.from, Some(TaskState::Done));
+        assert_eq!(db.attempts(t), 1, "attempt count unchanged");
+    }
+
+    #[test]
+    fn illegal_mark_running_from_lost() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        db.mark_running(t).unwrap();
+        db.mark_lost(t).unwrap();
+        assert!(db.mark_running(t).is_err());
+        assert_eq!(db.task_state(t), Some(TaskState::Lost));
+    }
+
+    #[test]
+    fn illegal_mark_lost_from_done() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        db.mark_running(t).unwrap();
+        db.mark_done(t, 10).unwrap();
+        let err = db.mark_lost(t).unwrap_err();
+        assert_eq!(err.from, Some(TaskState::Done));
+        assert_eq!(
+            db.unassigned_tasklets("wf"),
+            0,
+            "done tasklets not returned"
+        );
+    }
+
+    #[test]
+    fn transitions_on_unknown_task_rejected() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let ghost = TaskId(404);
+        assert_eq!(db.mark_running(ghost).unwrap_err().from, None);
+        assert_eq!(db.mark_done(ghost, 1).unwrap_err().from, None);
+        assert_eq!(db.mark_lost(ghost).unwrap_err().from, None);
+        assert_eq!(db.counters().rejected_transitions, 3);
+    }
+
+    #[test]
+    fn illegal_transitions_on_withdrawn_task() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 2);
+        let t = db.create_task("wf", 2).unwrap();
+        db.mark_running(t).unwrap();
+        db.record_dead_letter(letter(t.0, Category::Analysis, 2));
+        assert_eq!(db.task_state(t), Some(TaskState::Withdrawn));
+        assert!(db.mark_running(t).is_err());
+        assert!(db.mark_done(t, 1).is_err());
+        assert!(db.mark_lost(t).is_err());
+    }
+
+    #[test]
+    fn merge_group_rejections() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 4);
+        let a = db.create_task("wf", 2).unwrap();
+        let b = db.create_task("wf", 2).unwrap();
+        db.mark_running(a).unwrap();
+        db.mark_done(a, 100).unwrap();
+        // b not done yet: no output to group.
+        assert!(db.create_merge_group(&[(b, 100)]).is_err());
+        db.mark_running(b).unwrap();
+        db.mark_done(b, 150).unwrap();
+        let g = db.create_merge_group(&[(a, 100)]).unwrap();
+        // a already claimed by g.
+        let err = db.create_merge_group(&[(a, 100)]).unwrap_err();
+        assert_eq!(err.task, a);
+        // Completing an unknown group is rejected.
+        assert!(db
+            .mark_merged(Some(TaskId(MERGE_ID_BASE + 77)), &[b], "x.root", 1)
+            .is_err());
+        db.mark_merged(Some(g), &[a], "m0.root", 100).unwrap();
+        // a now merged: cannot merge again, cannot regroup.
+        assert!(db.mark_merged(None, &[a], "m1.root", 100).is_err());
+        assert!(db.create_merge_group(&[(a, 100)]).is_err());
+        // Duplicate merged-file name is rejected.
+        assert!(db.mark_merged(None, &[b], "m0.root", 150).is_err());
+        db.mark_merged(None, &[b], "m1.root", 150).unwrap();
+        std::mem::drop(db);
+    }
+
+    // ---- dead letters, accounting, ordering ----------------------------
+
+    #[test]
+    fn dead_letter_analysis_withdraws_tasklets() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 6);
+        let t = db.create_task("wf", 3).unwrap();
+        db.mark_running(t).unwrap();
+        db.record_dead_letter(letter(t.0, Category::Analysis, 3));
+        assert_eq!(db.dead_tasklets("wf"), 3);
+        assert_eq!(db.done_tasklets("wf"), 0);
+        assert_eq!(db.dead_letters().len(), 1);
+        assert_eq!(db.accounting().dead_lettered, 1);
+        // Withdrawn tasklets are NOT returned to the pool.
+        assert_eq!(db.unassigned_tasklets("wf"), 3);
+    }
+
+    #[test]
+    fn dead_letter_merge_withdraws_inputs() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 4);
+        let a = db.create_task("wf", 2).unwrap();
+        let b = db.create_task("wf", 2).unwrap();
+        for t in [a, b] {
+            db.mark_running(t).unwrap();
+            db.mark_done(t, 100).unwrap();
+        }
+        let g = db.create_merge_group(&[(a, 100), (b, 100)]).unwrap();
+        db.record_dead_letter(DeadLetter {
+            category: Category::Merge,
+            units: 2,
+            ..letter(g.0, Category::Merge, 2)
+        });
+        assert!(db.open_merge_groups().is_empty(), "group dissolved");
+        assert!(db.unmerged_outputs().is_empty(), "inputs withdrawn");
+        assert!(db.done_order_unmerged().is_empty());
+        assert!(db.mark_merged(None, &[a], "m.root", 100).is_err());
+    }
+
+    #[test]
+    fn accounting_and_ledger_survive_recovery() {
+        let path = tmp_path("acct");
+        let (acct_json, letters) = {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 8);
+            let t = db.create_task("wf", 4).unwrap();
+            db.mark_running(t).unwrap();
+            db.record_attempt(&report(t.0, false));
+            db.record_backoff(SimDuration::from_mins(15));
+            db.mark_running(t).unwrap();
+            db.record_attempt(&report(t.0, true));
+            db.mark_done(t, 1000).unwrap();
+            let u = db.create_task("wf", 4).unwrap();
+            db.mark_running(u).unwrap();
+            db.record_dead_letter(letter(u.0, Category::Analysis, 4));
+            (
+                serde_json::to_string(db.accounting()).unwrap(),
+                db.dead_letters().to_vec(),
+            )
+        };
+        let mut db = LobsterDb::recover(&path).unwrap();
+        assert_eq!(serde_json::to_string(db.accounting()).unwrap(), acct_json);
+        assert_eq!(db.dead_letters(), letters.as_slice());
+        assert_eq!(db.counters().tasks_failed, 1);
+        assert_eq!(db.dead_tasklets("wf"), 4);
+        assert_eq!(db.take_replayed_attempts().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn done_order_unmerged_is_finish_order() {
+        let mut db = LobsterDb::in_memory();
+        db.register_workflow("wf", 6);
+        let a = db.create_task("wf", 2).unwrap();
+        let b = db.create_task("wf", 2).unwrap();
+        let c = db.create_task("wf", 2).unwrap();
+        for t in [a, b, c] {
+            db.mark_running(t).unwrap();
+        }
+        // Finish out of id order: c, a, b.
+        db.mark_done(c, 30).unwrap();
+        db.mark_done(a, 10).unwrap();
+        db.mark_done(b, 20).unwrap();
+        assert_eq!(db.done_order_unmerged(), vec![(c, 30), (a, 10), (b, 20)]);
+        // unmerged_outputs stays id-sorted.
+        assert_eq!(db.unmerged_outputs(), vec![(a, 10), (b, 20), (c, 30)]);
+    }
+
+    #[test]
+    fn merge_numbering_continues_after_recovery() {
+        let path = tmp_path("merge-num");
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            db.register_workflow("wf", 4);
+            let a = db.create_task("wf", 2).unwrap();
+            db.mark_running(a).unwrap();
+            db.mark_done(a, 100).unwrap();
+            let g = db.create_merge_group(&[(a, 100)]).unwrap();
+            assert_eq!(g, TaskId(MERGE_ID_BASE));
+        }
+        {
+            let mut db = LobsterDb::open(&path).unwrap();
+            // The open group survived the crash.
+            assert_eq!(db.open_merge_groups().len(), 1);
+            let b = db.create_task("wf", 2).unwrap();
+            db.mark_running(b).unwrap();
+            db.mark_done(b, 150).unwrap();
+            let g2 = db.create_merge_group(&[(b, 150)]).unwrap();
+            assert_eq!(g2, TaskId(MERGE_ID_BASE + 1), "merge ids continue");
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -30,12 +30,15 @@ use cvmfssim::catalog::ReleaseCatalog;
 use cvmfssim::squid::{Squid, SquidConfig, TimedOut};
 use gridstore::chirp::{ChirpConfig, ChirpDown, ChirpServer};
 use gridstore::xrootd::{Federation, FederationConfig};
+use simkit::fault::CrashPoint;
 use simkit::prelude::*;
 use simkit::queue::Grant;
 use simkit::stats::TimeSeries;
 use simnet::link::FlowId;
 use simnet::outage::OutageSchedule;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io;
+use std::path::Path;
 use wqueue::sim::{DispatchBuffer, WorkerTable};
 use wqueue::task::{Category, DeadLetter, FailureCode, TaskId};
 
@@ -260,21 +263,17 @@ pub struct ClusterSim {
     pending_bytes: u64,
     /// Outputs not yet inside a *completed* merged file.
     unmerged_count: u64,
-    merge_counter: u64,
     hadoop_groups: Vec<(Vec<(TaskId, u64)>, u64)>,
     hadoop_started: bool,
     sequential_planned: bool,
-    // Monitoring.
-    accounting: Accounting,
+    // Monitoring. Accounting, run counters and the dead-letter ledger
+    // live in the db (journaled, so they survive a master crash); only
+    // the diagnostic time lines stay driver-side.
     timeline: Timeline,
     advisor: Advisor,
     seg_hist: SegmentHistograms,
     analysis_done: TimeSeries,
     merge_done: TimeSeries,
-    tasks_completed: u64,
-    tasks_failed: u64,
-    evictions: u64,
-    merges_completed: u64,
     finished_at: Option<SimTime>,
     /// One adaptive sizing controller per workflow.
     sizers: Vec<AdaptiveSizer>,
@@ -283,9 +282,6 @@ pub struct ClusterSim {
     /// Per-worker consecutive environment-setup failures (slot-hold
     /// backoff input; reset on the next env success there).
     env_fail_streak: BTreeMap<u64, u32>,
-    dead_letters: Vec<DeadLetter>,
-    /// Per-workflow tasklets withdrawn with dead-lettered tasks.
-    dead_tasklets: Vec<u64>,
 }
 
 impl ClusterSim {
@@ -295,7 +291,82 @@ impl ClusterSim {
     /// Build a simulation from a Lobster configuration, sim parameters and
     /// the workflows' decompositions (one per `cfg.workflows` entry,
     /// produced by [`Workflow::from_dataset`] / [`Workflow::simulation`]).
+    /// State lives in an in-memory db — nothing survives the process.
     pub fn new(cfg: LobsterConfig, params: SimParams, workflows: Vec<Workflow>) -> Self {
+        let mut db = LobsterDb::in_memory();
+        for wf in &workflows {
+            db.register_workflow(&wf.name, wf.n_tasklets());
+        }
+        Self::with_db(cfg, params, workflows, db)
+    }
+
+    /// Build a *fresh* simulation whose db journals every transition to
+    /// `path`, compacting per `cfg.journal`. Fails with `AlreadyExists`
+    /// when the journal already holds run state — use [`ClusterSim::resume`]
+    /// to continue such a run.
+    pub fn durable(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<Self> {
+        let mut db = LobsterDb::open_with_policy(path, cfg.journal.snapshot_every_records)?;
+        if db.workflow_count() > 0 || db.task_count() > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "journal already holds run state; use ClusterSim::resume",
+            ));
+        }
+        for wf in &workflows {
+            db.register_workflow(&wf.name, wf.n_tasklets());
+        }
+        Ok(Self::with_db(cfg, params, workflows, db))
+    }
+
+    /// Restart a crashed run from its journal at `path`: replay the
+    /// durable state, mark tasks that were in flight at the crash as
+    /// lost (requeueing them through the retry policy), re-issue planned
+    /// merges, and rebuild the merge planner's pending buffer so every
+    /// output still lands in exactly one merged file.
+    ///
+    /// The simulated clock restarts at zero and the rng stream is
+    /// re-seeded, so a resumed run's *timing* diverges from the
+    /// uninterrupted run — but its accounting converges: the same
+    /// tasklets get done, the same bytes get merged.
+    pub fn resume(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<Self> {
+        let mut db = LobsterDb::open_with_policy(path, cfg.journal.snapshot_every_records)?;
+        for wf in &workflows {
+            if !db.has_workflow(&wf.name) {
+                db.register_workflow(&wf.name, wf.n_tasklets());
+            } else if db.total_tasklets(&wf.name) != wf.n_tasklets() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "workflow {} has {} tasklets in the journal but {} in the config",
+                        wf.name,
+                        db.total_tasklets(&wf.name),
+                        wf.n_tasklets()
+                    ),
+                ));
+            }
+        }
+        let mut sim = Self::with_db(cfg, params, workflows, db);
+        sim.reconcile_recovered();
+        Ok(sim)
+    }
+
+    /// Shared constructor over an already-populated db.
+    fn with_db(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        db: LobsterDb,
+    ) -> Self {
         assert_eq!(
             cfg.workflows.len(),
             workflows.len(),
@@ -306,10 +377,6 @@ impl ClusterSim {
             "invalid config: {:?}",
             cfg.validate()
         );
-        let mut db = LobsterDb::in_memory();
-        for wf in &workflows {
-            db.register_workflow(&wf.name, wf.n_tasklets());
-        }
         let rng = SimRng::new(cfg.seed);
         let n_workers = (cfg.workers.target_cores / cfg.workers.cores_per_worker).max(1);
         let factory = WorkerFactory::new(FactoryConfig {
@@ -344,7 +411,6 @@ impl ClusterSim {
             .iter()
             .map(|w| AdaptiveSizer::new(params.adaptive_cfg, w.tasklets_per_task))
             .collect();
-        let dead_tasklets = vec![0u64; workflows.len()];
         let catalog = ReleaseCatalog::cmssw_default(cfg.seed ^ 0xCAFE);
         ClusterSim {
             rng: rng.split(0),
@@ -377,58 +443,224 @@ impl ClusterSim {
             pending_outputs: VecDeque::new(),
             pending_bytes: 0,
             unmerged_count: 0,
-            merge_counter: 0,
             hadoop_groups: Vec::new(),
             hadoop_started: false,
             sequential_planned: false,
-            accounting: Accounting::default(),
             timeline,
             advisor: Advisor::new(),
             seg_hist: SegmentHistograms::new(),
             analysis_done,
             merge_done,
-            tasks_completed: 0,
-            tasks_failed: 0,
-            evictions: 0,
-            merges_completed: 0,
             finished_at: None,
             sizers,
             watchdog_seq: 0,
             env_fail_streak: BTreeMap::new(),
-            dead_letters: Vec::new(),
-            dead_tasklets,
         }
+    }
+
+    /// Bring the driver's in-memory scheduling state back in line with
+    /// the recovered db after [`ClusterSim::resume`].
+    fn reconcile_recovered(&mut self) {
+        // Attempt reports replayed off the journal tail refill the
+        // diagnostic monitors (reports folded into a snapshot frame are
+        // gone from the time lines; their accounting survives in the db).
+        for report in self.db.take_replayed_attempts() {
+            self.timeline.record(&report);
+            self.advisor.record(&report);
+            self.seg_hist.record(&report);
+            if report.is_success() {
+                if report.category == Category::Merge {
+                    self.merge_done.mark(report.finished_at);
+                } else {
+                    self.analysis_done.mark(report.finished_at);
+                }
+            }
+        }
+        // Tasks created but never dispatched (the crash landed between
+        // creation and dispatch) go straight back into the dispatch
+        // buffer: their tasklets are already claimed off the workflow
+        // cursor, so nothing else will re-cover them.
+        for id in self.db.ready_tasks() {
+            self.restore_analysis_task(id);
+        }
+        // Tasks in flight when the master died never reported back; the
+        // restarted master treats them like evicted attempts.
+        for id in self.db.running_tasks() {
+            if self.cfg.retry.max_attempts.is_none() {
+                // Unbounded policy: return the tasklets to the pool and
+                // let fresh tasks re-cover them.
+                if let Err(e) = self.db.mark_lost(id) {
+                    debug_assert!(false, "recovered task not requeueable: {e}");
+                }
+                continue;
+            }
+            // Bounded budget: keep the task identity so the dispatch
+            // count keeps charging against the budget.
+            self.restore_analysis_task(id);
+        }
+        // Planned-but-incomplete merge groups are re-issued verbatim
+        // (same id, same inputs) so merging stays exactly-once.
+        for (id, inputs) in self.db.open_merge_groups() {
+            let bytes: u64 = inputs.iter().map(|i| i.1).sum();
+            let cpu = self.params.merge_cpu_per_gb.mul_f64(bytes as f64 / 1e9);
+            for (t, _) in &inputs {
+                self.outputs_in_merge.insert(*t);
+            }
+            self.tasks.insert(
+                id,
+                TaskInfo {
+                    wf: 0,
+                    category: Category::Merge,
+                    input_bytes: bytes,
+                    output_bytes: bytes,
+                    cpu,
+                    phase: Phase::Queued,
+                    worker: None,
+                    builder: None,
+                    enqueued_at: SimTime::ZERO,
+                    phase_started: SimTime::ZERO,
+                    env_flow: None,
+                    data_flow: None,
+                    merge_inputs: Some(inputs),
+                    attempt: 0,
+                    watchdog: None,
+                },
+            );
+            self.merge_queue.push_back(id);
+        }
+        // Outputs not yet claimed by any group refill the planner's
+        // pending buffer in their original finish order.
+        self.pending_outputs = self.db.done_order_unmerged().into();
+        self.pending_bytes = self.pending_outputs.iter().map(|o| o.1).sum();
+        self.unmerged_count = self.db.unmerged_outputs().len() as u64;
+    }
+
+    /// Rebuild the in-memory [`TaskInfo`] for a recovered analysis task
+    /// and return it to the dispatch buffer. The CPU draw is re-sampled
+    /// from the restarted rng stream (attempt timing is not journaled),
+    /// which perturbs timing but not coverage.
+    fn restore_analysis_task(&mut self, id: TaskId) {
+        let Some(wf_idx) = self
+            .db
+            .task_workflow(id)
+            .and_then(|name| self.workflows.iter().position(|w| w.name == name))
+        else {
+            return;
+        };
+        let n = self.db.task_tasklets(id).map_or(0, |t| t.len()) as u32;
+        let wf = &self.workflows[wf_idx];
+        let cpu = wf.sample_task_cpu(n, &mut self.rng);
+        self.tasks.insert(
+            id,
+            TaskInfo {
+                wf: wf_idx,
+                category: Category::Analysis,
+                input_bytes: wf.task_input_bytes(n),
+                output_bytes: wf.task_output_bytes(n),
+                cpu,
+                phase: Phase::Queued,
+                worker: None,
+                builder: None,
+                enqueued_at: SimTime::ZERO,
+                phase_started: SimTime::ZERO,
+                env_flow: None,
+                data_flow: None,
+                merge_inputs: None,
+                attempt: self.db.attempts(id),
+                watchdog: None,
+            },
+        );
+        self.buffer.push(id);
     }
 
     /// Run to the horizon and harvest the report.
     pub fn run(cfg: LobsterConfig, params: SimParams, workflows: Vec<Workflow>) -> RunReport {
-        let horizon = params.horizon;
-        let mut engine = Engine::new(ClusterSim::new(cfg, params, workflows));
+        Self::drive(Self::new(cfg, params, workflows))
+    }
+
+    /// Run a fresh durable (journaled) simulation to the horizon.
+    pub fn run_durable(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<RunReport> {
+        Ok(Self::drive(Self::durable(cfg, params, workflows, path)?))
+    }
+
+    /// Resume a crashed durable run from its journal and run it to the
+    /// horizon.
+    pub fn resume_run(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<RunReport> {
+        Ok(Self::drive(Self::resume(cfg, params, workflows, path)?))
+    }
+
+    /// Run a fresh durable simulation but kill the master at `crash`:
+    /// after that many delivered events, all in-memory state is dropped
+    /// on the floor and `Ok(None)` returned — only the journal survives,
+    /// for [`ClusterSim::resume_run`] to pick up. When the run drains (or
+    /// hits the horizon) before the crash point, the completed report is
+    /// returned instead.
+    pub fn run_durable_until_crash(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+        crash: CrashPoint,
+    ) -> io::Result<Option<RunReport>> {
+        let sim = Self::durable(cfg, params, workflows, path)?;
+        let horizon = sim.params.horizon;
+        let deadline = SimTime::ZERO + horizon;
+        let mut engine = Engine::new(sim);
+        engine.prime(SimDuration::ZERO, Ev::Start);
+        let ended_at = engine.run_until_events(deadline, crash.after_events);
+        // Events still pending inside the deadline mean the budget — not
+        // quiescence — stopped the run: the crash landed mid-flight.
+        if engine.ctx().peek_time().is_some_and(|t| t <= deadline) {
+            return Ok(None);
+        }
+        let events_delivered = engine.ctx().delivered();
+        Ok(Some(
+            engine.into_model().into_report(ended_at, events_delivered),
+        ))
+    }
+
+    fn drive(sim: ClusterSim) -> RunReport {
+        let horizon = sim.params.horizon;
+        let mut engine = Engine::new(sim);
         engine.prime(SimDuration::ZERO, Ev::Start);
         let ended_at = engine.run_until(SimTime::ZERO + horizon);
         let events_delivered = engine.ctx().delivered();
-        let sim = engine.into_model();
-        let concurrency = sim.timeline.concurrency();
+        engine.into_model().into_report(ended_at, events_delivered)
+    }
+
+    fn into_report(self, ended_at: SimTime, events_delivered: u64) -> RunReport {
+        let concurrency = self.timeline.concurrency();
         let peak = concurrency.iter().copied().fold(0.0, f64::max);
+        let counters = self.db.counters();
         RunReport {
-            advice: sim.advisor.diagnose(&AdvisorConfig::default()),
-            segment_histograms: sim.seg_hist,
-            accounting: sim.accounting,
-            timeline: sim.timeline,
-            analysis_done: sim.analysis_done,
-            merge_done: sim.merge_done,
-            dashboard: sim.fed.dashboard(),
-            worker_log: sim.log,
-            tasks_completed: sim.tasks_completed,
-            tasks_failed: sim.tasks_failed,
-            evictions: sim.evictions,
-            merges_completed: sim.merges_completed,
-            merged_files: sim.db.merged_files(),
-            finished_at: sim.finished_at,
+            advice: self.advisor.diagnose(&AdvisorConfig::default()),
+            segment_histograms: self.seg_hist,
+            accounting: self.db.accounting().clone(),
+            timeline: self.timeline,
+            analysis_done: self.analysis_done,
+            merge_done: self.merge_done,
+            dashboard: self.fed.dashboard(),
+            worker_log: self.log,
+            tasks_completed: counters.tasks_completed,
+            tasks_failed: counters.tasks_failed,
+            evictions: counters.evictions,
+            merges_completed: counters.merges_completed,
+            merged_files: self.db.merged_files(),
+            finished_at: self.finished_at,
             ended_at,
             peak_concurrency: peak,
-            final_task_size: sim.sizers[0].current(),
-            dead_letters: sim.dead_letters,
+            final_task_size: self.sizers[0].current(),
+            dead_letters: self.db.dead_letters().to_vec(),
             events_delivered,
         }
     }
@@ -488,10 +720,17 @@ impl ClusterSim {
         }
     }
 
-    fn create_merge_task(&mut self, now: SimTime, inputs: Vec<(TaskId, u64)>) -> TaskId {
+    fn create_merge_task(&mut self, now: SimTime, inputs: Vec<(TaskId, u64)>) {
         let bytes: u64 = inputs.iter().map(|i| i.1).sum();
-        let id = TaskId(1_000_000_000 + self.merge_counter);
-        self.merge_counter += 1;
+        // Journal the group first: a crash between planning and
+        // completion re-issues exactly this merge on resume.
+        let id = match self.db.create_merge_group(&inputs) {
+            Ok(id) => id,
+            Err(e) => {
+                debug_assert!(false, "planner drained an unmergeable group: {e}");
+                return;
+            }
+        };
         let cpu = self.params.merge_cpu_per_gb.mul_f64(bytes as f64 / 1e9);
         for (t, _) in &inputs {
             self.outputs_in_merge.insert(*t);
@@ -517,7 +756,6 @@ impl ClusterSim {
             },
         );
         self.merge_queue.push_back(id);
-        id
     }
 
     // ----- dispatch --------------------------------------------------------
@@ -555,8 +793,11 @@ impl ClusterSim {
             builder.times_mut().queued = now - t.enqueued_at;
             builder.times_mut().wq_stage_in = grant.done - now;
             t.builder = Some(builder);
-            if t.category == Category::Analysis {
-                self.db.mark_running(id);
+            let category = t.category;
+            if category == Category::Analysis {
+                if let Err(e) = self.db.mark_running(id) {
+                    debug_assert!(false, "dispatched a task the db rejects: {e}");
+                }
             }
             self.running_on.entry(worker).or_default().insert(id);
             ctx.schedule_at(grant.done, Ev::SandboxDone(id, attempt));
@@ -1015,21 +1256,23 @@ impl ClusterSim {
         self.release_task_slot(worker, id);
         self.ingest(&report, t.wf);
         if t.category == Category::Merge {
-            self.merges_completed += 1;
             self.merge_done.mark(now);
             let inputs = t.merge_inputs.take().expect("merge task");
             let ids: Vec<TaskId> = inputs.iter().map(|i| i.0).collect();
             let bytes: u64 = inputs.iter().map(|i| i.1).sum();
             let name = format!("merged_{}.root", id.0);
             self.unmerged_count = self.unmerged_count.saturating_sub(ids.len() as u64);
-            self.db.mark_merged(&ids, &name, bytes);
+            if let Err(e) = self.db.mark_merged(Some(id), &ids, &name, bytes) {
+                debug_assert!(false, "completed merge the db rejects: {e}");
+            }
             for tid in ids {
                 self.outputs_in_merge.remove(&tid);
             }
         } else {
-            self.tasks_completed += 1;
             self.analysis_done.mark(now);
-            self.db.mark_done(id, t.output_bytes);
+            if let Err(e) = self.db.mark_done(id, t.output_bytes) {
+                debug_assert!(false, "completed task the db rejects: {e}");
+            }
             self.unmerged_count += 1;
             self.pending_outputs.push_back((id, t.output_bytes));
             self.pending_bytes += t.output_bytes;
@@ -1082,10 +1325,9 @@ impl ClusterSim {
     fn analysis_exhausted(&self) -> bool {
         // Dead-lettered tasklets count against the total: a withdrawn
         // task must not hold the merge flush (and the run) hostage.
-        self.workflows
-            .iter()
-            .enumerate()
-            .all(|(i, w)| self.db.done_tasklets(&w.name) + self.dead_tasklets[i] >= w.n_tasklets())
+        self.workflows.iter().all(|w| {
+            self.db.done_tasklets(&w.name) + self.db.dead_tasklets(&w.name) >= w.n_tasklets()
+        })
     }
 
     fn maybe_plan_merges(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
@@ -1156,13 +1398,17 @@ impl ClusterSim {
         let now = ctx.now();
         let (inputs, bytes) = self.hadoop_groups[gi].clone();
         let ids: Vec<TaskId> = inputs.iter().map(|i| i.0).collect();
-        let name = format!("merged_h{gi}.root");
+        // Name by files produced, not group index: a resumed run replans
+        // the outstanding groups from scratch, so indices shift but the
+        // produced-file sequence stays collision-free.
+        let name = format!("merged_h{}.root", self.db.merged_file_count());
         self.unmerged_count = self.unmerged_count.saturating_sub(ids.len() as u64);
-        self.db.mark_merged(&ids, &name, bytes);
+        if let Err(e) = self.db.mark_merged(None, &ids, &name, bytes) {
+            debug_assert!(false, "completed hadoop merge the db rejects: {e}");
+        }
         for id in ids {
             self.outputs_in_merge.remove(&id);
         }
-        self.merges_completed += 1;
         self.merge_done.mark(now);
         self.check_finished(now);
         let _ = ctx;
@@ -1202,7 +1448,7 @@ impl ClusterSim {
             *streak += 1;
             let failures = *streak;
             let hold = self.cfg.retry.slot_hold.delay(failures, &mut self.rng);
-            self.accounting.record_backoff(hold);
+            self.db.record_backoff(hold);
             ctx.schedule(hold, Ev::SlotFree(worker));
         } else {
             self.release_task_slot(worker, id);
@@ -1225,7 +1471,6 @@ impl ClusterSim {
             };
             self.ingest(&report, t.wf);
         }
-        self.tasks_failed += 1;
         self.retry_or_dead_letter(id, t, segment.failure_code(), now, ctx);
         self.check_finished(now);
         self.dispatch(ctx);
@@ -1283,7 +1528,7 @@ impl ClusterSim {
         if delay.is_zero() {
             self.enqueue_retry(id, category);
         } else {
-            self.accounting.record_backoff(delay);
+            self.db.record_backoff(delay);
             ctx.schedule(delay, Ev::Requeue(id));
         }
     }
@@ -1317,17 +1562,14 @@ impl ClusterSim {
             }
             _ => {
                 // The tasklets stay assigned to the withdrawn task in the
-                // db — never re-issued — and are accounted as dead here.
-                let n = self
-                    .db
+                // db — never re-issued — and the db accounts them dead.
+                self.db
                     .task_tasklets(id)
                     .map(|v| v.len() as u64)
-                    .unwrap_or(0);
-                self.dead_tasklets[t.wf] += n;
-                n
+                    .unwrap_or(0)
             }
         };
-        self.dead_letters.push(DeadLetter {
+        self.db.record_dead_letter(DeadLetter {
             task: id,
             category: t.category,
             code,
@@ -1335,7 +1577,6 @@ impl ClusterSim {
             units,
             at: now,
         });
-        self.accounting.record_dead_letter();
         self.timeline.record_dead_letter(now);
         // Withdrawing work can complete the analysis phase, which in turn
         // unblocks the merge planner's flush conditions.
@@ -1367,7 +1608,9 @@ impl ClusterSim {
             self.merge_queue.push_back(id);
         } else {
             // Tasklets go back to the pool; fresh tasks re-cover them.
-            self.db.mark_lost(id);
+            if let Err(e) = self.db.mark_lost(id) {
+                debug_assert!(false, "requeued a task the db rejects: {e}");
+            }
         }
     }
 
@@ -1418,8 +1661,6 @@ impl ClusterSim {
                 let report = b.evict(now);
                 self.ingest(&report, t.wf);
             }
-            self.tasks_failed += 1;
-            self.evictions += 1;
             self.retry_or_dead_letter(id, t, FailureCode::Evicted, now, ctx);
         }
         self.check_finished(now);
@@ -1450,7 +1691,9 @@ impl ClusterSim {
     // ----- monitoring -----------------------------------------------------------
 
     fn ingest(&mut self, report: &SegmentReport, wf: usize) {
-        self.accounting.record(report);
+        // The attempt is journaled: accounting and the failure/eviction
+        // counters are rebuilt from these records on recovery.
+        self.db.record_attempt(report);
         self.timeline.record(report);
         self.advisor.record(report);
         self.seg_hist.record(report);
@@ -1517,6 +1760,11 @@ impl Model for ClusterSim {
                     ctx.schedule_at(t, Ev::OutageWake);
                 }
                 self.apply_faults(ctx.now(), ctx);
+                // A resumed run may already hold mergeable outputs — or
+                // even be one merge short of done; re-enter the planner
+                // so recovery does not depend on further completions.
+                self.maybe_plan_merges(ctx.now(), ctx);
+                self.check_finished(ctx.now());
             }
             Ev::Replenish => {
                 if !self.done() {

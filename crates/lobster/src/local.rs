@@ -127,7 +127,9 @@ impl LocalLobster {
         // Submit: each task runs its tasklets and returns the concatenated
         // output bytes.
         for (id, tasklets) in &specs {
-            self.db.mark_running(*id);
+            if let Err(e) = self.db.mark_running(*id) {
+                debug_assert!(false, "fresh task rejected: {e}");
+            }
             let spec = TaskSpec::new(*id, format!("{name}/{id}")).tasklets(tasklets.clone());
             let p = task_payload(tasklets.clone(), Arc::clone(&work));
             self.master.submit(spec, p);
@@ -141,10 +143,14 @@ impl LocalLobster {
             if r.is_success() {
                 completed += 1;
                 output_bytes += r.output_bytes;
-                self.db.mark_done(r.id, r.output_bytes);
+                if let Err(e) = self.db.mark_done(r.id, r.output_bytes) {
+                    debug_assert!(false, "collected task rejected: {e}");
+                }
             } else {
                 failed += 1;
-                self.db.mark_lost(r.id);
+                if let Err(e) = self.db.mark_lost(r.id) {
+                    debug_assert!(false, "failed task rejected: {e}");
+                }
             }
         }
         // Persist outputs as small files, mirroring the 10–100 MB files
@@ -177,8 +183,10 @@ impl LocalLobster {
         let merged_names = merge_in_hadoop(&self.hdfs, &engine, &named);
         for (gi, g) in groups.iter().enumerate() {
             let ids: Vec<TaskId> = g.inputs.iter().map(|i| i.0).collect();
-            self.db
-                .mark_merged(&ids, &format!("/store/{name}/merged_{gi}.root"), g.bytes());
+            let merged_name = format!("/store/{name}/merged_{gi}.root");
+            if let Err(e) = self.db.mark_merged(None, &ids, &merged_name, g.bytes()) {
+                debug_assert!(false, "hadoop-planned merge rejected: {e}");
+            }
         }
         let merged = self
             .db

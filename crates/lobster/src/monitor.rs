@@ -14,13 +14,13 @@
 //!   stage-in/out → overloaded chirp).
 
 use crate::wrapper::{Segment, SegmentReport};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use simkit::stats::{Histogram, TimeSeries};
 use simkit::time::{SimDuration, SimTime};
 use wqueue::task::FailureCode;
 
 /// Figure 8: cumulative runtime by phase.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Accounting {
     /// CPU hours inside successful task attempts.
     pub cpu: f64,

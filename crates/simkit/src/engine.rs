@@ -231,6 +231,24 @@ impl<M: Model> Engine<M> {
         self.ctx.now()
     }
 
+    /// Like [`Engine::run_until`], but additionally stop after delivering
+    /// at most `max_events` further events — the crash-injection hook:
+    /// a master killed at an event boundary is a run stopped here, and a
+    /// restart is a fresh engine over recovered state. Returns the time
+    /// of the last delivered event.
+    pub fn run_until_events(&mut self, deadline: SimTime, max_events: u64) -> SimTime {
+        let stop = self.ctx.delivered.saturating_add(max_events);
+        while self.ctx.delivered < stop {
+            match self.ctx.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.ctx.now()
+    }
+
     /// Consume the engine, returning the model (for result harvest).
     pub fn into_model(self) -> M {
         self.model
@@ -330,6 +348,25 @@ mod tests {
         // Resume picks up the rest.
         eng.run();
         assert_eq!(eng.model().seen.len(), 4);
+    }
+
+    #[test]
+    fn run_until_events_stops_at_budget_and_resumes() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.prime(SimDuration::from_micros(10), 1); // spawns two at 15
+        eng.prime(SimDuration::from_micros(100), 2);
+        let deadline = SimTime::from_micros(1000);
+        let t = eng.run_until_events(deadline, 2);
+        assert_eq!(t, SimTime::from_micros(15));
+        assert_eq!(eng.model().seen.len(), 2, "stopped mid-run at the budget");
+        assert!(eng.ctx().peek_time().is_some(), "work remains queued");
+        // Resuming with a generous budget completes identically to run().
+        eng.run_until_events(deadline, u64::MAX);
+        assert_eq!(
+            eng.model().seen,
+            vec![(10, 1), (15, 10), (15, 11), (100, 2)]
+        );
+        assert!(eng.ctx().peek_time().is_none());
     }
 
     #[test]

@@ -69,9 +69,36 @@ impl FaultState {
     }
 }
 
+/// A deterministic master-crash injection point: kill the scheduler
+/// process after delivering this many further events.
+///
+/// Crash *sites* below event granularity (e.g. a torn WAL append) are
+/// synthesized by the harness on top of this — stop at the nearest event
+/// boundary, then truncate the journal mid-frame — so one scalar is
+/// enough to sweep the whole crash matrix reproducibly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Events delivered before the crash (0 = crash before any event).
+    pub after_events: u64,
+}
+
+impl CrashPoint {
+    /// Crash after `after_events` delivered events.
+    pub fn after_events(after_events: u64) -> Self {
+        CrashPoint { after_events }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crash_point_is_plain_data() {
+        let c = CrashPoint::after_events(17);
+        assert_eq!(c.after_events, 17);
+        assert_eq!(c, CrashPoint { after_events: 17 });
+    }
 
     #[test]
     fn healthy_by_default() {

@@ -1,0 +1,8 @@
+//! Fixture: a fatal WAL-style expect outside the journal layer. The
+//! panic rule is line-allowed so the fixture isolates `wal-expect-confined`.
+
+fn append(journal: &mut std::fs::File, frame: &[u8]) {
+    use std::io::Write;
+    // simlint::allow(no-panic-in-lib): fixture isolates the wal rule
+    journal.write_all(frame).expect("journal write");
+}

@@ -15,6 +15,7 @@
 //! | `no-ambient-rng` | `thread_rng`, `from_entropy`, `StdRng::seed_from_u64` | everywhere except `simkit::rng` |
 //! | `no-unordered-iteration` | `HashMap` / `HashSet` tokens | sim-crate library code |
 //! | `no-panic-in-lib` | `.unwrap()`, `.expect(`, `panic!` | all library code |
+//! | `wal-expect-confined` | `.expect("journal …")`-style fatal WAL allows | everywhere except `lobster::db` |
 //!
 //! `no-unordered-iteration` flags the unordered container *types* rather
 //! than iteration sites: lexically, the type name is the reliable signal,
@@ -42,7 +43,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The four lint rules.
+/// The five lint rules.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Wall-clock time sources in simulation library code.
@@ -53,15 +54,18 @@ pub enum Rule {
     UnorderedIteration,
     /// Panic paths in library code.
     PanicInLib,
+    /// Fatal WAL-append `expect`s outside the journal layer.
+    WalExpectConfined,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::WallClock,
         Rule::AmbientRng,
         Rule::UnorderedIteration,
         Rule::PanicInLib,
+        Rule::WalExpectConfined,
     ];
 
     /// The kebab-case name used in allow markers and the baseline file.
@@ -71,6 +75,7 @@ impl Rule {
             Rule::AmbientRng => "no-ambient-rng",
             Rule::UnorderedIteration => "no-unordered-iteration",
             Rule::PanicInLib => "no-panic-in-lib",
+            Rule::WalExpectConfined => "wal-expect-confined",
         }
     }
 
@@ -96,6 +101,10 @@ impl Rule {
                 "panic path in library code; return Result, or document the invariant \
                  with expect + an allow"
             }
+            Rule::WalExpectConfined => {
+                "fatal WAL expect outside lobster::db; crash-on-append-failure is the \
+                 journal layer's contract — other layers must return Result"
+            }
         }
     }
 
@@ -106,8 +115,27 @@ impl Rule {
             Rule::AmbientRng => &["thread_rng", "from_entropy", "StdRng::seed_from_u64"],
             Rule::UnorderedIteration => &["HashMap", "HashSet"],
             Rule::PanicInLib => &[".unwrap()", ".expect(", "panic!"],
+            // Matched by `wal_expect_hit` (the phrase lives inside a string
+            // literal, which `strip_noise` blanks).
+            Rule::WalExpectConfined => &[],
         }
     }
+}
+
+/// The fatal-WAL-allow idiom this workspace confines to `lobster::db`:
+/// an `.expect` whose message names the journal machinery.
+const WAL_EXPECT_PHRASES: [&str; 3] = [
+    ".expect(\"journal",
+    ".expect(\"snapshot",
+    ".expect(\"compaction",
+];
+
+/// Does this line carry a WAL-style fatal expect? The phrase sits inside a
+/// string literal (blanked by `strip_noise`), so it is checked on the raw
+/// line — gated on the stripped line holding a real `.expect(` call site,
+/// which keeps comments from tripping the rule.
+fn wal_expect_hit(stripped: &str, raw: &str) -> bool {
+    has_token(stripped, ".expect(") && WAL_EXPECT_PHRASES.iter().any(|p| raw.contains(p))
 }
 
 /// Crates whose library code is simulation state / simulation logic.
@@ -343,6 +371,9 @@ fn applicable_rules(rel_path: &str) -> Vec<Rule> {
         rules.push(Rule::UnorderedIteration);
     }
     rules.push(Rule::PanicInLib);
+    if rel_path != "crates/lobster/src/db.rs" {
+        rules.push(Rule::WalExpectConfined);
+    }
     rules
 }
 
@@ -378,7 +409,13 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             if line_allowed {
                 continue;
             }
-            if rule.patterns().iter().any(|p| has_token(line, p)) {
+            let hit = match rule {
+                Rule::WalExpectConfined => {
+                    wal_expect_hit(line, raw_lines.get(idx).copied().unwrap_or(""))
+                }
+                _ => rule.patterns().iter().any(|p| has_token(line, p)),
+            };
+            if hit {
                 findings.push(Finding {
                     rule,
                     file: rel_path.to_string(),
@@ -642,6 +679,15 @@ mod tests {
     }
 
     #[test]
+    fn fixture_wal_expect() {
+        let src = include_str!("../fixtures/wal_expect.rs");
+        assert_eq!(
+            rules_hit("crates/simkit/src/fixture.rs", src),
+            vec![Rule::WalExpectConfined]
+        );
+    }
+
+    #[test]
     fn fixture_allowed_is_clean() {
         let src = include_str!("../fixtures/allowed.rs");
         assert_eq!(lint_source("crates/simkit/src/fixture.rs", src), vec![]);
@@ -667,6 +713,24 @@ mod tests {
             rules_hit("crates/simkit/src/engine.rs", src),
             vec![Rule::AmbientRng]
         );
+    }
+
+    #[test]
+    fn wal_expects_confined_to_db() {
+        let src = include_str!("../fixtures/wal_expect.rs");
+        // The journal layer itself owns the idiom…
+        assert_eq!(rules_hit("crates/lobster/src/db.rs", src), vec![]);
+        // …every other library file trips the rule.
+        assert_eq!(
+            rules_hit("crates/lobster/src/driver.rs", src),
+            vec![Rule::WalExpectConfined]
+        );
+        // A comment mentioning the idiom next to an unrelated expect does
+        // not trip it.
+        let src = "// .expect(\"journal write\") is db-only\n\
+                   // simlint::allow(no-panic-in-lib): fixture\n\
+                   let x = y.expect(\"present\");\n";
+        assert_eq!(rules_hit("crates/lobster/src/driver.rs", src), vec![]);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Crash-point injection matrix: kill the master at event boundaries
+//! (and mid-WAL-append, via byte truncation of the journal), restart
+//! from disk, and check that the resumed run converges to the same
+//! final accounting as an uninterrupted run of the same seed.
+//!
+//! A resumed run's *timing* legitimately diverges — the clock restarts
+//! and the rng stream is re-seeded — so the invariants checked here are
+//! the crash-consistency ones: every tasklet done exactly once, every
+//! output byte inside exactly one merged file, nothing lost and nothing
+//! duplicated.
+
+use batchsim::availability::AvailabilityModel;
+use batchsim::pool::PoolConfig;
+use gridstore::dbs::{DatasetSpec, Dbs};
+use lobster::config::{Backoff, JournalPolicy, LobsterConfig};
+use lobster::db::LobsterDb;
+use lobster::driver::{ClusterSim, RunReport, SimParams};
+use lobster::fault::{Fault, FaultPlan, FaultTarget};
+use lobster::merge::MergeMode;
+use lobster::workflow::Workflow;
+use simkit::fault::CrashPoint;
+use simkit::time::{SimDuration, SimTime};
+use simnet::outage::{Outage, OutageSchedule};
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+
+const BYTES_PER_TASKLET: u64 = 12_000_000;
+
+fn journal_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lobster-crash-matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}-{}.wal", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// A small but non-trivial workload: enough tasks that crashes land in
+/// every phase (dispatch, merge planning, merge execution).
+fn setup(merge: MergeMode, n_files: usize) -> (LobsterConfig, SimParams, Vec<Workflow>) {
+    let mut cfg = LobsterConfig::default();
+    cfg.merge = merge;
+    cfg.workers.target_cores = 64;
+    cfg.workers.cores_per_worker = 4;
+    cfg.merge_target_bytes = 200_000_000;
+    cfg.seed = 42;
+    // Snapshot aggressively so crash points land both before and after
+    // compactions (exercising snapshot + tail replay).
+    cfg.journal = JournalPolicy {
+        snapshot_every_records: Some(200),
+    };
+    let mut dbs = Dbs::new();
+    dbs.generate(
+        "/TTJets/Spring14/AOD",
+        DatasetSpec {
+            n_files,
+            mean_file_bytes: 500_000_000,
+            events_per_lumi: 100,
+            lumis_per_file: 50,
+        },
+        7,
+    );
+    let ds = dbs.query("/TTJets/Spring14/AOD").unwrap();
+    let wf = Workflow::from_dataset(&cfg.workflows[0], ds);
+    let params = SimParams {
+        availability: AvailabilityModel::Dedicated,
+        outages: OutageSchedule::none(),
+        pool: PoolConfig {
+            total_cores: 200,
+            owner_mean: 20.0,
+            reversion: 0.1,
+            noise: 0.0,
+            tick: SimDuration::from_mins(5),
+        },
+        horizon: SimDuration::from_hours(96),
+        ..SimParams::default()
+    };
+    (cfg, params, vec![wf])
+}
+
+/// The invariants a recovered-and-finished run must satisfy against the
+/// uninterrupted reference.
+fn assert_converged(resumed: &RunReport, reference: &RunReport, path: &PathBuf, label: &str) {
+    assert!(
+        resumed.finished_at.is_some(),
+        "{label}: resumed run must finish: {resumed:?}"
+    );
+    let merged = |r: &RunReport| -> u64 { r.merged_files.iter().map(|m| m.1).sum() };
+    assert_eq!(
+        merged(resumed),
+        merged(reference),
+        "{label}: merged bytes must match the uninterrupted run"
+    );
+    assert_eq!(
+        resumed.dead_letters.len(),
+        reference.dead_letters.len(),
+        "{label}: dead-letter ledgers must agree"
+    );
+    // Post-hoc audit: replay the journal cold and check the final state.
+    let db = LobsterDb::recover(path).unwrap();
+    assert!(db.all_done(), "{label}: every tasklet accounted done");
+    assert!(
+        db.unmerged_outputs().is_empty(),
+        "{label}: no output left outside a merged file"
+    );
+    assert!(
+        db.open_merge_groups().is_empty(),
+        "{label}: no merge group left open"
+    );
+    assert!(
+        db.running_tasks().is_empty(),
+        "{label}: no task left in flight"
+    );
+}
+
+fn reference_run(
+    mk: &dyn Fn() -> (LobsterConfig, SimParams, Vec<Workflow>),
+    tag: &str,
+) -> (RunReport, PathBuf) {
+    let path = journal_path(tag);
+    let (cfg, params, wfs) = mk();
+    let report = ClusterSim::run_durable(cfg, params, wfs, &path).unwrap();
+    assert!(report.finished_at.is_some(), "reference must finish");
+    (report, path)
+}
+
+/// Crash at a sampled set of event boundaries; resume; converge.
+#[test]
+fn crash_at_event_boundaries_resumes_to_same_accounting() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-boundaries");
+    let n = reference.events_delivered;
+    assert!(n > 100, "workload too small to be interesting: {n} events");
+    std::fs::remove_file(&ref_path).ok();
+
+    for crash_after in [1, n / 4, n / 2, 3 * n / 4, n - 1] {
+        let path = journal_path(&format!("crash-{crash_after}"));
+        let (cfg, params, wfs) = mk();
+        let crashed = ClusterSim::run_durable_until_crash(
+            cfg,
+            params,
+            wfs,
+            &path,
+            CrashPoint::after_events(crash_after),
+        )
+        .unwrap();
+        assert!(
+            crashed.is_none(),
+            "budget {crash_after} of {n} events must crash mid-run"
+        );
+        let (cfg, params, wfs) = mk();
+        let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+        assert_converged(
+            &resumed,
+            &reference,
+            &path,
+            &format!("crash after {crash_after} events"),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Crash mid-WAL-append: stop at an event boundary, then tear the tail
+/// of the journal by a few bytes — as if the process died inside
+/// `write_all`. Recovery must drop the torn record and still converge.
+#[test]
+fn crash_mid_wal_append_resumes_to_same_accounting() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-torn");
+    let n = reference.events_delivered;
+    std::fs::remove_file(&ref_path).ok();
+
+    for torn_bytes in [1u64, 3, 7, 12] {
+        let path = journal_path(&format!("torn-{torn_bytes}"));
+        let (cfg, params, wfs) = mk();
+        let crashed = ClusterSim::run_durable_until_crash(
+            cfg,
+            params,
+            wfs,
+            &path,
+            CrashPoint::after_events(n / 2),
+        )
+        .unwrap();
+        assert!(crashed.is_none());
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert!(len > 16 + torn_bytes, "journal long enough to tear");
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - torn_bytes).unwrap();
+        drop(f);
+        let (cfg, params, wfs) = mk();
+        let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+        assert_converged(
+            &resumed,
+            &reference,
+            &path,
+            &format!("torn append ({torn_bytes} bytes)"),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// A crash budget larger than the whole run is no crash at all: the
+/// durable run completes and reports exactly like an undisturbed one.
+#[test]
+fn crash_point_past_the_end_is_a_normal_run() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-past-end");
+    std::fs::remove_file(&ref_path).ok();
+    let path = journal_path("past-end");
+    let (cfg, params, wfs) = mk();
+    let report = ClusterSim::run_durable_until_crash(
+        cfg,
+        params,
+        wfs,
+        &path,
+        CrashPoint::after_events(reference.events_delivered + 1_000),
+    )
+    .unwrap()
+    .expect("run drains before the crash budget");
+    assert_eq!(report.tasks_completed, reference.tasks_completed);
+    assert_eq!(report.merges_completed, reference.merges_completed);
+    assert_eq!(report.finished_at, reference.finished_at);
+    assert_eq!(report.events_delivered, reference.events_delivered);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Journaling must not perturb the simulation: an in-memory run and a
+/// durable run of the same seed are byte-identical in everything the
+/// report captures.
+#[test]
+fn durable_run_is_byte_identical_to_in_memory_run() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (cfg, params, wfs) = mk();
+    let mem = ClusterSim::run(cfg, params, wfs);
+    let path = journal_path("identical");
+    let (cfg, params, wfs) = mk();
+    let dur = ClusterSim::run_durable(cfg, params, wfs, &path).unwrap();
+
+    assert_eq!(mem.tasks_completed, dur.tasks_completed);
+    assert_eq!(mem.tasks_failed, dur.tasks_failed);
+    assert_eq!(mem.evictions, dur.evictions);
+    assert_eq!(mem.merges_completed, dur.merges_completed);
+    assert_eq!(mem.finished_at, dur.finished_at);
+    assert_eq!(mem.ended_at, dur.ended_at);
+    assert_eq!(mem.events_delivered, dur.events_delivered);
+    assert_eq!(
+        mem.peak_concurrency.to_bits(),
+        dur.peak_concurrency.to_bits()
+    );
+    assert_eq!(mem.merged_files, dur.merged_files);
+    assert_eq!(mem.dead_letters, dur.dead_letters);
+    assert_eq!(mem.analysis_done.sums(), dur.analysis_done.sums());
+    assert_eq!(
+        serde_json::to_string(&mem.accounting).unwrap(),
+        serde_json::to_string(&dur.accounting).unwrap()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Crash-resume under injected faults and a bounded retry budget: the
+/// dead-letter ledger survives the crash and the conservation law
+/// (merged units + dead units == total tasklets) holds after resume.
+#[test]
+fn crash_with_dead_letters_conserves_tasklets() {
+    let mins = |m: u64| SimTime::ZERO + SimDuration::from_mins(m);
+    let mk = || {
+        // 360 files: large enough that the federation blackout exhausts
+        // retry budgets (the same workload shape the driver's own
+        // dead-letter test uses).
+        let (mut cfg, mut params, wfs) = setup(MergeMode::Interleaved, 360);
+        params.faults = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Federation,
+            OutageSchedule::new(vec![Outage::blackout(mins(30), mins(20 * 60))]),
+        )]);
+        cfg.retry.max_attempts = Some(3);
+        cfg.retry.requeue = Backoff::fixed(SimDuration::from_mins(10));
+        (cfg, params, wfs)
+    };
+    let (_, _, wfs) = mk();
+    let total_tasklets: u64 = wfs.iter().map(|w| w.n_tasklets()).sum();
+    let (reference, ref_path) = reference_run(&mk, "ref-dead");
+    assert!(!reference.dead_letters.is_empty(), "{reference:?}");
+    std::fs::remove_file(&ref_path).ok();
+
+    let path = journal_path("dead-letters");
+    let (cfg, params, wfs) = mk();
+    let crashed = ClusterSim::run_durable_until_crash(
+        cfg,
+        params,
+        wfs,
+        &path,
+        CrashPoint::after_events(reference.events_delivered / 2),
+    )
+    .unwrap();
+    assert!(crashed.is_none(), "crash lands mid-run");
+    let (cfg, params, wfs) = mk();
+    let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+    assert!(resumed.finished_at.is_some(), "{resumed:?}");
+    let merged_bytes: u64 = resumed.merged_files.iter().map(|m| m.1).sum();
+    let dead_units: u64 = resumed.dead_letters.iter().map(|d| d.units).sum();
+    assert_eq!(
+        merged_bytes / BYTES_PER_TASKLET + dead_units,
+        total_tasklets,
+        "every tasklet is merged or accounted dead: {resumed:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A journal already holding a run refuses `durable` (fresh) opens, and
+/// resume rejects a config whose workflow shape contradicts the journal.
+#[test]
+fn durable_and_resume_guard_their_preconditions() {
+    let path = journal_path("guards");
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (cfg, params, wfs) = mk();
+    // A 10-file run delivers well over 100 events (asserted by the
+    // boundary test), so a 50-event budget always lands mid-run.
+    let crashed =
+        ClusterSim::run_durable_until_crash(cfg, params, wfs, &path, CrashPoint::after_events(50))
+            .unwrap();
+    assert!(crashed.is_none());
+
+    let (cfg, params, wfs) = mk();
+    let err = match ClusterSim::durable(cfg, params, wfs, &path) {
+        Err(e) => e,
+        Ok(_) => panic!("fresh open over live state must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+
+    let (cfg, params, _) = mk();
+    // A different dataset decomposition contradicts the journal.
+    let (_, _, wfs) = setup(MergeMode::Interleaved, 12);
+    let err = match ClusterSim::resume(cfg, params, wfs, &path) {
+        Err(e) => e,
+        Ok(_) => panic!("mismatched decomposition must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The full matrix: sweep crash points across the whole run (64 evenly
+/// spaced boundaries, each with a torn-append variant). Expensive —
+/// run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full sweep is release-bench territory; the smoke tests above cover the sampled matrix"]
+fn full_crash_matrix() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-full");
+    let n = reference.events_delivered;
+    std::fs::remove_file(&ref_path).ok();
+    let points = 64u64;
+    for i in 0..points {
+        let crash_after = 1 + i * (n - 2) / (points - 1);
+        for torn_bytes in [0u64, 5] {
+            let path = journal_path(&format!("full-{i}-{torn_bytes}"));
+            let (cfg, params, wfs) = mk();
+            let crashed = ClusterSim::run_durable_until_crash(
+                cfg,
+                params,
+                wfs,
+                &path,
+                CrashPoint::after_events(crash_after),
+            )
+            .unwrap();
+            assert!(crashed.is_none());
+            if torn_bytes > 0 {
+                let len = std::fs::metadata(&path).unwrap().len();
+                let f = OpenOptions::new().write(true).open(&path).unwrap();
+                f.set_len(len.saturating_sub(torn_bytes).max(16)).unwrap();
+            }
+            let (cfg, params, wfs) = mk();
+            let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+            assert_converged(
+                &resumed,
+                &reference,
+                &path,
+                &format!("matrix point {i} (torn {torn_bytes})"),
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -318,8 +318,8 @@ fn db_recovery_then_real_merge() {
         db.register_workflow("wf", 40);
         for _ in 0..4 {
             let t = db.create_task("wf", 5).unwrap();
-            db.mark_running(t);
-            db.mark_done(t, 1_000);
+            db.mark_running(t).unwrap();
+            db.mark_done(t, 1_000).unwrap();
         }
     }
     // Phase 2: recover, finish, merge for real.
@@ -328,8 +328,8 @@ fn db_recovery_then_real_merge() {
         let mut db = LobsterDb::open(&path).unwrap();
         assert_eq!(db.done_tasklets("wf"), 20);
         while let Some(t) = db.create_task("wf", 5) {
-            db.mark_running(t);
-            db.mark_done(t, 1_000);
+            db.mark_running(t).unwrap();
+            db.mark_done(t, 1_000).unwrap();
         }
         assert!(db.all_done());
         let outputs: Vec<(TaskId, u64)> = db.unmerged_outputs();

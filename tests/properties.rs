@@ -168,20 +168,20 @@ proptest! {
             match op {
                 0 => {
                     if let Some(t) = db.create_task("wf", 1 + (rng.below(7) as u32)) {
-                        db.mark_running(t);
+                        db.mark_running(t).unwrap();
                         live.push(t);
                     }
                 }
                 1 => {
                     if !live.is_empty() {
                         let t = live.swap_remove(rng.below_usize(live.len()));
-                        db.mark_lost(t);
+                        db.mark_lost(t).unwrap();
                     }
                 }
                 _ => {
                     if !live.is_empty() {
                         let t = live.swap_remove(rng.below_usize(live.len()));
-                        db.mark_done(t, 10);
+                        db.mark_done(t, 10).unwrap();
                     }
                 }
             }
@@ -197,11 +197,11 @@ proptest! {
         }
         // Drain to completion: everything can still finish exactly once.
         for t in live.drain(..) {
-            db.mark_done(t, 10);
+            db.mark_done(t, 10).unwrap();
         }
         while let Some(t) = db.create_task("wf", 5) {
-            db.mark_running(t);
-            db.mark_done(t, 10);
+            db.mark_running(t).unwrap();
+            db.mark_done(t, 10).unwrap();
         }
         prop_assert!(db.all_done());
         prop_assert_eq!(db.done_tasklets("wf"), total);
