@@ -41,6 +41,11 @@ step cargo test --workspace -q
 # included; writes throughput numbers to BENCH_cluster.json.
 step cargo run -q --release -p lobster-bench --bin bench_cluster
 
+# Scale-campaign sweep (2.5k -> 20k cores with fault windows). Rewrites
+# BENCH_scale.json and fails if any sweep point loses more than 20% of
+# the committed baseline's events/sec.
+step cargo run -q --release -p lobster-bench --bin bench_scale
+
 # Crash-consistency smoke: the sampled crash-point matrix (boundary and
 # torn-append crashes, resume, convergence). The full 64-point sweep
 # stays behind --ignored; run it with:

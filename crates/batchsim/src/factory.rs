@@ -79,19 +79,28 @@ impl WorkerFactory {
     /// after evictions. Each returned delay is an independent provisioning
     /// delay draw; the caller schedules a worker start at each.
     pub fn replenish(&mut self, rng: &mut SimRng) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        self.replenish_into(rng, &mut out);
+        out
+    }
+
+    /// As [`WorkerFactory::replenish`], but appending into a caller-owned
+    /// buffer (cleared first). The driver calls this once per simulated
+    /// minute; reusing one buffer avoids a Vec allocation per tick.
+    pub fn replenish_into(&mut self, rng: &mut SimRng, out: &mut Vec<SimDuration>) {
+        out.clear();
         let have = self.pending + self.live;
         if have >= self.cfg.target_workers {
-            return Vec::new();
+            return;
         }
         let want = (self.cfg.target_workers - have).min(self.cfg.burst);
         let delay_dist = simkit::dist::Exponential::new(self.cfg.mean_submit_delay.as_secs_f64());
-        let mut out = Vec::with_capacity(want as usize);
+        out.reserve(want as usize);
         for _ in 0..want {
             self.pending += 1;
             self.submitted_total += 1;
             out.push(delay_dist.sample_secs(rng));
         }
-        out
     }
 
     /// A pending worker attempted to start. `granted` is whether the pool

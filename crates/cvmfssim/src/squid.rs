@@ -136,6 +136,12 @@ impl Squid {
         self.link.completions(now)
     }
 
+    /// Flows completed by `now`, appended into a reused buffer (cleared
+    /// first) — the allocation-free path for per-wake draining.
+    pub fn completions_into(&mut self, now: SimTime, out: &mut Vec<FlowId>) {
+        self.link.completions_into(now, out);
+    }
+
     /// Abort a flow (client evicted mid-fetch).
     pub fn abort(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
         self.link.abort(now, id)

@@ -57,10 +57,14 @@ pub struct Federation {
     /// lfn → hosting site (redirector table). Files not present resolve
     /// to a deterministic pseudo-site, mimicking the global namespace.
     locations: BTreeMap<String, String>,
-    /// Consumer label → bytes transferred (dashboard accounting).
-    consumed: BTreeMap<String, f64>,
-    /// Flow → (consumer, bytes) for accounting at completion.
-    in_flight: BTreeMap<FlowId, (String, u64)>,
+    /// Interned consumer labels. A site opens millions of flows under a
+    /// handful of labels, so flows carry an index into this table instead
+    /// of an owned `String` each.
+    consumer_names: Vec<String>,
+    /// Bytes transferred per consumer (parallel to `consumer_names`).
+    consumed: Vec<f64>,
+    /// Flow → (consumer index, bytes) for accounting at completion.
+    in_flight: BTreeMap<FlowId, (u32, u64)>,
     opens: u64,
     open_failures: u64,
     injected: FaultState,
@@ -75,7 +79,8 @@ impl Federation {
             cfg,
             link,
             locations: BTreeMap::new(),
-            consumed: BTreeMap::new(),
+            consumer_names: Vec::new(),
+            consumed: Vec::new(),
             in_flight: BTreeMap::new(),
             opens: 0,
             open_failures: 0,
@@ -151,8 +156,21 @@ impl Federation {
             return Err(XrdError::WideAreaOutage);
         }
         let id = self.link.admit_flow(now, bytes);
-        self.in_flight.insert(id, (consumer.to_string(), bytes));
+        let consumer = self.intern(consumer);
+        self.in_flight.insert(id, (consumer, bytes));
         Ok(id)
+    }
+
+    /// Intern a consumer label. Linear scan: the dashboard has a handful
+    /// of rows, while `open` runs per task — the scan is cheaper than
+    /// allocating the label again.
+    fn intern(&mut self, consumer: &str) -> u32 {
+        if let Some(i) = self.consumer_names.iter().position(|n| n == consumer) {
+            return i as u32;
+        }
+        self.consumer_names.push(consumer.to_string());
+        self.consumed.push(0.0);
+        (self.consumer_names.len() - 1) as u32
     }
 
     /// Next transfer completion.
@@ -162,13 +180,20 @@ impl Federation {
 
     /// Transfers completed by `now`; accounting is credited here.
     pub fn completions(&mut self, now: SimTime) -> Vec<FlowId> {
-        let done = self.link.completions(now);
-        for id in &done {
+        let mut done = Vec::new();
+        self.completions_into(now, &mut done);
+        done
+    }
+
+    /// As [`Federation::completions`], appending into a reused buffer
+    /// (cleared first) — the allocation-free path for per-wake draining.
+    pub fn completions_into(&mut self, now: SimTime, out: &mut Vec<FlowId>) {
+        self.link.completions_into(now, out);
+        for id in out.iter() {
             if let Some((consumer, bytes)) = self.in_flight.remove(id) {
-                *self.consumed.entry(consumer).or_insert(0.0) += bytes as f64;
+                self.consumed[consumer as usize] += bytes as f64;
             }
         }
-        done
     }
 
     /// Abort a transfer (task evicted); partial bytes are still counted
@@ -176,7 +201,7 @@ impl Federation {
     pub fn abort(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
         let served = self.link.abort(now, id)?;
         if let Some((consumer, _)) = self.in_flight.remove(&id) {
-            *self.consumed.entry(consumer).or_insert(0.0) += served as f64;
+            self.consumed[consumer as usize] += served as f64;
         }
         Some(served)
     }
@@ -200,14 +225,20 @@ impl Federation {
     /// Credit externally-produced consumption (used to inject the
     /// background CMS sites of the Figure 9 dashboard).
     pub fn account_external(&mut self, consumer: &str, bytes: f64) {
-        *self.consumed.entry(consumer.to_string()).or_insert(0.0) += bytes;
+        let consumer = self.intern(consumer);
+        self.consumed[consumer as usize] += bytes;
     }
 
-    /// Dashboard: consumers sorted by volume, descending.
+    /// Dashboard: consumers sorted by volume, descending (ties by name so
+    /// the ordering is independent of interning order).
     pub fn dashboard(&self) -> Vec<(String, f64)> {
-        let mut rows: Vec<(String, f64)> =
-            self.consumed.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut rows: Vec<(String, f64)> = self
+            .consumer_names
+            .iter()
+            .zip(self.consumed.iter())
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         rows
     }
 }

@@ -270,9 +270,19 @@ struct WorkflowState {
     dead: u64,
 }
 
+/// One registered workflow: interned name plus decomposition state.
+/// Stored in registration order; task rows refer to workflows by index.
+#[derive(Clone, Debug)]
+struct WorkflowEntry {
+    name: String,
+    state: WorkflowState,
+}
+
 #[derive(Clone, Debug)]
 struct TaskRow {
-    workflow: String,
+    /// Index into `workflows` (names are interned — a row carries no
+    /// `String`).
+    wf: u32,
     tasklets: Vec<u64>,
     state: TaskState,
     attempts: u32,
@@ -281,9 +291,18 @@ struct TaskRow {
 /// The bookkeeping store.
 #[derive(Debug)]
 pub struct LobsterDb {
-    workflows: BTreeMap<String, WorkflowState>,
-    tasks: BTreeMap<TaskId, TaskRow>,
-    outputs: BTreeMap<TaskId, OutputFile>,
+    workflows: Vec<WorkflowEntry>,
+    /// Task rows indexed by analysis task id. Analysis ids are handed out
+    /// densely from zero, so the table is a `Vec`, not a tree: the
+    /// per-completion hot path does O(1) state transitions no matter how
+    /// many tasks the campaign has retired. Merge ids
+    /// (>= [`MERGE_ID_BASE`]) fall outside the dense range and resolve to
+    /// `None`, like a missing map key.
+    tasks: Vec<Option<TaskRow>>,
+    /// `Some` rows in `tasks`.
+    n_tasks: usize,
+    /// Output files indexed by producing task id (same dense id space).
+    outputs: Vec<Option<OutputFile>>,
     /// Done tasks in finish order (drives merge planning on resume).
     done_order: Vec<TaskId>,
     merged_files: BTreeMap<String, u64>,
@@ -311,9 +330,10 @@ impl LobsterDb {
     /// journal volume would be millions of records.
     pub fn in_memory() -> Self {
         LobsterDb {
-            workflows: BTreeMap::new(),
-            tasks: BTreeMap::new(),
-            outputs: BTreeMap::new(),
+            workflows: Vec::new(),
+            tasks: Vec::new(),
+            n_tasks: 0,
+            outputs: Vec::new(),
             done_order: Vec::new(),
             merged_files: BTreeMap::new(),
             merge_groups: BTreeMap::new(),
@@ -443,7 +463,7 @@ impl LobsterDb {
             if let Record::Attempt { report } = &rec {
                 db.replayed_attempts.push((**report).clone());
             }
-            db.apply(&rec);
+            db.apply(rec);
             pos = frame_end;
         }
         Ok((db, pos as u64, true))
@@ -490,37 +510,36 @@ impl LobsterDb {
         }
     }
 
-    fn apply(&mut self, rec: &Record) {
+    fn apply(&mut self, rec: Record) {
         match rec {
             Record::Workflow { name, tasklets } => {
-                self.workflows.insert(
-                    name.clone(),
-                    WorkflowState {
-                        total_tasklets: *tasklets,
-                        ..WorkflowState::default()
-                    },
-                );
+                let state = WorkflowState {
+                    total_tasklets: tasklets,
+                    ..WorkflowState::default()
+                };
+                match self.wf_index(&name) {
+                    Some(ix) => self.workflows[ix].state = state,
+                    None => self.workflows.push(WorkflowEntry { name, state }),
+                }
             }
             Record::TaskCreated {
                 id,
                 workflow,
                 tasklets,
             } => {
-                let wf = self
-                    .workflows
-                    .get_mut(workflow)
-                    .expect("workflow registered");
-                for t in tasklets {
+                let wf_ix = self.wf_index(&workflow).expect("workflow registered");
+                let wf = &mut self.workflows[wf_ix].state;
+                for t in &tasklets {
                     // Claim from the returned pool or advance the cursor.
                     if !wf.returned.remove(t) {
                         wf.cursor = wf.cursor.max(t + 1);
                     }
                 }
-                self.tasks.insert(
-                    *id,
+                self.insert_task_row(
+                    id,
                     TaskRow {
-                        workflow: workflow.clone(),
-                        tasklets: tasklets.clone(),
+                        wf: wf_ix as u32,
+                        tasklets,
                         state: TaskState::Ready,
                         attempts: 0,
                     },
@@ -528,38 +547,40 @@ impl LobsterDb {
                 self.next_task = self.next_task.max(id.0 + 1);
             }
             Record::TaskRunning { id } => {
-                let t = self.tasks.get_mut(id).expect("task exists");
+                let t = self.task_row_mut(id).expect("task exists");
                 t.state = TaskState::Running;
                 t.attempts += 1;
             }
             Record::TaskDone { id, output_bytes } => {
-                let t = self.tasks.get_mut(id).expect("task exists");
+                let t = self.task_row_mut(id).expect("task exists");
                 t.state = TaskState::Done;
-                let wf = self.workflows.get_mut(&t.workflow).expect("workflow");
-                wf.done += t.tasklets.len() as u64;
-                self.outputs.insert(
-                    *id,
+                let wf_ix = t.wf as usize;
+                let tasklets = t.tasklets.len() as u64;
+                self.workflows[wf_ix].state.done += tasklets;
+                self.insert_output_row(
+                    id,
                     OutputFile {
-                        task: *id,
-                        bytes: *output_bytes,
+                        task: id,
+                        bytes: output_bytes,
                         merged_into: None,
                         withdrawn: false,
                     },
                 );
-                self.done_order.push(*id);
+                self.done_order.push(id);
                 self.counters.tasks_completed += 1;
             }
             Record::TaskLost { id } => {
-                let t = self.tasks.get_mut(id).expect("task exists");
+                let t = self.task_row_mut(id).expect("task exists");
                 t.state = TaskState::Lost;
-                let wf = self.workflows.get_mut(&t.workflow).expect("workflow");
-                wf.returned.extend(t.tasklets.iter().copied());
+                let wf_ix = t.wf as usize;
+                let returned: Vec<u64> = t.tasklets.clone();
+                self.workflows[wf_ix].state.returned.extend(returned);
             }
             Record::MergeCreated { id, inputs } => {
-                for (src, _) in inputs {
+                for (src, _) in &inputs {
                     self.grouped.insert(*src);
                 }
-                self.merge_groups.insert(*id, inputs.clone());
+                self.merge_groups.insert(id, inputs);
                 self.next_merge = self.next_merge.max(id.0 - MERGE_ID_BASE + 1);
             }
             Record::Merged {
@@ -568,61 +589,71 @@ impl LobsterDb {
                 into,
                 bytes,
             } => {
-                for id in outputs {
-                    if let Some(o) = self.outputs.get_mut(id) {
+                for id in &outputs {
+                    if let Some(o) = self.output_row_mut(*id) {
                         o.merged_into = Some(into.clone());
                     }
                     self.grouped.remove(id);
                 }
-                self.merged_files.insert(into.clone(), *bytes);
+                self.merged_files.insert(into, bytes);
                 self.counters.merges_completed += 1;
                 if let Some(t) = task {
-                    self.merge_groups.remove(t);
+                    self.merge_groups.remove(&t);
                 }
             }
             Record::Attempt { report } => {
-                self.accounting.record(report);
-                if !report.is_success() {
-                    self.counters.tasks_failed += 1;
-                }
-                if report.evicted {
-                    self.counters.evictions += 1;
-                }
+                self.apply_attempt(&report);
             }
             Record::Backoff { wait } => {
-                self.accounting.record_backoff(*wait);
+                self.accounting.record_backoff(wait);
             }
             Record::DeadLettered { letter } => {
-                let l = **letter;
+                let l = *letter;
                 if l.category == Category::Merge {
                     // Withdraw the group: its inputs leave merge planning
                     // for good (they are neither merged nor re-groupable).
                     if let Some(inputs) = self.merge_groups.remove(&l.task) {
                         for (src, _) in inputs {
                             self.grouped.remove(&src);
-                            if let Some(o) = self.outputs.get_mut(&src) {
+                            if let Some(o) = self.output_row_mut(src) {
                                 o.withdrawn = true;
                             }
                         }
                     }
-                } else if let Some(t) = self.tasks.get_mut(&l.task) {
-                    t.state = TaskState::Withdrawn;
-                    if let Some(wf) = self.workflows.get_mut(&t.workflow) {
-                        wf.dead += l.units;
+                } else {
+                    let wf_ix = match self.task_row_mut(l.task) {
+                        Some(t) => {
+                            t.state = TaskState::Withdrawn;
+                            Some(t.wf as usize)
+                        }
+                        None => None,
+                    };
+                    if let Some(ix) = wf_ix {
+                        self.workflows[ix].state.dead += l.units;
                     }
                 }
                 self.dead_letters.push(l);
                 self.accounting.record_dead_letter();
             }
             Record::Snapshot { state } => {
-                self.install(state.as_ref().clone());
+                self.install(*state);
             }
         }
     }
 
+    fn apply_attempt(&mut self, report: &SegmentReport) {
+        self.accounting.record(report);
+        if !report.is_success() {
+            self.counters.tasks_failed += 1;
+        }
+        if report.evicted {
+            self.counters.evictions += 1;
+        }
+    }
+
     fn apply_and_log(&mut self, rec: Record) {
-        self.apply(&rec);
         self.log(&rec);
+        self.apply(rec);
         if let Some(n) = self.snapshot_every {
             if self.journal.is_some() && self.records_since_snapshot >= n {
                 // Compaction failure would strand an unbounded journal
@@ -639,27 +670,30 @@ impl LobsterDb {
             workflows: self
                 .workflows
                 .iter()
-                .map(|(name, w)| WorkflowSnap {
-                    name: name.clone(),
-                    total: w.total_tasklets,
-                    cursor: w.cursor,
-                    returned: w.returned.iter().copied().collect(),
-                    done: w.done,
-                    dead: w.dead,
+                .map(|w| WorkflowSnap {
+                    name: w.name.clone(),
+                    total: w.state.total_tasklets,
+                    cursor: w.state.cursor,
+                    returned: w.state.returned.iter().copied().collect(),
+                    done: w.state.done,
+                    dead: w.state.dead,
                 })
                 .collect(),
             tasks: self
                 .tasks
                 .iter()
-                .map(|(id, t)| TaskSnap {
-                    id: *id,
-                    workflow: t.workflow.clone(),
-                    tasklets: t.tasklets.clone(),
-                    state: t.state,
-                    attempts: t.attempts,
+                .enumerate()
+                .filter_map(|(ix, row)| {
+                    row.as_ref().map(|t| TaskSnap {
+                        id: TaskId(ix as u64),
+                        workflow: self.workflows[t.wf as usize].name.clone(),
+                        tasklets: t.tasklets.clone(),
+                        state: t.state,
+                        attempts: t.attempts,
+                    })
                 })
                 .collect(),
-            outputs: self.outputs.values().cloned().collect(),
+            outputs: self.outputs.iter().flatten().cloned().collect(),
             done_order: self.done_order.clone(),
             merged_files: self
                 .merged_files
@@ -683,35 +717,37 @@ impl LobsterDb {
         self.workflows = s
             .workflows
             .into_iter()
-            .map(|w| {
-                (
-                    w.name,
-                    WorkflowState {
-                        total_tasklets: w.total,
-                        cursor: w.cursor,
-                        returned: w.returned.into_iter().collect(),
-                        done: w.done,
-                        dead: w.dead,
-                    },
-                )
+            .map(|w| WorkflowEntry {
+                name: w.name,
+                state: WorkflowState {
+                    total_tasklets: w.total,
+                    cursor: w.cursor,
+                    returned: w.returned.into_iter().collect(),
+                    done: w.done,
+                    dead: w.dead,
+                },
             })
             .collect();
-        self.tasks = s
-            .tasks
-            .into_iter()
-            .map(|t| {
-                (
-                    t.id,
-                    TaskRow {
-                        workflow: t.workflow,
-                        tasklets: t.tasklets,
-                        state: t.state,
-                        attempts: t.attempts,
-                    },
-                )
-            })
-            .collect();
-        self.outputs = s.outputs.into_iter().map(|o| (o.task, o)).collect();
+        self.tasks.clear();
+        self.n_tasks = 0;
+        for t in s.tasks {
+            let wf = self
+                .wf_index(&t.workflow)
+                .expect("snapshot task names a snapshot workflow") as u32;
+            self.insert_task_row(
+                t.id,
+                TaskRow {
+                    wf,
+                    tasklets: t.tasklets,
+                    state: t.state,
+                    attempts: t.attempts,
+                },
+            );
+        }
+        self.outputs.clear();
+        for o in s.outputs {
+            self.insert_output_row(o.task, o);
+        }
         self.done_order = s.done_order;
         self.merged_files = s.merged_files.into_iter().collect();
         self.grouped = s
@@ -727,11 +763,57 @@ impl LobsterDb {
         self.counters = s.counters;
     }
 
+    fn wf_index(&self, name: &str) -> Option<usize> {
+        // Linear scan: a run has a handful of workflows, and the hot path
+        // never resolves by name (rows carry the index).
+        self.workflows.iter().position(|w| w.name == name)
+    }
+
+    /// Mirrors the old map indexing: an unknown workflow is a caller bug.
+    fn wf_state(&self, name: &str) -> &WorkflowState {
+        &self.workflows[self.wf_index(name).expect("workflow registered")].state
+    }
+
+    fn task_row(&self, id: TaskId) -> Option<&TaskRow> {
+        self.tasks.get(usize::try_from(id.0).ok()?)?.as_ref()
+    }
+
+    fn task_row_mut(&mut self, id: TaskId) -> Option<&mut TaskRow> {
+        self.tasks.get_mut(usize::try_from(id.0).ok()?)?.as_mut()
+    }
+
+    fn insert_task_row(&mut self, id: TaskId, row: TaskRow) {
+        debug_assert!(id.0 < MERGE_ID_BASE, "merge tasks have no task row");
+        let ix = id.0 as usize;
+        if self.tasks.len() <= ix {
+            self.tasks.resize(ix + 1, None);
+        }
+        if self.tasks[ix].replace(row).is_none() {
+            self.n_tasks += 1;
+        }
+    }
+
+    fn output_row(&self, id: TaskId) -> Option<&OutputFile> {
+        self.outputs.get(usize::try_from(id.0).ok()?)?.as_ref()
+    }
+
+    fn output_row_mut(&mut self, id: TaskId) -> Option<&mut OutputFile> {
+        self.outputs.get_mut(usize::try_from(id.0).ok()?)?.as_mut()
+    }
+
+    fn insert_output_row(&mut self, id: TaskId, out: OutputFile) {
+        let ix = id.0 as usize;
+        if self.outputs.len() <= ix {
+            self.outputs.resize(ix + 1, None);
+        }
+        self.outputs[ix] = Some(out);
+    }
+
     fn reject(&mut self, task: TaskId, action: &'static str) -> RejectedTransition {
         self.counters.rejected_transitions += 1;
         RejectedTransition {
             task,
-            from: self.tasks.get(&task).map(|t| t.state),
+            from: self.task_row(task).map(|t| t.state),
             action,
         }
     }
@@ -739,7 +821,7 @@ impl LobsterDb {
     /// Register a workflow of `tasklets` total tasklets.
     pub fn register_workflow(&mut self, name: &str, tasklets: u64) {
         assert!(
-            !self.workflows.contains_key(name),
+            self.wf_index(name).is_none(),
             "workflow {name} already registered"
         );
         self.apply_and_log(Record::Workflow {
@@ -750,28 +832,39 @@ impl LobsterDb {
 
     /// Tasklets not yet assigned to any live task.
     pub fn unassigned_tasklets(&self, workflow: &str) -> u64 {
-        let wf = &self.workflows[workflow];
+        let wf = self.wf_state(workflow);
         (wf.total_tasklets - wf.cursor) + wf.returned.len() as u64
     }
 
     /// Tasklets finished.
     pub fn done_tasklets(&self, workflow: &str) -> u64 {
-        self.workflows[workflow].done
+        self.wf_state(workflow).done
     }
 
     /// Tasklets withdrawn with dead-lettered tasks.
     pub fn dead_tasklets(&self, workflow: &str) -> u64 {
-        self.workflows[workflow].dead
+        self.wf_state(workflow).dead
     }
 
     /// Total tasklets in the workflow.
     pub fn total_tasklets(&self, workflow: &str) -> u64 {
-        self.workflows[workflow].total_tasklets
+        self.wf_state(workflow).total_tasklets
+    }
+
+    /// Tasklets finished, summed over every registered workflow (an
+    /// index walk, no name lookups — safe for per-completion call sites).
+    pub fn total_done_tasklets(&self) -> u64 {
+        self.workflows.iter().map(|w| w.state.done).sum()
+    }
+
+    /// Dead-lettered tasklets, summed over every registered workflow.
+    pub fn total_dead_tasklets(&self) -> u64 {
+        self.workflows.iter().map(|w| w.state.dead).sum()
     }
 
     /// True if the workflow is registered.
     pub fn has_workflow(&self, workflow: &str) -> bool {
-        self.workflows.contains_key(workflow)
+        self.wf_index(workflow).is_some()
     }
 
     /// Number of registered workflows.
@@ -781,7 +874,9 @@ impl LobsterDb {
 
     /// True once every tasklet of every workflow is done.
     pub fn all_done(&self) -> bool {
-        self.workflows.values().all(|w| w.done == w.total_tasklets)
+        self.workflows
+            .iter()
+            .all(|w| w.state.done == w.state.total_tasklets)
     }
 
     /// Create a task covering the next `n` unassigned tasklets (returned
@@ -792,7 +887,7 @@ impl LobsterDb {
         assert!(n >= 1);
         // Peek the claim without mutating: `apply` is the single place
         // that mutates state, so journal replay is authoritative.
-        let wf = self.workflows.get(workflow).expect("workflow registered");
+        let wf = self.wf_state(workflow);
         let mut claim: Vec<u64> = Vec::with_capacity(n as usize);
         let mut returned = wf.returned.iter().copied();
         let mut cursor = wf.cursor;
@@ -828,8 +923,7 @@ impl LobsterDb {
     ) -> Result<TaskId, RejectedTransition> {
         for (src, _) in inputs {
             let ok = self
-                .outputs
-                .get(src)
+                .output_row(*src)
                 .is_some_and(|o| o.merged_into.is_none() && !o.withdrawn)
                 && !self.grouped.contains(src);
             if !ok {
@@ -847,7 +941,7 @@ impl LobsterDb {
     /// Mark a task dispatched. Legal from `Ready` or `Running` (a
     /// re-dispatch after a vanished worker).
     pub fn mark_running(&mut self, id: TaskId) -> Result<(), RejectedTransition> {
-        match self.tasks.get(&id).map(|t| t.state) {
+        match self.task_row(id).map(|t| t.state) {
             Some(TaskState::Ready | TaskState::Running) => {
                 self.apply_and_log(Record::TaskRunning { id });
                 Ok(())
@@ -859,7 +953,7 @@ impl LobsterDb {
     /// Mark a task finished with `output_bytes` of output. Legal from
     /// `Running` only.
     pub fn mark_done(&mut self, id: TaskId, output_bytes: u64) -> Result<(), RejectedTransition> {
-        match self.tasks.get(&id).map(|t| t.state) {
+        match self.task_row(id).map(|t| t.state) {
             Some(TaskState::Running) => {
                 self.apply_and_log(Record::TaskDone { id, output_bytes });
                 Ok(())
@@ -871,7 +965,7 @@ impl LobsterDb {
     /// Mark a task lost; its tasklets return to the pool. Legal from
     /// `Ready` or `Running`.
     pub fn mark_lost(&mut self, id: TaskId) -> Result<(), RejectedTransition> {
-        match self.tasks.get(&id).map(|t| t.state) {
+        match self.task_row(id).map(|t| t.state) {
             Some(TaskState::Ready | TaskState::Running) => {
                 self.apply_and_log(Record::TaskLost { id });
                 Ok(())
@@ -905,8 +999,7 @@ impl LobsterDb {
         }
         for id in outputs {
             let ok = self
-                .outputs
-                .get(id)
+                .output_row(*id)
                 .is_some_and(|o| o.merged_into.is_none() && !o.withdrawn);
             if !ok {
                 return Err(self.reject(*id, "mark_merged"));
@@ -923,9 +1016,15 @@ impl LobsterDb {
 
     /// Journal one attempt report into the durable accounting.
     pub fn record_attempt(&mut self, report: &SegmentReport) {
-        self.apply_and_log(Record::Attempt {
-            report: Box::new(report.clone()),
-        });
+        if self.journal.is_some() {
+            self.apply_and_log(Record::Attempt {
+                report: Box::new(report.clone()),
+            });
+        } else {
+            // In-memory mode: apply directly, skipping the per-attempt
+            // `Box` + clone a journal record would cost on the hot path.
+            self.apply_attempt(report);
+        }
     }
 
     /// Journal time spent in a backoff wait.
@@ -944,29 +1043,31 @@ impl LobsterDb {
 
     /// Task state lookup.
     pub fn task_state(&self, id: TaskId) -> Option<TaskState> {
-        self.tasks.get(&id).map(|t| t.state)
+        self.task_row(id).map(|t| t.state)
     }
 
     /// Dispatch attempts of a task.
     pub fn attempts(&self, id: TaskId) -> u32 {
-        self.tasks.get(&id).map_or(0, |t| t.attempts)
+        self.task_row(id).map_or(0, |t| t.attempts)
     }
 
     /// Tasklets covered by a task.
     pub fn task_tasklets(&self, id: TaskId) -> Option<&[u64]> {
-        self.tasks.get(&id).map(|t| t.tasklets.as_slice())
+        self.task_row(id).map(|t| t.tasklets.as_slice())
     }
 
     /// Workflow a task belongs to.
     pub fn task_workflow(&self, id: TaskId) -> Option<&str> {
-        self.tasks.get(&id).map(|t| t.workflow.as_str())
+        self.task_row(id)
+            .map(|t| self.workflows[t.wf as usize].name.as_str())
     }
 
     /// Outputs not yet merged (nor withdrawn), as `(task, bytes)` sorted
     /// by task id.
     pub fn unmerged_outputs(&self) -> Vec<(TaskId, u64)> {
         self.outputs
-            .values()
+            .iter()
+            .flatten()
             .filter(|o| o.merged_into.is_none() && !o.withdrawn)
             .map(|o| (o.task, o.bytes))
             .collect()
@@ -979,8 +1080,7 @@ impl LobsterDb {
         self.done_order
             .iter()
             .filter_map(|id| {
-                self.outputs
-                    .get(id)
+                self.output_row(*id)
                     .filter(|o| {
                         o.merged_into.is_none() && !o.withdrawn && !self.grouped.contains(id)
                     })
@@ -999,21 +1099,23 @@ impl LobsterDb {
 
     /// Tasks currently in `Running` state (in-flight at crash time).
     pub fn running_tasks(&self) -> Vec<TaskId> {
-        self.tasks
-            .iter()
-            .filter(|(_, t)| t.state == TaskState::Running)
-            .map(|(id, _)| *id)
-            .collect()
+        self.tasks_in_state(TaskState::Running)
     }
 
     /// Tasks still in `Ready` state: created (their tasklets are claimed
     /// off the workflow cursor) but never dispatched. A recovered master
     /// must re-dispatch these — nothing else will re-cover the tasklets.
     pub fn ready_tasks(&self) -> Vec<TaskId> {
+        self.tasks_in_state(TaskState::Ready)
+    }
+
+    /// Live task ids in `state`, ascending.
+    fn tasks_in_state(&self, state: TaskState) -> Vec<TaskId> {
         self.tasks
             .iter()
-            .filter(|(_, t)| t.state == TaskState::Ready)
-            .map(|(id, _)| *id)
+            .enumerate()
+            .filter(|(_, row)| row.as_ref().is_some_and(|t| t.state == state))
+            .map(|(ix, _)| TaskId(ix as u64))
             .collect()
     }
 
@@ -1032,7 +1134,7 @@ impl LobsterDb {
 
     /// Number of tasks ever created.
     pub fn task_count(&self) -> usize {
-        self.tasks.len()
+        self.n_tasks
     }
 
     /// The dead-letter ledger, in dead-letter order.

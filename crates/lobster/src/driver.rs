@@ -36,7 +36,7 @@ use simkit::queue::Grant;
 use simkit::stats::TimeSeries;
 use simnet::link::FlowId;
 use simnet::outage::OutageSchedule;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::path::Path;
 use wqueue::sim::{DispatchBuffer, WorkerTable};
@@ -80,6 +80,10 @@ pub struct SimParams {
     /// Injected infrastructure faults (squid / Chirp / federation
     /// degradation windows), applied on top of the outage schedule.
     pub faults: FaultPlan,
+    /// Event-queue backend. `Calendar` is the production default;
+    /// `ReferenceHeap` keeps the original binary-heap engine for the
+    /// differential trace tests.
+    pub engine: EngineKind,
 }
 
 impl Default for SimParams {
@@ -101,6 +105,7 @@ impl Default for SimParams {
             wan_stream_cap: 10e6,
             squid: SquidConfig::default(),
             faults: FaultPlan::none(),
+            engine: EngineKind::default(),
         }
     }
 }
@@ -123,6 +128,13 @@ pub enum Ev {
     /// Sandbox transfer finished; begin environment setup. Carries the
     /// attempt number so events from superseded attempts are ignored.
     SandboxDone(TaskId, u32),
+    /// Several sandbox transfers granted at the same instant by one
+    /// dispatch round finish together: one event carries the whole batch
+    /// (in grant order), instead of one event per task. Handling order is
+    /// identical to consecutive [`Ev::SandboxDone`] events — the payloads
+    /// were scheduled back-to-back, so nothing could interleave — and the
+    /// drained Vec is recycled through the dispatch batch pool.
+    SandboxBatch(Vec<(TaskId, u32)>),
     /// A squid may have finished serving flows.
     SquidWake(usize),
     /// The federation may have finished transfers.
@@ -181,6 +193,74 @@ struct TaskInfo {
     watchdog: Option<(u64, Segment, EventId)>,
 }
 
+/// In-flight task ledger. Analysis ids are handed out densely from 0,
+/// so they index a direct slab; merge ids (>= [`crate::db::MERGE_ID_BASE`])
+/// are sparse and few at a time, so they stay in an ordered map. Rows
+/// are boxed so a vacant slot costs one pointer, not a whole row.
+struct TaskTable {
+    analysis: Vec<Option<Box<TaskInfo>>>,
+    merge: BTreeMap<TaskId, Box<TaskInfo>>,
+    live: usize,
+}
+
+impl TaskTable {
+    fn new() -> Self {
+        TaskTable {
+            analysis: Vec::new(),
+            merge: BTreeMap::new(),
+            live: 0,
+        }
+    }
+
+    fn get(&self, id: TaskId) -> Option<&TaskInfo> {
+        if id.0 < crate::db::MERGE_ID_BASE {
+            self.analysis.get(usize::try_from(id.0).ok()?)?.as_deref()
+        } else {
+            self.merge.get(&id).map(|b| &**b)
+        }
+    }
+
+    fn get_mut(&mut self, id: TaskId) -> Option<&mut TaskInfo> {
+        if id.0 < crate::db::MERGE_ID_BASE {
+            self.analysis
+                .get_mut(usize::try_from(id.0).ok()?)?
+                .as_deref_mut()
+        } else {
+            self.merge.get_mut(&id).map(|b| &mut **b)
+        }
+    }
+
+    fn insert(&mut self, id: TaskId, t: TaskInfo) {
+        let prev = if id.0 < crate::db::MERGE_ID_BASE {
+            let ix = usize::try_from(id.0).expect("analysis id fits usize");
+            if ix >= self.analysis.len() {
+                self.analysis.resize_with(ix + 1, || None);
+            }
+            self.analysis[ix].replace(Box::new(t))
+        } else {
+            self.merge.insert(id, Box::new(t))
+        };
+        debug_assert!(prev.is_none(), "task {id:?} inserted while in flight");
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: TaskId) -> Option<TaskInfo> {
+        let t = if id.0 < crate::db::MERGE_ID_BASE {
+            self.analysis.get_mut(usize::try_from(id.0).ok()?)?.take()
+        } else {
+            self.merge.remove(&id)
+        };
+        if t.is_some() {
+            self.live -= 1;
+        }
+        t.map(|b| *b)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
 /// The harvestable outcome of a run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -231,7 +311,7 @@ pub struct ClusterSim {
     rng: SimRng,
     db: LobsterDb,
     workflows: Vec<Workflow>,
-    tasks: BTreeMap<TaskId, TaskInfo>,
+    tasks: TaskTable,
     buffer: DispatchBuffer,
     /// Merge tasks awaiting dispatch (kept out of the analysis buffer so
     /// bookkeeping stays by category).
@@ -241,7 +321,12 @@ pub struct ClusterSim {
     pool: OpportunisticPool,
     log: WorkerLog,
     worker_evict_ev: BTreeMap<u64, EventId>,
-    running_on: BTreeMap<u64, BTreeSet<TaskId>>,
+    /// Tasks running per worker, indexed by dense worker id (push order;
+    /// eviction sorts the survivors so processing stays id-ordered).
+    running_on: Vec<Vec<TaskId>>,
+    /// Total analysis tasklets across all workflows, fixed at start-up
+    /// (the merge gate divides by it on every completion).
+    analysis_units: u64,
     foremen: Vec<Server>,
     squids: Vec<Squid>,
     squid_wake: Vec<Option<EventId>>,
@@ -256,7 +341,6 @@ pub struct ClusterSim {
     chirp: ChirpServer,
     catalog: ReleaseCatalog,
     planner: MergePlanner,
-    outputs_in_merge: BTreeSet<TaskId>,
     /// Finished outputs not yet claimed by any merge group, in finish
     /// order (incremental — avoids rescanning the DB per completion).
     pending_outputs: VecDeque<(TaskId, u64)>,
@@ -282,6 +366,16 @@ pub struct ClusterSim {
     /// Per-worker consecutive environment-setup failures (slot-hold
     /// backoff input; reset on the next env success there).
     env_fail_streak: BTreeMap<u64, u32>,
+    /// Reused buffer for factory replenishment delays (one call per
+    /// simulated minute; no per-tick Vec).
+    scratch_delays: Vec<SimDuration>,
+    /// Reused buffer for link-completion draining (squid and federation
+    /// wakes run once per predicted completion; no per-wake Vec).
+    scratch_flows: Vec<FlowId>,
+    /// Recycled payload buffers for batched same-instant sandbox grants:
+    /// a drained [`Ev::SandboxBatch`] returns its Vec here for the next
+    /// dispatch round to refill.
+    batch_pool: Vec<Vec<(TaskId, u32)>>,
 }
 
 impl ClusterSim {
@@ -412,13 +506,14 @@ impl ClusterSim {
             .map(|w| AdaptiveSizer::new(params.adaptive_cfg, w.tasklets_per_task))
             .collect();
         let catalog = ReleaseCatalog::cmssw_default(cfg.seed ^ 0xCAFE);
+        let analysis_units: u64 = workflows.iter().map(|w| w.n_tasklets()).sum();
         ClusterSim {
             rng: rng.split(0),
             cfg,
             params,
             db,
             workflows,
-            tasks: BTreeMap::new(),
+            tasks: TaskTable::new(),
             buffer: DispatchBuffer::new(),
             merge_queue: VecDeque::new(),
             table: WorkerTable::new(),
@@ -426,7 +521,8 @@ impl ClusterSim {
             pool,
             log: WorkerLog::new(),
             worker_evict_ev: BTreeMap::new(),
-            running_on: BTreeMap::new(),
+            running_on: Vec::new(),
+            analysis_units,
             foremen,
             squid_wake: vec![None; n_squids],
             squid_flows: (0..n_squids).map(|_| BTreeMap::new()).collect(),
@@ -439,7 +535,6 @@ impl ClusterSim {
             chirp,
             catalog,
             planner,
-            outputs_in_merge: BTreeSet::new(),
             pending_outputs: VecDeque::new(),
             pending_bytes: 0,
             unmerged_count: 0,
@@ -455,6 +550,9 @@ impl ClusterSim {
             sizers,
             watchdog_seq: 0,
             env_fail_streak: BTreeMap::new(),
+            scratch_delays: Vec::new(),
+            scratch_flows: Vec::new(),
+            batch_pool: Vec::new(),
         }
     }
 
@@ -503,9 +601,6 @@ impl ClusterSim {
         for (id, inputs) in self.db.open_merge_groups() {
             let bytes: u64 = inputs.iter().map(|i| i.1).sum();
             let cpu = self.params.merge_cpu_per_gb.mul_f64(bytes as f64 / 1e9);
-            for (t, _) in &inputs {
-                self.outputs_in_merge.insert(*t);
-            }
             self.tasks.insert(
                 id,
                 TaskInfo {
@@ -612,26 +707,50 @@ impl ClusterSim {
         path: impl AsRef<Path>,
         crash: CrashPoint,
     ) -> io::Result<Option<RunReport>> {
-        let sim = Self::durable(cfg, params, workflows, path)?;
+        Ok(Self::drive_until_crash(
+            Self::durable(cfg, params, workflows, path)?,
+            crash,
+        ))
+    }
+
+    /// Resume a crashed durable run from its journal, but kill the master
+    /// *again* at `crash` — the double-crash scenario: only the journal
+    /// survives for yet another [`ClusterSim::resume_run`]. Returns
+    /// `Ok(None)` when the crash landed mid-flight, or the completed
+    /// report when the run drained first.
+    pub fn resume_run_until_crash(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+        crash: CrashPoint,
+    ) -> io::Result<Option<RunReport>> {
+        Ok(Self::drive_until_crash(
+            Self::resume(cfg, params, workflows, path)?,
+            crash,
+        ))
+    }
+
+    fn drive_until_crash(sim: ClusterSim, crash: CrashPoint) -> Option<RunReport> {
         let horizon = sim.params.horizon;
         let deadline = SimTime::ZERO + horizon;
-        let mut engine = Engine::new(sim);
+        let kind = sim.params.engine;
+        let mut engine = Engine::with_kind(sim, kind);
         engine.prime(SimDuration::ZERO, Ev::Start);
         let ended_at = engine.run_until_events(deadline, crash.after_events);
         // Events still pending inside the deadline mean the budget — not
         // quiescence — stopped the run: the crash landed mid-flight.
         if engine.ctx().peek_time().is_some_and(|t| t <= deadline) {
-            return Ok(None);
+            return None;
         }
         let events_delivered = engine.ctx().delivered();
-        Ok(Some(
-            engine.into_model().into_report(ended_at, events_delivered),
-        ))
+        Some(engine.into_model().into_report(ended_at, events_delivered))
     }
 
     fn drive(sim: ClusterSim) -> RunReport {
         let horizon = sim.params.horizon;
-        let mut engine = Engine::new(sim);
+        let kind = sim.params.engine;
+        let mut engine = Engine::with_kind(sim, kind);
         engine.prime(SimDuration::ZERO, Ev::Start);
         let ended_at = engine.run_until(SimTime::ZERO + horizon);
         let events_delivered = engine.ctx().delivered();
@@ -684,8 +803,9 @@ impl ClusterSim {
             let mut created = false;
             for wf_idx in 0..self.workflows.len() {
                 let size = self.task_size(wf_idx);
-                let name = self.workflows[wf_idx].name.clone();
-                if let Some(id) = self.db.create_task(&name, size) {
+                // Disjoint field borrows: no per-task clone of the name.
+                let created_id = self.db.create_task(&self.workflows[wf_idx].name, size);
+                if let Some(id) = created_id {
                     let n = self.db.task_tasklets(id).expect("created").len() as u32;
                     let wf = &self.workflows[wf_idx];
                     let cpu = wf.sample_task_cpu(n, &mut self.rng);
@@ -732,9 +852,6 @@ impl ClusterSim {
             }
         };
         let cpu = self.params.merge_cpu_per_gb.mul_f64(bytes as f64 / 1e9);
-        for (t, _) in &inputs {
-            self.outputs_in_merge.insert(*t);
-        }
         self.tasks.insert(
             id,
             TaskInfo {
@@ -760,9 +877,31 @@ impl ClusterSim {
 
     // ----- dispatch --------------------------------------------------------
 
+    /// Flush a batch of same-instant sandbox grants as one event (or a
+    /// plain [`Ev::SandboxDone`] when the batch holds a single task).
+    fn flush_sandbox_batch(
+        &mut self,
+        done: SimTime,
+        mut batch: Vec<(TaskId, u32)>,
+        ctx: &mut Ctx<Ev>,
+    ) {
+        if batch.len() == 1 {
+            let (id, attempt) = batch[0];
+            ctx.schedule_at(done, Ev::SandboxDone(id, attempt));
+            batch.clear();
+            self.batch_pool.push(batch);
+        } else {
+            ctx.schedule_at(done, Ev::SandboxBatch(batch));
+        }
+    }
+
     fn dispatch(&mut self, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         self.refill_buffer(now);
+        // Consecutive grants that finish at the same instant coalesce
+        // into one batched event (payload buffers recycled per round).
+        let mut batch: Vec<(TaskId, u32)> = self.batch_pool.pop().unwrap_or_default();
+        let mut batch_done = SimTime::ZERO;
         loop {
             // Merge tasks first (they unblock publication), then analysis.
             let (id, from_merge) = if let Some(&id) = self.merge_queue.front() {
@@ -783,7 +922,7 @@ impl ClusterSim {
             }
             let foreman = self.table.get(worker).expect("claimed").foreman;
             let grant = self.foremen[foreman].offer(now, self.params.sandbox_service);
-            let t = self.tasks.get_mut(&id).expect("queued task");
+            let t = self.tasks.get_mut(id).expect("queued task");
             t.phase = Phase::Sandbox;
             t.worker = Some(worker);
             t.attempt += 1;
@@ -799,8 +938,22 @@ impl ClusterSim {
                     debug_assert!(false, "dispatched a task the db rejects: {e}");
                 }
             }
-            self.running_on.entry(worker).or_default().insert(id);
-            ctx.schedule_at(grant.done, Ev::SandboxDone(id, attempt));
+            let rix = worker as usize;
+            if rix >= self.running_on.len() {
+                self.running_on.resize_with(rix + 1, Vec::new);
+            }
+            self.running_on[rix].push(id);
+            if !batch.is_empty() && batch_done != grant.done {
+                let full = std::mem::replace(&mut batch, self.batch_pool.pop().unwrap_or_default());
+                self.flush_sandbox_batch(batch_done, full, ctx);
+            }
+            batch_done = grant.done;
+            batch.push((id, attempt));
+        }
+        if batch.is_empty() {
+            self.batch_pool.push(batch);
+        } else {
+            self.flush_sandbox_batch(batch_done, batch, ctx);
         }
     }
 
@@ -809,7 +962,7 @@ impl ClusterSim {
     fn on_sandbox_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         let worker = {
-            let Some(t) = self.tasks.get_mut(&id) else {
+            let Some(t) = self.tasks.get_mut(id) else {
                 return;
             };
             if t.phase != Phase::Sandbox || t.attempt != attempt {
@@ -829,7 +982,7 @@ impl ClusterSim {
             match self.squid_admit(squid_idx, now, bytes) {
                 Ok(flow) => {
                     self.squid_flows[squid_idx].insert(flow, id);
-                    if let Some(t) = self.tasks.get_mut(&id) {
+                    if let Some(t) = self.tasks.get_mut(id) {
                         t.env_flow = Some((squid_idx, flow));
                     }
                     self.reschedule_squid(squid_idx, ctx);
@@ -860,7 +1013,7 @@ impl ClusterSim {
             match self.squid_admit(squid_idx, now, bytes) {
                 Ok(flow) => {
                     self.squid_flows[squid_idx].insert(flow, id);
-                    if let Some(t) = self.tasks.get_mut(&id) {
+                    if let Some(t) = self.tasks.get_mut(id) {
                         t.env_flow = Some((squid_idx, flow));
                     }
                     self.reschedule_squid(squid_idx, ctx);
@@ -924,7 +1077,7 @@ impl ClusterSim {
         ctx: &mut Ctx<Ev>,
     ) {
         let deadline = self.segment_deadline(segment);
-        let Some(t) = self.tasks.get_mut(&id) else {
+        let Some(t) = self.tasks.get_mut(id) else {
             return;
         };
         if let Some((_, _, ev)) = t.watchdog.take() {
@@ -944,7 +1097,7 @@ impl ClusterSim {
 
     /// Cancel `id`'s armed watchdog, if any.
     fn disarm_watchdog(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
-        if let Some(t) = self.tasks.get_mut(&id) {
+        if let Some(t) = self.tasks.get_mut(id) {
             if let Some((_, _, ev)) = t.watchdog.take() {
                 ctx.cancel(ev);
             }
@@ -952,7 +1105,7 @@ impl ClusterSim {
     }
 
     fn on_deadline(&mut self, id: TaskId, seq: u64, ctx: &mut Ctx<Ev>) {
-        let Some(t) = self.tasks.get_mut(&id) else {
+        let Some(t) = self.tasks.get_mut(id) else {
             return;
         };
         let Some((armed, segment, _)) = t.watchdog else {
@@ -979,8 +1132,11 @@ impl ClusterSim {
     fn on_squid_wake(&mut self, idx: usize, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         self.squid_wake[idx] = None;
-        let done = self.squids[idx].completions(now);
-        for flow in done {
+        // Drain into the reused scratch buffer — one squid wake fires per
+        // predicted completion, so this path is allocation-free.
+        let mut done = std::mem::take(&mut self.scratch_flows);
+        self.squids[idx].completions_into(now, &mut done);
+        for &flow in &done {
             if let Some(worker) = self.squid_fill_flows[idx].remove(&flow) {
                 // A shared cold fill finished: the worker is hot and every
                 // waiting task proceeds.
@@ -992,7 +1148,7 @@ impl ClusterSim {
                     .map(|(_, _, w)| w)
                     .unwrap_or_default();
                 for id in waiters {
-                    let Some(t) = self.tasks.get_mut(&id) else {
+                    let Some(t) = self.tasks.get_mut(id) else {
                         continue;
                     };
                     if t.phase != Phase::EnvSetup || t.worker != Some(worker) {
@@ -1008,7 +1164,7 @@ impl ClusterSim {
             let Some(id) = self.squid_flows[idx].remove(&flow) else {
                 continue;
             };
-            let Some(t) = self.tasks.get_mut(&id) else {
+            let Some(t) = self.tasks.get_mut(id) else {
                 continue;
             };
             if t.phase != Phase::EnvSetup {
@@ -1023,13 +1179,14 @@ impl ClusterSim {
             }
             self.begin_data_phase(id, ctx);
         }
+        self.scratch_flows = done;
         self.reschedule_squid(idx, ctx);
     }
 
     fn begin_data_phase(&mut self, id: TaskId, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         self.disarm_watchdog(id, ctx);
-        let Some(t) = self.tasks.get_mut(&id) else {
+        let Some(t) = self.tasks.get_mut(id) else {
             return;
         };
         t.phase = Phase::Exec;
@@ -1058,7 +1215,7 @@ impl ClusterSim {
             // inputs never cross the WAN.
             match self.chirp_admit_get(now, input) {
                 Ok(grant) => {
-                    let Some(t) = self.tasks.get_mut(&id) else {
+                    let Some(t) = self.tasks.get_mut(id) else {
                         return;
                     };
                     t.phase = Phase::Data;
@@ -1075,7 +1232,7 @@ impl ClusterSim {
             match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
                 Ok(flow) => {
                     self.fed_flows.insert(flow, id);
-                    let Some(t) = self.tasks.get_mut(&id) else {
+                    let Some(t) = self.tasks.get_mut(id) else {
                         return;
                     };
                     t.data_flow = Some(flow);
@@ -1099,7 +1256,7 @@ impl ClusterSim {
             match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
                 Ok(flow) => {
                     self.fed_flows.insert(flow, id);
-                    let Some(t) = self.tasks.get_mut(&id) else {
+                    let Some(t) = self.tasks.get_mut(id) else {
                         return;
                     };
                     t.data_flow = Some(flow);
@@ -1115,7 +1272,7 @@ impl ClusterSim {
     /// A Chirp-staged input landed: start the CPU clock.
     fn on_data_staged(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(t) = self.tasks.get_mut(&id) else {
+        let Some(t) = self.tasks.get_mut(id) else {
             return;
         };
         if t.phase != Phase::Data || t.attempt != attempt {
@@ -1143,12 +1300,13 @@ impl ClusterSim {
     fn on_fed_wake(&mut self, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         self.fed_wake = None;
-        let done = self.fed.completions(now);
-        for flow in done {
+        let mut done = std::mem::take(&mut self.scratch_flows);
+        self.fed.completions_into(now, &mut done);
+        for &flow in &done {
             let Some(id) = self.fed_flows.remove(&flow) else {
                 continue;
             };
-            let Some(t) = self.tasks.get_mut(&id) else {
+            let Some(t) = self.tasks.get_mut(id) else {
                 continue;
             };
             if t.data_flow != Some(flow) {
@@ -1189,13 +1347,14 @@ impl ClusterSim {
                 _ => {}
             }
         }
+        self.scratch_flows = done;
         self.reschedule_fed(ctx);
     }
 
     fn on_exec_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
         let output = {
-            let Some(t) = self.tasks.get_mut(&id) else {
+            let Some(t) = self.tasks.get_mut(id) else {
                 return;
             };
             if t.phase != Phase::Exec || t.attempt != attempt || t.data_flow.is_some() {
@@ -1207,7 +1366,7 @@ impl ClusterSim {
         };
         match self.chirp_admit_put(now, output) {
             Ok(grant) => {
-                let Some(t) = self.tasks.get_mut(&id) else {
+                let Some(t) = self.tasks.get_mut(id) else {
                     return;
                 };
                 if let Some(b) = t.builder.as_mut() {
@@ -1222,7 +1381,7 @@ impl ClusterSim {
 
     fn on_stage_out_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         {
-            let Some(t) = self.tasks.get_mut(&id) else {
+            let Some(t) = self.tasks.get_mut(id) else {
                 return;
             };
             if t.phase != Phase::StageOut || t.attempt != attempt {
@@ -1239,11 +1398,11 @@ impl ClusterSim {
 
     fn on_collect_done(&mut self, id: TaskId, attempt: u32, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        match self.tasks.get(&id) {
+        match self.tasks.get(id) {
             Some(t) if t.phase == Phase::Collect && t.attempt == attempt => {}
             _ => return,
         }
-        let Some(mut t) = self.tasks.remove(&id) else {
+        let Some(mut t) = self.tasks.remove(id) else {
             return;
         };
         if let Some((_, _, ev)) = t.watchdog.take() {
@@ -1264,9 +1423,6 @@ impl ClusterSim {
             self.unmerged_count = self.unmerged_count.saturating_sub(ids.len() as u64);
             if let Err(e) = self.db.mark_merged(Some(id), &ids, &name, bytes) {
                 debug_assert!(false, "completed merge the db rejects: {e}");
-            }
-            for tid in ids {
-                self.outputs_in_merge.remove(&tid);
             }
         } else {
             self.analysis_done.mark(now);
@@ -1309,25 +1465,19 @@ impl ClusterSim {
     }
 
     fn analysis_progress(&self) -> f64 {
-        let total: u64 = self.workflows.iter().map(|w| w.n_tasklets()).sum();
-        let done: u64 = self
-            .workflows
-            .iter()
-            .map(|w| self.db.done_tasklets(&w.name))
-            .sum();
-        if total == 0 {
+        if self.analysis_units == 0 {
             1.0
         } else {
-            done as f64 / total as f64
+            self.db.total_done_tasklets() as f64 / self.analysis_units as f64
         }
     }
 
     fn analysis_exhausted(&self) -> bool {
         // Dead-lettered tasklets count against the total: a withdrawn
         // task must not hold the merge flush (and the run) hostage.
-        self.workflows.iter().all(|w| {
-            self.db.done_tasklets(&w.name) + self.db.dead_tasklets(&w.name) >= w.n_tasklets()
-        })
+        // Per-workflow done + dead never exceeds the workflow's total, so
+        // the summed comparison is exact, not an approximation.
+        self.db.total_done_tasklets() + self.db.total_dead_tasklets() >= self.analysis_units
     }
 
     fn maybe_plan_merges(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
@@ -1386,9 +1536,6 @@ impl ClusterSim {
             let start = reducer_free[r];
             reducer_free[r] = start + dur;
             let gi = self.hadoop_groups.len();
-            for (t, _) in &g.inputs {
-                self.outputs_in_merge.insert(*t);
-            }
             self.hadoop_groups.push((g.inputs, bytes));
             ctx.schedule_at(now + start + dur, Ev::HadoopGroupDone(gi));
         }
@@ -1396,7 +1543,8 @@ impl ClusterSim {
 
     fn on_hadoop_group_done(&mut self, gi: usize, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let (inputs, bytes) = self.hadoop_groups[gi].clone();
+        // Each group completes exactly once; take it instead of cloning.
+        let (inputs, bytes) = std::mem::take(&mut self.hadoop_groups[gi]);
         let ids: Vec<TaskId> = inputs.iter().map(|i| i.0).collect();
         // Name by files produced, not group index: a resumed run replans
         // the outstanding groups from scratch, so indices shift but the
@@ -1405,9 +1553,6 @@ impl ClusterSim {
         self.unmerged_count = self.unmerged_count.saturating_sub(ids.len() as u64);
         if let Err(e) = self.db.mark_merged(None, &ids, &name, bytes) {
             debug_assert!(false, "completed hadoop merge the db rejects: {e}");
-        }
-        for id in ids {
-            self.outputs_in_merge.remove(&id);
         }
         self.merge_done.mark(now);
         self.check_finished(now);
@@ -1423,7 +1568,7 @@ impl ClusterSim {
     /// through the retry policy.
     fn fail_attempt(&mut self, id: TaskId, segment: Segment, by_watchdog: bool, ctx: &mut Ctx<Ev>) {
         let now = ctx.now();
-        let Some(mut t) = self.tasks.remove(&id) else {
+        let Some(mut t) = self.tasks.remove(id) else {
             return;
         };
         if let Some((_, _, ev)) = t.watchdog.take() {
@@ -1441,8 +1586,10 @@ impl ClusterSim {
             // immediately re-dispatching into the same congestion (the
             // client-side retry backoff of §6). The hold grows with the
             // worker's consecutive env failures, per the retry policy.
-            if let Some(set) = self.running_on.get_mut(&worker) {
-                set.remove(&id);
+            if let Some(list) = self.running_on.get_mut(worker as usize) {
+                if let Some(pos) = list.iter().position(|t| *t == id) {
+                    list.swap_remove(pos);
+                }
             }
             let streak = self.env_fail_streak.entry(worker).or_insert(0);
             *streak += 1;
@@ -1555,9 +1702,6 @@ impl ClusterSim {
             Category::Merge => {
                 let inputs = t.merge_inputs.take().unwrap_or_default();
                 self.unmerged_count = self.unmerged_count.saturating_sub(inputs.len() as u64);
-                for (tid, _) in &inputs {
-                    self.outputs_in_merge.remove(tid);
-                }
                 inputs.len() as u64
             }
             _ => {
@@ -1615,8 +1759,9 @@ impl ClusterSim {
     }
 
     fn release_task_slot(&mut self, worker: u64, id: TaskId) {
-        if let Some(set) = self.running_on.get_mut(&worker) {
-            if set.remove(&id) {
+        if let Some(list) = self.running_on.get_mut(worker as usize) {
+            if let Some(pos) = list.iter().position(|t| *t == id) {
+                list.swap_remove(pos);
                 self.table.release_slot(worker);
             }
         }
@@ -1642,15 +1787,15 @@ impl ClusterSim {
             self.reschedule_squid(idx, ctx);
         }
         self.env_fail_streak.remove(&worker);
-        let mut victims: Vec<TaskId> = self
-            .running_on
-            .remove(&worker)
-            .unwrap_or_default()
-            .into_iter()
-            .collect();
-        victims.sort();
+        let mut victims = match self.running_on.get_mut(worker as usize) {
+            Some(list) => std::mem::take(list),
+            None => Vec::new(),
+        };
+        // Per-worker lists are in dispatch order; process in id order so
+        // eviction fallout is independent of that order.
+        victims.sort_unstable();
         for id in victims {
-            let Some(mut t) = self.tasks.remove(&id) else {
+            let Some(mut t) = self.tasks.remove(id) else {
                 continue;
             };
             if let Some((_, _, ev)) = t.watchdog.take() {
@@ -1768,10 +1913,12 @@ impl Model for ClusterSim {
             }
             Ev::Replenish => {
                 if !self.done() {
-                    let delays = self.factory.replenish(&mut self.rng);
-                    for d in delays {
+                    let mut delays = std::mem::take(&mut self.scratch_delays);
+                    self.factory.replenish_into(&mut self.rng, &mut delays);
+                    for &d in &delays {
                         ctx.schedule(d, Ev::WorkerArrive);
                     }
+                    self.scratch_delays = delays;
                     ctx.schedule(SimDuration::from_mins(1), Ev::Replenish);
                 }
             }
@@ -1798,6 +1945,13 @@ impl Model for ClusterSim {
             Ev::WorkerEvict(w) => self.evict_worker(w, true, ctx),
             Ev::Dispatch => self.dispatch(ctx),
             Ev::SandboxDone(id, a) => self.on_sandbox_done(id, a, ctx),
+            Ev::SandboxBatch(mut batch) => {
+                for &(id, a) in &batch {
+                    self.on_sandbox_done(id, a, ctx);
+                }
+                batch.clear();
+                self.batch_pool.push(batch);
+            }
             Ev::SquidWake(i) => self.on_squid_wake(i, ctx),
             Ev::FedWake => self.on_fed_wake(ctx),
             Ev::OutageWake => {
@@ -1822,7 +1976,7 @@ impl Model for ClusterSim {
             Ev::Requeue(id) => {
                 let ready = self
                     .tasks
-                    .get(&id)
+                    .get(id)
                     .filter(|t| t.phase == Phase::Queued && t.worker.is_none())
                     .map(|t| t.category);
                 if let Some(category) = ready {
@@ -1841,6 +1995,7 @@ mod tests {
     use crate::fault::Fault;
     use gridstore::dbs::{DatasetSpec, Dbs};
     use simnet::outage::Outage;
+    use std::collections::BTreeSet;
 
     fn mins(m: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_mins(m)

@@ -41,14 +41,14 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, Engine, EventId, Model};
+pub use engine::{Ctx, Engine, EngineKind, EventId, Model};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 
 /// Convenience prelude for simulation models.
 pub mod prelude {
     pub use crate::dist::{Dist, Empirical, Exponential, LogUniform, Normal, Uniform, Weibull};
-    pub use crate::engine::{Ctx, Engine, EventId, Model};
+    pub use crate::engine::{Ctx, Engine, EngineKind, EventId, Model};
     pub use crate::queue::Server;
     pub use crate::rng::SimRng;
     pub use crate::stats::{Histogram, Summary, TimeSeries};

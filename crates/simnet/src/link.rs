@@ -212,8 +212,18 @@ impl FairLink {
 
     /// Pop every flow whose transfer has completed by `now`.
     pub fn completions(&mut self, now: SimTime) -> Vec<FlowId> {
-        self.advance(now);
         let mut done = Vec::new();
+        self.completions_into(now, &mut done);
+        done
+    }
+
+    /// As [`FairLink::completions`], but appending into a caller-owned
+    /// buffer (cleared first). The driver wakes a link once per predicted
+    /// completion; reusing one buffer across wakes keeps the dispatch hot
+    /// path free of per-event allocation.
+    pub fn completions_into(&mut self, now: SimTime, out: &mut Vec<FlowId>) {
+        out.clear();
+        self.advance(now);
         // The epsilon absorbs float rounding between next_completion()'s
         // predicted instant (quantised to whole microseconds, rounded up)
         // and v: anything within ~2 µs of service at the current rate has
@@ -233,12 +243,11 @@ impl FairLink {
                     self.total_weight = 0.0;
                 }
                 self.flows_completed += 1;
-                done.push(id);
+                out.push(id);
             } else {
                 break;
             }
         }
-        done
     }
 
     /// Change link capacity at `now` (0 = outage/stall). In-flight flows

@@ -11,7 +11,55 @@
 
 use crate::task::TaskId;
 use simkit::time::SimTime;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
+
+/// Dense-id bitset over worker ids. Ids are handed out from 0 and never
+/// reused, so membership is one bit and the lowest free id is a word scan
+/// with `trailing_zeros` — O(1) insert/remove against the O(log n) of the
+/// ordered set it replaces, at ~2 KiB per 100k workers.
+#[derive(Clone, Debug, Default)]
+struct IdBitSet {
+    words: Vec<u64>,
+}
+
+impl IdBitSet {
+    fn insert(&mut self, id: u64) {
+        let w = (id / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (id % 64);
+    }
+
+    /// Clear `id`; true when it was present.
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(word) = self.words.get_mut((id / 64) as usize) else {
+            return false;
+        };
+        let bit = 1u64 << (id % 64);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        present
+    }
+
+    /// Smallest member, if any.
+    fn first(&self) -> Option<u64> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| i as u64 * 64 + u64::from(w.trailing_zeros()))
+    }
+
+    /// Members in ascending order.
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| i as u64 * 64 + b)
+        })
+    }
+}
 
 /// Master-side record of one simulated worker.
 #[derive(Clone, Debug)]
@@ -44,12 +92,15 @@ impl SimWorker {
 /// claim is `O(log n)` even when the whole fleet is cold (10k+ workers).
 #[derive(Clone, Debug, Default)]
 pub struct WorkerTable {
-    workers: BTreeMap<u64, SimWorker>,
+    /// Worker records indexed by id. Ids are handed out densely and never
+    /// reused, so the slab gives O(1) lookups on the dispatch hot path;
+    /// a disconnected worker leaves a one-pointer-wide vacant slot.
+    workers: Vec<Option<SimWorker>>,
     /// Hot-cache workers with at least one free slot.
-    free_hot: BTreeSet<u64>,
+    free_hot: IdBitSet,
     /// Cold-cache workers with at least one free slot.
-    free_cold: BTreeSet<u64>,
-    next_id: u64,
+    free_cold: IdBitSet,
+    connected: usize,
 }
 
 impl WorkerTable {
@@ -61,40 +112,45 @@ impl WorkerTable {
     /// Register a connecting worker; returns its id.
     pub fn connect(&mut self, cores: u32, foreman: usize, at: SimTime) -> u64 {
         assert!(cores >= 1);
-        let id = self.next_id;
-        self.next_id += 1;
-        self.workers.insert(
+        let id = self.workers.len() as u64;
+        self.workers.push(Some(SimWorker {
             id,
-            SimWorker {
-                id,
-                cores,
-                busy: 0,
-                cache_hot: false,
-                connected_at: at,
-                foreman,
-            },
-        );
+            cores,
+            busy: 0,
+            cache_hot: false,
+            connected_at: at,
+            foreman,
+        }));
+        self.connected += 1;
         self.free_cold.insert(id);
         id
     }
 
     /// Remove a worker (eviction/retirement). Returns its record.
     pub fn disconnect(&mut self, id: u64) -> Option<SimWorker> {
-        self.free_hot.remove(&id);
-        self.free_cold.remove(&id);
-        self.workers.remove(&id)
+        self.free_hot.remove(id);
+        self.free_cold.remove(id);
+        let w = self.workers.get_mut(id as usize)?.take();
+        if w.is_some() {
+            self.connected -= 1;
+        }
+        w
     }
 
     /// Look up a worker.
     pub fn get(&self, id: u64) -> Option<&SimWorker> {
-        self.workers.get(&id)
+        self.workers.get(id as usize)?.as_ref()
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut SimWorker> {
+        self.workers.get_mut(id as usize)?.as_mut()
     }
 
     /// Mark a worker's cache hot (first environment setup finished).
     pub fn set_cache_hot(&mut self, id: u64) {
-        if let Some(w) = self.workers.get_mut(&id) {
+        if let Some(w) = self.get_mut(id) {
             w.cache_hot = true;
-            if self.free_cold.remove(&id) {
+            if self.free_cold.remove(id) {
                 self.free_hot.insert(id);
             }
         }
@@ -103,24 +159,19 @@ impl WorkerTable {
     /// Claim one slot on the first worker with free capacity, preferring
     /// hot-cache workers (they start tasks cheaper). Returns the worker id.
     pub fn claim_slot(&mut self) -> Option<u64> {
-        let pick = self
-            .free_hot
-            .iter()
-            .next()
-            .copied()
-            .or_else(|| self.free_cold.iter().next().copied())?;
-        let w = self.workers.get_mut(&pick).expect("indexed");
+        let pick = self.free_hot.first().or_else(|| self.free_cold.first())?;
+        let w = self.get_mut(pick).expect("indexed");
         w.busy += 1;
         if w.free() == 0 {
-            self.free_hot.remove(&pick);
-            self.free_cold.remove(&pick);
+            self.free_hot.remove(pick);
+            self.free_cold.remove(pick);
         }
         Some(pick)
     }
 
     /// Release one slot on `id` (task finished or was collected).
     pub fn release_slot(&mut self, id: u64) {
-        if let Some(w) = self.workers.get_mut(&id) {
+        if let Some(w) = self.get_mut(id) {
             debug_assert!(w.busy > 0, "release on idle worker");
             w.busy = w.busy.saturating_sub(1);
             if w.cache_hot {
@@ -133,22 +184,22 @@ impl WorkerTable {
 
     /// Number of connected workers.
     pub fn len(&self) -> usize {
-        self.workers.len()
+        self.connected
     }
 
     /// True when no workers are connected.
     pub fn is_empty(&self) -> bool {
-        self.workers.is_empty()
+        self.connected == 0
     }
 
     /// Total connected cores.
     pub fn total_cores(&self) -> u64 {
-        self.workers.values().map(|w| w.cores as u64).sum()
+        self.workers.iter().flatten().map(|w| w.cores as u64).sum()
     }
 
     /// Total busy slots.
     pub fn busy_slots(&self) -> u64 {
-        self.workers.values().map(|w| w.busy as u64).sum()
+        self.workers.iter().flatten().map(|w| w.busy as u64).sum()
     }
 
     /// Total free slots.
@@ -158,7 +209,19 @@ impl WorkerTable {
 
     /// Iterate workers in id order.
     pub fn iter(&self) -> impl Iterator<Item = &SimWorker> {
-        self.workers.values()
+        self.workers.iter().flatten()
+    }
+
+    /// Hot-cache workers with at least one free slot, in id order.
+    /// Exposed so invariant tests can compare the maintained index
+    /// against a recomputed scan.
+    pub fn free_hot_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.free_hot.iter()
+    }
+
+    /// Cold-cache workers with at least one free slot, in id order.
+    pub fn free_cold_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.free_cold.iter()
     }
 }
 
@@ -176,11 +239,13 @@ impl DispatchBuffer {
         Self::with_target(400)
     }
 
-    /// Buffer with a custom target.
+    /// Buffer with a custom target. Capacity is reserved up front: the
+    /// refill loop tops the buffer up to `target` every dispatch round,
+    /// so the ring never reallocates on the hot path.
     pub fn with_target(target: usize) -> Self {
         DispatchBuffer {
             target,
-            ready: VecDeque::new(),
+            ready: VecDeque::with_capacity(target + 1),
         }
     }
 

@@ -1,0 +1,159 @@
+//! Concurrency tests for the per-worker shared cache (`wqueue::cache`).
+//!
+//! The unit tests in `cache.rs` check the basic populate-once contract;
+//! these tests race real threads through a barrier so every contender
+//! hits the cache at the same instant, and measure fetch concurrency
+//! directly with a high-water mark instead of relying on wall clock
+//! alone. They pin the §4.3 alien-cache semantics: one populate per key
+//! no matter how many slots race for it, and per-key (not whole-cache)
+//! locking while a fetch is in flight.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use wqueue::cache::WorkerCache;
+
+/// Many threads released simultaneously on the same cold key: exactly one
+/// runs the fetch closure, and every thread observes the fetched bytes.
+#[test]
+fn racing_threads_observe_exactly_one_populate() {
+    const THREADS: usize = 16;
+    for round in 0..8u32 {
+        let cache = Arc::new(WorkerCache::new());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let populates = Arc::new(AtomicUsize::new(0));
+        let key = format!("stressed-{round}");
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                let populates = Arc::clone(&populates);
+                let key = key.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_fetch(&key, || {
+                        populates.fetch_add(1, Ordering::SeqCst);
+                        // Hold the fetch open long enough that every
+                        // other thread arrives while it is in flight.
+                        std::thread::sleep(Duration::from_millis(10));
+                        vec![0xAB; 64]
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            let data = h.join().expect("thread panicked");
+            assert_eq!(data.len(), 64, "waiter got the fetched bytes");
+            assert!(data.iter().all(|&b| b == 0xAB));
+        }
+        assert_eq!(
+            populates.load(Ordering::SeqCst),
+            1,
+            "round {round}: exactly one populate for a racing key"
+        );
+        let (hits, misses) = cache.hit_miss();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, (THREADS - 1) as u64);
+        assert_eq!(cache.len(), 1);
+    }
+}
+
+/// Misses on distinct keys must not serialize: with K slow fetches racing
+/// from a barrier, the number of fetch closures running *simultaneously*
+/// (tracked by a high-water mark) must exceed one, and the whole batch
+/// must finish in far less than K sequential fetch times.
+#[test]
+fn distinct_key_misses_do_not_serialize() {
+    const KEYS: usize = 8;
+    const FETCH_MS: u64 = 40;
+    let cache = Arc::new(WorkerCache::new());
+    let barrier = Arc::new(Barrier::new(KEYS));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let high_water = Arc::new(AtomicUsize::new(0));
+    let start = std::time::Instant::now();
+    let handles: Vec<_> = (0..KEYS)
+        .map(|i| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            let in_flight = Arc::clone(&in_flight);
+            let high_water = Arc::clone(&high_water);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_fetch(&format!("dataset-{i}"), || {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    high_water.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(FETCH_MS));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    vec![i as u8; 16]
+                })
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let data = h.join().expect("thread panicked");
+        assert_eq!(*data, vec![i as u8; 16]);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        high_water.load(Ordering::SeqCst) > 1,
+        "fetches of distinct keys never overlapped — whole-cache lock?"
+    );
+    // Fully serialised would be KEYS × FETCH_MS = 320ms; leave generous
+    // headroom for slow CI schedulers while still ruling serialisation out.
+    assert!(
+        elapsed < Duration::from_millis(FETCH_MS * KEYS as u64 * 3 / 4),
+        "distinct-key misses appear serialised: {elapsed:?}"
+    );
+    assert_eq!(cache.len(), KEYS);
+    let (hits, misses) = cache.hit_miss();
+    assert_eq!(misses, KEYS as u64);
+    assert_eq!(hits, 0);
+}
+
+/// Mixed workload: waves of threads race hot and cold keys together.
+/// Population stays exactly-once per key and every reader sees the first
+/// writer's bytes, never a torn or second fetch result.
+#[test]
+fn mixed_hot_and_cold_keys_stay_populate_once() {
+    const THREADS: usize = 24;
+    const KEYS: usize = 6;
+    let cache = Arc::new(WorkerCache::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let populates: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            let populates = Arc::clone(&populates);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Each thread touches every key, starting at a different
+                // offset so first-toucher varies per key.
+                for step in 0..KEYS {
+                    let k = (t + step) % KEYS;
+                    let data = cache.get_or_fetch(&format!("shared-{k}"), || {
+                        populates[k].fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(5));
+                        vec![k as u8; 32]
+                    });
+                    assert_eq!(*data, vec![k as u8; 32]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("thread panicked");
+    }
+    for (k, count) in populates.iter().enumerate() {
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "key shared-{k} populated more than once"
+        );
+    }
+    assert_eq!(cache.len(), KEYS);
+    let (hits, misses) = cache.hit_miss();
+    assert_eq!(misses, KEYS as u64);
+    assert_eq!(hits, (THREADS * KEYS - KEYS) as u64);
+}

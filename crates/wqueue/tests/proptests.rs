@@ -150,6 +150,84 @@ proptest! {
         }
     }
 
+    /// The `free_hot`/`free_cold` indexes vs a naive model: after every
+    /// connect / claim / release / evict / cache-heat operation, the
+    /// maintained index sets are *exactly* the sets a full recomputed
+    /// scan of the worker table produces, and a claim never returns a
+    /// worker without a free slot.
+    #[test]
+    fn free_index_matches_naive_scan(ops in prop::collection::vec(0u8..5, 1..400)) {
+        use std::collections::BTreeSet;
+        let mut t = WorkerTable::new();
+        let mut claimed: Vec<u64> = Vec::new();
+        let mut known: Vec<u64> = Vec::new();
+        let mut rng = 0xA0761D6478BD642Fu64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for op in ops {
+            match op {
+                0 => {
+                    known.push(t.connect(1 + (next() % 4) as u32, 0, SimTime::ZERO));
+                }
+                1 => {
+                    // The claim must pick a worker the scan says has room.
+                    let scan_free: BTreeSet<u64> =
+                        t.iter().filter(|w| w.free() > 0).map(|w| w.id).collect();
+                    if let Some(w) = t.claim_slot() {
+                        prop_assert!(
+                            scan_free.contains(&w),
+                            "claimed {} which had zero free slots", w
+                        );
+                        claimed.push(w);
+                    } else {
+                        prop_assert!(scan_free.is_empty(), "claim refused free capacity");
+                    }
+                }
+                2 => {
+                    if !claimed.is_empty() {
+                        let idx = (next() as usize) % claimed.len();
+                        t.release_slot(claimed.swap_remove(idx));
+                    }
+                }
+                3 => {
+                    if !known.is_empty() {
+                        let w = known[(next() as usize) % known.len()];
+                        t.set_cache_hot(w); // may target an evicted id: no-op
+                    }
+                }
+                _ => {
+                    if !known.is_empty() {
+                        let idx = (next() as usize) % known.len();
+                        let w = known.swap_remove(idx);
+                        t.disconnect(w);
+                        claimed.retain(|&x| x != w);
+                    }
+                }
+            }
+            // Recompute both index sets from scratch and require exact
+            // equality — not mere consistency — with the maintained ones.
+            let scan_hot: BTreeSet<u64> = t
+                .iter()
+                .filter(|w| w.cache_hot && w.free() > 0)
+                .map(|w| w.id)
+                .collect();
+            let scan_cold: BTreeSet<u64> = t
+                .iter()
+                .filter(|w| !w.cache_hot && w.free() > 0)
+                .map(|w| w.id)
+                .collect();
+            let idx_hot: BTreeSet<u64> = t.free_hot_ids().collect();
+            let idx_cold: BTreeSet<u64> = t.free_cold_ids().collect();
+            prop_assert_eq!(&idx_hot, &scan_hot, "free_hot diverged from scan");
+            prop_assert_eq!(&idx_cold, &scan_cold, "free_cold diverged from scan");
+            prop_assert!(idx_hot.is_disjoint(&idx_cold), "a worker in both indexes");
+        }
+    }
+
     /// Hot workers are always preferred over cold ones by claim_slot.
     #[test]
     fn hot_preference(n_cold in 1usize..20, n_hot in 1usize..20) {

@@ -337,6 +337,120 @@ fn durable_and_resume_guard_their_preconditions() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Corruption *before* the final frame is not a torn tail — it means the
+/// fsynced history itself is damaged, and recovery must refuse to
+/// silently drop acknowledged state. Flip one payload byte in an early
+/// frame and in a mid-file frame; resume must fail hard with
+/// `InvalidData`, never limp onward from a truncated prefix.
+#[test]
+fn mid_file_wal_corruption_fails_hard() {
+    // Walk the v2 framing (16-byte header, then 8-byte frame headers of
+    // `len: u32 LE | crc: u32 LE`) to find frame payload offsets without
+    // reaching into db.rs internals.
+    fn frame_payloads(buf: &[u8]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut pos = 16usize;
+        while pos + 8 <= buf.len() {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let end = pos + 8 + len;
+            if end > buf.len() {
+                break;
+            }
+            out.push((pos + 8, len));
+            pos = end;
+        }
+        out
+    }
+
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-corrupt");
+    let n = reference.events_delivered;
+    std::fs::remove_file(&ref_path).ok();
+    for which in ["first", "middle"] {
+        let path = journal_path(&format!("corrupt-{which}"));
+        let (cfg, params, wfs) = mk();
+        let crashed = ClusterSim::run_durable_until_crash(
+            cfg,
+            params,
+            wfs,
+            &path,
+            CrashPoint::after_events(n / 2),
+        )
+        .unwrap();
+        assert!(crashed.is_none(), "budget must land mid-run");
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let frames = frame_payloads(&bytes);
+        assert!(
+            frames.len() > 4,
+            "need several intact frames to corrupt mid-file, got {}",
+            frames.len()
+        );
+        // Pick a non-final frame: the first, or the one halfway through.
+        let idx = match which {
+            "first" => 0,
+            _ => frames.len() / 2,
+        };
+        assert!(idx < frames.len() - 1, "must not touch the final frame");
+        let (payload_at, len) = frames[idx];
+        bytes[payload_at + len / 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (cfg, params, wfs) = mk();
+        let err = match ClusterSim::resume_run(cfg, params, wfs, &path) {
+            Err(e) => e,
+            Ok(_) => panic!("{which}-frame corruption must refuse to resume"),
+        };
+        assert_eq!(
+            err.kind(),
+            std::io::ErrorKind::InvalidData,
+            "{which}-frame corruption: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Crash the master, resume, crash the *resumed* run, resume again: the
+/// journal must stay replayable through stacked recoveries and the final
+/// run must converge to the uninterrupted reference accounting.
+#[test]
+fn double_crash_resumes_twice_and_converges() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-double");
+    let n = reference.events_delivered;
+    std::fs::remove_file(&ref_path).ok();
+
+    let path = journal_path("double-crash");
+    let (cfg, params, wfs) = mk();
+    let first = ClusterSim::run_durable_until_crash(
+        cfg,
+        params,
+        wfs,
+        &path,
+        CrashPoint::after_events(n / 3),
+    )
+    .unwrap();
+    assert!(first.is_none(), "first crash lands mid-run");
+
+    // The resumed run replays state, then crashes again after a modest
+    // budget of *its own* events — inside the work the first crash left.
+    let (cfg, params, wfs) = mk();
+    let second = ClusterSim::resume_run_until_crash(
+        cfg,
+        params,
+        wfs,
+        &path,
+        CrashPoint::after_events(n / 4),
+    )
+    .unwrap();
+    assert!(second.is_none(), "second crash lands mid-resume");
+
+    let (cfg, params, wfs) = mk();
+    let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+    assert_converged(&resumed, &reference, &path, "double crash");
+    std::fs::remove_file(&path).ok();
+}
+
 /// The full matrix: sweep crash points across the whole run (64 evenly
 /// spaced boundaries, each with a torn-append variant). Expensive —
 /// run with `cargo test --release -- --ignored`.
