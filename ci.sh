@@ -30,9 +30,15 @@ if [ "$fast" -eq 0 ]; then
     step cargo clippy --workspace --all-targets -- -D warnings
 fi
 
-# Determinism & robustness lints (no-wall-clock, no-ambient-rng,
-# no-unordered-iteration, no-panic-in-lib, wal-expect-confined). Fails on
-# any finding not in simlint.baseline.
+# Determinism & robustness lints (rules 1-9: wall-clock, ambient RNG,
+# unordered iteration, library panics, WAL expects, journal coverage,
+# float accumulation order, shared mutability, wildcard event matches).
+# The JSON report is committed alongside the BENCH_*.json artifacts so
+# lint drift shows up in review; the --check gate then fails on any
+# finding not in simlint.baseline.
+echo
+echo "==> cargo run -q -p simlint -- --format json > SIMLINT_report.json"
+cargo run -q -p simlint -- --format json > SIMLINT_report.json
 step cargo run -q -p simlint -- --check
 
 step cargo test --workspace -q

@@ -191,6 +191,7 @@ impl Federation {
         self.link.completions_into(now, out);
         for id in out.iter() {
             if let Some((consumer, bytes)) = self.in_flight.remove(id) {
+                // simlint::allow(no-float-order): `out` is a Vec in link completion order, deterministic across runs
                 self.consumed[consumer as usize] += bytes as f64;
             }
         }

@@ -88,6 +88,7 @@ impl AdaptiveSizer {
         if evictions == 0 {
             return None;
         }
+        // simlint::allow(no-float-order): window is a VecDeque summed in insertion order
         let uptime: f64 = self.window.iter().map(|(w, _)| *w).sum();
         Some(SimDuration::from_secs_f64(uptime / evictions as f64))
     }
@@ -101,6 +102,7 @@ impl AdaptiveSizer {
             // optimistic lower bound on the MTBF — grow with evidence
             // rather than jumping straight to the maximum.
             None => {
+                // simlint::allow(no-float-order): window is a VecDeque summed in insertion order
                 let uptime: f64 = self.window.iter().map(|(w, _)| *w).sum();
                 if uptime <= 0.0 {
                     return self.current;

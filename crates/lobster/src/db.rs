@@ -653,6 +653,10 @@ impl LobsterDb {
 
     fn apply_and_log(&mut self, rec: Record) {
         self.log(&rec);
+        // The log-then-apply wrapper is the one sanctioned entry into
+        // the replay path: the record is durable before the in-memory
+        // state changes.
+        // simlint::allow(journal-coverage): sanctioned log-then-apply entry point
         self.apply(rec);
         if let Some(n) = self.snapshot_every {
             if self.journal.is_some() && self.records_since_snapshot >= n {
@@ -810,6 +814,11 @@ impl LobsterDb {
     }
 
     fn reject(&mut self, task: TaskId, action: &'static str) -> RejectedTransition {
+        // rejected_transitions is a diagnostic-only counter, deliberately
+        // unjournaled (see the Counters docs): replay equality is defined
+        // over task state, not over how many invalid transitions were
+        // attempted against it.
+        // simlint::allow(journal-coverage): diagnostic-only counter, deliberately unjournaled
         self.counters.rejected_transitions += 1;
         RejectedTransition {
             task,
@@ -1023,6 +1032,7 @@ impl LobsterDb {
         } else {
             // In-memory mode: apply directly, skipping the per-attempt
             // `Box` + clone a journal record would cost on the hot path.
+            // simlint::allow(journal-coverage): in-memory fast path gated on journal absence
             self.apply_attempt(report);
         }
     }

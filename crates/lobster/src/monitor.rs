@@ -289,6 +289,7 @@ impl SegmentHistograms {
         let mean = |h: &Histogram| {
             let (mut sum, mut n) = (0.0, 0u64);
             for (center, count) in h.iter() {
+                // simlint::allow(no-float-order): histogram buckets iterate in fixed index order
                 sum += center * count as f64;
                 n += count;
             }

@@ -234,6 +234,7 @@ fn gamma(x: f64) -> f64 {
         let mut a = C[0];
         let t = x + G + 0.5;
         for (i, &c) in C.iter().enumerate().skip(1) {
+            // simlint::allow(no-float-order): C is a const coefficient array with a fixed order
             a += c / (x + i as f64);
         }
         (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
@@ -260,6 +261,7 @@ impl Empirical {
     pub fn from_weighted(mut points: Vec<(f64, f64)>) -> Self {
         assert!(!points.is_empty(), "Empirical: no support points");
         points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // simlint::allow(no-float-order): points were sorted by total_cmp on the line above
         let total: f64 = points.iter().map(|p| p.1).sum();
         assert!(total > 0.0, "Empirical: zero total weight");
         let mut acc = 0.0;

@@ -1,0 +1,38 @@
+//! simlint fixture: float arithmetic whose evaluation order is proven or
+//! attested — `no-float-order` must report nothing. Not compiled.
+
+/// Range sources are ordered by construction: exempt without an allow.
+pub fn mean_service_time(n: u64) -> f64 {
+    let total: f64 = (0..n).map(|i| service_time(i)).sum();
+    total / n as f64
+}
+
+/// Integer reductions are associative: never flagged.
+pub fn total_events(counts: &[u64]) -> u64 {
+    counts.iter().sum()
+}
+
+/// Integer accumulation in a loop over an unordered-looking source: fine.
+pub fn count_ready(rows: &[Row]) -> u64 {
+    let mut n = 0;
+    for r in rows.iter() {
+        n += r.ready as u64;
+    }
+    n
+}
+
+/// A float reduction over an ordered container, attested with an allow.
+pub fn window_mean(window: &VecDeque<f64>) -> f64 {
+    // simlint::allow(no-float-order): VecDeque iterates in insertion order
+    let total: f64 = window.iter().sum();
+    total / window.len() as f64
+}
+
+/// Float accumulation inside a range loop: order proven by the range.
+pub fn horner(coeffs_len: usize, x: f64) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..coeffs_len {
+        acc += coeff(i) * x.powi(i as i32);
+    }
+    acc
+}

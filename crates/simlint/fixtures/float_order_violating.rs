@@ -1,0 +1,25 @@
+//! simlint fixture: trips `no-float-order` and nothing else — float
+//! reductions and accumulations with no proven iteration order.
+//! Not compiled.
+
+/// `.sum()` of floats from a slice iterator: order unproven.
+pub fn total_wall_time(samples: &[f64]) -> f64 {
+    let total: f64 = samples.iter().map(|s| *s).sum();
+    total
+}
+
+/// Turbofish names the float type outright.
+pub fn total_cost(xs: &[Cost]) -> f64 {
+    xs.iter().map(|c| c.dollars).sum::<f64>()
+}
+
+/// Float `+=` inside a loop over a non-range source.
+pub fn weighted_mean(rows: &[Row]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut weight = 0.0f64;
+    for r in rows.iter() {
+        acc += r.value * r.weight as f64;
+        weight += r.weight as f64;
+    }
+    acc / weight
+}

@@ -1,0 +1,52 @@
+//! simlint fixture: a miniature `LobsterDb` whose every state mutation
+//! routes through `apply` — `journal-coverage` must report nothing.
+//! Scanned as if it were `crates/lobster/src/db.rs`. Not compiled.
+
+pub struct LobsterDb {
+    tasks: BTreeMap<TaskId, TaskRow>,
+    done_order: Vec<TaskId>,
+    n_tasks: u64,
+    journal: Option<Journal>,
+}
+
+impl LobsterDb {
+    /// The single mutator: every journaled-state change replays through
+    /// here, so WAL recovery reconstructs the database exactly.
+    fn apply(&mut self, rec: Record) {
+        match rec {
+            Record::Create(row) => {
+                self.tasks.insert(row.id, row);
+                self.n_tasks += 1;
+            }
+            Record::Finish(id) => self.mark_done(id),
+        }
+    }
+
+    /// Subtree helper: reached from `apply`, so its writes are sanctioned.
+    fn mark_done(&mut self, id: TaskId) {
+        self.done_order.push(id);
+    }
+
+    /// The sanctioned log-then-apply wrapper.
+    pub fn apply_and_log(&mut self, rec: Record) {
+        self.log(&rec);
+        // simlint::allow(journal-coverage): log-then-apply wrapper; the one sanctioned entry point
+        self.apply(rec);
+    }
+
+    /// Journal plumbing writes only unjournaled fields: fine.
+    fn log(&mut self, rec: &Record) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(rec);
+        }
+    }
+
+    /// Reads of journaled state are always fine.
+    pub fn len(&self) -> u64 {
+        self.n_tasks
+    }
+
+    pub fn last_done(&self) -> Option<&TaskId> {
+        self.done_order.last()
+    }
+}

@@ -1,0 +1,37 @@
+//! simlint fixture: trips `journal-coverage` exactly twice — one direct
+//! write of journaled state outside `apply`, one unsanctioned call into
+//! the replay subtree. Scanned as if it were `crates/lobster/src/db.rs`.
+//! Not compiled.
+
+pub struct LobsterDb {
+    tasks: BTreeMap<TaskId, TaskRow>,
+    done_order: Vec<TaskId>,
+    n_tasks: u64,
+}
+
+impl LobsterDb {
+    fn apply(&mut self, rec: Record) {
+        match rec {
+            Record::Create(row) => {
+                self.tasks.insert(row.id, row);
+                self.n_tasks += 1;
+            }
+            Record::Finish(id) => self.mark_done(id),
+        }
+    }
+
+    fn mark_done(&mut self, id: TaskId) {
+        self.done_order.push(id);
+    }
+
+    /// Finding 1: journaled state mutated directly — a crash between this
+    /// write and the next snapshot silently diverges from replay.
+    pub fn sneaky_bump(&mut self, id: TaskId) {
+        self.done_order.push(id);
+    }
+
+    /// Finding 2: re-entering the replay path without logging a Record.
+    pub fn sneaky_replay(&mut self, rec: Record) {
+        self.apply(rec);
+    }
+}

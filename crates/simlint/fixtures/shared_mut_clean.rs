@@ -1,0 +1,28 @@
+//! simlint fixture: plain-ownership model state — `no-shared-mut-in-sim`
+//! must report nothing. Idents that merely *contain* the banned names
+//! (`RcConfig`, `CellIndex`, `OnceCell`) must not match. Not compiled.
+
+pub struct RcConfig {
+    pub retries: u32,
+}
+
+pub struct CellIndex(pub u64);
+
+pub struct Model {
+    queue: VecDeque<TaskId>,
+    table: BTreeMap<TaskId, CellIndex>,
+    config: RcConfig,
+    init: OnceCell<u64>,
+}
+
+impl Model {
+    pub fn advance(&mut self, id: TaskId) {
+        self.queue.push_back(id);
+    }
+}
+
+pub static LIMIT: u64 = 4096;
+
+pub fn thread_local_name(worker: u64) -> String {
+    format!("worker-{worker}")
+}

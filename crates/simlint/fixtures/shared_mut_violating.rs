@@ -1,0 +1,15 @@
+//! simlint fixture: trips `no-shared-mut-in-sim` and nothing else — every
+//! shared-mutability primitive the parallel engine cannot shard.
+//! Not compiled.
+
+pub struct Model {
+    shared: Rc<Topology>,
+    scratch: RefCell<Vec<u64>>,
+    counter: Cell<u64>,
+}
+
+pub static mut GLOBAL_TICKS: u64 = 0;
+
+thread_local! {
+    pub static LOCAL_SEED: u64 = 42;
+}

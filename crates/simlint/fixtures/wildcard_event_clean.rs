@@ -1,0 +1,30 @@
+//! simlint fixture: event dispatch that enumerates every variant —
+//! `no-wildcard-event-match` must report nothing. Wildcards over
+//! non-event enums stay legal. Not compiled.
+
+pub fn dispatch(&mut self, ev: Ev) {
+    match ev {
+        Ev::TaskDone { id, report } => self.on_done(id, report),
+        Ev::WorkerLost(worker) => self.on_lost(worker),
+        Ev::Heartbeat => self.on_heartbeat(),
+    }
+}
+
+pub fn phase_weight(phase: Phase) -> u32 {
+    // A catch-all over a non-event enum is fine.
+    match phase {
+        Phase::Running => 10,
+        _ => 1,
+    }
+}
+
+pub fn nested(&mut self, ev: Ev) -> u32 {
+    match ev {
+        Ev::TaskDone { id, .. } => match self.lookup(id) {
+            Some(row) => row.cores,
+            None => 0,
+        },
+        Ev::WorkerLost(_) => 0,
+        Ev::Heartbeat => 1,
+    }
+}

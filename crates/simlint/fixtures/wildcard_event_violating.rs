@@ -1,0 +1,18 @@
+//! simlint fixture: trips `no-wildcard-event-match` and nothing else —
+//! catch-all arms in matches over the event enum, which would silently
+//! drop any event kind added later. Not compiled.
+
+pub fn dispatch(&mut self, ev: Ev) {
+    match ev {
+        Ev::TaskDone { id, .. } => self.on_done(id),
+        Ev::WorkerLost(worker) => self.on_lost(worker),
+        _ => {}
+    }
+}
+
+pub fn classify(ev: &Ev) -> u32 {
+    match ev {
+        Ev::Heartbeat => 0,
+        other => tag_of(other),
+    }
+}

@@ -1,0 +1,448 @@
+//! `journal-coverage`: the intra-crate call-graph rule over `LobsterDb`.
+//!
+//! PR 3's crash-consistency contract is "replay is authoritative": every
+//! mutation of journaled state goes through the single `apply(Record)`
+//! mutator, so a WAL replay reconstructs the database exactly. The type
+//! system cannot enforce that — any `&mut self` method can poke a field —
+//! so this pass rebuilds the discipline statically:
+//!
+//! 1. Find every `impl LobsterDb` block and its methods.
+//! 2. Compute the *replay subtree*: `apply` plus everything it reaches
+//!    through `self.method(…)` calls.
+//! 3. The fields the subtree writes are the *journaled* fields.
+//! 4. Any other `&mut self` method that writes a journaled field, or calls
+//!    into the subtree, is a finding: state is mutating outside the replay
+//!    path, and a crash+recover would silently diverge.
+//!
+//! Sanctioned exceptions (the `log`-then-`apply` wrapper, the in-memory
+//! fast path, diagnostic-only counters) carry inline allows with reasons —
+//! the rule's job is to make each such site a visible, documented decision.
+//!
+//! Known limitations, accepted: calls through a non-`self` receiver
+//! (`db.apply(…)` inside an associated function) and writes through
+//! parenthesised places (`(self.f).x = …`) are not tracked; neither occurs
+//! in `lobster::db`, and the conventional forms are what code review
+//! produces.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Delim, Span, TokKind};
+use crate::rules::RuleHit;
+use crate::tree::Tree;
+use crate::Rule;
+
+/// The root of the replay subtree.
+const APPLY: &str = "apply";
+
+/// Methods that only read their receiver. A chain ending in one of these
+/// is a read; a chain ending in any *other* method call (`insert`, `push`,
+/// `get_mut`, a helper like `self.accounting.record(…)`) is conservatively
+/// a write — unknown methods must not silently launder mutations.
+const READ_METHODS: [&str; 40] = [
+    "all",
+    "and_then",
+    "any",
+    "as_deref",
+    "as_ref",
+    "as_slice",
+    "binary_search",
+    "clone",
+    "cloned",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "expect",
+    "filter",
+    "first",
+    "get",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "is_some_and",
+    "iter",
+    "keys",
+    "last",
+    "len",
+    "map",
+    "map_or",
+    "max",
+    "min",
+    "ok",
+    "position",
+    "range",
+    "rev",
+    "starts_with",
+    "to_owned",
+    "to_vec",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "values",
+];
+
+/// What one method's body does, as far as this rule can see.
+#[derive(Default, Debug)]
+struct MethodFacts {
+    /// Takes `&mut self` (or owned `self`/`mut self`).
+    mut_self: bool,
+    /// `self.m(…)` calls, with the span of each call site.
+    self_calls: Vec<(String, Span)>,
+    /// Fields written (directly or via a mutating chain), with spans.
+    field_writes: Vec<(String, Span)>,
+}
+
+/// Collect `impl LobsterDb { … }` bodies anywhere in the forest.
+fn impl_bodies<'a>(trees: &'a [Tree], out: &mut Vec<&'a [Tree]>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if trees[i].is_ident("impl") {
+            // Header = tokens up to the first top-level brace group.
+            let body_pos = trees[i + 1..]
+                .iter()
+                .position(|t| t.group(Delim::Brace).is_some())
+                .map(|p| i + 1 + p);
+            if let Some(body_pos) = body_pos {
+                let header = &trees[i + 1..body_pos];
+                if header.iter().any(|t| t.is_ident("LobsterDb")) {
+                    if let Some(body) = trees[body_pos].group(Delim::Brace) {
+                        out.push(body);
+                    }
+                }
+                i = body_pos + 1;
+                continue;
+            }
+        }
+        if let Tree::Group { children, .. } = &trees[i] {
+            impl_bodies(children, out);
+        }
+        i += 1;
+    }
+}
+
+/// Does this parameter list start with a mutable receiver?
+/// `&mut self` / `mut self` / owned `self` → true; `&self` / `&'a self`
+/// / no receiver → false.
+fn has_mut_receiver(params: &[Tree]) -> bool {
+    let mut i = 0;
+    let by_ref = params.first().is_some_and(|t| t.is_op("&"));
+    if by_ref {
+        i += 1;
+        if params
+            .get(i)
+            .and_then(|t| t.leaf())
+            .is_some_and(|tok| tok.kind == TokKind::Lifetime)
+        {
+            i += 1;
+        }
+    }
+    let is_mut = params.get(i).is_some_and(|t| t.is_ident("mut"));
+    if is_mut {
+        i += 1;
+    }
+    let is_self = params.get(i).is_some_and(|t| t.is_ident("self"));
+    is_self && (is_mut || !by_ref)
+}
+
+/// Walk a method body, recording `self.m(…)` calls and `self.field…`
+/// writes into `facts`.
+fn scan_body(list: &[Tree], facts: &mut MethodFacts) {
+    for (i, t) in list.iter().enumerate() {
+        if let Tree::Group { children, .. } = t {
+            scan_body(children, facts);
+        }
+        if !t.is_ident("self") {
+            continue;
+        }
+        // Only `self` heads a chain; `x.self` is not Rust.
+        if !list.get(i + 1).is_some_and(|n| n.is_op(".")) {
+            continue;
+        }
+        let Some(name) = list.get(i + 2).and_then(|n| n.ident()) else {
+            continue;
+        };
+        let name_span = list.get(i + 2).map_or_else(|| t.span(), |n| n.span());
+        if list
+            .get(i + 3)
+            .is_some_and(|n| n.group(Delim::Paren).is_some())
+        {
+            // `self.name(…)` — a method call on self.
+            facts.self_calls.push((name.to_string(), name_span));
+            continue;
+        }
+        // `self.name` — a field place. Is the chain a write?
+        // `&mut self.f` counts immediately.
+        let amp_mut = i >= 2 && list[i - 2].is_op("&") && list[i - 1].is_ident("mut");
+        if amp_mut {
+            facts.field_writes.push((name.to_string(), name_span));
+            continue;
+        }
+        if chain_is_write(list, i + 3) {
+            facts.field_writes.push((name.to_string(), name_span));
+        }
+    }
+}
+
+/// Walk the projection/method chain starting at `list[j]` (just past
+/// `self.field`) and decide whether it ends in a mutation.
+fn chain_is_write(list: &[Tree], mut j: usize) -> bool {
+    loop {
+        let Some(t) = list.get(j) else {
+            return false; // chain runs off the list: a bare read
+        };
+        if let Some(op) = t.op() {
+            match op {
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=" => {
+                    return true;
+                }
+                "." => {
+                    let Some(next) = list.get(j + 1) else {
+                        return false;
+                    };
+                    if let Some(m) = next.ident() {
+                        let is_call = list
+                            .get(j + 2)
+                            .is_some_and(|n| n.group(Delim::Paren).is_some());
+                        if is_call {
+                            // A read method yields a value, not a place —
+                            // the chain is a read. Anything else mutates
+                            // (or we can't prove it doesn't): a write.
+                            return !READ_METHODS.contains(&m);
+                        }
+                        // Field projection: continue the chain.
+                        j += 2;
+                        continue;
+                    }
+                    if next.leaf().is_some_and(|tok| tok.kind == TokKind::Number) {
+                        // Tuple index projection.
+                        j += 2;
+                        continue;
+                    }
+                    return false;
+                }
+                _ => return false,
+            }
+        } else if t.group(Delim::Bracket).is_some() {
+            // Indexing keeps the place alive: `self.f[i] = …`.
+            j += 1;
+        } else {
+            return false;
+        }
+    }
+}
+
+/// Parse the methods of all `impl LobsterDb` blocks in the forest.
+fn collect_methods(trees: &[Tree]) -> BTreeMap<String, MethodFacts> {
+    let mut bodies = Vec::new();
+    impl_bodies(trees, &mut bodies);
+    let mut methods = BTreeMap::new();
+    for body in bodies {
+        let mut i = 0;
+        while i < body.len() {
+            if !body[i].is_ident("fn") {
+                i += 1;
+                continue;
+            }
+            let Some(name) = body.get(i + 1).and_then(|t| t.ident()) else {
+                i += 1;
+                continue;
+            };
+            // Params: the first paren group after the name (generic params
+            // use `<…>`, which are plain ops, so the paren group is ours).
+            let params_pos = body[i + 2..]
+                .iter()
+                .position(|t| t.group(Delim::Paren).is_some())
+                .map(|p| i + 2 + p);
+            let Some(params_pos) = params_pos else {
+                i += 1;
+                continue;
+            };
+            let fn_body_pos = body[params_pos..]
+                .iter()
+                .position(|t| t.group(Delim::Brace).is_some())
+                .map(|p| params_pos + p);
+            let Some(fn_body_pos) = fn_body_pos else {
+                i = params_pos + 1;
+                continue;
+            };
+            let mut facts = MethodFacts {
+                mut_self: body[params_pos]
+                    .group(Delim::Paren)
+                    .is_some_and(has_mut_receiver),
+                ..MethodFacts::default()
+            };
+            if let Some(fn_body) = body[fn_body_pos].group(Delim::Brace) {
+                scan_body(fn_body, &mut facts);
+            }
+            methods.insert(name.to_string(), facts);
+            i = fn_body_pos + 1;
+        }
+    }
+    methods
+}
+
+/// Run the `journal-coverage` rule over one file's forest. Dormant (no
+/// hits) when the file declares no `impl LobsterDb`.
+pub fn scan_journal_coverage(trees: &[Tree]) -> Vec<RuleHit> {
+    let methods = collect_methods(trees);
+    if !methods.contains_key(APPLY) {
+        return Vec::new();
+    }
+
+    // Replay subtree: `apply` plus transitive `self.m(…)` callees.
+    let mut subtree: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![APPLY];
+    while let Some(m) = stack.pop() {
+        if !subtree.insert(m) {
+            continue;
+        }
+        if let Some(facts) = methods.get(m) {
+            for (callee, _) in &facts.self_calls {
+                if methods.contains_key(callee) && !subtree.contains(callee.as_str()) {
+                    stack.push(callee);
+                }
+            }
+        }
+    }
+
+    // Journaled fields: everything the subtree writes.
+    let journaled: BTreeSet<&str> = subtree
+        .iter()
+        .filter_map(|m| methods.get(*m))
+        .flat_map(|f| f.field_writes.iter().map(|(name, _)| name.as_str()))
+        .collect();
+
+    // Writers: subtree methods from which a field write is reachable.
+    // Pure readers that happen to live in the subtree (`wf_index`-style
+    // lookups) are safe to call from anywhere.
+    let mut writers: BTreeSet<&str> = subtree
+        .iter()
+        .copied()
+        .filter(|m| methods.get(*m).is_some_and(|f| !f.field_writes.is_empty()))
+        .collect();
+    loop {
+        let before = writers.len();
+        for m in &subtree {
+            if writers.contains(m) {
+                continue;
+            }
+            let calls_writer = methods.get(*m).is_some_and(|f| {
+                f.self_calls
+                    .iter()
+                    .any(|(callee, _)| writers.contains(callee.as_str()))
+            });
+            if calls_writer {
+                writers.insert(m);
+            }
+        }
+        if writers.len() == before {
+            break;
+        }
+    }
+
+    let mut hits = Vec::new();
+    for (name, facts) in &methods {
+        if subtree.contains(name.as_str()) || !facts.mut_self {
+            continue;
+        }
+        for (field, span) in &facts.field_writes {
+            if journaled.contains(field.as_str()) {
+                hits.push(RuleHit {
+                    rule: Rule::JournalCoverage,
+                    span: *span,
+                });
+            }
+        }
+        for (callee, span) in &facts.self_calls {
+            if writers.contains(callee.as_str()) {
+                hits.push(RuleHit {
+                    rule: Rule::JournalCoverage,
+                    span: *span,
+                });
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::build;
+
+    fn hits(src: &str) -> Vec<RuleHit> {
+        scan_journal_coverage(&build(&lex(src)).expect("balanced"))
+    }
+
+    const BASE: &str = "
+        impl LobsterDb {
+            fn apply(&mut self, rec: Record) {
+                match rec {
+                    Record::Add(t) => { self.tasks.insert(t.id, t); self.n_tasks += 1; }
+                    Record::Done(id) => self.finish(id),
+                }
+            }
+            fn finish(&mut self, id: TaskId) {
+                self.done_order.push(id);
+            }
+        }";
+
+    #[test]
+    fn dormant_without_apply() {
+        assert!(hits("impl Other { fn f(&mut self) { self.x += 1; } }").is_empty());
+    }
+
+    #[test]
+    fn subtree_methods_are_clean() {
+        assert!(hits(BASE).is_empty());
+    }
+
+    #[test]
+    fn direct_write_outside_apply_is_flagged() {
+        let src = format!(
+            "{BASE}
+             impl LobsterDb {{
+                 fn sneaky(&mut self, id: TaskId) {{ self.done_order.push(id); }}
+             }}"
+        );
+        let h = hits(&src);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].rule, Rule::JournalCoverage);
+    }
+
+    #[test]
+    fn call_into_subtree_is_flagged() {
+        let src = format!(
+            "{BASE}
+             impl LobsterDb {{
+                 fn shortcut(&mut self, rec: Record) {{ self.apply(rec); }}
+             }}"
+        );
+        assert_eq!(hits(&src).len(), 1);
+    }
+
+    #[test]
+    fn unjournaled_fields_and_reads_are_fine() {
+        let src = format!(
+            "{BASE}
+             impl LobsterDb {{
+                 fn log(&mut self, rec: &Record) {{ self.journal.push(rec.clone()); }}
+                 fn report(&self) -> usize {{ self.done_order.len() }}
+                 fn peek(&mut self) -> Option<&Task> {{ self.tasks.get(&TaskId(0)) }}
+             }}"
+        );
+        assert!(hits(&src).is_empty());
+    }
+
+    #[test]
+    fn nested_struct_mutation_counts_as_write() {
+        let src = format!(
+            "{BASE}
+             impl LobsterDb {{
+                 fn bump(&mut self) {{ self.n_tasks += 1; }}
+             }}"
+        );
+        assert_eq!(hits(&src).len(), 1);
+    }
+}

@@ -1,0 +1,514 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! Produces a flat stream of spanned tokens: identifiers (keywords are not
+//! distinguished), lifetimes, number/string/char literals, operators
+//! (longest-match, so `::`, `=>`, `+=`, `..=` are single tokens and never
+//! confused with `:`, `=`, `+`, `..`), delimiters, and comments. Comments
+//! are kept as tokens — the allow-marker parser reads them — and filtered
+//! out later when token trees are built.
+//!
+//! The lexer is total: any input produces a token stream without panicking.
+//! Unterminated strings, chars, or block comments are closed at end of
+//! input (the resulting token still carries the text seen), which keeps
+//! property tests over arbitrary input meaningful and keeps the linter from
+//! dying on a half-saved file. Token `text` is always the exact source
+//! slice, so concatenating token texts (plus whitespace) reconstructs the
+//! input — the round-trip property the lexer proptest pins.
+
+use std::fmt;
+
+/// A 1-based source position (column counted in characters).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column, in characters.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Delimiter kind for `Open`/`Close` tokens.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` `)`
+    Paren,
+    /// `[` `]`
+    Bracket,
+    /// `{` `}`
+    Brace,
+}
+
+/// Token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'lifetime` (no closing quote).
+    Lifetime,
+    /// Integer or float literal, including suffix (`1_000u64`, `2.5e-3`).
+    Number,
+    /// String literal: cooked, raw, or byte (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Operator / punctuation, longest-match (`::`, `=>`, `+=`, `..`, `#`).
+    Op,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+    /// Line or block comment, text included.
+    Comment,
+}
+
+/// One lexed token: kind, exact source text, and start position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: String,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+impl Token {
+    /// For `Str` tokens: the literal's content with prefix (`r`, `b`),
+    /// hash guards, and quotes stripped; escapes are left as written.
+    /// `None` for other kinds.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let s = self.text.trim_start_matches(['r', 'b']);
+        let s = s.trim_start_matches('#');
+        let s = s.strip_prefix('"').unwrap_or(s);
+        let s = s.trim_end_matches('#');
+        let s = s.strip_suffix('"').unwrap_or(s);
+        Some(s)
+    }
+}
+
+/// Can `c` start an identifier?
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Can `c` continue an identifier?
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-character operators, longest first within each length class.
+const OPS3: [&str; 4] = ["<<=", ">>=", "..=", "..."];
+const OPS2: [&str; 20] = [
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "<<", ">>", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume `n` characters into a String.
+    fn take(&mut self, n: usize) -> String {
+        let mut s = String::new();
+        for _ in 0..n {
+            match self.bump() {
+                Some(c) => s.push(c),
+                None => break,
+            }
+        }
+        s
+    }
+
+    fn emit(&mut self, kind: TokKind, text: String, span: Span) {
+        self.out.push(Token { kind, text, span });
+    }
+
+    /// Length in chars of a raw/byte/cooked string starting at `self.i`,
+    /// or `None` if `self.i` does not start a string literal. Handles the
+    /// `r`/`b`/`rb`/`br` prefixes and `#` guards.
+    fn string_len(&self) -> Option<usize> {
+        let mut j = 0;
+        let mut raw = false;
+        // Prefix: at most two of r/b (in either order, as rustc accepts
+        // `br` and the lexer is permissive about `rb`).
+        while j < 2 {
+            match self.peek(j) {
+                Some('r') => {
+                    raw = true;
+                    j += 1;
+                }
+                Some('b') => j += 1,
+                _ => break,
+            }
+        }
+        let mut hashes = 0;
+        if raw {
+            while self.peek(j + hashes) == Some('#') {
+                hashes += 1;
+            }
+        }
+        if self.peek(j + hashes) != Some('"') {
+            return None;
+        }
+        if j == 0 && hashes == 0 && self.peek(0) != Some('"') {
+            return None;
+        }
+        let mut k = j + hashes + 1; // past the opening quote
+        loop {
+            match self.peek(k) {
+                None => return Some(k), // unterminated: to end of input
+                Some('\\') if !raw => k += 2,
+                Some('"') => {
+                    if hashes == 0 {
+                        return Some(k + 1);
+                    }
+                    let mut h = 0;
+                    while h < hashes && self.peek(k + 1 + h) == Some('#') {
+                        h += 1;
+                    }
+                    if h == hashes {
+                        return Some(k + 1 + hashes);
+                    }
+                    k += 1;
+                }
+                Some(_) => k += 1,
+            }
+        }
+    }
+
+    fn lex_number(&mut self, span: Span) {
+        let mut n = 0;
+        while self.peek(n).is_some_and(is_ident_continue) {
+            n += 1;
+        }
+        // Fraction: a dot followed by a digit (never `..`).
+        if self.peek(n) == Some('.') && self.peek(n + 1).is_some_and(|c| c.is_ascii_digit()) {
+            n += 1;
+            while self.peek(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+        }
+        // Signed exponent: `1e-3`, `2.5E+7` (the sign stops the ident run).
+        while self.peek(n) == Some('+') || self.peek(n) == Some('-') {
+            let prev = self.peek(n.wrapping_sub(1));
+            let starts_hex = self.peek(0) == Some('0')
+                && matches!(self.peek(1), Some('x') | Some('X') | Some('b') | Some('o'));
+            if starts_hex || !matches!(prev, Some('e') | Some('E')) {
+                break;
+            }
+            n += 1;
+            while self.peek(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+        }
+        let text = self.take(n);
+        self.emit(TokKind::Number, text, span);
+    }
+
+    /// Lex a `'…` token: lifetime or char literal.
+    fn lex_quote(&mut self, span: Span) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char: a backslash always escapes the next character,
+            // so `'\''` is four chars. Scan past escape pairs to the
+            // closing quote.
+            let mut n = 1;
+            loop {
+                match self.peek(n) {
+                    Some('\\') => n += 2,
+                    Some('\'') => {
+                        n += 1;
+                        break;
+                    }
+                    Some(_) => n += 1,
+                    None => break,
+                }
+            }
+            let text = self.take(n);
+            self.emit(TokKind::Char, text, span);
+        } else if self.peek(2) == Some('\'') && self.peek(1).is_some() {
+            // 'x' — any single char (possibly multi-byte).
+            let text = self.take(3);
+            self.emit(TokKind::Char, text, span);
+        } else if self.peek(1).is_some_and(is_ident_start) {
+            // Lifetime: no closing quote.
+            let mut n = 2;
+            while self.peek(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            let text = self.take(n);
+            self.emit(TokKind::Lifetime, text, span);
+        } else {
+            let text = self.take(1);
+            self.emit(TokKind::Op, text, span);
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let span = Span {
+                line: self.line,
+                col: self.col,
+            };
+            // Comments.
+            if c == '/' && self.peek(1) == Some('/') {
+                let mut n = 2;
+                while self.peek(n).is_some_and(|c| c != '\n') {
+                    n += 1;
+                }
+                let text = self.take(n);
+                self.emit(TokKind::Comment, text, span);
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('*') {
+                let mut depth = 1usize;
+                let mut n = 2;
+                while depth > 0 {
+                    match (self.peek(n), self.peek(n + 1)) {
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            n += 2;
+                        }
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            n += 2;
+                        }
+                        (Some(_), _) => n += 1,
+                        (None, _) => break,
+                    }
+                }
+                let text = self.take(n);
+                self.emit(TokKind::Comment, text, span);
+                continue;
+            }
+            // String literals (incl. r/b prefixes) — must run before idents
+            // so `r"…"` is not lexed as the ident `r`.
+            if (c == '"' || c == 'r' || c == 'b') && self.string_len().is_some() {
+                if let Some(n) = self.string_len() {
+                    if c == '"' {
+                        let text = self.take(n);
+                        self.emit(TokKind::Str, text, span);
+                        continue;
+                    }
+                    // Only treat r/b as a prefix when a quote actually
+                    // follows; `b'x'` is handled below as ident + char.
+                    let has_quote = (0..n).any(|k| self.peek(k) == Some('"'));
+                    if has_quote {
+                        let text = self.take(n);
+                        self.emit(TokKind::Str, text, span);
+                        continue;
+                    }
+                }
+            }
+            if c == '\'' {
+                self.lex_quote(span);
+                continue;
+            }
+            if is_ident_start(c) {
+                let mut n = 1;
+                while self.peek(n).is_some_and(is_ident_continue) {
+                    n += 1;
+                }
+                let text = self.take(n);
+                self.emit(TokKind::Ident, text, span);
+                continue;
+            }
+            if c.is_ascii_digit() {
+                self.lex_number(span);
+                continue;
+            }
+            match c {
+                '(' => {
+                    let text = self.take(1);
+                    self.emit(TokKind::Open(Delim::Paren), text, span);
+                }
+                ')' => {
+                    let text = self.take(1);
+                    self.emit(TokKind::Close(Delim::Paren), text, span);
+                }
+                '[' => {
+                    let text = self.take(1);
+                    self.emit(TokKind::Open(Delim::Bracket), text, span);
+                }
+                ']' => {
+                    let text = self.take(1);
+                    self.emit(TokKind::Close(Delim::Bracket), text, span);
+                }
+                '{' => {
+                    let text = self.take(1);
+                    self.emit(TokKind::Open(Delim::Brace), text, span);
+                }
+                '}' => {
+                    let text = self.take(1);
+                    self.emit(TokKind::Close(Delim::Brace), text, span);
+                }
+                _ => {
+                    let head: String = (0..3).filter_map(|k| self.peek(k)).collect();
+                    let len = if OPS3.iter().any(|o| head.starts_with(o)) {
+                        3
+                    } else if OPS2.iter().any(|o| head.starts_with(o)) {
+                        2
+                    } else {
+                        1
+                    };
+                    let text = self.take(len);
+                    self.emit(TokKind::Op, text, span);
+                }
+            }
+        }
+    }
+}
+
+/// Lex `source` into a token stream. Total: never fails, never panics.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    };
+    lx.run();
+    lx.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_ops_and_delims() {
+        let toks = kinds("fn f(x: u32) -> u32 { x + 1 }");
+        assert_eq!(toks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[2], (TokKind::Open(Delim::Paren), "(".into()));
+        assert!(toks.contains(&(TokKind::Op, "->".into())));
+        assert!(toks.contains(&(TokKind::Number, "1".into())));
+    }
+
+    #[test]
+    fn multichar_ops_are_single_tokens() {
+        let toks = kinds("a::b => c += d..=e;");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Op)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["::", "=>", "+=", "..=", ";"]);
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let toks = kinds(r####"let s = "a\"b"; let r = r#"x "y" z"#;"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].starts_with('"'));
+        assert!(strs[1].starts_with("r#\""));
+        let t = lex("x.expect(\"journal write\")");
+        let s = t.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.str_content(), Some("journal write"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+        let toks = kinds(r"let c = '\n'; let q = '\'';");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec![r"'\n'", r"'\''"]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let toks = kinds("1_000u64 2.5e-3 0x1f 7.0f64 0..n");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "2.5e-3", "0x1f", "7.0f64", "0"]);
+        assert!(toks.contains(&(TokKind::Op, "..".into())));
+    }
+
+    #[test]
+    fn comments_are_tokens_and_nest() {
+        let toks = kinds("a /* x /* y */ z */ b // tail");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert_eq!(toks[3], (TokKind::Comment, "// tail".into()));
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("ab cd\n  ef");
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 1, col: 4 });
+        assert_eq!(toks[2].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn round_trip_is_lossless_modulo_whitespace() {
+        let src = "fn f() { let s = \"a b\"; x += 1.5; /* c */ }";
+        let joined: String = lex(src)
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Every non-whitespace char of the source survives, in order.
+        let a: String = src.chars().filter(|c| !c.is_whitespace()).collect();
+        let b: String = joined.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x"] {
+            let _ = lex(src);
+        }
+    }
+}

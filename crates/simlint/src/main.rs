@@ -1,31 +1,71 @@
 //! simlint CLI.
 //!
 //! ```text
-//! cargo run -p simlint                       # report, exit 0
-//! cargo run -p simlint -- --check            # exit 1 on non-baselined findings
-//! cargo run -p simlint -- --json             # machine-readable output
-//! cargo run -p simlint -- --write-baseline   # regenerate simlint.baseline
+//! cargo run -p simlint                         # report, exit 0
+//! cargo run -p simlint -- --check              # exit 1 on non-baselined findings
+//! cargo run -p simlint -- --format json        # machine-readable report
+//! cargo run -p simlint -- --explain <rule>     # why a rule exists
+//! cargo run -p simlint -- --write-baseline     # regenerate simlint.baseline
 //! ```
+//!
+//! Exit codes, so CI failures are diagnosable from the status alone:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | clean (or findings without `--check`) |
+//! | 1 | `--check` found non-baselined findings |
+//! | 2 | command-line usage error |
+//! | 3 | I/O or parse error (unreadable file, unbalanced source, bad baseline) |
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use simlint::{
     apply_baseline, lint_workspace, parse_baseline, render_baseline, render_human, render_json,
+    ErrorKind, LintError, Rule,
 };
 
 const BASELINE_FILE: &str = "simlint.baseline";
 
 fn usage() -> &'static str {
-    "usage: simlint [--check] [--json] [--write-baseline] [--root <dir>]\n\
+    "usage: simlint [--check] [--format human|json] [--explain <rule>]\n\
+     \x20              [--write-baseline] [--root <dir>]\n\
      \n\
      --check           exit 1 when non-baselined violations exist (CI gate)\n\
-     --json            emit findings as a JSON array\n\
+     --format <fmt>    output format: human (default) or json\n\
+     --json            alias for --format json\n\
+     --explain <rule>  print the rationale for one rule and exit\n\
      --write-baseline  rewrite simlint.baseline from the current tree\n\
-     --root <dir>      workspace root (default: this crate's ../..)"
+     --root <dir>      workspace root (default: this crate's ../..)\n\
+     \n\
+     exit codes: 0 clean · 1 new findings (--check) · 2 usage · 3 I/O or parse"
 }
 
-fn run() -> Result<bool, simlint::LintError> {
+fn explain(rule_name: &str) -> Result<(), LintError> {
+    let Some(rule) = Rule::from_name(rule_name) else {
+        let known: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        return Err(LintError::usage(format!(
+            "unknown rule `{rule_name}`; known rules: {}",
+            known.join(", ")
+        )));
+    };
+    println!("{}\n", rule.name());
+    println!("  flags: {}\n", rule.message());
+    // Reflow the rationale to a readable width.
+    let mut line = String::from(" ");
+    for word in rule.explain().split_whitespace() {
+        if line.len() + word.len() + 1 > 78 {
+            println!("{line}");
+            line = String::from(" ");
+        }
+        line.push(' ');
+        line.push_str(word);
+    }
+    println!("{line}");
+    Ok(())
+}
+
+fn run() -> Result<bool, LintError> {
     let mut check = false;
     let mut json = false;
     let mut write_baseline = false;
@@ -36,10 +76,29 @@ fn run() -> Result<bool, simlint::LintError> {
         match arg.as_str() {
             "--check" => check = true,
             "--json" => json = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                Some(other) => {
+                    return Err(LintError::usage(format!(
+                        "unknown format `{other}` (expected human or json)"
+                    )))
+                }
+                None => {
+                    return Err(LintError::usage("--format requires an argument"));
+                }
+            },
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    return Err(LintError::usage("--explain requires a rule name"));
+                };
+                explain(&rule)?;
+                return Ok(true);
+            }
             "--write-baseline" => write_baseline = true,
             "--root" => {
                 root = Some(PathBuf::from(args.next().ok_or_else(|| {
-                    simlint::LintError("--root requires a directory argument".into())
+                    LintError::usage("--root requires a directory argument")
                 })?));
             }
             "--help" | "-h" => {
@@ -47,7 +106,7 @@ fn run() -> Result<bool, simlint::LintError> {
                 return Ok(true);
             }
             other => {
-                return Err(simlint::LintError(format!(
+                return Err(LintError::usage(format!(
                     "unknown argument `{other}`\n{}",
                     usage()
                 )))
@@ -98,7 +157,10 @@ fn main() -> ExitCode {
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::from(2)
+            match e.kind {
+                ErrorKind::Usage => ExitCode::from(2),
+                ErrorKind::Data => ExitCode::from(3),
+            }
         }
     }
 }

@@ -1,0 +1,453 @@
+//! Rule passes over token trees.
+//!
+//! Each pass returns raw [`RuleHit`]s (rule + span). Scoping by crate,
+//! allow markers, `#[cfg(test)]` trailers, and the baseline are applied
+//! centrally by `lint_source` — the passes here only answer "does this
+//! pattern occur, and where".
+
+use crate::lexer::{Delim, Span, TokKind};
+use crate::tree::{walk_lists, Tree};
+use crate::Rule;
+
+/// One raw rule hit, before scoping/allow/baseline filtering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleHit {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Where it fired.
+    pub span: Span,
+}
+
+fn hit(rule: Rule, span: Span) -> RuleHit {
+    RuleHit { rule, span }
+}
+
+/// Is this tree a group of `delim` kind?
+fn is_group(t: Option<&Tree>, delim: Delim) -> bool {
+    t.is_some_and(|t| t.group(delim).is_some())
+}
+
+/// Is this tree an empty `( )` group?
+fn is_empty_paren(t: Option<&Tree>) -> bool {
+    t.and_then(|t| t.group(Delim::Paren))
+        .is_some_and(|c| c.is_empty())
+}
+
+// ---- rules 1–5 + 8: adjacency patterns -------------------------------------
+
+/// Scan for the simple adjacency-pattern rules among `active`:
+/// `no-wall-clock`, `no-ambient-rng`, `no-unordered-iteration`,
+/// `no-panic-in-lib`, `wal-expect-confined`, `no-shared-mut-in-sim`.
+pub fn scan_patterns(trees: &[Tree], active: &[Rule]) -> Vec<RuleHit> {
+    let mut hits = Vec::new();
+    let on = |r: Rule| active.contains(&r);
+    walk_lists(trees, &mut |list| {
+        for (i, t) in list.iter().enumerate() {
+            let next = list.get(i + 1);
+            let next2 = list.get(i + 2);
+            if on(Rule::WallClock)
+                && (t.is_ident("SystemTime") || t.is_ident("Instant"))
+                && next.is_some_and(|n| n.is_op("::"))
+                && next2.is_some_and(|n| n.is_ident("now"))
+            {
+                hits.push(hit(Rule::WallClock, t.span()));
+            }
+            if on(Rule::AmbientRng)
+                && (t.is_ident("thread_rng")
+                    || t.is_ident("from_entropy")
+                    || (t.is_ident("StdRng")
+                        && next.is_some_and(|n| n.is_op("::"))
+                        && next2.is_some_and(|n| n.is_ident("seed_from_u64"))))
+            {
+                hits.push(hit(Rule::AmbientRng, t.span()));
+            }
+            if on(Rule::UnorderedIteration) && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
+                hits.push(hit(Rule::UnorderedIteration, t.span()));
+            }
+            if on(Rule::PanicInLib) {
+                // `.unwrap()` is the empty call only — `unwrap_or(…)` and
+                // `.unwrap_or_else` are different idents.
+                let unwrap_call = t.is_op(".")
+                    && next.is_some_and(|n| n.is_ident("unwrap"))
+                    && is_empty_paren(next2);
+                let expect_call = t.is_op(".")
+                    && next.is_some_and(|n| n.is_ident("expect"))
+                    && is_group(next2, Delim::Paren);
+                let panic_bang = t.is_ident("panic") && next.is_some_and(|n| n.is_op("!"));
+                if unwrap_call || expect_call || panic_bang {
+                    hits.push(hit(Rule::PanicInLib, t.span()));
+                }
+            }
+            if on(Rule::WalExpectConfined)
+                && t.is_op(".")
+                && next.is_some_and(|n| n.is_ident("expect"))
+            {
+                let wal_msg = next2
+                    .and_then(|n| n.group(Delim::Paren))
+                    .and_then(|args| args.first())
+                    .and_then(|a| a.leaf())
+                    .filter(|tok| tok.kind == TokKind::Str)
+                    .and_then(|tok| tok.str_content())
+                    .is_some_and(|msg| {
+                        ["journal", "snapshot", "compaction"]
+                            .iter()
+                            .any(|p| msg.starts_with(p))
+                    });
+                if wal_msg {
+                    hits.push(hit(Rule::WalExpectConfined, t.span()));
+                }
+            }
+            if on(Rule::SharedMutInSim)
+                && (t.is_ident("Rc")
+                    || t.is_ident("RefCell")
+                    || t.is_ident("Cell")
+                    || (t.is_ident("static") && next.is_some_and(|n| n.is_ident("mut")))
+                    || (t.is_ident("thread_local") && next.is_some_and(|n| n.is_op("!"))))
+            {
+                hits.push(hit(Rule::SharedMutInSim, t.span()));
+            }
+        }
+    });
+    hits
+}
+
+// ---- rule 7: no-float-order ------------------------------------------------
+
+/// Collect every leaf token's (kind, text) in a subforest, recursively.
+fn leaves<'a>(trees: &'a [Tree], out: &mut Vec<&'a crate::lexer::Token>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => out.push(tok),
+            Tree::Group { children, .. } => leaves(children, out),
+        }
+    }
+}
+
+/// Does this subforest carry lexical evidence of float arithmetic?
+/// Evidence: an `f64`/`f32` ident, a float-looking number literal, or a
+/// conversion method named `*_f64`/`*_f32`.
+fn has_float_evidence(trees: &[Tree]) -> bool {
+    let mut toks = Vec::new();
+    leaves(trees, &mut toks);
+    toks.iter().any(|tok| match tok.kind {
+        TokKind::Ident => {
+            tok.text == "f64"
+                || tok.text == "f32"
+                || tok.text.ends_with("_f64")
+                || tok.text.ends_with("_f32")
+        }
+        TokKind::Number => {
+            let t = &tok.text;
+            !t.starts_with("0x")
+                && !t.starts_with("0X")
+                && (t.contains('.') || t.ends_with("f64") || t.ends_with("f32"))
+        }
+        _ => false,
+    })
+}
+
+/// Does this subforest contain a range operator (`..` / `..=`)? Ranges are
+/// the one iterator source whose order is proven by construction.
+fn has_range(trees: &[Tree]) -> bool {
+    let mut toks = Vec::new();
+    leaves(trees, &mut toks);
+    toks.iter()
+        .any(|tok| tok.kind == TokKind::Op && (tok.text == ".." || tok.text == "..="))
+}
+
+/// The statement slice of `list` containing index `i`: bounded by the
+/// nearest top-level `;` on each side. A top-level brace group is also a
+/// boundary — block statements (`for`, `if`, `match`) end without a `;`,
+/// and leaking across them would smuggle a neighbour's float evidence
+/// into this statement.
+fn statement_around(list: &[Tree], i: usize) -> &[Tree] {
+    let boundary = |t: &Tree| t.is_op(";") || t.group(Delim::Brace).is_some();
+    let start = list[..i].iter().rposition(boundary).map_or(0, |p| p + 1);
+    let end = list[i..]
+        .iter()
+        .position(boundary)
+        .map_or(list.len(), |p| i + p + 1);
+    &list[start..end]
+}
+
+const COMPOUND_ASSIGN: [&str; 4] = ["+=", "-=", "*=", "/="];
+
+/// `no-float-order`: flag non-associative float accumulation whose
+/// evaluation order is not proven by an ordered source.
+///
+/// Two prongs:
+/// 1. `.sum()` / `.product()` reductions with float evidence in the same
+///    statement (or an `::<f64>` turbofish), unless the statement contains
+///    a range (`0..n`) — ranges are ordered by construction.
+/// 2. Float compound assignment (`+=` etc.) inside a `for` loop whose
+///    iterator expression has no range provenance.
+///
+/// Anything flagged either gets fixed or carries an allow naming the
+/// ordered source (`Vec`, `VecDeque`, const array, …).
+pub fn scan_float_order(trees: &[Tree]) -> Vec<RuleHit> {
+    let mut hits = Vec::new();
+    // Prong 1: float reductions.
+    walk_lists(trees, &mut |list| {
+        for (i, t) in list.iter().enumerate() {
+            if !t.is_op(".") {
+                continue;
+            }
+            let Some(name) = list.get(i + 1).and_then(|n| n.ident()) else {
+                continue;
+            };
+            if name != "sum" && name != "product" {
+                continue;
+            }
+            let float = if list.get(i + 2).is_some_and(|n| n.is_op("::")) {
+                // Turbofish names the element type explicitly.
+                let ty: Vec<&str> = list[i + 3..]
+                    .iter()
+                    .take_while(|t| t.group(Delim::Paren).is_none())
+                    .filter_map(|t| t.ident())
+                    .collect();
+                ty.iter().any(|s| *s == "f64" || *s == "f32")
+            } else if is_group(list.get(i + 2), Delim::Paren) {
+                has_float_evidence(statement_around(list, i))
+            } else {
+                false
+            };
+            if float && !has_range(statement_around(list, i)) {
+                hits.push(hit(Rule::FloatOrder, t.span()));
+            }
+        }
+    });
+    // Prong 2: float accumulation in for loops.
+    scan_loops(trees, false, &mut hits);
+    hits
+}
+
+/// Recursive walk for prong 2. `in_unordered_loop` is true when the
+/// innermost enclosing `for` loop's iterator lacks range provenance.
+fn scan_loops(list: &[Tree], in_unordered_loop: bool, hits: &mut Vec<RuleHit>) {
+    let mut i = 0;
+    while i < list.len() {
+        let t = &list[i];
+        // A `for` loop: `for <pat> in <iter-expr> { body }`. `impl X for Y`
+        // and HRTB `for<'a>` have no top-level `in` before their brace, so
+        // they fall through to the plain-group recursion below.
+        if t.is_ident("for") {
+            let body_pos = list[i + 1..]
+                .iter()
+                .position(|t| t.group(Delim::Brace).is_some())
+                .map(|p| i + 1 + p);
+            let in_pos = list[i + 1..]
+                .iter()
+                .position(|t| t.is_ident("in"))
+                .map(|p| i + 1 + p);
+            if let (Some(body_pos), Some(in_pos)) = (body_pos, in_pos) {
+                if in_pos < body_pos {
+                    let iter_expr = &list[in_pos + 1..body_pos];
+                    let ordered = has_range(iter_expr);
+                    scan_loops(iter_expr, in_unordered_loop, hits);
+                    if let Some(body) = list[body_pos].group(Delim::Brace) {
+                        scan_loops(body, !ordered, hits);
+                    }
+                    i = body_pos + 1;
+                    continue;
+                }
+            }
+        }
+        if in_unordered_loop
+            && t.op().is_some_and(|o| COMPOUND_ASSIGN.contains(&o))
+            && has_float_evidence(statement_around(list, i))
+        {
+            hits.push(hit(Rule::FloatOrder, t.span()));
+        }
+        if let Tree::Group { children, .. } = t {
+            scan_loops(children, in_unordered_loop, hits);
+        }
+        i += 1;
+    }
+}
+
+// ---- rule 9: no-wildcard-event-match ---------------------------------------
+
+/// Does the pattern forest reference the event enum (`Ev::…`)?
+fn mentions_event_enum(trees: &[Tree]) -> bool {
+    let mut found = false;
+    walk_lists(trees, &mut |list| {
+        for (i, t) in list.iter().enumerate() {
+            if t.is_ident("Ev") && list.get(i + 1).is_some_and(|n| n.is_op("::")) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// One match arm: pattern trees and the span of the pattern's first tree.
+struct Arm<'a> {
+    pattern: &'a [Tree],
+}
+
+/// Split a match body's child list into arms. Arm = `pattern => expr`
+/// where expr is either a brace group (optionally followed by a comma) or
+/// everything up to the next top-level comma.
+fn split_arms(body: &[Tree]) -> Vec<Arm<'_>> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let pat_start = i;
+        while i < body.len() && !body[i].is_op("=>") {
+            i += 1;
+        }
+        if i >= body.len() {
+            break;
+        }
+        let pattern = &body[pat_start..i];
+        i += 1; // past `=>`
+        if body.get(i).is_some_and(|t| t.group(Delim::Brace).is_some()) {
+            i += 1;
+            if body.get(i).is_some_and(|t| t.is_op(",")) {
+                i += 1;
+            }
+        } else {
+            while i < body.len() && !body[i].is_op(",") {
+                i += 1;
+            }
+            if i < body.len() {
+                i += 1; // past `,`
+            }
+        }
+        arms.push(Arm { pattern });
+    }
+    arms
+}
+
+/// `no-wildcard-event-match`: a `match` whose arms pattern on `Ev::…`
+/// must not have a catch-all arm (`_ =>` or a bare binding) — new event
+/// kinds must fail closed (compile error) rather than be silently dropped.
+pub fn scan_wildcard_event(trees: &[Tree]) -> Vec<RuleHit> {
+    let mut hits = Vec::new();
+    walk_lists(trees, &mut |list| {
+        for (i, t) in list.iter().enumerate() {
+            if !t.is_ident("match") {
+                continue;
+            }
+            // Body = the first top-level brace group after the scrutinee
+            // (struct literals are illegal in scrutinee position).
+            let Some(body) = list[i + 1..].iter().find_map(|t| t.group(Delim::Brace)) else {
+                continue;
+            };
+            let arms = split_arms(body);
+            if !arms.iter().any(|a| mentions_event_enum(a.pattern)) {
+                continue;
+            }
+            for arm in &arms {
+                // Pattern core: everything before a top-level `if` guard.
+                let core_len = arm
+                    .pattern
+                    .iter()
+                    .position(|t| t.is_ident("if"))
+                    .unwrap_or(arm.pattern.len());
+                let core = &arm.pattern[..core_len];
+                // A one-token ident pattern — `_`, `_other`, or a bare
+                // binding — catches every variant. (`Ev::X` has 3 tokens;
+                // `Some(x)` has 2.)
+                if core.len() == 1 && core[0].ident().is_some() {
+                    hits.push(hit(Rule::WildcardEventMatch, core[0].span()));
+                }
+            }
+        }
+    });
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::build;
+
+    fn forest(src: &str) -> Vec<Tree> {
+        build(&lex(src)).expect("balanced")
+    }
+
+    fn rules_of(hits: &[RuleHit]) -> Vec<Rule> {
+        let mut v: Vec<Rule> = hits.iter().map(|h| h.rule).collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn unwrap_call_only() {
+        let f = forest("fn unwrap_all() { x.unwrap(); y.unwrap_or(0); }");
+        let hits = scan_patterns(&f, &[Rule::PanicInLib]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].span.line, 1);
+    }
+
+    #[test]
+    fn wal_expect_needs_string_head() {
+        let f = forest("a.expect(\"journal write failed\"); b.expect(msg);");
+        let hits = scan_patterns(&f, &[Rule::WalExpectConfined]);
+        assert_eq!(hits.len(), 1);
+        let f = forest("a.expect(\"present\");");
+        assert!(scan_patterns(&f, &[Rule::WalExpectConfined]).is_empty());
+    }
+
+    #[test]
+    fn shared_mut_variants() {
+        let f = forest(
+            "struct S { a: Rc<u32>, b: RefCell<u32>, c: Cell<u32> }\n\
+             static mut G: u32 = 0;\n\
+             thread_local! { static T: u32 = 1; }",
+        );
+        let hits = scan_patterns(&f, &[Rule::SharedMutInSim]);
+        assert_eq!(hits.len(), 5);
+        // OnceCell / UnsafeCell are different idents and do not match.
+        let f = forest("struct S { a: OnceCell<u32>, b: UnsafeCell<u32> }");
+        assert!(scan_patterns(&f, &[Rule::SharedMutInSim]).is_empty());
+    }
+
+    #[test]
+    fn float_sum_flags_and_range_exempts() {
+        let f = forest("let x: f64 = xs.iter().map(|v| *v).sum();");
+        assert_eq!(rules_of(&scan_float_order(&f)), vec![Rule::FloatOrder]);
+        // Range source: ordered by construction.
+        let f = forest("let x: f64 = (0..n).map(|i| f(i)).sum();");
+        assert!(scan_float_order(&f).is_empty());
+        // Integer sum: no float evidence.
+        let f = forest("let x: u64 = xs.iter().sum();");
+        assert!(scan_float_order(&f).is_empty());
+        // Turbofish decides directly.
+        let f = forest("let x = xs.iter().sum::<f64>();");
+        assert_eq!(scan_float_order(&f).len(), 1);
+        let f = forest("let x = xs.iter().sum::<u64>();");
+        assert!(scan_float_order(&f).is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_in_loops() {
+        let f = forest("for v in xs.iter() { acc += *v as f64; }");
+        assert_eq!(scan_float_order(&f).len(), 1);
+        let f = forest("for i in 0..n { acc += i as f64; }");
+        assert!(scan_float_order(&f).is_empty());
+        // Integer accumulation is fine anywhere.
+        let f = forest("for v in xs.iter() { acc += *v; }");
+        assert!(scan_float_order(&f).is_empty());
+        // `impl X for Y` is not a loop.
+        let f = forest("impl Add for F { fn add(self, o: F) -> F { F(self.0 + o.0) } }");
+        assert!(scan_float_order(&f).is_empty());
+    }
+
+    #[test]
+    fn wildcard_event_match() {
+        let f = forest("match ev { Ev::A(x) => f(x), Ev::B { id } => g(id), _ => {} }");
+        assert_eq!(scan_wildcard_event(&f).len(), 1);
+        // Exhaustive event match is clean.
+        let f = forest("match ev { Ev::A(x) => f(x), Ev::B { id } => g(id) }");
+        assert!(scan_wildcard_event(&f).is_empty());
+        // Wildcards on non-event enums are fine.
+        let f = forest("match phase { Phase::Run => 1, _ => 0 }");
+        assert!(scan_wildcard_event(&f).is_empty());
+        // A bare binding is a wildcard too; a guard does not save it.
+        let f = forest("match ev { Ev::A(x) => f(x), other if p(other) => g() }");
+        assert_eq!(scan_wildcard_event(&f).len(), 1);
+    }
+}

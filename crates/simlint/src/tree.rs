@@ -1,0 +1,234 @@
+//! Token trees: the lexer's flat stream nested by delimiter.
+//!
+//! A tree is either a leaf token or a delimited group with children.
+//! Comments are dropped here (the allow-marker parser consumes them from
+//! the flat stream before this point). Building fails — it does not panic —
+//! on unbalanced or mismatched delimiters, which the CLI surfaces as a
+//! parse error (exit 3) rather than a lint finding.
+
+use crate::lexer::{Delim, Span, TokKind, Token};
+
+/// A node in the token tree.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A single non-delimiter token.
+    Leaf(Token),
+    /// A delimited group: `( … )`, `[ … ]`, `{ … }`.
+    Group {
+        /// Which delimiter pair.
+        delim: Delim,
+        /// Span of the opening delimiter.
+        open: Span,
+        /// Span of the closing delimiter (end of input if unterminated).
+        close: Span,
+        /// The nested trees.
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The node's starting span.
+    pub fn span(&self) -> Span {
+        match self {
+            Tree::Leaf(t) => t.span,
+            Tree::Group { open, .. } => *open,
+        }
+    }
+
+    /// The identifier text, if this is an `Ident` leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// The operator text, if this is an `Op` leaf.
+    pub fn op(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) if t.kind == TokKind::Op => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    /// Is this the operator `name`?
+    pub fn is_op(&self, name: &str) -> bool {
+        self.op() == Some(name)
+    }
+
+    /// The group's children, if this is a group of kind `delim`.
+    pub fn group(&self, want: Delim) -> Option<&[Tree]> {
+        match self {
+            Tree::Group {
+                delim, children, ..
+            } if *delim == want => Some(children),
+            _ => None,
+        }
+    }
+
+    /// The leaf token, if this is a leaf.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A delimiter-balance error found while building trees.
+#[derive(Debug)]
+pub struct TreeError {
+    /// Where the offending delimiter is.
+    pub span: Span,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+fn close_char(d: Delim) -> char {
+    match d {
+        Delim::Paren => ')',
+        Delim::Bracket => ']',
+        Delim::Brace => '}',
+    }
+}
+
+/// Nest a token stream into trees, dropping comment tokens.
+pub fn build(tokens: &[Token]) -> Result<Vec<Tree>, TreeError> {
+    // Iterative with an explicit stack so deeply nested input can't blow
+    // the call stack.
+    let mut stack: Vec<(Delim, Span, Vec<Tree>)> = Vec::new();
+    let mut top: Vec<Tree> = Vec::new();
+    for tok in tokens {
+        match tok.kind {
+            TokKind::Comment => {}
+            TokKind::Open(d) => {
+                stack.push((d, tok.span, std::mem::take(&mut top)));
+            }
+            TokKind::Close(d) => match stack.pop() {
+                Some((open_d, open_span, parent)) if open_d == d => {
+                    let children = std::mem::replace(&mut top, parent);
+                    top.push(Tree::Group {
+                        delim: d,
+                        open: open_span,
+                        close: tok.span,
+                        children,
+                    });
+                }
+                Some((open_d, open_span, _)) => {
+                    return Err(TreeError {
+                        span: tok.span,
+                        msg: format!(
+                            "mismatched delimiter: `{}` at {} closed by `{}` at {}",
+                            match open_d {
+                                Delim::Paren => '(',
+                                Delim::Bracket => '[',
+                                Delim::Brace => '{',
+                            },
+                            open_span,
+                            close_char(d),
+                            tok.span
+                        ),
+                    });
+                }
+                None => {
+                    return Err(TreeError {
+                        span: tok.span,
+                        msg: format!("unmatched closing `{}` at {}", close_char(d), tok.span),
+                    });
+                }
+            },
+            _ => top.push(Tree::Leaf(tok.clone())),
+        }
+    }
+    if let Some((d, span, _)) = stack.pop() {
+        return Err(TreeError {
+            span,
+            msg: format!(
+                "unclosed delimiter `{}` opened at {}",
+                match d {
+                    Delim::Paren => '(',
+                    Delim::Bracket => '[',
+                    Delim::Brace => '{',
+                },
+                span
+            ),
+        });
+    }
+    Ok(top)
+}
+
+/// Visit every sibling list in the forest (the top-level list and each
+/// group's child list), outermost first.
+pub fn walk_lists<'a>(trees: &'a [Tree], visit: &mut dyn FnMut(&'a [Tree])) {
+    visit(trees);
+    // Explicit work list, again to stay safe on pathological nesting.
+    let mut work: Vec<&'a [Tree]> = vec![trees];
+    while let Some(list) = work.pop() {
+        for t in list {
+            if let Tree::Group { children, .. } = t {
+                visit(children);
+                work.push(children);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn forest(src: &str) -> Vec<Tree> {
+        build(&lex(src)).expect("balanced")
+    }
+
+    #[test]
+    fn nests_groups() {
+        let f = forest("fn f(a: u32) { g([1, 2]); }");
+        assert!(f[0].is_ident("fn"));
+        let body = f
+            .iter()
+            .find_map(|t| t.group(Delim::Brace))
+            .expect("brace group");
+        let call_args = body
+            .iter()
+            .find_map(|t| t.group(Delim::Paren))
+            .expect("paren group");
+        assert!(call_args[0].group(Delim::Bracket).is_some());
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let f = forest("a /* x */ b // y");
+        assert_eq!(f.len(), 2);
+        assert!(f[1].is_ident("b"));
+    }
+
+    #[test]
+    fn unbalanced_is_an_error_not_a_panic() {
+        assert!(build(&lex("fn f( {")).is_err());
+        assert!(build(&lex(")")).is_err());
+        assert!(build(&lex("( ]")).is_err());
+    }
+
+    #[test]
+    fn walk_lists_sees_every_sibling_list() {
+        let f = forest("a { b ( c ) } d");
+        let mut lists = 0;
+        walk_lists(&f, &mut |_| lists += 1);
+        // top-level, brace children, paren children.
+        assert_eq!(lists, 3);
+    }
+
+    #[test]
+    fn spans_survive_into_trees() {
+        let f = forest("x\n  (y)");
+        assert_eq!(f[0].span(), Span { line: 1, col: 1 });
+        assert_eq!(f[1].span(), Span { line: 2, col: 3 });
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the simlint lexer.
+//!
+//! The lexer underpins every rule, so its two contracts are pinned here:
+//!
+//! 1. **Round-trip without mis-spanning**: any sequence of valid tokens,
+//!    rendered with arbitrary space/newline separators, lexes back to
+//!    exactly those tokens — same kind, same text, and a span that points
+//!    at the first character of each token.
+//! 2. **Totality**: arbitrary byte soup (unterminated strings, stray
+//!    quotes, broken comments) never panics, and no non-whitespace
+//!    character is ever dropped or invented.
+
+use proptest::prelude::*;
+use simlint::lexer::{lex, Delim, TokKind};
+
+/// The token vocabulary the generator draws from: (text, expected kind).
+/// Every entry is single-line, so expected spans advance by `chars()`.
+fn vocab(sel: u8) -> (&'static str, TokKind) {
+    const TABLE: &[(&str, TokKind)] = &[
+        ("foo", TokKind::Ident),
+        ("bar_2", TokKind::Ident),
+        ("_x", TokKind::Ident),
+        ("Ev", TokKind::Ident),
+        ("self", TokKind::Ident),
+        ("0", TokKind::Number),
+        ("42u64", TokKind::Number),
+        ("3.14", TokKind::Number),
+        ("2.5e-3", TokKind::Number),
+        ("0x1f", TokKind::Number),
+        ("1_000f64", TokKind::Number),
+        ("\"abc\"", TokKind::Str),
+        ("\"a\\\"b\"", TokKind::Str),
+        ("r#\"raw \"q\" str\"#", TokKind::Str),
+        ("b\"bytes\"", TokKind::Str),
+        ("'x'", TokKind::Char),
+        ("'\\n'", TokKind::Char),
+        ("'a", TokKind::Lifetime),
+        ("'static", TokKind::Lifetime),
+        ("::", TokKind::Op),
+        ("=>", TokKind::Op),
+        ("+=", TokKind::Op),
+        ("..=", TokKind::Op),
+        ("..", TokKind::Op),
+        (";", TokKind::Op),
+        (",", TokKind::Op),
+        (".", TokKind::Op),
+        ("&", TokKind::Op),
+        ("!", TokKind::Op),
+        ("#", TokKind::Op),
+        ("->", TokKind::Op),
+        ("<<=", TokKind::Op),
+        ("/* c */", TokKind::Comment),
+        ("(", TokKind::Open(Delim::Paren)),
+        (")", TokKind::Close(Delim::Paren)),
+        ("[", TokKind::Open(Delim::Bracket)),
+        ("]", TokKind::Close(Delim::Bracket)),
+        ("{", TokKind::Open(Delim::Brace)),
+        ("}", TokKind::Close(Delim::Brace)),
+    ];
+    TABLE[sel as usize % TABLE.len()].clone()
+}
+
+proptest! {
+    /// Contract 1: token sequences round-trip with exact spans.
+    #[test]
+    fn lexer_round_trips_valid_token_sequences(
+        sels in prop::collection::vec(0u8..255, 0..60),
+        breaks in prop::collection::vec(any::<bool>(), 0..60),
+    ) {
+        let mut source = String::new();
+        let mut expected: Vec<(&str, TokKind, u32, u32)> = Vec::new();
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for (i, sel) in sels.iter().enumerate() {
+            let (text, kind) = vocab(*sel);
+            expected.push((text, kind, line, col));
+            source.push_str(text);
+            col += text.chars().count() as u32;
+            // Separator: space or newline, driven by the bool stream.
+            if breaks.get(i).copied().unwrap_or(false) {
+                source.push('\n');
+                line += 1;
+                col = 1;
+            } else {
+                source.push(' ');
+                col += 1;
+            }
+        }
+        let tokens = lex(&source);
+        prop_assert_eq!(tokens.len(), expected.len());
+        for (tok, (text, kind, line, col)) in tokens.iter().zip(&expected) {
+            prop_assert_eq!(&tok.text, text);
+            prop_assert_eq!(&tok.kind, kind);
+            prop_assert_eq!(tok.span.line, *line);
+            prop_assert_eq!(tok.span.col, *col);
+        }
+    }
+
+    /// Contract 2: arbitrary soup never panics, and lexing is lossless —
+    /// the concatenated token texts contain exactly the source's
+    /// non-whitespace characters, in order.
+    #[test]
+    fn lexer_is_total_and_lossless_on_arbitrary_input(
+        bytes in prop::collection::vec(0u8..255, 0..300),
+    ) {
+        // Map bytes into a char mix rich in quotes, slashes, and hashes so
+        // unterminated literals and half-open comments are common.
+        let source: String = bytes
+            .iter()
+            .map(|b| match b % 16 {
+                0 => '"',
+                1 => '\'',
+                2 => '/',
+                3 => '*',
+                4 => '#',
+                5 => 'r',
+                6 => 'b',
+                7 => '\\',
+                8 => '\n',
+                9 => '.',
+                10 => '(',
+                11 => '}',
+                12 => 'e',
+                13 => '0',
+                _ => char::from(*b),
+            })
+            .collect();
+        let tokens = lex(&source);
+        let joined: String = tokens.iter().map(|t| t.text.as_str()).collect();
+        let a: String = source.chars().filter(|c| !c.is_whitespace()).collect();
+        let b: String = joined.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(a, b);
+    }
+}
