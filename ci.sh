@@ -52,9 +52,15 @@ step cargo run -q --release -p lobster-bench --bin bench_cluster
 # the committed baseline's events/sec.
 step cargo run -q --release -p lobster-bench --bin bench_scale
 
-# Crash-consistency smoke: the sampled crash-point matrix (boundary and
-# torn-append crashes, resume, convergence). The full 64-point sweep
-# stays behind --ignored; run it with:
+# Recovery bench: WAL v3 snapshot+tail vs full replay, journal bytes vs
+# the v2 JSON equivalent. Rewrites BENCH_recovery.json and fails on a
+# sub-10x journal shrink, a resume over 100 ms, a >20% resume-latency
+# regression vs the committed baseline, or any journal-size growth.
+step cargo run -q --release -p lobster-bench --bin bench_recovery
+
+# Crash-consistency smoke: the sampled crash-point matrix (boundary,
+# in-commit-window, torn-append, and mid-compaction crashes, resume,
+# convergence). The full 64-point sweep stays behind --ignored; run it:
 #   cargo test --release -p lobster --test crash_matrix -- --ignored
 step cargo test --release -q -p lobster --test crash_matrix
 

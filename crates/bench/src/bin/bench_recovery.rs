@@ -1,18 +1,33 @@
-//! Recovery benchmark: full-WAL replay vs snapshot+tail.
+//! Recovery benchmark: full-WAL replay vs snapshot+tail, and binary v3
+//! journal bytes vs the v2 JSON equivalent.
 //!
 //! Runs the same fixed-seed cluster simulation twice behind two journal
-//! policies — `JournalPolicy::never()` (every record since the run began
-//! survives on disk) and a periodic-snapshot policy (the WAL is folded
-//! into a snapshot frame every few thousand records) — then times a cold
-//! [`LobsterDb::recover`] of each journal. Writes `BENCH_recovery.json`
-//! and exits non-zero when the recovered states disagree or the
-//! snapshot+tail recovery fails to beat full replay.
+//! policies — `JournalPolicy::never()` (write-through; every record since
+//! the run began survives on disk) and the periodic-snapshot policy with
+//! group commit (the operating configuration) — then times a cold
+//! [`LobsterDb::recover`] of each journal *from disk only*: the recovery
+//! legs never touch the in-memory state of the runs that wrote them.
+//!
+//! Reported sizes are honest on-disk journal bytes
+//! ([`lobster::db::journal_bytes`] sums the shard directory), plus
+//! `v2_json_bytes` — the exact size the full-replay leg's logical record
+//! stream would occupy in the v2 JSON format, priced record-by-record by
+//! [`lobster::db::v2_equivalent_bytes`]. Gates:
+//!
+//! 1. snapshot+tail must beat full replay, and resume in < 100 ms;
+//! 2. the operating-policy journal must be ≥ 10× smaller than the v2
+//!    JSON equivalent of the same run (the ISSUE's headline criterion);
+//! 3. the v3 codec alone must buy ≥ 4× on the uncompacted stream.
+//!
+//! Writes `BENCH_recovery.json`; `ci.sh` compares it against the
+//! committed baseline and fails on >20% resume-latency regression or any
+//! journal-size growth.
 
 use batchsim::availability::AvailabilityModel;
 use batchsim::pool::PoolConfig;
 use gridstore::dbs::{DatasetSpec, Dbs};
 use lobster::config::{Backoff, JournalPolicy, LobsterConfig, WorkflowConfig};
-use lobster::db::LobsterDb;
+use lobster::db::{journal_bytes, v2_equivalent_bytes, LobsterDb};
 use lobster::driver::{ClusterSim, SimParams};
 use lobster::merge::MergeMode;
 use lobster::workflow::Workflow;
@@ -23,6 +38,12 @@ use std::path::PathBuf;
 const SEED: u64 = 2025;
 const SNAPSHOT_EVERY: u64 = 2048;
 const RECOVER_REPS: u32 = 5;
+/// ISSUE acceptance: snapshot+tail resume in under 100 ms.
+const RESUME_BUDGET_SECS: f64 = 0.100;
+/// ISSUE acceptance: operating-policy journal ≥ 10× smaller than v2 JSON.
+const V2_SHRINK_FLOOR: f64 = 10.0;
+/// Codec-only floor on the uncompacted stream (no snapshot help).
+const CODEC_SHRINK_FLOOR: f64 = 4.0;
 
 #[derive(Serialize)]
 struct RecoveryLeg {
@@ -38,6 +59,15 @@ struct BenchResult {
     tasks_completed: u64,
     merges_completed: u64,
     run_wall_secs: f64,
+    /// The full-replay leg's logical record stream priced in the v2 JSON
+    /// frame format — what the same run would have written before v3.
+    v2_json_bytes: u64,
+    /// v2_json_bytes / snapshot_tail.journal_bytes: the shrink the ISSUE
+    /// gates at ≥ 10× for the operating policy.
+    v2_shrink_operating: f64,
+    /// v2_json_bytes / full_replay.journal_bytes: codec + batch framing
+    /// alone, no snapshot compaction in the denominator.
+    v2_shrink_codec_only: f64,
     full_replay: RecoveryLeg,
     snapshot_tail: RecoveryLeg,
     speedup: f64,
@@ -94,14 +124,23 @@ fn setup(journal: JournalPolicy) -> (LobsterConfig, SimParams, Vec<Workflow>) {
 fn journal_path(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("lobster-bench-recovery");
     std::fs::create_dir_all(&dir).expect("temp dir");
+    // v3 journals are directories; clear both shapes from earlier runs.
     let path = dir.join(format!("{tag}-{}.wal", std::process::id()));
     std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&path).ok();
     path
 }
 
+fn cleanup(path: &PathBuf) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_dir_all(path).ok();
+}
+
 /// Cold-recover `path` `RECOVER_REPS` times; return the fastest pass and
-/// the last recovered db (the timing of interest is the best case — the
-/// page cache is warm either way after the first pass).
+/// the last recovered db. Recovery reads only what is on disk — the
+/// writing process's state is long dropped by the time this runs — so the
+/// timing is an honest reopen-from-disk, with a warm page cache (the
+/// steady-state restart case a master actually hits).
 fn time_recover(path: &PathBuf) -> (f64, LobsterDb) {
     let mut best = f64::INFINITY;
     let mut db = None;
@@ -114,7 +153,38 @@ fn time_recover(path: &PathBuf) -> (f64, LobsterDb) {
     (best, db.expect("at least one rep"))
 }
 
+/// Baseline (resume seconds, journal bytes) of the snapshot+tail leg
+/// from a committed BENCH_recovery.json, if one exists and parses.
+fn read_baseline(path: &str) -> Option<(f64, u64)> {
+    use serde_json::Value;
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("bench_recovery: ignoring unparseable baseline {path}");
+            return None;
+        }
+    };
+    let leg = Value::get_field(v.as_object()?, "snapshot_tail")?.as_object()?;
+    let secs = match Value::get_field(leg, "recover_secs")? {
+        Value::F64(x) => *x,
+        Value::U64(n) => *n as f64,
+        Value::I64(n) => *n as f64,
+        _ => return None,
+    };
+    let bytes = match Value::get_field(leg, "journal_bytes")? {
+        Value::U64(n) => *n,
+        _ => return None,
+    };
+    Some((secs, bytes))
+}
+
+/// >20% slower resume than the committed baseline fails the gate.
+const MAX_REGRESSION: f64 = 0.20;
+
 fn main() {
+    let out_path = "BENCH_recovery.json";
+    let baseline = read_baseline(out_path);
     let replay_path = journal_path("full-replay");
     let snap_path = journal_path("snapshot-tail");
 
@@ -123,8 +193,10 @@ fn main() {
     let full = ClusterSim::run_durable(cfg, params, wfs, &replay_path).expect("durable run");
     let run_wall_secs = started.elapsed().as_secs_f64();
 
+    // The operating policy: periodic snapshots plus default group commit.
     let (cfg, params, wfs) = setup(JournalPolicy {
         snapshot_every_records: Some(SNAPSHOT_EVERY),
+        ..JournalPolicy::default()
     });
     let snap = ClusterSim::run_durable(cfg, params, wfs, &snap_path).expect("durable run");
 
@@ -154,7 +226,15 @@ fn main() {
         std::process::exit(1);
     }
 
-    let journal_bytes = |p: &PathBuf| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    // Price the run's logical record stream in the v2 JSON format. The
+    // full-replay leg holds every record uncompacted, so the pricing is
+    // exactly what a v2 master would have written for this run.
+    let v2_json_bytes = v2_equivalent_bytes(&replay_path).expect("pricing pass");
+    let replay_bytes = journal_bytes(&replay_path).expect("journal size");
+    let snap_bytes = journal_bytes(&snap_path).expect("journal size");
+    let v2_shrink_operating = v2_json_bytes as f64 / snap_bytes.max(1) as f64;
+    let v2_shrink_codec_only = v2_json_bytes as f64 / replay_bytes.max(1) as f64;
+
     let result = BenchResult {
         seed: SEED,
         snapshot_every_records: SNAPSHOT_EVERY,
@@ -162,29 +242,79 @@ fn main() {
         tasks_completed: full.tasks_completed,
         merges_completed: full.merges_completed,
         run_wall_secs,
+        v2_json_bytes,
+        v2_shrink_operating,
+        v2_shrink_codec_only,
         full_replay: RecoveryLeg {
-            journal_bytes: journal_bytes(&replay_path),
+            journal_bytes: replay_bytes,
             recover_secs: replay_secs,
         },
         snapshot_tail: RecoveryLeg {
-            journal_bytes: journal_bytes(&snap_path),
+            journal_bytes: snap_bytes,
             recover_secs: snap_secs,
         },
         speedup: replay_secs / snap_secs.max(1e-9),
     };
     let json = serde_json::to_string_pretty(&result).expect("serialises");
-    std::fs::write("BENCH_recovery.json", &json).expect("writable cwd");
+    std::fs::write(out_path, &json).expect("writable cwd");
 
     println!("== bench_recovery (seed {SEED}) ==");
     println!("{json}");
 
+    let mut failed = false;
     if replay_secs <= snap_secs {
         eprintln!(
             "bench_recovery: snapshot+tail ({snap_secs:.6}s) did not beat \
              full replay ({replay_secs:.6}s)"
         );
+        failed = true;
+    }
+    if snap_secs >= RESUME_BUDGET_SECS {
+        eprintln!(
+            "bench_recovery: snapshot+tail resume {snap_secs:.6}s over the \
+             {RESUME_BUDGET_SECS:.3}s budget"
+        );
+        failed = true;
+    }
+    if v2_shrink_operating < V2_SHRINK_FLOOR {
+        eprintln!(
+            "bench_recovery: operating journal only {v2_shrink_operating:.1}x \
+             smaller than v2 JSON (need {V2_SHRINK_FLOOR:.0}x)"
+        );
+        failed = true;
+    }
+    if v2_shrink_codec_only < CODEC_SHRINK_FLOOR {
+        eprintln!(
+            "bench_recovery: codec-only shrink {v2_shrink_codec_only:.1}x \
+             under the {CODEC_SHRINK_FLOOR:.0}x floor"
+        );
+        failed = true;
+    }
+    // Regression gate against the committed baseline (the file as it
+    // stood before this run overwrote it). The run is fully seeded, so
+    // the journal is byte-deterministic: any size growth is a real
+    // format/policy change and fails, not just a noisy measurement.
+    if let Some((old_secs, old_bytes)) = baseline {
+        let ceiling = old_secs * (1.0 + MAX_REGRESSION);
+        if snap_secs > ceiling {
+            eprintln!(
+                "bench_recovery: REGRESSION: resume {snap_secs:.6}s > {ceiling:.6}s \
+                 (baseline {old_secs:.6}s + {:.0}%)",
+                MAX_REGRESSION * 100.0
+            );
+            failed = true;
+        }
+        if snap_bytes > old_bytes {
+            eprintln!(
+                "bench_recovery: REGRESSION: journal grew to {snap_bytes} bytes \
+                 (baseline {old_bytes})"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
-    std::fs::remove_file(&replay_path).ok();
-    std::fs::remove_file(&snap_path).ok();
+    cleanup(&replay_path);
+    cleanup(&snap_path);
 }

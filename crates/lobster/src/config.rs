@@ -218,25 +218,37 @@ impl Default for RetryPolicy {
 /// Durability policy for the Lobster DB journal (see `docs/recovery.md`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JournalPolicy {
-    /// Compact the journal into a snapshot frame after this many appended
-    /// records, bounding replay cost after a crash. `None` never
-    /// compacts (full-journal replay on recovery).
+    /// Compact a shard file into a snapshot frame after this many
+    /// appended records, bounding replay cost after a crash. `None`
+    /// never compacts (full-journal replay on recovery).
     pub snapshot_every_records: Option<u64>,
+    /// Group-commit threshold in buffered records (across all shard
+    /// files): appends buffer in memory and reach disk together when
+    /// either threshold is crossed. `1` is write-through.
+    pub group_commit_records: u64,
+    /// Group-commit threshold in buffered bytes.
+    pub group_commit_bytes: u64,
 }
 
 impl Default for JournalPolicy {
     fn default() -> Self {
         JournalPolicy {
             snapshot_every_records: Some(4096),
+            group_commit_records: 64,
+            group_commit_bytes: 128 * 1024,
         }
     }
 }
 
 impl JournalPolicy {
-    /// Never compact: recovery replays the whole journal.
+    /// Never compact, write through: every record commits immediately
+    /// and recovery replays the whole journal. The byte-conservative
+    /// policy (and what [`crate::db::LobsterDb::open`] uses).
     pub fn never() -> Self {
         JournalPolicy {
             snapshot_every_records: None,
+            group_commit_records: 1,
+            group_commit_bytes: u64::MAX,
         }
     }
 }
@@ -355,6 +367,12 @@ impl LobsterConfig {
             problems
                 .push("journal.snapshot_every_records of 0 would compact on every append".into());
         }
+        if self.journal.group_commit_records == 0 {
+            problems.push("journal.group_commit_records of 0 would never commit".into());
+        }
+        if self.journal.group_commit_bytes == 0 {
+            problems.push("journal.group_commit_bytes of 0 would never commit".into());
+        }
         problems
     }
 }
@@ -392,12 +410,19 @@ mod tests {
     fn journal_policy_roundtrip_and_validation() {
         let mut cfg = LobsterConfig::default();
         assert_eq!(cfg.journal.snapshot_every_records, Some(4096));
+        assert_eq!(cfg.journal.group_commit_records, 64);
         cfg.journal = JournalPolicy::never();
+        assert_eq!(
+            cfg.journal.group_commit_records, 1,
+            "never() is write-through"
+        );
         let back = LobsterConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back.journal, JournalPolicy::never());
         cfg.journal.snapshot_every_records = Some(0);
+        cfg.journal.group_commit_records = 0;
+        cfg.journal.group_commit_bytes = 0;
         let problems = cfg.validate();
-        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert_eq!(problems.len(), 3, "{problems:?}");
     }
 
     #[test]

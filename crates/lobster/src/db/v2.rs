@@ -1,0 +1,290 @@
+//! WAL v2 (JSON) reader — the migration path.
+//!
+//! v2 journals are a single file of JSON frames (PR 3). The reader here
+//! replays them with the exact v2 torn-tail semantics so an upgraded
+//! master recovers a pre-v3 journal byte-for-byte; [`super::LobsterDb`]
+//! then migrates the state into a v3 shard directory on open. v1 (or any
+//! other version) is rejected as `InvalidData`, as before.
+//!
+//! The v2 *encoder* kept here is not a write path: it exists so tests can
+//! fabricate genuine v2 journals and so `bench_recovery` can price the
+//! same logical record stream in v2 JSON when machine-checking the ≥10×
+//! size target.
+
+use super::{crc32, MergeInputs, Record, TaskState, FRAME_HEADER_LEN, HEADER_LEN, MAGIC};
+use crate::monitor::Accounting;
+use crate::wrapper::SegmentReport;
+use serde::{Deserialize, Serialize};
+use simkit::time::SimDuration;
+use std::io;
+use wqueue::task::{DeadLetter, TaskId};
+
+/// The version byte v2 files carry.
+pub(crate) const V2_VERSION: u32 = 2;
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// v2's `OutputFile` row (merge state lived inline on the row).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) struct V2OutputFile {
+    pub task: TaskId,
+    pub bytes: u64,
+    pub merged_into: Option<String>,
+    pub withdrawn: bool,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) struct V2WorkflowSnap {
+    pub name: String,
+    pub total: u64,
+    pub cursor: u64,
+    pub returned: Vec<u64>,
+    pub done: u64,
+    pub dead: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) struct V2TaskSnap {
+    pub id: TaskId,
+    pub workflow: String,
+    pub tasklets: Vec<u64>,
+    pub state: TaskState,
+    pub attempts: u32,
+}
+
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub(crate) struct V2Counters {
+    pub tasks_completed: u64,
+    pub tasks_failed: u64,
+    pub evictions: u64,
+    pub merges_completed: u64,
+    pub rejected_transitions: u64,
+}
+
+/// v2's monolithic snapshot image.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) struct V2SnapshotState {
+    pub workflows: Vec<V2WorkflowSnap>,
+    pub tasks: Vec<V2TaskSnap>,
+    pub outputs: Vec<V2OutputFile>,
+    pub done_order: Vec<TaskId>,
+    pub merged_files: Vec<(String, u64)>,
+    pub merge_groups: Vec<(TaskId, MergeInputs)>,
+    pub next_task: u64,
+    pub next_merge: u64,
+    pub dead_letters: Vec<DeadLetter>,
+    pub accounting: Accounting,
+    pub counters: V2Counters,
+}
+
+/// The v2 journal record set, JSON-shaped exactly as PR 3 wrote it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) enum V2Record {
+    Workflow {
+        name: String,
+        tasklets: u64,
+    },
+    TaskCreated {
+        id: TaskId,
+        workflow: String,
+        tasklets: Vec<u64>,
+    },
+    TaskRunning {
+        id: TaskId,
+    },
+    TaskDone {
+        id: TaskId,
+        output_bytes: u64,
+    },
+    TaskLost {
+        id: TaskId,
+    },
+    MergeCreated {
+        id: TaskId,
+        inputs: MergeInputs,
+    },
+    Merged {
+        task: Option<TaskId>,
+        outputs: Vec<TaskId>,
+        into: String,
+        bytes: u64,
+    },
+    Attempt {
+        report: Box<SegmentReport>,
+    },
+    Backoff {
+        wait: SimDuration,
+    },
+    DeadLettered {
+        letter: Box<DeadLetter>,
+    },
+    Snapshot {
+        state: Box<V2SnapshotState>,
+    },
+}
+
+fn v2_header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&V2_VERSION.to_le_bytes());
+    h
+}
+
+/// Encode one v2 frame (length + CRC + JSON payload), the exact bytes a
+/// v2 master would have appended.
+pub(crate) fn encode_v2_frame(rec: &V2Record) -> Vec<u8> {
+    // simlint::allow(no-panic-in-lib): V2Record is a closed set of journal shapes
+    let payload = serde_json::to_string(rec).expect("record serialises");
+    let mut f = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&crc32(payload.as_bytes()).to_le_bytes());
+    f.extend_from_slice(payload.as_bytes());
+    f
+}
+
+/// Write a complete v2 journal file image from `recs` (tests only).
+#[cfg(test)]
+pub(crate) fn v2_file_bytes(recs: &[V2Record]) -> Vec<u8> {
+    let mut buf = v2_header_bytes().to_vec();
+    for rec in recs {
+        buf.extend_from_slice(&encode_v2_frame(rec));
+    }
+    buf
+}
+
+/// The v2-JSON equivalent of a v3 record, for size accounting. Workflow
+/// indices resolve through `wf_names` (v2 repeated the name per record);
+/// snapshot records return `None` — the two formats snapshot at
+/// different granularities, so only transition records compare 1:1.
+pub(crate) fn v2_equivalent(rec: &Record, wf_names: &[String]) -> Option<V2Record> {
+    let name_of = |wf: u32| {
+        wf_names
+            .get(wf as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("wf{wf}"))
+    };
+    Some(match rec {
+        Record::Workflow { wf, name, tasklets } => {
+            let _ = wf;
+            V2Record::Workflow {
+                name: name.clone(),
+                tasklets: *tasklets,
+            }
+        }
+        Record::TaskCreated { id, wf, tasklets } => V2Record::TaskCreated {
+            id: *id,
+            workflow: name_of(*wf),
+            tasklets: tasklets.clone(),
+        },
+        Record::TaskRunning { id } => V2Record::TaskRunning { id: *id },
+        Record::TaskDone {
+            id, output_bytes, ..
+        } => V2Record::TaskDone {
+            id: *id,
+            output_bytes: *output_bytes,
+        },
+        Record::TaskLost { id } => V2Record::TaskLost { id: *id },
+        Record::MergeCreated { id, inputs } => V2Record::MergeCreated {
+            id: *id,
+            inputs: inputs.clone(),
+        },
+        Record::Merged {
+            task,
+            outputs,
+            into,
+            bytes,
+        } => V2Record::Merged {
+            task: *task,
+            outputs: outputs.clone(),
+            into: into.clone(),
+            bytes: *bytes,
+        },
+        Record::Attempt { report } => V2Record::Attempt {
+            report: report.clone(),
+        },
+        Record::Backoff { wait } => V2Record::Backoff { wait: *wait },
+        Record::DeadLettered { letter, .. } => V2Record::DeadLettered {
+            letter: letter.clone(),
+        },
+        Record::ShardSnapshot { .. } | Record::MasterSnapshot { .. } => return None,
+    })
+}
+
+/// v2 frame size (header + JSON) of a v3 record, if v2-expressible.
+#[cfg(test)]
+pub(crate) fn v2_frame_len(rec: &Record) -> Option<u64> {
+    v2_equivalent(rec, &[]).map(|r| encode_v2_frame(&r).len() as u64)
+}
+
+fn read_u32_le(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+/// Parse a v2 journal image into its record stream with v2's torn-tail
+/// semantics: a truncated/corrupt *final* frame is dropped (interrupted
+/// append); anything earlier is a hard error. A torn prefix of the
+/// header reads as an empty journal. Returns the records and the byte
+/// offset of the end of the last intact frame.
+pub(crate) fn read_v2_file(buf: &[u8], max_record_len: u32) -> io::Result<(Vec<V2Record>, u64)> {
+    if buf.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    let canonical = v2_header_bytes();
+    if buf.len() < HEADER_LEN {
+        return if canonical.starts_with(buf) {
+            Ok((Vec::new(), 0))
+        } else {
+            Err(invalid("unrecognised journal header".to_string()))
+        };
+    }
+    if buf[..HEADER_LEN] != canonical {
+        return Err(invalid(format!(
+            "bad journal header (want magic {MAGIC:?} version 2 or a v3 shard directory)"
+        )));
+    }
+    let mut recs = Vec::new();
+    let mut pos = HEADER_LEN;
+    while pos < buf.len() {
+        if buf.len() - pos < FRAME_HEADER_LEN {
+            break; // torn frame header at EOF: interrupted append
+        }
+        let len = read_u32_le(buf, pos) as usize;
+        let crc = read_u32_le(buf, pos + 4);
+        let frame_end = pos + FRAME_HEADER_LEN + len;
+        if len > max_record_len as usize {
+            if frame_end >= buf.len() {
+                break; // garbage length from a torn final frame
+            }
+            return Err(invalid(format!("oversized journal record ({len} bytes)")));
+        }
+        if frame_end > buf.len() {
+            break; // frame extends past EOF: interrupted append
+        }
+        let payload = &buf[pos + FRAME_HEADER_LEN..frame_end];
+        let is_final = frame_end == buf.len();
+        if crc32(payload) != crc {
+            if is_final {
+                break; // corrupt final frame: interrupted append
+            }
+            return Err(invalid(format!("journal CRC mismatch at offset {pos}")));
+        }
+        let parsed = std::str::from_utf8(payload)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<V2Record>(s).map_err(|e| e.to_string()));
+        match parsed {
+            Ok(r) => recs.push(r),
+            Err(e) => {
+                if is_final {
+                    break; // undecodable final frame: interrupted append
+                }
+                return Err(invalid(format!(
+                    "undecodable journal record at offset {pos}: {e}"
+                )));
+            }
+        }
+        pos = frame_end;
+    }
+    Ok((recs, pos as u64))
+}

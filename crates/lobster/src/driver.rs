@@ -30,7 +30,7 @@ use cvmfssim::catalog::ReleaseCatalog;
 use cvmfssim::squid::{Squid, SquidConfig, TimedOut};
 use gridstore::chirp::{ChirpConfig, ChirpDown, ChirpServer};
 use gridstore::xrootd::{Federation, FederationConfig};
-use simkit::fault::CrashPoint;
+use simkit::fault::{CrashPoint, CrashSite};
 use simkit::prelude::*;
 use simkit::queue::Grant;
 use simkit::stats::TimeSeries;
@@ -404,7 +404,7 @@ impl ClusterSim {
         workflows: Vec<Workflow>,
         path: impl AsRef<Path>,
     ) -> io::Result<Self> {
-        let mut db = LobsterDb::open_with_policy(path, cfg.journal.snapshot_every_records)?;
+        let mut db = LobsterDb::open_with_policy(path, &cfg.journal)?;
         if db.workflow_count() > 0 || db.task_count() > 0 {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
@@ -433,7 +433,7 @@ impl ClusterSim {
         workflows: Vec<Workflow>,
         path: impl AsRef<Path>,
     ) -> io::Result<Self> {
-        let mut db = LobsterDb::open_with_policy(path, cfg.journal.snapshot_every_records)?;
+        let mut db = LobsterDb::open_with_policy(path, &cfg.journal)?;
         for wf in &workflows {
             if !db.has_workflow(&wf.name) {
                 db.register_workflow(&wf.name, wf.n_tasklets());
@@ -739,8 +739,16 @@ impl ClusterSim {
         engine.prime(SimDuration::ZERO, Ev::Start);
         let ended_at = engine.run_until_events(deadline, crash.after_events);
         // Events still pending inside the deadline mean the budget — not
-        // quiescence — stopped the run: the crash landed mid-flight.
+        // quiescence — stopped the run: the crash landed mid-flight. How
+        // much of the open group-commit window survives is the crash
+        // site's call: a boundary crash flushes it, an in-window crash
+        // drops it with the process.
         if engine.ctx().peek_time().is_some_and(|t| t <= deadline) {
+            let mut model = engine.into_model();
+            match crash.site {
+                CrashSite::CommitBoundary => model.db.flush(),
+                CrashSite::InsideCommitWindow => model.db.crash(),
+            }
             return None;
         }
         let events_delivered = engine.ctx().delivered();
@@ -757,7 +765,10 @@ impl ClusterSim {
         engine.into_model().into_report(ended_at, events_delivered)
     }
 
-    fn into_report(self, ended_at: SimTime, events_delivered: u64) -> RunReport {
+    fn into_report(mut self, ended_at: SimTime, events_delivered: u64) -> RunReport {
+        // A completed run is a durability boundary: drain any open
+        // group-commit window before reporting.
+        self.db.flush();
         let concurrency = self.timeline.concurrency();
         let peak = concurrency.iter().copied().fold(0.0, f64::max);
         let counters = self.db.counters();

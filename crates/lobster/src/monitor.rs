@@ -20,7 +20,7 @@ use simkit::time::{SimDuration, SimTime};
 use wqueue::task::FailureCode;
 
 /// Figure 8: cumulative runtime by phase.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Accounting {
     /// CPU hours inside successful task attempts.
     pub cpu: f64,

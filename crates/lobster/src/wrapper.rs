@@ -45,7 +45,7 @@ impl Segment {
 }
 
 /// The complete instrumentation record of one task attempt.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SegmentReport {
     /// Task identity.
     pub task: TaskId,

@@ -69,23 +69,59 @@ impl FaultState {
     }
 }
 
+/// Where, relative to the journal's group-commit cycle, a crash lands.
+///
+/// With group commit the WAL lags the in-memory model by up to one
+/// commit window, so "the process died" splits into two durability
+/// outcomes that the crash matrix must cover separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashSite {
+    /// The crash lands on a commit boundary: every record the model
+    /// applied before the stop has been flushed to the journal.
+    CommitBoundary,
+    /// The crash lands inside an open commit window: records buffered
+    /// since the last flush are lost with the process, and recovery
+    /// sees only the previously committed prefix.
+    InsideCommitWindow,
+}
+
 /// A deterministic master-crash injection point: kill the scheduler
-/// process after delivering this many further events.
+/// process after delivering this many further events, at the given
+/// [`CrashSite`] relative to the group-commit cycle.
 ///
 /// Crash *sites* below event granularity (e.g. a torn WAL append) are
 /// synthesized by the harness on top of this — stop at the nearest event
-/// boundary, then truncate the journal mid-frame — so one scalar is
-/// enough to sweep the whole crash matrix reproducibly.
+/// boundary, then truncate the journal mid-frame — so an event count
+/// plus a site is enough to sweep the whole crash matrix reproducibly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashPoint {
     /// Events delivered before the crash (0 = crash before any event).
     pub after_events: u64,
+    /// Where in the group-commit cycle the crash lands.
+    pub site: CrashSite,
 }
 
 impl CrashPoint {
-    /// Crash after `after_events` delivered events.
+    /// Crash after `after_events` delivered events, on a commit
+    /// boundary (the buffered window is flushed before the process
+    /// dies — the classic "kill -9 between events" scenario where the
+    /// journal is as current as write-through would have left it).
     pub fn after_events(after_events: u64) -> Self {
-        CrashPoint { after_events }
+        CrashPoint {
+            after_events,
+            site: CrashSite::CommitBoundary,
+        }
+    }
+
+    /// Crash after `after_events` delivered events, *inside* an open
+    /// commit window: records buffered since the last group commit are
+    /// dropped on the floor, exercising recovery from a journal that
+    /// legitimately lags the dead master's memory.
+    pub fn inside_commit_window(after_events: u64) -> Self {
+        CrashPoint {
+            after_events,
+            site: CrashSite::InsideCommitWindow,
+        }
     }
 }
 
@@ -97,7 +133,17 @@ mod tests {
     fn crash_point_is_plain_data() {
         let c = CrashPoint::after_events(17);
         assert_eq!(c.after_events, 17);
-        assert_eq!(c, CrashPoint { after_events: 17 });
+        assert_eq!(
+            c,
+            CrashPoint {
+                after_events: 17,
+                site: CrashSite::CommitBoundary,
+            }
+        );
+        let w = CrashPoint::inside_commit_window(17);
+        assert_eq!(w.after_events, 17);
+        assert_eq!(w.site, CrashSite::InsideCommitWindow);
+        assert_ne!(c, w, "site participates in identity");
     }
 
     #[test]

@@ -141,7 +141,7 @@ impl TaskSpec {
 
 /// Per-segment wall-clock breakdown of one task attempt — the wrapper
 /// instrumentation of §5 plus the master-side times it cannot see itself.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TaskTimes {
     /// Master: waiting in the ready queue before dispatch.
     pub queued: SimDuration,

@@ -22,7 +22,7 @@ use simkit::fault::CrashPoint;
 use simkit::time::{SimDuration, SimTime};
 use simnet::outage::{Outage, OutageSchedule};
 use std::fs::OpenOptions;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const BYTES_PER_TASKLET: u64 = 12_000_000;
 
@@ -30,8 +30,24 @@ fn journal_path(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("lobster-crash-matrix");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join(format!("{tag}-{}.wal", std::process::id()));
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
     path
+}
+
+/// v3 journals are directories; clear both shapes.
+fn cleanup(path: &PathBuf) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_dir_all(path).ok();
+}
+
+/// The single-workflow crash workload journals task state to
+/// `shard-0000.wal` and merge/accounting state to `master.wal`.
+fn shard_file(path: &Path) -> PathBuf {
+    path.join("shard-0000.wal")
+}
+
+fn master_file(path: &Path) -> PathBuf {
+    path.join("master.wal")
 }
 
 /// A small but non-trivial workload: enough tasks that crashes land in
@@ -47,6 +63,7 @@ fn setup(merge: MergeMode, n_files: usize) -> (LobsterConfig, SimParams, Vec<Wor
     // compactions (exercising snapshot + tail replay).
     cfg.journal = JournalPolicy {
         snapshot_every_records: Some(200),
+        ..JournalPolicy::default()
     };
     let mut dbs = Dbs::new();
     dbs.generate(
@@ -130,7 +147,7 @@ fn crash_at_event_boundaries_resumes_to_same_accounting() {
     let (reference, ref_path) = reference_run(&mk, "ref-boundaries");
     let n = reference.events_delivered;
     assert!(n > 100, "workload too small to be interesting: {n} events");
-    std::fs::remove_file(&ref_path).ok();
+    cleanup(&ref_path);
 
     for crash_after in [1, n / 4, n / 2, 3 * n / 4, n - 1] {
         let path = journal_path(&format!("crash-{crash_after}"));
@@ -155,7 +172,7 @@ fn crash_at_event_boundaries_resumes_to_same_accounting() {
             &path,
             &format!("crash after {crash_after} events"),
         );
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 }
 
@@ -167,10 +184,18 @@ fn crash_mid_wal_append_resumes_to_same_accounting() {
     let mk = || setup(MergeMode::Interleaved, 10);
     let (reference, ref_path) = reference_run(&mk, "ref-torn");
     let n = reference.events_delivered;
-    std::fs::remove_file(&ref_path).ok();
+    cleanup(&ref_path);
 
-    for torn_bytes in [1u64, 3, 7, 12] {
-        let path = journal_path(&format!("torn-{torn_bytes}"));
+    // Tear the task shard and the master file in turn: either can be
+    // the one the process died inside.
+    for (which, torn_bytes) in [
+        ("shard", 1u64),
+        ("shard", 3),
+        ("shard", 7),
+        ("shard", 12),
+        ("master", 5),
+    ] {
+        let path = journal_path(&format!("torn-{which}-{torn_bytes}"));
         let (cfg, params, wfs) = mk();
         let crashed = ClusterSim::run_durable_until_crash(
             cfg,
@@ -181,9 +206,13 @@ fn crash_mid_wal_append_resumes_to_same_accounting() {
         )
         .unwrap();
         assert!(crashed.is_none());
-        let len = std::fs::metadata(&path).unwrap().len();
-        assert!(len > 16 + torn_bytes, "journal long enough to tear");
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let victim = match which {
+            "shard" => shard_file(&path),
+            _ => master_file(&path),
+        };
+        let len = std::fs::metadata(&victim).unwrap().len();
+        assert!(len > 16 + torn_bytes, "{which} long enough to tear");
+        let f = OpenOptions::new().write(true).open(&victim).unwrap();
         f.set_len(len - torn_bytes).unwrap();
         drop(f);
         let (cfg, params, wfs) = mk();
@@ -192,9 +221,9 @@ fn crash_mid_wal_append_resumes_to_same_accounting() {
             &resumed,
             &reference,
             &path,
-            &format!("torn append ({torn_bytes} bytes)"),
+            &format!("torn {which} append ({torn_bytes} bytes)"),
         );
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 }
 
@@ -204,7 +233,7 @@ fn crash_mid_wal_append_resumes_to_same_accounting() {
 fn crash_point_past_the_end_is_a_normal_run() {
     let mk = || setup(MergeMode::Interleaved, 10);
     let (reference, ref_path) = reference_run(&mk, "ref-past-end");
-    std::fs::remove_file(&ref_path).ok();
+    cleanup(&ref_path);
     let path = journal_path("past-end");
     let (cfg, params, wfs) = mk();
     let report = ClusterSim::run_durable_until_crash(
@@ -220,7 +249,7 @@ fn crash_point_past_the_end_is_a_normal_run() {
     assert_eq!(report.merges_completed, reference.merges_completed);
     assert_eq!(report.finished_at, reference.finished_at);
     assert_eq!(report.events_delivered, reference.events_delivered);
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
 }
 
 /// Journaling must not perturb the simulation: an in-memory run and a
@@ -253,7 +282,7 @@ fn durable_run_is_byte_identical_to_in_memory_run() {
         serde_json::to_string(&mem.accounting).unwrap(),
         serde_json::to_string(&dur.accounting).unwrap()
     );
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
 }
 
 /// Crash-resume under injected faults and a bounded retry budget: the
@@ -279,7 +308,7 @@ fn crash_with_dead_letters_conserves_tasklets() {
     let total_tasklets: u64 = wfs.iter().map(|w| w.n_tasklets()).sum();
     let (reference, ref_path) = reference_run(&mk, "ref-dead");
     assert!(!reference.dead_letters.is_empty(), "{reference:?}");
-    std::fs::remove_file(&ref_path).ok();
+    cleanup(&ref_path);
 
     let path = journal_path("dead-letters");
     let (cfg, params, wfs) = mk();
@@ -302,7 +331,7 @@ fn crash_with_dead_letters_conserves_tasklets() {
         total_tasklets,
         "every tasklet is merged or accounted dead: {resumed:?}"
     );
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
 }
 
 /// A journal already holding a run refuses `durable` (fresh) opens, and
@@ -334,7 +363,7 @@ fn durable_and_resume_guard_their_preconditions() {
         Ok(_) => panic!("mismatched decomposition must fail"),
     };
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
 }
 
 /// Corruption *before* the final frame is not a torn tail — it means the
@@ -344,9 +373,9 @@ fn durable_and_resume_guard_their_preconditions() {
 /// `InvalidData`, never limp onward from a truncated prefix.
 #[test]
 fn mid_file_wal_corruption_fails_hard() {
-    // Walk the v2 framing (16-byte header, then 8-byte frame headers of
+    // Walk the v3 framing (16-byte header, then 8-byte frame headers of
     // `len: u32 LE | crc: u32 LE`) to find frame payload offsets without
-    // reaching into db.rs internals.
+    // reaching into db internals.
     fn frame_payloads(buf: &[u8]) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         let mut pos = 16usize;
@@ -362,10 +391,22 @@ fn mid_file_wal_corruption_fails_hard() {
         out
     }
 
-    let mk = || setup(MergeMode::Interleaved, 10);
+    // No snapshot compaction and two-record commit groups: the shard
+    // file accumulates several frames, all of them fsynced history
+    // (only a handful of db records exist by the n/2-event mark — the
+    // early event stream is dominated by non-db activity).
+    let mk = || {
+        let (mut cfg, params, wfs) = setup(MergeMode::Interleaved, 10);
+        cfg.journal = JournalPolicy {
+            snapshot_every_records: None,
+            group_commit_records: 2,
+            ..JournalPolicy::default()
+        };
+        (cfg, params, wfs)
+    };
     let (reference, ref_path) = reference_run(&mk, "ref-corrupt");
     let n = reference.events_delivered;
-    std::fs::remove_file(&ref_path).ok();
+    cleanup(&ref_path);
     for which in ["first", "middle"] {
         let path = journal_path(&format!("corrupt-{which}"));
         let (cfg, params, wfs) = mk();
@@ -379,10 +420,13 @@ fn mid_file_wal_corruption_fails_hard() {
         .unwrap();
         assert!(crashed.is_none(), "budget must land mid-run");
 
-        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt the task shard: with group commit one frame is a whole
+        // batch, so even a busy file holds only a handful of frames.
+        let victim = shard_file(&path);
+        let mut bytes = std::fs::read(&victim).unwrap();
         let frames = frame_payloads(&bytes);
         assert!(
-            frames.len() > 4,
+            frames.len() >= 3,
             "need several intact frames to corrupt mid-file, got {}",
             frames.len()
         );
@@ -394,7 +438,7 @@ fn mid_file_wal_corruption_fails_hard() {
         assert!(idx < frames.len() - 1, "must not touch the final frame");
         let (payload_at, len) = frames[idx];
         bytes[payload_at + len / 2] ^= 0xFF;
-        std::fs::write(&path, &bytes).unwrap();
+        std::fs::write(&victim, &bytes).unwrap();
 
         let (cfg, params, wfs) = mk();
         let err = match ClusterSim::resume_run(cfg, params, wfs, &path) {
@@ -406,7 +450,7 @@ fn mid_file_wal_corruption_fails_hard() {
             std::io::ErrorKind::InvalidData,
             "{which}-frame corruption: {err}"
         );
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 }
 
@@ -418,7 +462,7 @@ fn double_crash_resumes_twice_and_converges() {
     let mk = || setup(MergeMode::Interleaved, 10);
     let (reference, ref_path) = reference_run(&mk, "ref-double");
     let n = reference.events_delivered;
-    std::fs::remove_file(&ref_path).ok();
+    cleanup(&ref_path);
 
     let path = journal_path("double-crash");
     let (cfg, params, wfs) = mk();
@@ -448,19 +492,119 @@ fn double_crash_resumes_twice_and_converges() {
     let (cfg, params, wfs) = mk();
     let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
     assert_converged(&resumed, &reference, &path, "double crash");
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
+}
+
+/// Crash *inside* an open group-commit window: the records buffered
+/// since the last commit die with the process, so the journal
+/// legitimately lags the dead master's memory by up to one window.
+/// Resume must replay the committed prefix and still converge —
+/// including through a second in-window crash of the resumed run.
+#[test]
+fn crash_inside_commit_window_resumes_to_same_accounting() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-window");
+    let n = reference.events_delivered;
+    cleanup(&ref_path);
+
+    for crash_after in [n / 4, n / 2, 3 * n / 4] {
+        let path = journal_path(&format!("window-{crash_after}"));
+        let (cfg, params, wfs) = mk();
+        let crashed = ClusterSim::run_durable_until_crash(
+            cfg,
+            params,
+            wfs,
+            &path,
+            CrashPoint::inside_commit_window(crash_after),
+        )
+        .unwrap();
+        assert!(crashed.is_none(), "budget must land mid-run");
+        let (cfg, params, wfs) = mk();
+        let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+        assert_converged(
+            &resumed,
+            &reference,
+            &path,
+            &format!("in-window crash after {crash_after} events"),
+        );
+        cleanup(&path);
+    }
+
+    // Stacked: boundary crash, resume, in-window crash, resume again.
+    let path = journal_path("window-double");
+    let (cfg, params, wfs) = mk();
+    let first = ClusterSim::run_durable_until_crash(
+        cfg,
+        params,
+        wfs,
+        &path,
+        CrashPoint::after_events(n / 3),
+    )
+    .unwrap();
+    assert!(first.is_none());
+    let (cfg, params, wfs) = mk();
+    let second = ClusterSim::resume_run_until_crash(
+        cfg,
+        params,
+        wfs,
+        &path,
+        CrashPoint::inside_commit_window(n / 4),
+    )
+    .unwrap();
+    assert!(second.is_none(), "second crash lands mid-resume");
+    let (cfg, params, wfs) = mk();
+    let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+    assert_converged(&resumed, &reference, &path, "in-window double crash");
+    cleanup(&path);
+}
+
+/// Crash mid-shard-compaction: the process dies after writing the
+/// compacted replacement (`.waltmp`) but before the atomic rename. The
+/// stray tmp file must be ignored on replay and cleared on reopen, and
+/// the resumed run must converge.
+#[test]
+fn crash_mid_compaction_ignores_stray_tmp() {
+    let mk = || setup(MergeMode::Interleaved, 10);
+    let (reference, ref_path) = reference_run(&mk, "ref-compaction");
+    let n = reference.events_delivered;
+    cleanup(&ref_path);
+
+    let path = journal_path("compaction");
+    let (cfg, params, wfs) = mk();
+    let crashed = ClusterSim::run_durable_until_crash(
+        cfg,
+        params,
+        wfs,
+        &path,
+        CrashPoint::after_events(n / 2),
+    )
+    .unwrap();
+    assert!(crashed.is_none());
+    // Simulate the torn compaction: a half-written replacement next to
+    // the live shard file (any bytes — it was never fsync-renamed).
+    let stray = path.join("shard-0000.wal.waltmp");
+    std::fs::write(&stray, b"half-written compacted image").unwrap();
+    let (cfg, params, wfs) = mk();
+    let resumed = ClusterSim::resume_run(cfg, params, wfs, &path).unwrap();
+    assert_converged(&resumed, &reference, &path, "mid-compaction crash");
+    assert!(!stray.exists(), "reopen clears the stray tmp file");
+    cleanup(&path);
 }
 
 /// The full matrix: sweep crash points across the whole run (64 evenly
-/// spaced boundaries, each with a torn-append variant). Expensive —
-/// run with `cargo test --release -- --ignored`.
+/// spaced boundaries, each with a torn-append variant). The tear lands
+/// on `master.wal`: a commit writes shards first and master last, so
+/// "died inside the final write of a commit" means a torn master tail —
+/// tearing a *shard* after master was flushed would fabricate a
+/// causality violation no real crash can produce (and which recovery
+/// now rejects). Expensive — run with `cargo test --release -- --ignored`.
 #[test]
 #[ignore = "full sweep is release-bench territory; the smoke tests above cover the sampled matrix"]
 fn full_crash_matrix() {
     let mk = || setup(MergeMode::Interleaved, 10);
     let (reference, ref_path) = reference_run(&mk, "ref-full");
     let n = reference.events_delivered;
-    std::fs::remove_file(&ref_path).ok();
+    cleanup(&ref_path);
     let points = 64u64;
     for i in 0..points {
         let crash_after = 1 + i * (n - 2) / (points - 1);
@@ -477,8 +621,9 @@ fn full_crash_matrix() {
             .unwrap();
             assert!(crashed.is_none());
             if torn_bytes > 0 {
-                let len = std::fs::metadata(&path).unwrap().len();
-                let f = OpenOptions::new().write(true).open(&path).unwrap();
+                let victim = master_file(&path);
+                let len = std::fs::metadata(&victim).unwrap().len();
+                let f = OpenOptions::new().write(true).open(&victim).unwrap();
                 f.set_len(len.saturating_sub(torn_bytes).max(16)).unwrap();
             }
             let (cfg, params, wfs) = mk();
@@ -489,7 +634,7 @@ fn full_crash_matrix() {
                 &path,
                 &format!("matrix point {i} (torn {torn_bytes})"),
             );
-            std::fs::remove_file(&path).ok();
+            cleanup(&path);
         }
     }
 }

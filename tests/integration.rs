@@ -309,8 +309,9 @@ fn config_json_roundtrip_drives_identical_run() {
 fn db_recovery_then_real_merge() {
     let dir = std::env::temp_dir().join("lobster-integration");
     std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join(format!("journal-{}.jsonl", std::process::id()));
+    let path = dir.join(format!("journal-{}.wal", std::process::id()));
     std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&path).ok();
 
     // Phase 1: process half the workflow, then "crash".
     {
@@ -357,7 +358,7 @@ fn db_recovery_then_real_merge() {
         let total: u64 = merged.iter().map(|m| hdfs.stat(m).unwrap().size).sum();
         assert_eq!(total, 8_000);
     }
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&path).ok();
 }
 
 /// A simulation-kind workflow and a data-processing workflow run in the
