@@ -64,5 +64,12 @@ step cargo run -q --release -p lobster-bench --bin bench_recovery
 #   cargo test --release -p lobster --test crash_matrix -- --ignored
 step cargo test --release -q -p lobster --test crash_matrix
 
+# Chaos-sweep conformance: every scenarios/*.json library file plus ten
+# seeded random fault schedules, each checked against the four global
+# invariants (no hang, conservation, determinism, crash/resume).
+# Rewrites CONFORMANCE_chaos.json; invariant violations fail the gate,
+# trace-digest drift against the committed baseline only prints a notice.
+step cargo run -q --release -p lobster-bench --bin bench_chaos
+
 echo
 echo "ci.sh: all gates passed"

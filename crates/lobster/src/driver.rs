@@ -481,6 +481,12 @@ impl ClusterSim {
         });
         let pool = OpportunisticPool::new(params.pool, rng.split(1));
         let n_squids = cfg.infra.n_squids as usize;
+        if let Err(e) = params.faults.validate(n_squids) {
+            // A squid fault aimed past the deployed set would otherwise be
+            // silently inert for the whole run, so reject at construction.
+            // simlint::allow(no-panic-in-lib): configuration error at sim construction
+            panic!("invalid fault plan: {e}");
+        }
         let squids: Vec<Squid> = (0..n_squids).map(|_| Squid::new(params.squid)).collect();
         let fed = Federation::new(FederationConfig {
             wan_bandwidth: simnet::units::gbit_per_s(cfg.infra.wan_gbits),
@@ -2291,6 +2297,25 @@ mod tests {
         let report = ClusterSim::run(cfg, params, wfs);
         assert!(report.finished_at.is_some());
         assert!((1..=60).contains(&report.final_task_size));
+    }
+
+    /// A squid fault aimed past the deployed set is a configuration error,
+    /// not a silently inert fault.
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn squid_fault_index_out_of_range_is_rejected() {
+        let (cfg, mut params, wfs) = small_setup(
+            MergeMode::Interleaved,
+            AvailabilityModel::Dedicated,
+            OutageSchedule::none(),
+            20,
+        );
+        let deployed = cfg.infra.n_squids as usize;
+        params.faults = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Squid { index: deployed },
+            OutageSchedule::new(vec![Outage::blackout(mins(10), mins(20))]),
+        )]);
+        ClusterSim::run(cfg, params, wfs);
     }
 
     /// A WAN blackout spanning the horizon pins every in-flight stream

@@ -10,7 +10,48 @@
 
 use serde::{Deserialize, Serialize};
 use simkit::time::SimTime;
-use simnet::outage::OutageSchedule;
+use simnet::outage::{Outage, OutageError, OutageSchedule};
+use std::fmt;
+
+/// Why a fault plan is not legal for a given deployment. The windows are
+/// re-checked here because `OutageSchedule` deserializes its private state
+/// directly, so data loaded from disk can bypass `try_new`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// A fault's windows are malformed (overlap, empty, bad values).
+    Windows {
+        /// Which component the bad fault targets.
+        target: FaultTarget,
+        /// The underlying window problem.
+        error: OutageError,
+    },
+    /// A `FaultTarget::Squid` index beyond the deployed squid count. Without
+    /// this check the fault would be silently inert: the driver applies squid
+    /// faults per deployed index, so index 3 of 2 squids never fires.
+    SquidIndexOutOfRange {
+        /// The configured index.
+        index: usize,
+        /// How many squids the run deploys.
+        deployed: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Windows { target, error } => {
+                write!(f, "fault on {target:?}: {error}")
+            }
+            FaultError::SquidIndexOutOfRange { index, deployed } => write!(
+                f,
+                "fault targets squid index {index} but only {deployed} squid(s) are deployed \
+                 (valid indices: 0..{deployed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// Which component a fault degrades.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,9 +77,20 @@ pub struct Fault {
 }
 
 impl Fault {
-    /// Degrade `target` per `windows`.
+    /// Degrade `target` per `windows`. The schedule is already validated by
+    /// its own constructors, so this cannot fail.
     pub fn new(target: FaultTarget, windows: OutageSchedule) -> Self {
         Fault { target, windows }
+    }
+
+    /// Build from raw windows, validating them at the construction
+    /// boundary: non-finite or out-of-`[0,1]` capacity factors and failure
+    /// probabilities, empty windows, and overlaps are all rejected with a
+    /// typed error instead of reaching `FaultState::set`.
+    pub fn try_new(target: FaultTarget, windows: Vec<Outage>) -> Result<Self, FaultError> {
+        let windows = OutageSchedule::try_new(windows)
+            .map_err(|error| FaultError::Windows { target, error })?;
+        Ok(Fault { target, windows })
     }
 }
 
@@ -71,15 +123,52 @@ impl FaultPlan {
         &self.faults
     }
 
+    /// Check the plan against a deployment: every fault's windows must be
+    /// legal (deserialization can smuggle in values `try_new` would reject)
+    /// and every squid target must name a deployed squid.
+    pub fn validate(&self, deployed_squids: usize) -> Result<(), FaultError> {
+        for f in &self.faults {
+            OutageSchedule::try_new(f.windows.windows().to_vec()).map_err(|error| {
+                FaultError::Windows {
+                    target: f.target,
+                    error,
+                }
+            })?;
+            if let FaultTarget::Squid { index } = f.target {
+                if index >= deployed_squids {
+                    return Err(FaultError::SquidIndexOutOfRange {
+                        index,
+                        deployed: deployed_squids,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Effective `(capacity_factor, failure_prob)` for `target` at `t`.
+    /// Factors multiply, probabilities take the max; the combined pair is
+    /// clamped to legal `FaultState` ranges so an unvalidated plan can at
+    /// worst over-degrade, never feed NaN or >1 into the fault machinery.
     pub fn state(&self, target: FaultTarget, t: SimTime) -> (f64, f64) {
         let mut factor = 1.0;
         let mut prob: f64 = 0.0;
         for f in self.faults.iter().filter(|f| f.target == target) {
             factor *= f.windows.capacity_factor(t);
-            prob = prob.max(f.windows.failure_prob(t));
+            let p = f.windows.failure_prob(t);
+            // f64::max ignores NaN; propagate it so the worst-case mapping
+            // below fires instead of silently treating the window as healthy.
+            prob = if p.is_nan() { p } else { prob.max(p) };
         }
-        (factor, prob)
+        // NaN (only reachable via deserialized windows) maps to the worst
+        // case rather than slipping through clamp unchanged.
+        if !factor.is_finite() {
+            factor = 0.0;
+        }
+        if !prob.is_finite() {
+            prob = 1.0;
+        }
+        (factor.clamp(0.0, 1.0), prob.clamp(0.0, 1.0))
     }
 
     /// Next instant strictly after `t` at which any fault's state changes.
@@ -164,6 +253,113 @@ mod tests {
         assert_eq!(p.next_transition(mins(10)), Some(mins(20)));
         assert_eq!(p.next_transition(mins(20)), Some(mins(40)));
         assert_eq!(p.next_transition(mins(50)), None);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_window_values() {
+        let bad = Outage {
+            start: mins(0),
+            end: mins(10),
+            capacity_factor: f64::NAN,
+            failure_prob: 0.0,
+        };
+        let err = Fault::try_new(FaultTarget::Chirp, vec![bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultError::Windows {
+                target: FaultTarget::Chirp,
+                error: simnet::outage::OutageError::BadCapacityFactor { .. },
+            }
+        ));
+        let bad_prob = Outage {
+            start: mins(0),
+            end: mins(10),
+            capacity_factor: 1.0,
+            failure_prob: -0.25,
+        };
+        assert!(Fault::try_new(FaultTarget::Federation, vec![bad_prob]).is_err());
+    }
+
+    #[test]
+    fn validate_checks_squid_index_against_deployment() {
+        let p = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Squid { index: 2 },
+            OutageSchedule::new(vec![Outage::blackout(mins(10), mins(20))]),
+        )]);
+        assert_eq!(p.validate(3), Ok(()));
+        let err = p.validate(2).unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::SquidIndexOutOfRange {
+                index: 2,
+                deployed: 2,
+            }
+        );
+        let msg = format!("{err}");
+        assert!(msg.contains("squid index 2"), "{msg}");
+        // Non-squid targets never trip the index check.
+        let p = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Chirp,
+            OutageSchedule::new(vec![Outage::blackout(mins(10), mins(20))]),
+        )]);
+        assert_eq!(p.validate(0), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_deserialised_bad_windows() {
+        // Deserialization fills OutageSchedule's private state directly,
+        // bypassing try_new — validate() must re-check it.
+        let json = format!(
+            "{{\"faults\":[{{\"target\":\"Chirp\",\"windows\":{{\"windows\":[{{\"start\":0,\
+             \"end\":{},\"capacity_factor\":4.0,\"failure_prob\":0.5}}]}}}}]}}",
+            mins(10).as_micros()
+        );
+        let p: FaultPlan = serde_json::from_str(&json).expect("plan parses");
+        assert!(matches!(
+            p.validate(1).unwrap_err(),
+            FaultError::Windows { .. }
+        ));
+    }
+
+    #[test]
+    fn combined_state_is_clamped_to_legal_ranges() {
+        // Two deserialized faults with illegal values: factors 4.0 * 4.0
+        // would be 16.0 and a -0.5 probability would go negative; the
+        // combination must land inside [0, 1] either way.
+        // Build through Deserialize::from_value so NaN (unrepresentable in
+        // JSON text) can also be smuggled in.
+        let window = |factor: f64, prob: f64| {
+            use serde::{Deserialize, Value};
+            let v = Value::Object(vec![(
+                "windows".to_string(),
+                Value::Array(vec![Value::Object(vec![
+                    ("start".to_string(), Value::U64(0)),
+                    ("end".to_string(), Value::U64(mins(10).as_micros())),
+                    ("capacity_factor".to_string(), Value::F64(factor)),
+                    ("failure_prob".to_string(), Value::F64(prob)),
+                ])]),
+            )]);
+            OutageSchedule::from_value(&v).expect("schedule deserialises")
+        };
+        let p = FaultPlan::new(vec![
+            Fault::new(FaultTarget::Chirp, window(4.0, -0.5)),
+            Fault::new(FaultTarget::Chirp, window(4.0, -0.5)),
+        ]);
+        assert_eq!(p.state(FaultTarget::Chirp, mins(5)), (1.0, 0.0));
+        // NaN from data maps to the conservative worst case.
+        let p = FaultPlan::new(vec![Fault::new(
+            FaultTarget::Chirp,
+            window(f64::NAN, f64::NAN),
+        )]);
+        assert_eq!(p.state(FaultTarget::Chirp, mins(5)), (0.0, 1.0));
+        // Legal combinations are untouched: factors multiply, probs max.
+        let p = FaultPlan::new(vec![
+            Fault::new(FaultTarget::Chirp, window(0.5, 0.2)),
+            Fault::new(FaultTarget::Chirp, window(0.5, 0.6)),
+        ]);
+        let (factor, prob) = p.state(FaultTarget::Chirp, mins(5));
+        assert!((factor - 0.25).abs() < 1e-12);
+        assert!((prob - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Seeded random fault schedules.
+//!
+//! [`chaos_scenario`] derives a complete [`Scenario`] from a single seed
+//! via `SimRng` — the only randomness source permitted under the
+//! determinism lint — so a failing chaos seed is a one-line reproduction.
+//!
+//! Generated scenarios are *recoverable by construction*: every segment
+//! watchdog is armed and the retry budget is finite, so a fault can
+//! dead-letter work but never pin the run (the PR-2 lesson: a WAN
+//! blackout with no stage-in deadline hangs streams forever, which would
+//! turn every chaos seed into a no-hang failure instead of an interesting
+//! one). Fault windows are bounded to the early hours of a generous
+//! horizon for the same reason.
+
+use crate::spec::{
+    AccessSpec, AvailabilitySpec, DatasetSpec, FaultSpec, InfraSpec, PoolSpec, RetrySpec, Scenario,
+    WindowSpec, WorkerSpec, WorkloadKindSpec, WorkloadSpec,
+};
+use lobster::config::JournalPolicy;
+use lobster::fault::FaultTarget;
+use lobster::merge::MergeMode;
+use simkit::rng::SimRng;
+
+/// Generate a random-but-bounded scenario from `seed`. The same seed
+/// always yields the same scenario (and therefore, by the determinism
+/// invariant, the same run).
+pub fn chaos_scenario(seed: u64) -> Scenario {
+    let mut rng = SimRng::new(seed ^ 0xC4A0_5EED);
+    let n_squids = 1 + rng.below(3) as u32; // 1..=3
+
+    // One analysis workload, sized to finish comfortably in debug builds.
+    let n_files = 8 + rng.below(5); // 8..=12 files
+    let workload = WorkloadSpec {
+        name: format!("chaos-{seed:x}"),
+        tasklets_per_task: 4 + rng.below(5) as u32, // 4..=8
+        tasklet_mean_mins: rng.range_f64(6.0, 12.0),
+        tasklet_sigma_mins: rng.range_f64(1.0, 5.0),
+        output_mb_per_tasklet: 12,
+        kind: WorkloadKindSpec::DataProcessing {
+            dataset: DatasetSpec {
+                path: format!("/Chaos/Seed{seed:x}/AOD"),
+                n_files,
+                mean_file_mb: 400 + rng.below(200),
+                events_per_lumi: 100,
+                lumis_per_file: 50,
+                seed: rng.next_u64(),
+            },
+        },
+    };
+
+    let availability = match rng.below(3) {
+        0 => AvailabilitySpec::Dedicated,
+        1 => AvailabilitySpec::Exponential {
+            mean_hours: rng.range_f64(6.0, 24.0),
+        },
+        _ => AvailabilitySpec::Mixture {
+            short_frac: rng.range_f64(0.3, 0.6),
+            short_scale_hours: rng.range_f64(1.0, 2.0),
+            short_shape: 0.8,
+            long_scale_hours: rng.range_f64(12.0, 24.0),
+            long_shape: 1.1,
+        },
+    };
+
+    // 1–3 faults over distinct targets, windows placed sequentially so
+    // they never overlap within one schedule.
+    let mut targets = vec![FaultTarget::Chirp, FaultTarget::Federation];
+    for i in 0..n_squids {
+        targets.push(FaultTarget::Squid { index: i as usize });
+    }
+    rng.shuffle(&mut targets);
+    let n_faults = 1 + rng.below(3) as usize; // 1..=3
+    let mut faults = Vec::with_capacity(n_faults);
+    for target in targets.into_iter().take(n_faults) {
+        let mut windows = Vec::new();
+        let mut cursor = 20 + rng.below(60); // first window starts 20–80 min in
+        for _ in 0..=rng.below(2) {
+            let duration = 15 + rng.below(120); // 15–135 min
+            let blackout = rng.chance(0.4);
+            windows.push(WindowSpec {
+                start_mins: cursor,
+                end_mins: cursor + duration,
+                capacity_factor: if blackout {
+                    0.0
+                } else {
+                    rng.range_f64(0.05, 0.6)
+                },
+                failure_prob: if blackout {
+                    1.0
+                } else {
+                    rng.range_f64(0.1, 0.9)
+                },
+            });
+            cursor += duration + 10 + rng.below(60); // gap before the next
+        }
+        faults.push(FaultSpec { target, windows });
+    }
+
+    Scenario {
+        name: format!("chaos-{seed:016x}"),
+        description: format!("randomised fault schedule generated from seed {seed:#x}"),
+        seed: rng.next_u64(),
+        // Generous cap: the run must *drain*, not merely survive — a hang
+        // shows up as a no-hang violation, not a timeout.
+        horizon_hours: 400,
+        availability,
+        pool: PoolSpec {
+            total_cores: 160 + rng.below(96) as u32,
+            owner_mean: rng.range_f64(5.0, 30.0),
+            reversion: 0.1,
+            noise: rng.range_f64(0.0, 0.3),
+            tick_mins: 5,
+        },
+        workers: WorkerSpec {
+            cores_per_worker: 4,
+            target_cores: 48 + 4 * rng.below(9) as u32, // 48..=80
+        },
+        infra: InfraSpec {
+            n_squids,
+            n_foremen: 2 + rng.below(3) as u32,
+            chirp_connections: 32 + rng.below(64) as u32,
+            wan_gbits: rng.range_f64(2.0, 10.0),
+            alien_cache: rng.chance(0.5),
+        },
+        access: AccessSpec::Stream,
+        merge: if rng.chance(0.5) {
+            MergeMode::Interleaved
+        } else {
+            MergeMode::Sequential
+        },
+        merge_target_mb: 200,
+        workloads: vec![workload],
+        retry: RetrySpec {
+            // Finite budget: faults may dead-letter tasks, never spin them.
+            max_attempts: Some(3 + rng.below(3) as u32),
+            requeue_base_mins: 5 + rng.below(10),
+            requeue_factor: 2.0,
+            requeue_max_mins: 60,
+            slot_hold_base_mins: 15,
+            slot_hold_max_mins: 120,
+            // Every segment guarded: no fault can pin a task forever.
+            env_setup_deadline_mins: Some(45),
+            stage_in_deadline_mins: Some(45),
+            execute_deadline_mins: Some(24 * 60),
+            stage_out_deadline_mins: Some(45),
+        },
+        journal: JournalPolicy {
+            snapshot_every_records: Some(200),
+            group_commit_records: 1 + rng.below(64),
+            group_commit_bytes: 128 * 1024,
+        },
+        wan_outages: Vec::new(),
+        faults,
+    }
+}

@@ -237,7 +237,7 @@ impl Rule {
 }
 
 /// Crates whose library code is simulation state / simulation logic.
-const SIM_CRATES: [&str; 7] = [
+const SIM_CRATES: [&str; 8] = [
     "simkit",
     "simnet",
     "batchsim",
@@ -245,6 +245,7 @@ const SIM_CRATES: [&str; 7] = [
     "cvmfssim",
     "gridstore",
     "lobster",
+    "scenario",
 ];
 
 /// One lint violation.

@@ -7,6 +7,69 @@
 
 use serde::{Deserialize, Serialize};
 use simkit::time::SimTime;
+use std::fmt;
+
+/// Why a set of outage windows is not a legal schedule. Produced by
+/// [`OutageSchedule::try_new`]; construction paths that feed on
+/// *deserialized* data (scenario files, fault plans) surface this instead
+/// of panicking.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutageError {
+    /// A window with `start >= end` (zero-length or inverted).
+    EmptyWindow {
+        /// The offending window's start.
+        start: SimTime,
+        /// The offending window's end.
+        end: SimTime,
+    },
+    /// Two windows overlap after sorting by start.
+    Overlap {
+        /// End of the earlier window.
+        first_end: SimTime,
+        /// Start of the later window, strictly before `first_end`.
+        second_start: SimTime,
+    },
+    /// A capacity factor outside `[0, 1]` or non-finite.
+    BadCapacityFactor {
+        /// The offending value.
+        value: f64,
+    },
+    /// A failure probability outside `[0, 1]` or non-finite.
+    BadFailureProb {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OutageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutageError::EmptyWindow { start, end } => write!(
+                f,
+                "empty outage window: start {:.3}h is not before end {:.3}h",
+                start.as_hours_f64(),
+                end.as_hours_f64()
+            ),
+            OutageError::Overlap {
+                first_end,
+                second_start,
+            } => write!(
+                f,
+                "overlapping outage windows: one ends at {:.3}h after the next starts at {:.3}h",
+                first_end.as_hours_f64(),
+                second_start.as_hours_f64()
+            ),
+            OutageError::BadCapacityFactor { value } => {
+                write!(f, "capacity factor {value} outside [0, 1]")
+            }
+            OutageError::BadFailureProb { value } => {
+                write!(f, "failure probability {value} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OutageError {}
 
 /// One degradation window.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -69,16 +132,48 @@ impl OutageSchedule {
         }
     }
 
-    /// Build from windows; they are sorted and must not overlap.
-    pub fn new(mut windows: Vec<Outage>) -> Self {
+    /// Build from windows; they are sorted and must not overlap. Panics on
+    /// an illegal set — use [`OutageSchedule::try_new`] when the windows
+    /// come from external data.
+    pub fn new(windows: Vec<Outage>) -> Self {
+        match Self::try_new(windows) {
+            Ok(s) => s,
+            // simlint::allow(no-panic-in-lib): construction-time contract on programmatic windows; data-driven paths use try_new
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build from windows without panicking: they are sorted by start and
+    /// checked for overlap, emptiness, and legal factor/probability values.
+    pub fn try_new(mut windows: Vec<Outage>) -> Result<Self, OutageError> {
+        for w in &windows {
+            if w.start >= w.end {
+                return Err(OutageError::EmptyWindow {
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+            if !w.capacity_factor.is_finite() || !(0.0..=1.0).contains(&w.capacity_factor) {
+                return Err(OutageError::BadCapacityFactor {
+                    value: w.capacity_factor,
+                });
+            }
+            if !w.failure_prob.is_finite() || !(0.0..=1.0).contains(&w.failure_prob) {
+                return Err(OutageError::BadFailureProb {
+                    value: w.failure_prob,
+                });
+            }
+        }
         windows.sort_by_key(|w| w.start);
         for pair in windows.windows(2) {
-            assert!(pair[0].end <= pair[1].start, "overlapping outage windows");
+            if pair[0].end > pair[1].start {
+                return Err(OutageError::Overlap {
+                    first_end: pair[0].end,
+                    second_start: pair[1].start,
+                });
+            }
         }
-        for w in &windows {
-            assert!(w.start < w.end, "empty outage window");
-        }
-        OutageSchedule { windows }
+        Ok(OutageSchedule { windows })
     }
 
     /// The window active at `t`, if any.
@@ -177,6 +272,89 @@ mod tests {
     #[should_panic(expected = "empty outage window")]
     fn rejects_empty_window() {
         OutageSchedule::new(vec![Outage::blackout(t(10), t(10))]);
+    }
+
+    #[test]
+    fn try_new_reports_overlap() {
+        let err = OutageSchedule::try_new(vec![
+            Outage::blackout(t(10), t(30)),
+            Outage::blackout(t(20), t(40)),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            OutageError::Overlap {
+                first_end: t(30),
+                second_start: t(20),
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_reports_empty_and_inverted_windows() {
+        let err = OutageSchedule::try_new(vec![Outage::blackout(t(10), t(10))]).unwrap_err();
+        assert_eq!(
+            err,
+            OutageError::EmptyWindow {
+                start: t(10),
+                end: t(10),
+            }
+        );
+        let err = OutageSchedule::try_new(vec![Outage::blackout(t(20), t(10))]).unwrap_err();
+        assert!(matches!(err, OutageError::EmptyWindow { .. }));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_values() {
+        // Struct-literal construction bypasses brownout's asserts, so the
+        // schedule itself must police value ranges.
+        let bad_factor = Outage {
+            start: t(0),
+            end: t(10),
+            capacity_factor: -0.5,
+            failure_prob: 0.0,
+        };
+        assert!(matches!(
+            OutageSchedule::try_new(vec![bad_factor]),
+            Err(OutageError::BadCapacityFactor { .. })
+        ));
+        let nan_factor = Outage {
+            capacity_factor: f64::NAN,
+            ..bad_factor
+        };
+        assert!(matches!(
+            OutageSchedule::try_new(vec![nan_factor]),
+            Err(OutageError::BadCapacityFactor { .. })
+        ));
+        let bad_prob = Outage {
+            start: t(0),
+            end: t(10),
+            capacity_factor: 1.0,
+            failure_prob: 1.5,
+        };
+        assert!(matches!(
+            OutageSchedule::try_new(vec![bad_prob]),
+            Err(OutageError::BadFailureProb { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_accepts_adjacent_and_sorts() {
+        let s = OutageSchedule::try_new(vec![
+            Outage::brownout(t(20), t(30), 0.5, 0.1),
+            Outage::blackout(t(10), t(20)),
+        ])
+        .unwrap();
+        assert_eq!(s.windows().len(), 2);
+        assert_eq!(s.windows()[0].start, t(10));
+        assert_eq!(s.next_transition(t(0)), Some(t(10)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = OutageSchedule::try_new(vec![Outage::blackout(t(3600), t(3600))]).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("empty outage window"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Property-based tests for `OutageSchedule` construction and edge
+//! semantics: degenerate and overlapping windows are always rejected,
+//! adjacent windows hand off at a single half-open edge, and the
+//! transition chain visits every window edge exactly once, in order.
+
+use proptest::prelude::*;
+use simkit::time::{SimDuration, SimTime};
+use simnet::outage::{Outage, OutageError, OutageSchedule};
+
+fn brown(start_s: u64, end_s: u64, factor: f64, prob: f64) -> Outage {
+    Outage::brownout(
+        SimTime::from_secs(start_s),
+        SimTime::from_secs(end_s),
+        factor,
+        prob,
+    )
+}
+
+/// Non-overlapping (possibly adjacent) windows from `(gap, len, factor)`
+/// triples: each window starts `gap` seconds after the previous one ends.
+fn laid_out(windows: &[(u64, u64, f64)]) -> Vec<Outage> {
+    let mut start = 0u64;
+    let mut out = Vec::new();
+    for &(gap, len, factor) in windows {
+        start += gap;
+        out.push(brown(start, start + len, factor, 1.0 - factor));
+        start += len;
+    }
+    out
+}
+
+proptest! {
+    /// A window whose end does not lie strictly after its start is always
+    /// rejected, wherever it sits among otherwise valid windows.
+    #[test]
+    fn degenerate_windows_always_rejected(
+        start in 0u64..10_000,
+        back in 0u64..100,
+        valid in prop::collection::vec((1u64..100, 1u64..100, 0.0f64..1.0), 0..4),
+    ) {
+        let end = start.saturating_sub(back);
+        let mut windows = laid_out(&valid);
+        // Park the bad window far past the valid ones so the empty-window
+        // check, not the overlap check, must catch it.
+        let off = 1_000_000;
+        windows.push(brown(off + start, off + end, 0.5, 0.5));
+        prop_assert!(matches!(
+            OutageSchedule::try_new(windows),
+            Err(OutageError::EmptyWindow { .. })
+        ));
+    }
+
+    /// Two windows that share any instant are rejected in either input
+    /// order (construction sorts before checking).
+    #[test]
+    fn overlapping_pairs_always_rejected(
+        a_start in 0u64..1_000,
+        a_len in 1u64..500,
+        into in 0u64..500,
+        b_len in 1u64..500,
+    ) {
+        let b_start = a_start + (into % a_len); // strictly inside [a_start, a_end)
+        let a = brown(a_start, a_start + a_len, 0.5, 0.5);
+        let b = brown(b_start, b_start + b_len, 0.25, 0.75);
+        for pair in [vec![a, b], vec![b, a]] {
+            prop_assert!(matches!(
+                OutageSchedule::try_new(pair),
+                Err(OutageError::Overlap { .. })
+            ));
+        }
+    }
+
+    /// Adjacent windows are legal and hand off at a single half-open
+    /// edge: the shared timestamp belongs to the later window only.
+    #[test]
+    fn adjacent_windows_hand_off_half_open(
+        start in 0u64..1_000,
+        len_a in 1u64..500,
+        len_b in 1u64..500,
+        f_a in 0.0f64..0.49,
+        f_b in 0.51f64..1.0,
+    ) {
+        let mid = start + len_a;
+        let end = mid + len_b;
+        let sched = OutageSchedule::try_new(vec![
+            brown(mid, end, f_b, 1.0 - f_b),
+            brown(start, mid, f_a, 1.0 - f_a),
+        ]);
+        prop_assert!(sched.is_ok(), "adjacent windows must be accepted");
+        let sched = sched.unwrap();
+        let t = SimTime::from_secs;
+        // First edge: inclusive.
+        prop_assert!(sched.is_degraded(t(start)));
+        prop_assert_eq!(sched.capacity_factor(t(start)), f_a);
+        // Shared edge: the earlier window has ended, the later one owns it.
+        prop_assert!(sched.is_degraded(t(mid)));
+        prop_assert_eq!(sched.capacity_factor(t(mid)), f_b);
+        prop_assert_eq!(sched.failure_prob(t(mid)), 1.0 - f_b);
+        // One microsecond earlier the first window still rules.
+        prop_assert_eq!(
+            sched.capacity_factor(t(mid) - SimDuration::from_micros(1)),
+            f_a
+        );
+        // Final edge: exclusive — service is restored at `end` exactly.
+        prop_assert!(!sched.is_degraded(t(end)));
+        prop_assert_eq!(sched.capacity_factor(t(end)), 1.0);
+        prop_assert_eq!(sched.failure_prob(t(end)), 0.0);
+    }
+
+    /// The transition chain from time zero visits exactly the distinct
+    /// window edges, strictly increasing, and construction leaves the
+    /// windows sorted regardless of input order.
+    #[test]
+    fn transition_chain_visits_every_edge_once(
+        spec in prop::collection::vec((0u64..200, 1u64..200, 0.0f64..1.0), 1..12),
+        reverse in any::<bool>(),
+    ) {
+        let mut windows = laid_out(&spec);
+        if reverse {
+            windows.reverse();
+        }
+        let sched = OutageSchedule::try_new(windows).unwrap();
+
+        let starts: Vec<_> = sched.windows().iter().map(|w| w.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort();
+        prop_assert_eq!(&starts, &sorted, "windows come out sorted");
+
+        // Every distinct edge, in order (adjacent windows share one edge).
+        let mut edges: Vec<SimTime> = sched
+            .windows()
+            .iter()
+            .flat_map(|w| [w.start, w.end])
+            .collect();
+        edges.sort();
+        edges.dedup();
+
+        let mut visited = Vec::new();
+        let mut t = SimTime::ZERO;
+        while let Some(next) = sched.next_transition(t) {
+            prop_assert!(next > t, "transitions strictly increase");
+            visited.push(next);
+            t = next;
+        }
+        // Time zero can itself be a window start; it is never returned
+        // because transitions are strictly in the future.
+        edges.retain(|&e| e > SimTime::ZERO);
+        prop_assert_eq!(visited, edges);
+    }
+
+    /// Window edges that land exactly on query timestamps: for every
+    /// window of a valid schedule, the start is degraded with that
+    /// window's values and the end is not degraded unless an adjacent
+    /// window takes over.
+    #[test]
+    fn edges_on_query_timestamps(
+        spec in prop::collection::vec((0u64..100, 1u64..100, 0.0f64..1.0), 1..10),
+    ) {
+        let sched = OutageSchedule::try_new(laid_out(&spec)).unwrap();
+        let windows = sched.windows().to_vec();
+        for w in &windows {
+            prop_assert!(sched.is_degraded(w.start));
+            prop_assert_eq!(sched.capacity_factor(w.start), w.capacity_factor);
+            prop_assert_eq!(sched.failure_prob(w.start), w.failure_prob);
+            prop_assert!(sched.is_degraded(w.end - SimDuration::from_micros(1)));
+            let handoff = windows.iter().any(|x| x.start == w.end);
+            prop_assert_eq!(sched.is_degraded(w.end), handoff);
+            if !handoff {
+                prop_assert_eq!(sched.capacity_factor(w.end), 1.0);
+                prop_assert_eq!(sched.failure_prob(w.end), 0.0);
+            }
+        }
+    }
+}

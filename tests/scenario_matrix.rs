@@ -1,0 +1,183 @@
+//! Scenario conformance matrix: every shipped scenario file under
+//! `scenarios/` must parse, validate, compile, and pass all four global
+//! invariants (no hang, accounting conservation, trace determinism,
+//! crash/resume convergence) — plus a sampled pair of randomized chaos
+//! seeds, so the generator itself stays honest in tier-1. The full chaos
+//! sweep runs in release via `bench_chaos` (see `ci.sh`).
+
+use scenario::chaos::chaos_scenario;
+use scenario::runner::ScenarioRunner;
+use scenario::spec::{Scenario, ScenarioError};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn library() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 6,
+        "scenario library holds at least the six shipped scenarios, found {}",
+        files.len()
+    );
+    files
+}
+
+/// Every library file parses, validates, and its name matches the file
+/// stem — cheap schema conformance before the expensive runs.
+#[test]
+fn library_parses_and_validates() {
+    for path in library() {
+        let sc = Scenario::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert_eq!(
+            sc.name,
+            stem,
+            "{}: name must match file stem",
+            path.display()
+        );
+        assert!(
+            !sc.description.is_empty(),
+            "{}: empty description",
+            path.display()
+        );
+    }
+}
+
+/// The four invariants, on every shipped scenario.
+#[test]
+fn library_scenarios_conform() {
+    let runner = ScenarioRunner::new("matrix").unwrap();
+    for path in library() {
+        let sc = Scenario::load(&path).unwrap();
+        let report = runner
+            .conformance(&sc)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            report.done_tasklets + report.dead_tasklets,
+            report.total_tasklets,
+            "{}: conservation must hold in the report too",
+            path.display()
+        );
+        assert!(
+            report.finished_at_us < report.horizon_us,
+            "{}: drained strictly before the horizon",
+            path.display()
+        );
+    }
+}
+
+/// A sampled pair of chaos seeds: the generator must emit valid scenarios
+/// that pass the same four invariants. The release sweep covers more.
+#[test]
+fn sampled_chaos_seeds_conform() {
+    let runner = ScenarioRunner::new("chaos-sample").unwrap();
+    for seed in [3, 11] {
+        let sc = chaos_scenario(seed);
+        sc.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        runner
+            .conformance(&sc)
+            .unwrap_or_else(|e| panic!("chaos seed {seed}: {e}"));
+    }
+}
+
+/// Chaos generation is a pure function of the seed.
+#[test]
+fn chaos_scenarios_are_reproducible() {
+    let a = chaos_scenario(99);
+    let b = chaos_scenario(99);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "same seed, same scenario"
+    );
+    let c = chaos_scenario(100);
+    assert_ne!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&c).unwrap(),
+        "different seeds diverge"
+    );
+}
+
+/// Validation rejects the failure modes the typed errors exist for.
+#[test]
+fn validation_rejects_bad_scenarios() {
+    let base = chaos_scenario(7);
+
+    let mut sc = base.clone();
+    sc.workloads.clear();
+    assert!(matches!(sc.validate(), Err(ScenarioError::Invalid(_))));
+
+    let mut sc = base.clone();
+    sc.faults = vec![scenario::spec::FaultSpec {
+        target: lobster::fault::FaultTarget::Squid {
+            index: sc.infra.n_squids as usize,
+        },
+        windows: vec![scenario::spec::WindowSpec {
+            start_mins: 10,
+            end_mins: 20,
+            capacity_factor: 0.0,
+            failure_prob: 1.0,
+        }],
+    }];
+    assert!(
+        matches!(sc.validate(), Err(ScenarioError::Fault(_))),
+        "squid index past the deployed set is a typed fault error"
+    );
+
+    let mut sc = base.clone();
+    sc.faults = vec![scenario::spec::FaultSpec {
+        target: lobster::fault::FaultTarget::Chirp,
+        windows: vec![scenario::spec::WindowSpec {
+            start_mins: 20,
+            end_mins: 20,
+            capacity_factor: 0.0,
+            failure_prob: 1.0,
+        }],
+    }];
+    assert!(
+        matches!(sc.validate(), Err(ScenarioError::Fault(_))),
+        "zero-length fault window is rejected"
+    );
+
+    let mut sc = base.clone();
+    sc.wan_outages = vec![
+        scenario::spec::WindowSpec {
+            start_mins: 10,
+            end_mins: 40,
+            capacity_factor: 0.0,
+            failure_prob: 1.0,
+        },
+        scenario::spec::WindowSpec {
+            start_mins: 30,
+            end_mins: 50,
+            capacity_factor: 0.0,
+            failure_prob: 1.0,
+        },
+    ];
+    assert!(
+        matches!(sc.validate(), Err(ScenarioError::WanOutage(_))),
+        "overlapping wan outage windows are rejected"
+    );
+
+    let mut sc = base;
+    sc.faults = vec![scenario::spec::FaultSpec {
+        target: lobster::fault::FaultTarget::Federation,
+        windows: vec![scenario::spec::WindowSpec {
+            start_mins: 10,
+            end_mins: 60,
+            capacity_factor: 1.5,
+            failure_prob: 0.5,
+        }],
+    }];
+    assert!(
+        matches!(sc.validate(), Err(ScenarioError::Fault(_))),
+        "capacity factor above 1 is rejected"
+    );
+}
