@@ -44,8 +44,16 @@ step cargo run -q -p simlint -- --check
 step cargo test --workspace -q
 
 # Release-mode cluster-run smoke: fixed seed, failure-policy machinery
-# included; writes throughput numbers to BENCH_cluster.json.
+# included; writes throughput numbers to BENCH_cluster.json plus the
+# ops-plane snapshot METRICS_cluster.json. Schema drift against the
+# committed snapshot fails the gate; value drift prints a notice.
 step cargo run -q --release -p lobster-bench --bin bench_cluster
+
+# Render the ops dashboard straight from the committed snapshot — proves
+# the HTML view needs nothing but metrics.json. The artifact is
+# regenerated, not committed.
+step cargo run -q --release -p lobster --bin lobster -- \
+    dashboard METRICS_cluster.json --out DASHBOARD_cluster.html
 
 # Scale-campaign sweep (2.5k -> 20k cores with fault windows). Rewrites
 # BENCH_scale.json and fails if any sweep point loses more than 20% of

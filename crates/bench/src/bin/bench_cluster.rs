@@ -4,6 +4,12 @@
 //! policy and an injected WAN fault window, so the failure-handling paths
 //! are part of the measured work) and writes throughput numbers to
 //! `BENCH_cluster.json` for run-to-run comparison.
+//!
+//! The run also lowers into the ops-plane metrics snapshot,
+//! `METRICS_cluster.json`. Against the committed baseline, *schema*
+//! drift (a structural name appearing or vanishing, or an unparseable
+//! baseline) fails the gate; *value* drift only prints a notice —
+//! mirroring how `CONFORMANCE_chaos.json` treats trace digests.
 
 use batchsim::availability::AvailabilityModel;
 use batchsim::pool::PoolConfig;
@@ -91,14 +97,65 @@ fn setup() -> (LobsterConfig, SimParams, Vec<Workflow>) {
     (cfg, params, vec![wf])
 }
 
+/// Gate `METRICS_cluster.json` against the committed baseline: schema
+/// drift fails, value drift is a notice. Returns `false` on schema drift.
+fn gate_metrics_baseline(path: &str, snap: &opsplane::MetricsSnapshot) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("bench_cluster: no committed {path}; writing a fresh baseline");
+        return true;
+    };
+    let old = match opsplane::MetricsSnapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_cluster: FAIL committed {path} does not parse: {e}");
+            return false;
+        }
+    };
+    let (old_sig, new_sig) = (old.schema_signature(), snap.schema_signature());
+    if old_sig != new_sig {
+        eprintln!("bench_cluster: FAIL metrics schema drift vs committed {path}:");
+        for name in &old_sig {
+            if !new_sig.contains(name) {
+                eprintln!("  - removed {name}");
+            }
+        }
+        for name in &new_sig {
+            if !old_sig.contains(name) {
+                eprintln!("  - added   {name}");
+            }
+        }
+        eprintln!("  (bump opsplane::SCHEMA and recommit {path} if intentional)");
+        return false;
+    }
+    if old.to_json() != snap.to_json() {
+        eprintln!(
+            "bench_cluster: NOTICE metrics value drift vs committed {path} \
+             (commit the refreshed snapshot if intentional)"
+        );
+    }
+    true
+}
+
 fn main() {
     let (cfg, params, wfs) = setup();
     let started = std::time::Instant::now();
-    let report = ClusterSim::run(cfg, params, wfs);
+    let report = ClusterSim::run(cfg.clone(), params.clone(), wfs);
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
 
     if report.finished_at.is_none() {
         eprintln!("bench_cluster: run did not finish: {report:?}");
+        std::process::exit(1);
+    }
+
+    let snap = lobster::ops::snapshot_from_run("bench_cluster", &cfg, &params, &report);
+    if let Err(e) = snap.validate() {
+        eprintln!("bench_cluster: snapshot failed validation: {e}");
+        std::process::exit(1);
+    }
+    let metrics_path = "METRICS_cluster.json";
+    let schema_ok = gate_metrics_baseline(metrics_path, &snap);
+    std::fs::write(metrics_path, snap.to_json()).expect("writable cwd");
+    if !schema_ok {
         std::process::exit(1);
     }
 

@@ -10,7 +10,10 @@
 //! lobster validate <config.json>      check a configuration
 //! lobster simulate <config.json>      run the cluster-scale simulation
 //!     [--hours H] [--cores N] [--seed S]
+//!     [--metrics metrics.json] [--dashboard out.html]
 //! lobster tasksize [--hours ...]      the §4.1 task-size study
+//! lobster dashboard <metrics.json>    render the ops dashboard from a
+//!     [--out out.html] [--prom out.prom]   committed snapshot
 //! ```
 
 use batchsim::availability::{AvailabilityModel, EvictionScenario};
@@ -26,8 +29,10 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  lobster init <config.json>\n  lobster validate <config.json>\n  \
-         lobster simulate <config.json> [--hours H] [--cores N] [--seed S]\n  \
-         lobster tasksize [--task-hours H1,H2,...]"
+         lobster simulate <config.json> [--hours H] [--cores N] [--seed S] \
+         [--metrics metrics.json] [--dashboard out.html]\n  \
+         lobster tasksize [--task-hours H1,H2,...]\n  \
+         lobster dashboard <metrics.json> [--out out.html] [--prom out.prom]"
     );
     ExitCode::from(2)
 }
@@ -104,7 +109,46 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::FAILURE;
             }
-            run_simulation(cfg, hours)
+            let metrics_out = flag(&args, "--metrics");
+            let dashboard_out = flag(&args, "--dashboard");
+            run_simulation(cfg, hours, metrics_out, dashboard_out)
+        }
+        Some("dashboard") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("lobster: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let snap = match opsplane::MetricsSnapshot::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lobster: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = snap.validate() {
+                eprintln!("lobster: {path}: invalid snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+            let out = flag(&args, "--out").unwrap_or_else(|| "dashboard.html".to_string());
+            if let Err(e) = std::fs::write(&out, opsplane::dashboard::render(&snap)) {
+                eprintln!("lobster: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote dashboard for run {:?} to {out}", snap.run.name);
+            if let Some(prom_out) = flag(&args, "--prom") {
+                if let Err(e) = std::fs::write(&prom_out, opsplane::prom::render(&snap)) {
+                    eprintln!("lobster: cannot write {prom_out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote Prometheus text exposition to {prom_out}");
+            }
+            ExitCode::SUCCESS
         }
         Some("tasksize") => {
             let hours: Vec<f64> = flag(&args, "--task-hours")
@@ -142,8 +186,14 @@ fn main() -> ExitCode {
 }
 
 /// Decompose the configured workflows against synthetic DBS datasets and
-/// run the cluster simulation.
-fn run_simulation(cfg: LobsterConfig, hours: u64) -> ExitCode {
+/// run the cluster simulation, optionally emitting the ops-plane
+/// snapshot and dashboard.
+fn run_simulation(
+    cfg: LobsterConfig,
+    hours: u64,
+    metrics_out: Option<String>,
+    dashboard_out: Option<String>,
+) -> ExitCode {
     let mut dbs = Dbs::new();
     let mut workflows = Vec::new();
     for w in &cfg.workflows {
@@ -183,7 +233,30 @@ fn run_simulation(cfg: LobsterConfig, hours: u64) -> ExitCode {
         horizon: SimDuration::from_hours(hours),
         ..SimParams::default()
     };
-    let report = ClusterSim::run(cfg, params, workflows);
+    let run_name = cfg
+        .workflows
+        .first()
+        .map(|w| w.name.clone())
+        .unwrap_or_else(|| "simulate".to_string());
+    let report = ClusterSim::run(cfg.clone(), params.clone(), workflows);
+
+    if metrics_out.is_some() || dashboard_out.is_some() {
+        let snap = lobster::ops::snapshot_from_run(&run_name, &cfg, &params, &report);
+        if let Some(path) = &metrics_out {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                eprintln!("lobster: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote metrics snapshot to {path}");
+        }
+        if let Some(path) = &dashboard_out {
+            if let Err(e) = std::fs::write(path, opsplane::dashboard::render(&snap)) {
+                eprintln!("lobster: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote dashboard to {path}");
+        }
+    }
 
     println!(
         "\nconcurrent tasks  {}",

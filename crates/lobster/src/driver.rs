@@ -274,6 +274,9 @@ pub struct RunReport {
     pub merge_done: TimeSeries,
     /// §5 advisor diagnosis.
     pub advice: Vec<crate::monitor::Advice>,
+    /// Advisor input signals: `(signal, mean minutes, samples)` where the
+    /// denominator counts only attempts that measured the signal.
+    pub advisor_signals: Vec<(&'static str, f64, u64)>,
     /// §5 per-segment duration histograms.
     pub segment_histograms: SegmentHistograms,
     /// Figure 9 dashboard rows (consumer, bytes).
@@ -302,6 +305,50 @@ pub struct RunReport {
     pub dead_letters: Vec<DeadLetter>,
     /// Engine events delivered over the run (throughput diagnostics).
     pub events_delivered: u64,
+}
+
+/// A live status sample, pollable mid-run through the ops plane: the
+/// operator's view of a running master without stopping it.
+#[derive(Clone, Debug)]
+pub struct OpsStatus {
+    /// Simulated instant of the sample.
+    pub now: SimTime,
+    /// Engine events delivered so far.
+    pub events_delivered: u64,
+    /// Tasks currently tracked by the master (queued + in flight).
+    pub live_tasks: u64,
+    /// Journaled run counters.
+    pub counters: crate::db::Counters,
+    /// Figure 8 accounting so far.
+    pub accounting: Accounting,
+    /// Advisor input signals so far: `(signal, mean minutes, samples)`.
+    pub advisor_signals: Vec<(&'static str, f64, u64)>,
+    /// §5 diagnosis at this instant.
+    pub advice: Vec<crate::monitor::Advice>,
+    /// Dead-lettered tasks so far.
+    pub dead_letters: u64,
+}
+
+/// What the controller wants after seeing an [`OpsStatus`] sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpsRequest {
+    /// Keep running.
+    Continue,
+    /// Stop here: drain the commit window, take a durable checkpoint
+    /// (WAL v3 snapshot + compaction), and return.
+    Pause,
+}
+
+/// Outcome of a run driven through the ops plane.
+#[derive(Debug)]
+pub enum OpsOutcome {
+    /// The run drained (or hit the horizon); the full report.
+    Completed(Box<RunReport>),
+    /// The controller paused the run after a durable checkpoint. The
+    /// journal at the run's path holds everything needed for
+    /// [`ClusterSim::resume_run`] (or another ops-plane resume) to
+    /// continue; the status is the last sample before the pause.
+    Paused(OpsStatus),
 }
 
 /// The cluster simulation model.
@@ -737,6 +784,92 @@ impl ClusterSim {
         ))
     }
 
+    /// Run a fresh durable simulation under ops-plane control: every
+    /// `poll_every_events` delivered events the controller sees an
+    /// [`OpsStatus`] sample (accounting, counters, live advice) and
+    /// decides to continue or pause. A pause drains the group-commit
+    /// window and takes a durable checkpoint through the WAL v3
+    /// snapshot+compaction path, so the journal alone can resume the
+    /// run later.
+    pub fn run_durable_with_ops(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+        poll_every_events: u64,
+        control: impl FnMut(&OpsStatus) -> OpsRequest,
+    ) -> io::Result<OpsOutcome> {
+        Self::drive_with_ops(
+            Self::durable(cfg, params, workflows, path)?,
+            poll_every_events,
+            control,
+        )
+    }
+
+    /// Resume a paused (or crashed) durable run under ops-plane control;
+    /// same polling contract as [`ClusterSim::run_durable_with_ops`].
+    pub fn resume_run_with_ops(
+        cfg: LobsterConfig,
+        params: SimParams,
+        workflows: Vec<Workflow>,
+        path: impl AsRef<Path>,
+        poll_every_events: u64,
+        control: impl FnMut(&OpsStatus) -> OpsRequest,
+    ) -> io::Result<OpsOutcome> {
+        Self::drive_with_ops(
+            Self::resume(cfg, params, workflows, path)?,
+            poll_every_events,
+            control,
+        )
+    }
+
+    /// Status sample for the ops plane.
+    fn ops_status(&self, now: SimTime, events_delivered: u64) -> OpsStatus {
+        OpsStatus {
+            now,
+            events_delivered,
+            live_tasks: self.tasks.live as u64,
+            counters: self.db.counters(),
+            accounting: self.db.accounting().clone(),
+            advisor_signals: self.advisor.signal_means(),
+            advice: self.advisor.diagnose(&AdvisorConfig::default()),
+            dead_letters: self.db.dead_letters().len() as u64,
+        }
+    }
+
+    fn drive_with_ops(
+        sim: ClusterSim,
+        poll_every_events: u64,
+        mut control: impl FnMut(&OpsStatus) -> OpsRequest,
+    ) -> io::Result<OpsOutcome> {
+        let poll = poll_every_events.max(1);
+        let horizon = sim.params.horizon;
+        let deadline = SimTime::ZERO + horizon;
+        let kind = sim.params.engine;
+        let mut engine = Engine::with_kind(sim, kind);
+        engine.prime(SimDuration::ZERO, Ev::Start);
+        loop {
+            let now = engine.run_until_events(deadline, poll);
+            if engine.ctx().peek_time().is_none_or(|t| t > deadline) {
+                // Quiescent (or past the horizon): the run is over.
+                let events_delivered = engine.ctx().delivered();
+                let report = engine.into_model().into_report(now, events_delivered);
+                return Ok(OpsOutcome::Completed(Box::new(report)));
+            }
+            let events_delivered = engine.ctx().delivered();
+            let status = engine.model().ops_status(now, events_delivered);
+            if control(&status) == OpsRequest::Pause {
+                let mut model = engine.into_model();
+                // Durable checkpoint: everything journaled so far becomes
+                // a snapshot + empty tail, exactly the WAL v3 recovery
+                // fast path.
+                model.db.flush();
+                model.db.compact()?;
+                return Ok(OpsOutcome::Paused(status));
+            }
+        }
+    }
+
     fn drive_until_crash(sim: ClusterSim, crash: CrashPoint) -> Option<RunReport> {
         let horizon = sim.params.horizon;
         let deadline = SimTime::ZERO + horizon;
@@ -780,6 +913,7 @@ impl ClusterSim {
         let counters = self.db.counters();
         RunReport {
             advice: self.advisor.diagnose(&AdvisorConfig::default()),
+            advisor_signals: self.advisor.signal_means(),
             segment_histograms: self.seg_hist,
             accounting: self.db.accounting().clone(),
             timeline: self.timeline,

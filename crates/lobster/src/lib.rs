@@ -31,7 +31,10 @@
 //!   squid/Chirp/federation for a window (Figure 11-style bursts on
 //!   demand).
 //! * [`driver`] — the full-cluster discrete-event driver behind the §6
-//!   production runs (Figures 9–11).
+//!   production runs (Figures 9–11), including the live ops control
+//!   surface (poll status mid-run, pause into a durable checkpoint).
+//! * [`ops`] — the bridge into the `opsplane` crate: lower a finished
+//!   run into a deterministic `metrics.json` snapshot.
 //! * [`local`] — the laptop-scale driver that runs real closures through
 //!   `wqueue::local` (quickstart path).
 
@@ -44,6 +47,7 @@ pub mod fault;
 pub mod local;
 pub mod merge;
 pub mod monitor;
+pub mod ops;
 pub mod publish;
 pub mod tasksize;
 pub mod workflow;
@@ -51,5 +55,5 @@ pub mod wrapper;
 
 pub use config::LobsterConfig;
 pub use db::LobsterDb;
-pub use driver::{ClusterSim, RunReport};
+pub use driver::{ClusterSim, OpsOutcome, OpsRequest, OpsStatus, RunReport};
 pub use workflow::Workflow;

@@ -373,6 +373,24 @@ pub enum Advice {
     },
 }
 
+impl std::fmt::Display for Advice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Advice::ReduceTaskSize => write!(f, "reduce task size (high lost runtime)"),
+            Advice::AddForemen => write!(f, "add foremen (long sandbox stage-in)"),
+            Advice::AddSquidsOrShareCaches => {
+                write!(f, "add squids or share caches (long setup times)")
+            }
+            Advice::TuneChirpConnections => {
+                write!(f, "tune chirp connections (long stage-in/out)")
+            }
+            Advice::RaiseSegmentDeadline { segment } => {
+                write!(f, "raise {segment:?} watchdog deadline (frequent aborts)")
+            }
+        }
+    }
+}
+
 /// Stable index for per-segment counters.
 fn segment_index(s: Segment) -> usize {
     match s {
@@ -392,16 +410,54 @@ const SEGMENTS: [Segment; 5] = [
     Segment::StageOut,
 ];
 
+/// Online mean over only the attempts that produced a measurement —
+/// the denominator is per-signal, not the total attempt count, so
+/// failure storms that die early cannot dilute a downstream segment's
+/// mean.
+#[derive(Clone, Copy, Debug, Default)]
+struct MeanAcc {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanAcc {
+    fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    fn exceeds(&self, threshold: f64) -> bool {
+        self.n > 0 && self.mean() > threshold
+    }
+}
+
 /// The troubleshooting advisor: aggregates attempt metrics and applies
 /// the four §5 rules.
+///
+/// Two historical bugs shape the accumulator layout: stage-in and
+/// stage-out used to be averaged into one signal (so a purely
+/// one-directional Chirp overload had to reach 2× the threshold before
+/// firing), and every mean used the total attempt count as denominator
+/// (so early watchdog aborts diluted downstream-segment means). Each
+/// signal now keeps its own [`MeanAcc`] fed only by attempts that
+/// [`SegmentReport::measured`] the segment.
 #[derive(Clone, Debug, Default)]
 pub struct Advisor {
     wall: f64,
     lost: f64,
     n: u64,
-    wq_stage_in_mins: f64,
-    setup_mins: f64,
-    stage_mins: f64,
+    wq_stage_in: MeanAcc,
+    setup: MeanAcc,
+    stage_in: MeanAcc,
+    stage_out: MeanAcc,
     watchdog_by_segment: [u64; 5],
 }
 
@@ -416,9 +472,17 @@ impl Advisor {
         self.n += 1;
         self.wall += r.wall().as_secs_f64();
         self.lost += r.lost_runtime().as_secs_f64();
-        self.wq_stage_in_mins += r.times.wq_stage_in.as_mins_f64();
-        self.setup_mins += r.times.env_setup.as_mins_f64();
-        self.stage_mins += (r.times.stage_in + r.times.stage_out).as_mins_f64() / 2.0;
+        // Every dispatched attempt underwent WQ sandbox stage-in.
+        self.wq_stage_in.add(r.times.wq_stage_in.as_mins_f64());
+        if r.measured(Segment::EnvInit) {
+            self.setup.add(r.times.env_setup.as_mins_f64());
+        }
+        if r.measured(Segment::StageIn) {
+            self.stage_in.add(r.times.stage_in.as_mins_f64());
+        }
+        if r.measured(Segment::StageOut) {
+            self.stage_out.add(r.times.stage_out.as_mins_f64());
+        }
         if let Some(seg) = r.failed_segment.filter(|_| r.watchdog) {
             self.watchdog_by_segment[segment_index(seg)] += 1;
         }
@@ -434,13 +498,15 @@ impl Advisor {
         if self.wall > 0.0 && self.lost / self.wall > cfg.lost_runtime_frac {
             advice.push(Advice::ReduceTaskSize);
         }
-        if self.wq_stage_in_mins / n > cfg.wq_stage_in_mins {
+        if self.wq_stage_in.exceeds(cfg.wq_stage_in_mins) {
             advice.push(Advice::AddForemen);
         }
-        if self.setup_mins / n > cfg.setup_mins {
+        if self.setup.exceeds(cfg.setup_mins) {
             advice.push(Advice::AddSquidsOrShareCaches);
         }
-        if self.stage_mins / n > cfg.stage_mins {
+        // Either direction alone exceeding the threshold means Chirp is
+        // overloaded — the directions are independent signals.
+        if self.stage_in.exceeds(cfg.stage_mins) || self.stage_out.exceeds(cfg.stage_mins) {
             advice.push(Advice::TuneChirpConnections);
         }
         for seg in SEGMENTS {
@@ -450,6 +516,16 @@ impl Advisor {
             }
         }
         advice
+    }
+
+    /// `(signal, mean minutes, samples)` rows for metrics export.
+    pub fn signal_means(&self) -> Vec<(&'static str, f64, u64)> {
+        vec![
+            ("wq_stage_in", self.wq_stage_in.mean(), self.wq_stage_in.n),
+            ("env_setup", self.setup.mean(), self.setup.n),
+            ("stage_in", self.stage_in.mean(), self.stage_in.n),
+            ("stage_out", self.stage_out.mean(), self.stage_out.n),
+        ]
     }
 }
 
@@ -588,6 +664,101 @@ mod tests {
         let advice = adv.diagnose(&AdvisorConfig::default());
         assert!(advice.contains(&Advice::AddForemen));
         assert!(advice.contains(&Advice::TuneChirpConnections));
+    }
+
+    /// Regression (direction averaging): a purely one-directional Chirp
+    /// overload — slow stage-out, instant stage-in — must fire the
+    /// moment that direction's mean crosses the threshold. The pre-fix
+    /// advisor averaged the two directions into one signal, so 15 min of
+    /// stage-out read as (0 + 15)/2 = 7.5 < 10 and stayed silent until
+    /// the overload reached 2× the configured threshold.
+    #[test]
+    fn advisor_flags_one_directional_chirp_overload() {
+        let mut adv = Advisor::new();
+        let mut b = ReportBuilder::new(
+            wqueue::task::TaskId(5),
+            Category::Analysis,
+            0,
+            7,
+            SimTime::ZERO,
+        );
+        b.times_mut().stage_out = SimDuration::from_mins(15);
+        adv.record(&b.succeed(SimTime::from_secs(3600), 1));
+        let advice = adv.diagnose(&AdvisorConfig::default());
+        assert!(
+            advice.contains(&Advice::TuneChirpConnections),
+            "one-directional overload must fire at 1× the threshold: {advice:?}"
+        );
+    }
+
+    /// Regression (denominator dilution): attempts that died before ever
+    /// reaching a segment must not drag that segment's mean down. Eight
+    /// watchdog aborts stuck in EnvInit plus two genuinely slow 25-min
+    /// stage-ins used to average to 2.5 min over all ten attempts —
+    /// masking the Chirp overload during exactly the failure storm where
+    /// the diagnosis matters.
+    #[test]
+    fn advisor_means_not_diluted_by_early_aborts() {
+        let mut adv = Advisor::new();
+        for i in 0..8u64 {
+            adv.record(&watchdog_report(
+                Segment::EnvInit,
+                i * 1000,
+                i * 1000 + 600,
+                0,
+            ));
+        }
+        for i in 0..2u64 {
+            let mut b = ReportBuilder::new(
+                wqueue::task::TaskId(6 + i),
+                Category::Analysis,
+                0,
+                7,
+                SimTime::from_secs(i * 5000),
+            );
+            b.times_mut().stage_in = SimDuration::from_mins(25);
+            adv.record(&b.succeed(SimTime::from_secs(i * 5000 + 3600), 1));
+        }
+        let advice = adv.diagnose(&AdvisorConfig::default());
+        assert!(
+            advice.contains(&Advice::TuneChirpConnections),
+            "25-min stage-ins must flag Chirp even amid early aborts: {advice:?}"
+        );
+        let means = adv.signal_means();
+        let stage_in = means.iter().find(|m| m.0 == "stage_in").unwrap();
+        assert_eq!(stage_in.2, 2, "only attempts that reached stage-in count");
+        assert!((stage_in.1 - 25.0).abs() < 1e-9);
+    }
+
+    /// Same dilution bug, setup direction: early Compatibility aborts
+    /// must not mask an overloaded squid tier.
+    #[test]
+    fn advisor_setup_mean_not_diluted_by_early_aborts() {
+        let mut adv = Advisor::new();
+        for i in 0..8u64 {
+            adv.record(&watchdog_report(
+                Segment::Compatibility,
+                i * 1000,
+                i * 1000 + 60,
+                0,
+            ));
+        }
+        for i in 0..2u64 {
+            let mut b = ReportBuilder::new(
+                wqueue::task::TaskId(16 + i),
+                Category::Analysis,
+                0,
+                7,
+                SimTime::from_secs(i * 5000),
+            );
+            b.times_mut().env_setup = SimDuration::from_mins(30);
+            adv.record(&b.succeed(SimTime::from_secs(i * 5000 + 3600), 1));
+        }
+        let advice = adv.diagnose(&AdvisorConfig::default());
+        assert!(
+            advice.contains(&Advice::AddSquidsOrShareCaches),
+            "30-min setups must flag the squid tier even amid early aborts: {advice:?}"
+        );
     }
 
     #[test]

@@ -32,6 +32,17 @@ pub enum Segment {
 }
 
 impl Segment {
+    /// Execution-order rank (Compatibility first, StageOut last).
+    pub fn order(self) -> u8 {
+        match self {
+            Segment::Compatibility => 0,
+            Segment::EnvInit => 1,
+            Segment::StageIn => 2,
+            Segment::Execute => 3,
+            Segment::StageOut => 4,
+        }
+    }
+
     /// The failure code this segment emits.
     pub fn failure_code(self) -> FailureCode {
         match self {
@@ -102,6 +113,42 @@ impl SegmentReport {
         } else {
             self.wall()
         }
+    }
+
+    /// True if the attempt carries a real duration measurement for `seg`,
+    /// i.e. the wrapper reached the segment and its time field was
+    /// recorded. Attempts that died earlier left a zero placeholder, and
+    /// averaging those zeros into a segment's mean dilutes it — exactly
+    /// during the failure storms where the §5 diagnosis matters most.
+    ///
+    /// Recording semantics per segment: `env_setup` is written when
+    /// EnvInit *completes*, so a failure inside EnvInit has no
+    /// measurement; `stage_in`/`cpu`/`stage_out` are written when the
+    /// segment *starts* (admitted grant / planned duration), so a
+    /// watchdog abort inside the segment still measured it, while an
+    /// admission rejection (non-watchdog failure at the segment itself)
+    /// never did. Evicted attempts stopped at an unknown point: a
+    /// nonzero recorded time is the only evidence the segment was
+    /// reached.
+    pub fn measured(&self, seg: Segment) -> bool {
+        if let Some(f) = self.failed_segment {
+            return match seg {
+                Segment::Compatibility => true,
+                Segment::EnvInit => f.order() > seg.order(),
+                _ => f.order() > seg.order() || (f == seg && self.watchdog),
+            };
+        }
+        if self.evicted {
+            let t = match seg {
+                Segment::Compatibility => return true,
+                Segment::EnvInit => self.times.env_setup,
+                Segment::StageIn => self.times.stage_in,
+                Segment::Execute => self.times.cpu,
+                Segment::StageOut => self.times.stage_out,
+            };
+            return !t.is_zero();
+        }
+        true
     }
 }
 
@@ -243,6 +290,45 @@ mod tests {
         assert!(r.evicted);
         assert_eq!(r.failure_code(), Some(FailureCode::Evicted));
         assert_eq!(r.lost_runtime(), SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn measured_tracks_progress() {
+        // Success: every segment was measured.
+        let ok = builder().succeed(SimTime::from_secs(200), 1);
+        assert!(ok.measured(Segment::EnvInit));
+        assert!(ok.measured(Segment::StageOut));
+
+        // Watchdog abort in EnvInit: setup never completed (no
+        // measurement), downstream segments never entered.
+        let stuck = builder().abort_by_watchdog(Segment::EnvInit, SimTime::from_secs(500));
+        assert!(stuck.measured(Segment::Compatibility));
+        assert!(!stuck.measured(Segment::EnvInit));
+        assert!(!stuck.measured(Segment::StageIn));
+        assert!(!stuck.measured(Segment::StageOut));
+
+        // Watchdog abort in StageIn: the admitted grant recorded a
+        // stage-in time, so that segment *was* measured.
+        let mut b = builder();
+        b.times_mut().env_setup = SimDuration::from_mins(3);
+        b.times_mut().stage_in = SimDuration::from_mins(40);
+        let slow = b.abort_by_watchdog(Segment::StageIn, SimTime::from_secs(3000));
+        assert!(slow.measured(Segment::EnvInit));
+        assert!(slow.measured(Segment::StageIn));
+        assert!(!slow.measured(Segment::Execute));
+
+        // Admission rejection at StageIn (non-watchdog): nothing was
+        // admitted, so no stage-in measurement exists.
+        let rejected = builder().fail(Segment::StageIn, SimTime::from_secs(400));
+        assert!(rejected.measured(Segment::EnvInit));
+        assert!(!rejected.measured(Segment::StageIn));
+
+        // Eviction: nonzero recorded times are the evidence.
+        let mut b = builder();
+        b.times_mut().env_setup = SimDuration::from_mins(2);
+        let evicted = b.evict(SimTime::from_secs(700));
+        assert!(evicted.measured(Segment::EnvInit));
+        assert!(!evicted.measured(Segment::StageIn));
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! First-party HTML dashboard generator.
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into one self-contained HTML
+//! page — inline CSS, inline SVG charts, zero scripts, zero external
+//! assets — so any `metrics.json` can be viewed without recompiling
+//! anything. The panels mirror the paper's operator views:
+//!
+//! * Figure 8 — the runtime accounting table;
+//! * Figure 10 — concurrency and CPU/wall efficiency time lines;
+//! * Figure 11 — completions/failures, setup and stage-out minutes,
+//!   failures by code;
+//! * §5 — per-segment means, advisor signals and advice, the
+//!   dead-letter ledger, and the transfer dashboard (Figure 9).
+//!
+//! All numeric formatting is fixed-precision, so rendering is as
+//! deterministic as the snapshot.
+
+use crate::snapshot::{MetricsSnapshot, SeriesSample};
+use std::fmt::Write;
+
+const CHART_W: f64 = 640.0;
+const CHART_H: f64 = 120.0;
+
+/// Preferred panel order for well-known series; anything else renders
+/// after these, in name order.
+const SERIES_ORDER: [&str; 9] = [
+    "concurrency",
+    "efficiency",
+    "completions",
+    "failures",
+    "analysis_done",
+    "merge_done",
+    "setup_minutes",
+    "stageout_minutes",
+    "dead_letters",
+];
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-precision number formatting: enough digits to read, few enough
+/// to stay stable.
+fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "—".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn hours(us: u64) -> String {
+    num(us as f64 / 3_600e6)
+}
+
+/// An SVG area+line chart of one series. The y-axis starts at zero and
+/// tops out at the series maximum (or 1.0 for all-zero series).
+fn chart(s: &SeriesSample) -> String {
+    if s.points.is_empty() {
+        return "<p class=\"empty\">no data</p>".to_string();
+    }
+    let max = s.points.iter().copied().fold(0.0_f64, f64::max).max(1e-12);
+    let n = s.points.len();
+    let dx = if n > 1 {
+        CHART_W / (n as f64 - 1.0)
+    } else {
+        CHART_W
+    };
+    let mut line = String::new();
+    for i in 0..n {
+        let x = if n > 1 { i as f64 * dx } else { CHART_W / 2.0 };
+        let y = CHART_H - (s.points[i] / max) * (CHART_H - 4.0) - 2.0;
+        let _ = write!(line, "{x:.1},{y:.1} ");
+    }
+    let area = format!(
+        "0,{CHART_H:.1} {} {:.1},{CHART_H:.1}",
+        line.trim_end(),
+        if n > 1 {
+            (n as f64 - 1.0) * dx
+        } else {
+            CHART_W / 2.0
+        }
+    );
+    let total_span = s.bin_secs * n as f64 / 3600.0;
+    format!(
+        "<svg viewBox=\"0 0 {CHART_W:.0} {CHART_H:.0}\" class=\"chart\" role=\"img\">\
+         <polygon points=\"{area}\" class=\"area\"/>\
+         <polyline points=\"{points}\" class=\"line\" fill=\"none\"/>\
+         </svg>\
+         <div class=\"axis\"><span>0 h</span><span>max {maxv}</span><span>{span} h</span></div>",
+        points = line.trim_end(),
+        maxv = num(max),
+        span = num(total_span),
+    )
+}
+
+fn bar_row(out: &mut String, label: &str, value: f64, max: f64, text: &str) {
+    let pct = if max > 0.0 {
+        (value / max * 100.0).clamp(0.0, 100.0)
+    } else {
+        0.0
+    };
+    let _ = write!(
+        out,
+        "<tr><td>{}</td><td class=\"bar\"><div style=\"width:{pct:.1}%\"></div></td>\
+         <td class=\"val\">{}</td></tr>",
+        esc(label),
+        esc(text)
+    );
+}
+
+fn section(out: &mut String, title: &str, body: &str) {
+    let _ = write!(out, "<section><h2>{}</h2>{}</section>", esc(title), body);
+}
+
+/// Render the snapshot into a complete, self-contained HTML page.
+pub fn render(s: &MetricsSnapshot) -> String {
+    let mut body = String::new();
+
+    // -- header ------------------------------------------------------------
+    let finished = if s.run.finished {
+        format!("finished at {} h", hours(s.run.finished_us))
+    } else {
+        "did not finish inside the horizon".to_string()
+    };
+    let _ = write!(
+        body,
+        "<header><h1>{}</h1><p class=\"meta\">seed {} · horizon {} h · ended {} h · {} · \
+         {} events</p></header>",
+        esc(&s.run.name),
+        s.run.seed,
+        hours(s.run.horizon_us),
+        hours(s.run.ended_us),
+        esc(&finished),
+        s.run.events_delivered,
+    );
+
+    // -- headline counters/gauges -------------------------------------------
+    let mut chips = String::new();
+    for c in &s.counters {
+        let _ = write!(
+            chips,
+            "<div class=\"chip\"><span>{}</span><strong>{}</strong></div>",
+            esc(&c.name),
+            c.value
+        );
+    }
+    for g in &s.gauges {
+        let _ = write!(
+            chips,
+            "<div class=\"chip\"><span>{}</span><strong>{}</strong></div>",
+            esc(&g.name),
+            num(g.value)
+        );
+    }
+    if !chips.is_empty() {
+        section(
+            &mut body,
+            "Run counters",
+            &format!("<div class=\"chips\">{chips}</div>"),
+        );
+    }
+
+    // -- Figure 8: accounting ----------------------------------------------
+    if !s.accounting.is_empty() {
+        let max = s.accounting.iter().map(|r| r.hours).fold(0.0_f64, f64::max);
+        let mut rows = String::new();
+        for r in &s.accounting {
+            bar_row(
+                &mut rows,
+                &r.phase,
+                r.hours,
+                max,
+                &format!("{} h ({} %)", num(r.hours), num(r.fraction * 100.0)),
+            );
+        }
+        section(
+            &mut body,
+            "Runtime accounting (Fig. 8)",
+            &format!("<table class=\"bars\">{rows}</table>"),
+        );
+    }
+
+    // -- time-line panels (Figs. 10/11) -------------------------------------
+    let mut seen = vec![false; s.series.len()];
+    let mut panels = String::new();
+    let render_series = |sr: &SeriesSample, panels: &mut String| {
+        let _ = write!(
+            panels,
+            "<div class=\"panel\"><h3>{}</h3>{}</div>",
+            esc(&sr.name),
+            chart(sr)
+        );
+    };
+    for name in SERIES_ORDER {
+        for (i, sr) in s.series.iter().enumerate() {
+            if sr.name == name && !seen[i] {
+                seen[i] = true;
+                render_series(sr, &mut panels);
+            }
+        }
+    }
+    for (i, sr) in s.series.iter().enumerate() {
+        if !seen[i] {
+            render_series(sr, &mut panels);
+        }
+    }
+    if !panels.is_empty() {
+        section(
+            &mut body,
+            "Time lines (Figs. 10/11)",
+            &format!("<div class=\"panels\">{panels}</div>"),
+        );
+    }
+
+    // -- failures by code ----------------------------------------------------
+    if !s.failures_by_code.is_empty() {
+        let max = s
+            .failures_by_code
+            .iter()
+            .map(|r| r.count as f64)
+            .fold(0.0_f64, f64::max);
+        let mut rows = String::new();
+        for r in &s.failures_by_code {
+            bar_row(
+                &mut rows,
+                &r.label,
+                r.count as f64,
+                max,
+                &r.count.to_string(),
+            );
+        }
+        section(
+            &mut body,
+            "Failures by code",
+            &format!("<table class=\"bars\">{rows}</table>"),
+        );
+    }
+
+    // -- watchdog aborts ------------------------------------------------------
+    if !s.watchdog_by_segment.is_empty() {
+        let mut rows = String::new();
+        for r in &s.watchdog_by_segment {
+            let _ = write!(
+                rows,
+                "<tr><td>{}</td><td class=\"val\">{}</td></tr>",
+                esc(&r.label),
+                r.count
+            );
+        }
+        section(
+            &mut body,
+            "Watchdog aborts by segment",
+            &format!(
+                "<table class=\"plain\"><tr><th>segment</th><th>aborts</th></tr>{rows}</table>"
+            ),
+        );
+    }
+
+    // -- segment means ---------------------------------------------------------
+    if !s.segments.is_empty() {
+        let mut rows = String::new();
+        for r in &s.segments {
+            let _ = write!(
+                rows,
+                "<tr><td>{}</td><td class=\"val\">{}</td><td class=\"val\">{}</td></tr>",
+                esc(&r.segment),
+                num(r.mean_mins),
+                r.overflow
+            );
+        }
+        section(
+            &mut body,
+            "Segment durations (§5)",
+            &format!(
+                "<table class=\"plain\"><tr><th>segment</th><th>mean min</th><th>overflow</th></tr>{rows}</table>"
+            ),
+        );
+    }
+
+    // -- advisor ---------------------------------------------------------------
+    let mut advisor = String::new();
+    if !s.advisor_signals.is_empty() {
+        let mut rows = String::new();
+        for r in &s.advisor_signals {
+            let _ = write!(
+                rows,
+                "<tr><td>{}</td><td class=\"val\">{}</td><td class=\"val\">{}</td></tr>",
+                esc(&r.signal),
+                num(r.mean_mins),
+                r.samples
+            );
+        }
+        let _ = write!(
+            advisor,
+            "<table class=\"plain\"><tr><th>signal</th><th>mean min</th><th>samples</th></tr>{rows}</table>"
+        );
+    }
+    if s.advice.is_empty() {
+        advisor.push_str("<p class=\"ok\">No advice — the run looks healthy.</p>");
+    } else {
+        advisor.push_str("<ul class=\"advice\">");
+        for a in &s.advice {
+            let _ = write!(advisor, "<li>{}</li>", esc(a));
+        }
+        advisor.push_str("</ul>");
+    }
+    section(&mut body, "Advisor (§5 diagnosis)", &advisor);
+
+    // -- dead letters ------------------------------------------------------------
+    if !s.dead_letters.is_empty() {
+        let shown = s.dead_letters.len().min(50);
+        let mut rows = String::new();
+        for r in s.dead_letters.iter().take(shown) {
+            let _ = write!(
+                rows,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td class=\"val\">{}</td>\
+                 <td class=\"val\">{}</td><td class=\"val\">{} h</td></tr>",
+                r.task,
+                esc(&r.category),
+                esc(&r.code),
+                r.attempts,
+                r.units,
+                hours(r.at_us)
+            );
+        }
+        let note = if s.dead_letters.len() > shown {
+            format!(
+                "<p class=\"empty\">… and {} more</p>",
+                s.dead_letters.len() - shown
+            )
+        } else {
+            String::new()
+        };
+        section(
+            &mut body,
+            "Dead-letter ledger",
+            &format!(
+                "<table class=\"plain\"><tr><th>task</th><th>category</th><th>code</th>\
+                 <th>attempts</th><th>units</th><th>at</th></tr>{rows}</table>{note}"
+            ),
+        );
+    }
+
+    // -- transfers (Fig. 9) --------------------------------------------------------
+    if !s.transfers.is_empty() {
+        let max = s.transfers.iter().map(|r| r.bytes).fold(0.0_f64, f64::max);
+        let mut rows = String::new();
+        for r in &s.transfers {
+            bar_row(
+                &mut rows,
+                &r.consumer,
+                r.bytes,
+                max,
+                &format!("{} GB", num(r.bytes / 1e9)),
+            );
+        }
+        section(
+            &mut body,
+            "Transfer dashboard (Fig. 9)",
+            &format!("<table class=\"bars\">{rows}</table>"),
+        );
+    }
+
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{title} — lobster ops</title><style>{css}</style></head>\
+         <body>{body}<footer>schema {schema}</footer></body></html>\n",
+        title = esc(&s.run.name),
+        css = CSS,
+        schema = esc(&s.schema),
+    )
+}
+
+const CSS: &str = "\
+body{font:14px/1.45 system-ui,sans-serif;margin:0 auto;max-width:980px;padding:24px;\
+background:#fafafa;color:#1a1a1a}\
+header h1{margin:0 0 4px;font-size:22px}\
+.meta{color:#666;margin:0 0 12px}\
+section{background:#fff;border:1px solid #e2e2e2;border-radius:8px;padding:14px 16px;\
+margin:14px 0}\
+h2{font-size:15px;margin:0 0 10px;color:#333}\
+h3{font-size:13px;margin:0 0 4px;color:#444}\
+.chips{display:flex;flex-wrap:wrap;gap:8px}\
+.chip{border:1px solid #ddd;border-radius:6px;padding:4px 10px;background:#f6f6f6}\
+.chip span{display:block;font-size:11px;color:#777}\
+.chip strong{font-size:14px}\
+table{border-collapse:collapse;width:100%}\
+td,th{padding:3px 8px;text-align:left;font-size:13px}\
+th{color:#777;font-weight:600;border-bottom:1px solid #eee}\
+.val{text-align:right;font-variant-numeric:tabular-nums}\
+table.bars td.bar{width:55%}\
+table.bars td.bar div{background:#4e79a7;height:12px;border-radius:2px;min-width:1px}\
+table.plain tr:nth-child(even){background:#f7f7f7}\
+.panels{display:grid;grid-template-columns:1fr 1fr;gap:12px}\
+.panel{border:1px solid #eee;border-radius:6px;padding:8px}\
+.chart{width:100%;height:auto;background:#fcfcfc}\
+.chart .area{fill:#4e79a722}\
+.chart .line{stroke:#4e79a7;stroke-width:1.5}\
+.axis{display:flex;justify-content:space-between;color:#999;font-size:11px}\
+.advice li{margin:2px 0}\
+.ok{color:#2a7d2a}\
+.empty{color:#999;font-size:12px}\
+footer{color:#aaa;font-size:11px;text-align:center;margin-top:18px}\
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{
+        AccountingRow, CounterSample, DeadLetterRow, GaugeSample, LabelCount, RunMeta, SegmentRow,
+        SeriesSample, SignalRow, TransferRow,
+    };
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new(RunMeta {
+            name: "bench <cluster>".into(),
+            seed: 2025,
+            horizon_us: 86_400_000_000,
+            ended_us: 40_000_000_000,
+            finished: true,
+            finished_us: 40_000_000_000,
+            events_delivered: 99_000,
+        });
+        s.counters.push(CounterSample {
+            name: "tasks_completed".into(),
+            value: 960,
+        });
+        s.gauges.push(GaugeSample {
+            name: "peak_concurrency".into(),
+            value: 512.0,
+        });
+        s.series.push(SeriesSample {
+            name: "concurrency".into(),
+            bin_secs: 600.0,
+            points: vec![0.0, 128.0, 512.0, 480.0],
+        });
+        s.accounting.push(AccountingRow {
+            phase: "Task CPU Time".into(),
+            hours: 512.5,
+            fraction: 0.81,
+        });
+        s.failures_by_code.push(LabelCount {
+            label: "stage-in".into(),
+            count: 12,
+        });
+        s.watchdog_by_segment.push(LabelCount {
+            label: "StageIn".into(),
+            count: 3,
+        });
+        s.segments.push(SegmentRow {
+            segment: "cpu".into(),
+            mean_mins: 42.0,
+            overflow: 0,
+        });
+        s.advisor_signals.push(SignalRow {
+            signal: "stage_in".into(),
+            mean_mins: 2.5,
+            samples: 960,
+        });
+        s.advice.push("TuneChirpConnections".into());
+        s.dead_letters.push(DeadLetterRow {
+            task: 7,
+            category: "analysis".into(),
+            code: "stage-in".into(),
+            attempts: 4,
+            units: 25,
+            at_us: 9_000_000_000,
+        });
+        s.transfers.push(TransferRow {
+            consumer: "squid".into(),
+            bytes: 2.5e12,
+        });
+        s
+    }
+
+    #[test]
+    fn renders_all_panels() {
+        let html = render(&sample());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        for needle in [
+            "bench &lt;cluster&gt;",
+            "Runtime accounting (Fig. 8)",
+            "Time lines (Figs. 10/11)",
+            "Failures by code",
+            "Watchdog aborts by segment",
+            "Segment durations (§5)",
+            "Advisor (§5 diagnosis)",
+            "TuneChirpConnections",
+            "Dead-letter ledger",
+            "Transfer dashboard (Fig. 9)",
+            "<polyline",
+        ] {
+            assert!(html.contains(needle), "missing {needle}");
+        }
+        // Self-contained: no scripts, no external fetches.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(render(&sample()), render(&sample()));
+    }
+
+    #[test]
+    fn healthy_run_shows_no_advice() {
+        let mut s = sample();
+        s.advice.clear();
+        assert!(render(&s).contains("No advice"));
+    }
+
+    #[test]
+    fn number_formatting_is_stable() {
+        assert_eq!(num(1234.56), "1235");
+        assert_eq!(num(42.1234), "42.1");
+        assert_eq!(num(0.5), "0.50");
+        assert_eq!(num(f64::NAN), "—");
+    }
+}

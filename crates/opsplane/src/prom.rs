@@ -1,0 +1,196 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`].
+//!
+//! Renders the exposition format (`# TYPE` headers, `name{label="v"} value`
+//! samples) from a snapshot alone. Counters and gauges map directly;
+//! the panel tables become labelled families (`lobster_accounting_hours`,
+//! `lobster_failures_total`, …). Series are simulated-time vectors, not
+//! instantaneous samples, so they export only their last point as a
+//! gauge (`lobster_series_last`).
+//!
+//! Output order is the snapshot's canonical order, so the text is as
+//! deterministic as the snapshot itself.
+
+use crate::snapshot::MetricsSnapshot;
+use std::fmt::Write;
+
+/// Sanitize a name into the Prometheus metric/label-name alphabet.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c.to_ascii_lowercase() } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn family(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Render the snapshot as Prometheus exposition text.
+pub fn render(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    family(&mut out, "lobster_run_info", "gauge");
+    let _ = writeln!(
+        out,
+        "lobster_run_info{{name=\"{}\",seed=\"{}\",finished=\"{}\"}} 1",
+        escape_label(&s.run.name),
+        s.run.seed,
+        s.run.finished
+    );
+    family(&mut out, "lobster_run_ended_seconds", "gauge");
+    let _ = writeln!(
+        out,
+        "lobster_run_ended_seconds {}",
+        s.run.ended_us as f64 / 1e6
+    );
+    family(&mut out, "lobster_events_delivered_total", "counter");
+    let _ = writeln!(
+        out,
+        "lobster_events_delivered_total {}",
+        s.run.events_delivered
+    );
+
+    for c in &s.counters {
+        let name = format!("lobster_{}_total", sanitize(&c.name));
+        family(&mut out, &name, "counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &s.gauges {
+        let name = format!("lobster_{}", sanitize(&g.name));
+        family(&mut out, &name, "gauge");
+        let _ = writeln!(out, "{name} {}", g.value);
+    }
+
+    if !s.accounting.is_empty() {
+        family(&mut out, "lobster_accounting_hours", "gauge");
+        for row in &s.accounting {
+            let _ = writeln!(
+                out,
+                "lobster_accounting_hours{{phase=\"{}\"}} {}",
+                escape_label(&row.phase),
+                row.hours
+            );
+        }
+    }
+    if !s.failures_by_code.is_empty() {
+        family(&mut out, "lobster_failures_total", "counter");
+        for row in &s.failures_by_code {
+            let _ = writeln!(
+                out,
+                "lobster_failures_total{{code=\"{}\"}} {}",
+                escape_label(&row.label),
+                row.count
+            );
+        }
+    }
+    if !s.watchdog_by_segment.is_empty() {
+        family(&mut out, "lobster_watchdog_aborts_total", "counter");
+        for row in &s.watchdog_by_segment {
+            let _ = writeln!(
+                out,
+                "lobster_watchdog_aborts_total{{segment=\"{}\"}} {}",
+                escape_label(&row.label),
+                row.count
+            );
+        }
+    }
+    if !s.segments.is_empty() {
+        family(&mut out, "lobster_segment_mean_minutes", "gauge");
+        for row in &s.segments {
+            let _ = writeln!(
+                out,
+                "lobster_segment_mean_minutes{{segment=\"{}\"}} {}",
+                escape_label(&row.segment),
+                row.mean_mins
+            );
+        }
+    }
+    if !s.advisor_signals.is_empty() {
+        family(&mut out, "lobster_advisor_signal_minutes", "gauge");
+        for row in &s.advisor_signals {
+            let _ = writeln!(
+                out,
+                "lobster_advisor_signal_minutes{{signal=\"{}\"}} {}",
+                escape_label(&row.signal),
+                row.mean_mins
+            );
+        }
+    }
+    family(&mut out, "lobster_advice_active", "gauge");
+    let _ = writeln!(out, "lobster_advice_active {}", s.advice.len());
+
+    let tail: Vec<&crate::snapshot::SeriesSample> =
+        s.series.iter().filter(|sr| !sr.points.is_empty()).collect();
+    if !tail.is_empty() {
+        family(&mut out, "lobster_series_last", "gauge");
+        for sr in tail {
+            let last = sr.points.last().copied().unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "lobster_series_last{{series=\"{}\"}} {}",
+                escape_label(&sr.name),
+                last
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{CounterSample, GaugeSample, RunMeta, SeriesSample};
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let mut s = MetricsSnapshot::new(RunMeta {
+            name: "t".into(),
+            seed: 1,
+            horizon_us: 10,
+            ended_us: 5,
+            finished: true,
+            finished_us: 5,
+            events_delivered: 2,
+        });
+        s.counters.push(CounterSample {
+            name: "tasks_completed".into(),
+            value: 9,
+        });
+        s.gauges.push(GaugeSample {
+            name: "peak_concurrency".into(),
+            value: 3.5,
+        });
+        s.series.push(SeriesSample {
+            name: "concurrency".into(),
+            bin_secs: 60.0,
+            points: vec![1.0, 2.0],
+        });
+        let text = render(&s);
+        assert!(text.contains("# TYPE lobster_tasks_completed_total counter"));
+        assert!(text.contains("lobster_tasks_completed_total 9"));
+        assert!(text.contains("lobster_peak_concurrency 3.5"));
+        assert!(text.contains("lobster_series_last{series=\"concurrency\"} 2"));
+        assert!(text.contains("lobster_run_info{name=\"t\",seed=\"1\",finished=\"true\"} 1"));
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        assert_eq!(sanitize("WQ Stage-In"), "wq_stage_in");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

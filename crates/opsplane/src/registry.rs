@@ -1,0 +1,123 @@
+//! The typed metric registry.
+//!
+//! Counters are monotone `u64`s, gauges are instantaneous `f64`s, and
+//! series are per-time-bin vectors of simulated-time aggregates. All
+//! three families key by name in a `BTreeMap`, so exporting them yields
+//! one canonical (sorted) order regardless of registration order — the
+//! first half of the snapshot determinism guarantee.
+
+use crate::snapshot::{CounterSample, GaugeSample, SeriesSample};
+use std::collections::BTreeMap;
+
+/// A typed registry of counters, gauges, and series.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    series: BTreeMap<String, (f64, Vec<f64>)>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set counter `name` to an absolute value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Set gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Install series `name` with its bin width (seconds of simulated
+    /// time) and per-bin points.
+    pub fn set_series(&mut self, name: &str, bin_secs: f64, points: Vec<f64>) {
+        self.series.insert(name.to_string(), (bin_secs, points));
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Export counters in name order.
+    pub fn counter_samples(&self) -> Vec<CounterSample> {
+        self.counters
+            .iter()
+            .map(|(name, &value)| CounterSample {
+                name: name.clone(),
+                value,
+            })
+            .collect()
+    }
+
+    /// Export gauges in name order.
+    pub fn gauge_samples(&self) -> Vec<GaugeSample> {
+        self.gauges
+            .iter()
+            .map(|(name, &value)| GaugeSample {
+                name: name.clone(),
+                value,
+            })
+            .collect()
+    }
+
+    /// Export series in name order.
+    pub fn series_samples(&self) -> Vec<SeriesSample> {
+        self.series
+            .iter()
+            .map(|(name, (bin_secs, points))| SeriesSample {
+                name: name.clone(),
+                bin_secs: *bin_secs,
+                points: points.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.inc("tasks", 3);
+        r.inc("tasks", 4);
+        r.set_counter("evictions", 2);
+        assert_eq!(r.counter("tasks"), Some(7));
+        assert_eq!(r.counter("evictions"), Some(2));
+        assert_eq!(r.counter("missing"), None);
+    }
+
+    #[test]
+    fn export_is_name_sorted_regardless_of_insertion() {
+        let mut r = Registry::new();
+        r.inc("zeta", 1);
+        r.inc("alpha", 1);
+        r.set_gauge("mid", 0.5);
+        r.set_gauge("aaa", 1.5);
+        r.set_series("s2", 60.0, vec![1.0]);
+        r.set_series("s1", 60.0, vec![2.0]);
+        let names: Vec<String> = r.counter_samples().into_iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        let gnames: Vec<String> = r.gauge_samples().into_iter().map(|g| g.name).collect();
+        assert_eq!(gnames, vec!["aaa", "mid"]);
+        let snames: Vec<String> = r.series_samples().into_iter().map(|s| s.name).collect();
+        assert_eq!(snames, vec!["s1", "s2"]);
+    }
+}

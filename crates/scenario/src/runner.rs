@@ -19,6 +19,7 @@ use crate::spec::{Scenario, ScenarioError};
 use lobster::db::LobsterDb;
 use lobster::driver::{ClusterSim, RunReport};
 use lobster::monitor::Accounting;
+use opsplane::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use simkit::fault::CrashPoint;
 use simkit::time::SimTime;
@@ -184,11 +185,11 @@ impl ScenarioRunner {
         Ok(ScenarioRunner { root })
     }
 
-    fn invariant(
+    fn invariant<T>(
         sc: &Scenario,
         invariant: &'static str,
         detail: String,
-    ) -> Result<ConformanceReport, ConformanceError> {
+    ) -> Result<T, ConformanceError> {
         Err(ConformanceError::Invariant {
             scenario: sc.name.clone(),
             invariant,
@@ -199,11 +200,22 @@ impl ScenarioRunner {
     /// Run `sc` and check all four invariants, returning the conformance
     /// record of the reference run.
     pub fn conformance(&self, sc: &Scenario) -> Result<ConformanceReport, ConformanceError> {
+        self.conformance_with_snapshot(sc).map(|(report, _)| report)
+    }
+
+    /// [`conformance`](Self::conformance), but also lower the reference
+    /// run into a deterministic ops-plane metrics snapshot — so every
+    /// conformance run can emit `metrics.json` / render the dashboard.
+    pub fn conformance_with_snapshot(
+        &self,
+        sc: &Scenario,
+    ) -> Result<(ConformanceReport, MetricsSnapshot), ConformanceError> {
         let Compiled {
             cfg,
             params,
             workflows,
         } = compile(sc)?;
+        let (snap_cfg, snap_params) = (cfg.clone(), params.clone());
         let total_tasklets: u64 = workflows.iter().map(|w| w.n_tasklets()).sum();
         let horizon_us = params.horizon.as_micros();
 
@@ -360,18 +372,23 @@ impl ScenarioRunner {
             );
         }
 
-        Ok(ConformanceReport {
-            scenario: sc.name.clone(),
-            seed: sc.seed,
-            total_tasklets,
-            done_tasklets,
-            dead_tasklets,
-            dead_letters: reference.dead_letters.len() as u64,
-            tasks_completed: reference.tasks_completed,
-            events_delivered: reference.events_delivered,
-            finished_at_us: finished_at.as_micros(),
-            horizon_us,
-            trace_digest: format!("{ref_digest:016x}"),
-        })
+        let snapshot =
+            lobster::ops::snapshot_from_run(&sc.name, &snap_cfg, &snap_params, &reference);
+        Ok((
+            ConformanceReport {
+                scenario: sc.name.clone(),
+                seed: sc.seed,
+                total_tasklets,
+                done_tasklets,
+                dead_tasklets,
+                dead_letters: reference.dead_letters.len() as u64,
+                tasks_completed: reference.tasks_completed,
+                events_delivered: reference.events_delivered,
+                finished_at_us: finished_at.as_micros(),
+                horizon_us,
+                trace_digest: format!("{ref_digest:016x}"),
+            },
+            snapshot,
+        ))
     }
 }

@@ -14,4 +14,4 @@ mod timeseries;
 pub use binomial::{binomial_ci, BinomialEstimate};
 pub use histogram::Histogram;
 pub use summary::{percentile, Summary};
-pub use timeseries::TimeSeries;
+pub use timeseries::{SeriesSnapshot, TimeSeries};

@@ -5,6 +5,20 @@
 //! interval). [`TimeSeries`] accumulates values into fixed-width bins of
 //! simulated time; a bin can hold a count, a sum, or a mean depending on
 //! how the caller reads it.
+//!
+//! A series operates in one of two modes, fixed by its first recording:
+//!
+//! * **point mode** ([`TimeSeries::record`] / [`TimeSeries::mark`]) — each
+//!   call lands one value in one bin and bumps that bin's count, so
+//!   `counts()` and `means()` are meaningful;
+//! * **spread mode** ([`TimeSeries::record_spread`]) — a value is smeared
+//!   proportionally over the bins an interval overlaps. Only the per-bin
+//!   *sums* are meaningful; no count exists that would make a per-bin mean
+//!   well defined, so spread series expose sums only.
+//!
+//! Mixing the two modes on one series is a bug (the old implementation
+//! bumped `count` once per overlapped bin, silently corrupting `means()`
+//! on mixed series); debug builds assert against it.
 
 use crate::time::{SimDuration, SimTime};
 use serde::Serialize;
@@ -12,7 +26,7 @@ use serde::Serialize;
 /// One accumulated bin.
 #[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct Bin {
-    /// Number of recorded values in this bin.
+    /// Number of recorded values in this bin (0 in spread mode).
     pub count: u64,
     /// Sum of recorded values.
     pub sum: f64,
@@ -29,11 +43,24 @@ impl Bin {
     }
 }
 
+/// How a series has been fed so far. A fresh series is `Unused` and
+/// commits to a mode on its first recording.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+enum Mode {
+    /// Nothing recorded yet.
+    Unused,
+    /// Fed by `record`/`mark`: counts and means are meaningful.
+    Point,
+    /// Fed by `record_spread`: only sums are meaningful.
+    Spread,
+}
+
 /// Fixed-width time-binned accumulator, growing on demand.
 #[derive(Clone, Debug, Serialize)]
 pub struct TimeSeries {
     width: SimDuration,
     bins: Vec<Bin>,
+    mode: Mode,
 }
 
 impl TimeSeries {
@@ -43,12 +70,18 @@ impl TimeSeries {
         TimeSeries {
             width,
             bins: Vec::new(),
+            mode: Mode::Unused,
         }
     }
 
     /// Bin width.
     pub fn width(&self) -> SimDuration {
         self.width
+    }
+
+    /// True once the series has been fed by [`TimeSeries::record_spread`].
+    pub fn is_spread(&self) -> bool {
+        self.mode == Mode::Spread
     }
 
     fn index(&self, at: SimTime) -> usize {
@@ -61,8 +94,17 @@ impl TimeSeries {
         }
     }
 
+    fn set_mode(&mut self, mode: Mode) {
+        debug_assert!(
+            self.mode == Mode::Unused || self.mode == mode,
+            "TimeSeries: mixing point and spread recordings corrupts means"
+        );
+        self.mode = mode;
+    }
+
     /// Record `value` at time `at`.
     pub fn record(&mut self, at: SimTime, value: f64) {
+        self.set_mode(Mode::Point);
         let idx = self.index(at);
         self.ensure(idx);
         let b = &mut self.bins[idx];
@@ -76,10 +118,17 @@ impl TimeSeries {
     }
 
     /// Spread `value` uniformly over `[start, end)` — used to attribute
-    /// e.g. CPU time to the bins in which it actually accrued.
+    /// e.g. CPU time to the bins in which it actually accrued. Spread
+    /// recordings contribute to per-bin sums only; `counts()`/`means()`
+    /// are undefined for spread series (debug builds assert).
     pub fn record_spread(&mut self, start: SimTime, end: SimTime, value: f64) {
+        self.set_mode(Mode::Spread);
         if end <= start {
-            self.record(start, value);
+            // Degenerate interval: attribute the whole value to the bin
+            // holding `start`, still without fabricating a count.
+            let idx = self.index(start);
+            self.ensure(idx);
+            self.bins[idx].sum += value;
             return;
         }
         let total = (end - start).as_micros() as f64;
@@ -90,9 +139,7 @@ impl TimeSeries {
             let bin_start = self.width.as_micros() * idx as u64;
             let bin_end = bin_start + self.width.as_micros();
             let overlap = (end.as_micros().min(bin_end) - start.as_micros().max(bin_start)) as f64;
-            let b = &mut self.bins[idx];
-            b.count += 1;
-            b.sum += value * overlap / total;
+            self.bins[idx].sum += value * overlap / total;
         }
     }
 
@@ -125,15 +172,45 @@ impl TimeSeries {
         self.bins.iter().map(|b| b.sum).collect()
     }
 
-    /// Counts per bin as a plain vector.
+    /// Counts per bin as a plain vector. Undefined for spread series.
     pub fn counts(&self) -> Vec<u64> {
+        debug_assert!(
+            self.mode != Mode::Spread,
+            "TimeSeries: counts() on a spread series — spread recordings carry no counts"
+        );
         self.bins.iter().map(|b| b.count).collect()
     }
 
-    /// Means per bin as a plain vector.
+    /// Means per bin as a plain vector. Undefined for spread series.
     pub fn means(&self) -> Vec<f64> {
+        debug_assert!(
+            self.mode != Mode::Spread,
+            "TimeSeries: means() on a spread series — spread recordings carry no counts"
+        );
         self.bins.iter().map(|b| b.mean()).collect()
     }
+
+    /// Serializable snapshot of the series for metrics export.
+    pub fn snapshot(&self) -> SeriesSnapshot {
+        SeriesSnapshot {
+            bin_micros: self.width.as_micros(),
+            sums: self.sums(),
+            counts: self.bins.iter().map(|b| b.count).collect(),
+        }
+    }
+}
+
+/// Plain serializable view of a [`TimeSeries`] — bin width plus the
+/// per-bin sums and counts — for export into metrics snapshots. For
+/// spread series every count is 0 (sums are the signal).
+#[derive(Clone, Debug, Serialize)]
+pub struct SeriesSnapshot {
+    /// Bin width in microseconds of simulated time.
+    pub bin_micros: u64,
+    /// Per-bin sums.
+    pub sums: Vec<f64>,
+    /// Per-bin counts (all zero for spread series).
+    pub counts: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -184,6 +261,7 @@ mod tests {
         let mut ts = TimeSeries::new(SimDuration::from_secs(10));
         ts.record_spread(secs(5), secs(5), 7.0);
         assert_eq!(ts.bin(0).sum, 7.0);
+        assert_eq!(ts.bin(0).count, 0, "degenerate spread fabricates no count");
     }
 
     #[test]
@@ -192,6 +270,42 @@ mod tests {
         ts.record_spread(secs(2), secs(4), 6.0);
         assert!((ts.bin(0).sum - 6.0).abs() < 1e-9);
         assert_eq!(ts.len(), 1);
+    }
+
+    /// Regression: `record_spread` used to bump `count` once per
+    /// overlapped bin, so `means()` on a series mixing `record` and
+    /// `record_spread` silently divided by phantom counts. Spread
+    /// recordings must leave counts untouched.
+    #[test]
+    fn spread_leaves_counts_at_zero() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.record_spread(secs(5), secs(35), 30.0);
+        assert_eq!(ts.len(), 4);
+        for i in 0..ts.len() {
+            assert_eq!(ts.bin(i).count, 0, "bin {i} fabricated a count");
+        }
+        assert!(ts.is_spread());
+        let snap = ts.snapshot();
+        assert!(snap.counts.iter().all(|&c| c == 0));
+        assert!((snap.sums.iter().sum::<f64>() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "mixing point and spread")]
+    fn mixing_point_and_spread_asserts() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.record(secs(1), 2.0);
+        ts.record_spread(secs(5), secs(35), 30.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "means() on a spread series")]
+    fn means_on_spread_series_asserts() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.record_spread(secs(5), secs(35), 30.0);
+        let _ = ts.means();
     }
 
     #[test]

@@ -167,4 +167,27 @@ proptest! {
         let busy_at_zero = grants.iter().filter(|g| g.start == SimTime::ZERO).count();
         prop_assert!(busy_at_zero <= 3);
     }
+
+    /// Spread conservation: smearing a value over an arbitrary interval
+    /// preserves its total across bin sums, and never fabricates counts.
+    #[test]
+    fn timeseries_spread_conserves_value(
+        start_us in 0u64..10_000_000,
+        span_us in 0u64..10_000_000,
+        width_us in 1u64..5_000_000,
+        value in 0.0f64..1e6,
+    ) {
+        let mut ts = TimeSeries::new(SimDuration::from_micros(width_us));
+        let start = SimTime::from_micros(start_us);
+        let end = SimTime::from_micros(start_us + span_us);
+        ts.record_spread(start, end, value);
+        let total: f64 = ts.sums().iter().sum();
+        prop_assert!(
+            (total - value).abs() <= 1e-9 * value.max(1.0),
+            "Σ bin sums {} != value {} (start {} span {} width {})",
+            total, value, start_us, span_us, width_us
+        );
+        let snap = ts.snapshot();
+        prop_assert!(snap.counts.iter().all(|&c| c == 0));
+    }
 }

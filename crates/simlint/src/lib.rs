@@ -237,7 +237,7 @@ impl Rule {
 }
 
 /// Crates whose library code is simulation state / simulation logic.
-const SIM_CRATES: [&str; 8] = [
+const SIM_CRATES: [&str; 9] = [
     "simkit",
     "simnet",
     "batchsim",
@@ -245,6 +245,7 @@ const SIM_CRATES: [&str; 8] = [
     "cvmfssim",
     "gridstore",
     "lobster",
+    "opsplane",
     "scenario",
 ];
 

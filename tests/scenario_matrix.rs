@@ -50,14 +50,15 @@ fn library_parses_and_validates() {
     }
 }
 
-/// The four invariants, on every shipped scenario.
+/// The four invariants, on every shipped scenario — and every run must
+/// also lower into a schema-valid ops-plane metrics snapshot.
 #[test]
 fn library_scenarios_conform() {
     let runner = ScenarioRunner::new("matrix").unwrap();
     for path in library() {
         let sc = Scenario::load(&path).unwrap();
-        let report = runner
-            .conformance(&sc)
+        let (report, snapshot) = runner
+            .conformance_with_snapshot(&sc)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert_eq!(
             report.done_tasklets + report.dead_tasklets,
@@ -70,6 +71,22 @@ fn library_scenarios_conform() {
             "{}: drained strictly before the horizon",
             path.display()
         );
+        snapshot
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: invalid metrics snapshot: {e}", path.display()));
+        assert_eq!(snapshot.run.name, sc.name, "{}", path.display());
+        assert_eq!(snapshot.run.seed, sc.seed, "{}", path.display());
+        assert_eq!(
+            snapshot.counter("tasks_completed"),
+            Some(report.tasks_completed),
+            "{}: snapshot counters mirror the conformance report",
+            path.display()
+        );
+        // The snapshot must round-trip through its canonical JSON bytes.
+        let json = snapshot.to_json();
+        let back = opsplane::MetricsSnapshot::from_json(&json)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(back.to_json(), json, "{}", path.display());
     }
 }
 
