@@ -66,6 +66,12 @@ step cargo run -q --release -p lobster-bench --bin bench_scale
 # regression vs the committed baseline, or any journal-size growth.
 step cargo run -q --release -p lobster-bench --bin bench_recovery
 
+# Multi-tenant sweep (1 -> 100 masters over one shared pool). Rewrites
+# BENCH_multitenant.json; fails if any contended point's Jain fairness
+# drops below 0.9 or any point loses more than 20% of the committed
+# baseline's events/sec.
+step cargo run -q --release -p lobster-bench --bin bench_multitenant
+
 # Crash-consistency smoke: the sampled crash-point matrix (boundary,
 # in-commit-window, torn-append, and mid-compaction crashes, resume,
 # convergence). The full 64-point sweep stays behind --ignored; run it:

@@ -1,0 +1,363 @@
+//! Deterministic fair-share arbitration over one opportunistic pool.
+//!
+//! Lobster as published is a per-user tool: one master assumes it may
+//! scavenge every idle core. A shared grid runs *N* masters against the
+//! same non-dedicated pool, so somebody has to decide, every scheduling
+//! cycle, how many cores each tenant may hold. [`FairShareArbiter`] is
+//! that decision procedure, modelled on batch-system fair share
+//! (HTCondor user priorities): configurable weights, decayed-usage
+//! accounting, and deficit-ordered distribution of leftover capacity.
+//!
+//! The arbiter is deliberately *not* a simulation component: it holds no
+//! RNG and never reads a clock. [`FairShareArbiter::allocate`] is a pure
+//! function of the registered weights, the charged-usage history and the
+//! call's `(available, demands)` arguments, which is what lets a
+//! multi-tenant run stay byte-identical for a given seed and makes a
+//! tenant crash invisible to its peers (the coordinator feeds the
+//! arbiter journal-derived demands, which survive a crash unchanged).
+//!
+//! One allocation round:
+//!
+//! 1. tenants with pending demand and positive weight are *active*;
+//! 2. each active tenant's quota is `available · wᵢ / Σw` (largest-
+//!    remainder style: integer floors first, bounded by demand);
+//! 3. leftover cores are water-filled one at a time in deficit order —
+//!    least charged-usage-per-weight first, index as the tie-break;
+//! 4. a guarantee pass lifts every active tenant to
+//!    `min(min_grant, demand)` cores by reclaiming from the most
+//!    over-served tenants, so no tenant with pending work can be starved
+//!    below a worker's worth of cores while capacity exists;
+//! 5. usage is charged: `usageᵢ ← usageᵢ · decay + allocᵢ`.
+//!
+//! Charging *allocations* (entitlement granted) rather than realised
+//! holdings keeps the accounting a pure function of the arbiter's own
+//! decision history: a tenant that crashes and resumes mid-round re-reads
+//! the same demands from its journal, so its peers' allocation sequences
+//! are bit-for-bit unchanged — the tenant-isolation invariant pinned by
+//! `tests/crash_matrix.rs`.
+
+/// Arbitration policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ArbiterConfig {
+    /// Per-round retention of charged usage, in `[0, 1)`. Higher values
+    /// remember further back; `0` makes every round independent.
+    pub decay: f64,
+    /// Core floor granted to every active tenant while capacity allows
+    /// (typically one worker's cores) — the no-starvation bound.
+    pub min_grant: u32,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig {
+            // Half-life of ~13 rounds at 5-minute rounds ≈ one hour of
+            // fair-share memory, the HTCondor default ballpark.
+            decay: 0.95,
+            min_grant: 8,
+        }
+    }
+}
+
+/// Deterministic weighted fair-share arbiter (see module docs).
+#[derive(Clone, Debug)]
+pub struct FairShareArbiter {
+    cfg: ArbiterConfig,
+    weights: Vec<f64>,
+    usage: Vec<f64>,
+}
+
+impl FairShareArbiter {
+    /// An arbiter with no tenants registered.
+    pub fn new(cfg: ArbiterConfig) -> Self {
+        FairShareArbiter {
+            cfg,
+            weights: Vec::new(),
+            usage: Vec::new(),
+        }
+    }
+
+    /// Register a tenant; returns its index. Non-finite or non-positive
+    /// weights register the tenant as permanently inactive (weight 0) —
+    /// callers that care validate weights upstream.
+    pub fn register(&mut self, weight: f64) -> usize {
+        let w = if weight.is_finite() && weight > 0.0 {
+            weight
+        } else {
+            0.0
+        };
+        self.weights.push(w);
+        self.usage.push(0.0);
+        self.weights.len() - 1
+    }
+
+    /// Registered tenants.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// A tenant's weight (0.0 for out-of-range indices).
+    pub fn weight(&self, tenant: usize) -> f64 {
+        self.weights.get(tenant).copied().unwrap_or(0.0)
+    }
+
+    /// Re-weight a tenant mid-run (out-of-range indices are ignored; bad
+    /// weights deactivate the tenant, as in [`FairShareArbiter::register`]).
+    pub fn set_weight(&mut self, tenant: usize, weight: f64) {
+        if let Some(w) = self.weights.get_mut(tenant) {
+            *w = if weight.is_finite() && weight > 0.0 {
+                weight
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Decayed charged usage of a tenant (0.0 for out-of-range indices).
+    pub fn usage(&self, tenant: usize) -> f64 {
+        self.usage.get(tenant).copied().unwrap_or(0.0)
+    }
+
+    /// Charged usage normalised by weight — the fair-share priority
+    /// (lower = more starved). Infinite for inactive tenants.
+    fn priority(&self, tenant: usize) -> f64 {
+        let w = self.weights[tenant];
+        if w > 0.0 {
+            self.usage[tenant] / w
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// One allocation round: split `available` cores among tenants whose
+    /// `demands` entry is positive (missing entries read as 0). Returns
+    /// per-tenant core caps summing to at most `available`, and charges
+    /// each tenant's decayed usage with its allocation.
+    pub fn allocate(&mut self, available: u32, demands: &[u32]) -> Vec<u32> {
+        let n = self.weights.len();
+        let demand = |i: usize| demands.get(i).copied().unwrap_or(0);
+        let mut alloc = vec![0u32; n];
+        let mut active: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            if demand(i) > 0 && self.weights[i] > 0.0 {
+                active.push(i);
+            }
+        }
+        if active.is_empty() || available == 0 {
+            self.charge(&alloc);
+            return alloc;
+        }
+        let mut total_weight = 0.0f64;
+        for &i in &active {
+            total_weight += self.weights[i];
+        }
+
+        // Integer quota floors, bounded by demand.
+        let mut granted = 0u32;
+        for &i in &active {
+            let quota = (available as f64) * self.weights[i] / total_weight;
+            let floor = quota.floor().max(0.0).min(available as f64) as u32;
+            alloc[i] = floor.min(demand(i));
+            granted += alloc[i];
+        }
+
+        // Water-fill the leftover in deficit order: least charged usage
+        // per weight first, tenant index breaking ties.
+        let mut leftover = available.saturating_sub(granted);
+        let mut order = active.clone();
+        order.sort_by(|&a, &b| {
+            self.priority(a)
+                .partial_cmp(&self.priority(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        while leftover > 0 {
+            let mut progressed = false;
+            for &i in &order {
+                if leftover == 0 {
+                    break;
+                }
+                if alloc[i] < demand(i) {
+                    alloc[i] += 1;
+                    leftover -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break; // every active tenant is at demand
+            }
+        }
+
+        self.guarantee_pass(&mut alloc, &demands_vec(demands, n), &active);
+        self.charge(&alloc);
+        alloc
+    }
+
+    /// Lift every active tenant to `min(min_grant, demand)` cores by
+    /// reclaiming, one core at a time, from the tenant with the most
+    /// cores above its own guarantee (ties: higher normalised usage,
+    /// then higher index — the most over-served donate first).
+    fn guarantee_pass(&self, alloc: &mut [u32], demands: &[u32], active: &[usize]) {
+        let guarantee =
+            |i: usize| -> u32 { self.cfg.min_grant.min(demands.get(i).copied().unwrap_or(0)) };
+        for &i in active {
+            while alloc[i] < guarantee(i) {
+                let mut donor: Option<usize> = None;
+                for &j in active {
+                    if j == i || alloc[j] <= guarantee(j) {
+                        continue;
+                    }
+                    let better = match donor {
+                        None => true,
+                        Some(d) => {
+                            let surplus_j = alloc[j] - guarantee(j);
+                            let surplus_d = alloc[d] - guarantee(d);
+                            surplus_j > surplus_d
+                                || (surplus_j == surplus_d && self.priority(j) > self.priority(d))
+                                || (surplus_j == surplus_d && self.priority(j) == self.priority(d))
+                        }
+                    };
+                    if better {
+                        donor = Some(j);
+                    }
+                }
+                let Some(j) = donor else { break };
+                alloc[j] -= 1;
+                alloc[i] += 1;
+            }
+        }
+    }
+
+    /// Charge this round's allocations into the decayed-usage accounts.
+    fn charge(&mut self, alloc: &[u32]) {
+        let decay = self.cfg.decay.clamp(0.0, 1.0);
+        for i in 0..self.usage.len() {
+            self.usage[i] = self.usage[i] * decay + alloc.get(i).copied().unwrap_or(0) as f64;
+        }
+    }
+}
+
+/// Pad/truncate a demand slice to exactly `n` entries.
+fn demands_vec(demands: &[u32], n: usize) -> Vec<u32> {
+    let mut v = vec![0u32; n];
+    let m = n.min(demands.len());
+    v[..m].copy_from_slice(&demands[..m]);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arbiter(weights: &[f64]) -> FairShareArbiter {
+        let mut a = FairShareArbiter::new(ArbiterConfig {
+            decay: 0.9,
+            min_grant: 4,
+        });
+        for &w in weights {
+            a.register(w);
+        }
+        a
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let mut a = arbiter(&[1.0, 1.0]);
+        let alloc = a.allocate(100, &[100, 100]);
+        assert_eq!(alloc, vec![50, 50]);
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let mut a = arbiter(&[1.0, 3.0]);
+        let alloc = a.allocate(100, &[100, 100]);
+        assert_eq!(alloc, vec![25, 75]);
+    }
+
+    #[test]
+    fn demand_bounded_surplus_redistributes() {
+        let mut a = arbiter(&[1.0, 1.0]);
+        let alloc = a.allocate(100, &[10, 100]);
+        assert_eq!(alloc, vec![10, 90], "unused share flows to unmet demand");
+    }
+
+    #[test]
+    fn idle_tenants_get_nothing() {
+        let mut a = arbiter(&[1.0, 1.0, 1.0]);
+        let alloc = a.allocate(90, &[100, 0, 100]);
+        assert_eq!(alloc, vec![45, 0, 45]);
+    }
+
+    #[test]
+    fn leftover_goes_to_lowest_usage_first() {
+        let mut a = arbiter(&[1.0, 1.0, 1.0]);
+        // Prime usage: tenant 0 has been served heavily.
+        a.usage = vec![100.0, 0.0, 0.0];
+        let alloc = a.allocate(10, &[10, 10, 10]);
+        // Floors are 3/3/3; the leftover core goes to the least-served
+        // (tenant 1, index tie-break against tenant 2).
+        assert_eq!(alloc, vec![3, 4, 3]);
+    }
+
+    #[test]
+    fn min_grant_prevents_starvation() {
+        let mut a = FairShareArbiter::new(ArbiterConfig {
+            decay: 0.9,
+            min_grant: 4,
+        });
+        a.register(1000.0);
+        a.register(1.0); // tiny weight → quota floor of 0
+        let alloc = a.allocate(100, &[100, 100]);
+        assert!(
+            alloc[1] >= 4,
+            "guarantee pass lifts the tiny tenant: {alloc:?}"
+        );
+        assert_eq!(alloc.iter().sum::<u32>(), 100);
+    }
+
+    #[test]
+    fn allocation_is_conserved() {
+        let mut a = arbiter(&[2.0, 1.0, 0.5]);
+        for round in 0..50u32 {
+            let available = 7 + (round * 13) % 97;
+            let alloc = a.allocate(available, &[40, 3, 60]);
+            assert!(alloc.iter().sum::<u32>() <= available);
+        }
+    }
+
+    #[test]
+    fn allocate_is_deterministic() {
+        let run = || {
+            let mut a = arbiter(&[1.0, 2.5, 0.25]);
+            let mut all = Vec::new();
+            for round in 0..40u32 {
+                all.push(a.allocate(64 + round % 5, &[30, 30, 30]));
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bad_weights_deactivate() {
+        let mut a = arbiter(&[1.0]);
+        a.register(f64::NAN);
+        a.register(-3.0);
+        let alloc = a.allocate(10, &[10, 10, 10]);
+        assert_eq!(alloc, vec![10, 0, 0]);
+    }
+
+    #[test]
+    fn usage_decays() {
+        let mut a = arbiter(&[1.0, 1.0]);
+        a.allocate(10, &[10, 10]);
+        let after_one = a.usage(0);
+        assert!(after_one > 0.0);
+        a.allocate(0, &[10, 10]);
+        assert!(a.usage(0) < after_one, "idle rounds decay the account");
+    }
+}

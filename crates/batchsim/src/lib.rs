@@ -16,12 +16,17 @@
 //!   with batch-system provisioning delays.
 //! * [`log`] — join/leave logs and the estimator that turns them into the
 //!   per-bin eviction probabilities (with binomial errors) of Figure 2.
+//! * [`arbiter`] — deterministic fair-share arbitration when *several*
+//!   masters scavenge the same pool: weighted quotas, decayed-usage
+//!   accounting, deficit-ordered leftovers, and a no-starvation floor.
 
+pub mod arbiter;
 pub mod availability;
 pub mod factory;
 pub mod log;
 pub mod pool;
 
+pub use arbiter::{ArbiterConfig, FairShareArbiter};
 pub use availability::{AvailabilityModel, EvictionScenario};
 pub use factory::WorkerFactory;
 pub use log::{EvictionProfile, WorkerLog};

@@ -48,6 +48,12 @@ pub struct OpportunisticPool {
     ours: u32,
     last_tick: SimTime,
     rng: SimRng,
+    /// Arbiter-imposed ceiling on `ours`. The pool historically assumed a
+    /// single claimant owned all scavengeable capacity; under multi-tenant
+    /// arbitration each master's pool is bounded by its fair share, and
+    /// lowering the cap below the current holding surfaces as evictions on
+    /// the next [`OpportunisticPool::tick`] (preemption).
+    share_cap: Option<u32>,
 }
 
 impl OpportunisticPool {
@@ -60,7 +66,21 @@ impl OpportunisticPool {
             ours: 0,
             last_tick: SimTime::ZERO,
             rng,
+            share_cap: None,
         }
+    }
+
+    /// Bound (or unbound, with `None`) the cores this claimant may hold.
+    /// A cap below the current holding does not evict immediately: the
+    /// overage is reclaimed by the next [`OpportunisticPool::tick`], which
+    /// mirrors how a batch system preempts on its scheduling cycle.
+    pub fn set_share_cap(&mut self, cap: Option<u32>) {
+        self.share_cap = cap;
+    }
+
+    /// The arbiter-imposed share cap, if any.
+    pub fn share_cap(&self) -> Option<u32> {
+        self.share_cap
     }
 
     /// Total cores in the cluster.
@@ -78,12 +98,18 @@ impl OpportunisticPool {
         (self.owner_demand.round().max(0.0) as u32).min(self.cfg.total_cores)
     }
 
-    /// Cores free for us right now.
+    /// Cores free for us right now: physical idle capacity, further
+    /// bounded by the arbiter share cap when one is set.
     pub fn idle_cores(&self) -> u32 {
-        self.cfg
+        let physical = self
+            .cfg
             .total_cores
             .saturating_sub(self.owner_cores())
-            .saturating_sub(self.ours)
+            .saturating_sub(self.ours);
+        match self.share_cap {
+            Some(cap) => physical.min(cap.saturating_sub(self.ours)),
+            None => physical,
+        }
     }
 
     /// The tick interval on which [`OpportunisticPool::tick`] should be
@@ -108,6 +134,16 @@ impl OpportunisticPool {
             let available_for_us = self.cfg.total_cores - self.owner_cores();
             if self.ours > available_for_us {
                 let evict = self.ours - available_for_us;
+                self.ours -= evict;
+                evict_total += evict;
+            }
+        }
+        // Share-cap preemption is checked on every tick call, not just at
+        // demand-update boundaries: a cap lowered mid-interval must not
+        // wait a full owner-demand period to take effect.
+        if let Some(cap) = self.share_cap {
+            if self.ours > cap {
+                let evict = self.ours - cap;
                 self.ours -= evict;
                 evict_total += evict;
             }
@@ -223,6 +259,52 @@ mod tests {
         p.owner_demand = 0.0;
         p.tick(SimTime::from_secs(60 * 20));
         assert!((p.owner_demand - 400.0).abs() < 1.0, "{}", p.owner_demand);
+    }
+
+    #[test]
+    fn share_cap_bounds_claims() {
+        let mut p = pool(100, 0.0);
+        p.set_share_cap(Some(30));
+        assert_eq!(p.idle_cores(), 30, "cap bounds idle capacity");
+        assert!(p.claim(30));
+        assert!(!p.claim(1), "claims beyond the cap are refused");
+        p.set_share_cap(None);
+        assert!(p.claim(1), "uncapping restores the physical pool");
+    }
+
+    #[test]
+    fn lowering_share_cap_preempts_on_next_tick() {
+        let mut p = pool(100, 0.0);
+        assert!(p.claim(80));
+        p.set_share_cap(Some(50));
+        // Preemption is deferred to the scheduling cycle, and fires even
+        // before an owner-demand boundary elapses.
+        let evicted = p.tick(SimTime::from_secs(1));
+        assert_eq!(evicted, 30);
+        assert_eq!(p.ours(), 50);
+        assert_eq!(p.tick(SimTime::from_secs(2)), 0, "no double preemption");
+    }
+
+    #[test]
+    fn share_cap_composes_with_owner_surge() {
+        let mut p = OpportunisticPool::new(
+            PoolConfig {
+                total_cores: 100,
+                owner_mean: 90.0,
+                reversion: 1.0,
+                noise: 0.0,
+                tick: SimDuration::from_mins(1),
+            },
+            SimRng::new(5),
+        );
+        p.owner_demand = 0.0;
+        p.set_share_cap(Some(60));
+        assert!(p.claim(60));
+        // Owner jumps to 90 → 10 left physically; the cap (60) is looser
+        // than physics, so the owner surge wins: evict down to 10.
+        let evicted = p.tick(SimTime::from_secs(60));
+        assert_eq!(evicted, 50);
+        assert_eq!(p.ours(), 10);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Property battery for the fair-share arbiter (ISSUE 10 satellite):
+//! conservation, no-starvation, and weight-monotonicity — the three
+//! contracts multi-tenant scheduling leans on.
+
+use batchsim::arbiter::{ArbiterConfig, FairShareArbiter};
+use proptest::prelude::*;
+
+/// Strategy: a tenant population of 1–12 with weights in a sane range
+/// and per-round demands.
+fn weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..50.0, 1..12)
+}
+
+fn arbiter(cfg: ArbiterConfig, ws: &[f64]) -> FairShareArbiter {
+    let mut a = FairShareArbiter::new(cfg);
+    for &w in ws {
+        a.register(w);
+    }
+    a
+}
+
+proptest! {
+    /// Conservation: at every allocation instant, the cores handed out
+    /// never exceed the pool's available capacity — across many rounds
+    /// with fluctuating availability and demand.
+    #[test]
+    fn conservation_at_every_instant(
+        ws in weights(),
+        rounds in prop::collection::vec(
+            (0u32..5_000, prop::collection::vec(0u32..3_000, 12..13)), 1..30),
+        decay in 0.0f64..0.999,
+        min_grant in 0u32..16,
+    ) {
+        let mut a = arbiter(ArbiterConfig { decay, min_grant }, &ws);
+        for (available, demands) in &rounds {
+            let alloc = a.allocate(*available, demands);
+            let total: u32 = alloc.iter().sum();
+            prop_assert!(
+                total <= *available,
+                "allocated {} of {} available", total, available
+            );
+            // Nothing is handed to a tenant without demand.
+            for (i, &x) in alloc.iter().enumerate() {
+                let d = demands.get(i).copied().unwrap_or(0);
+                prop_assert!(x <= d, "tenant {} got {} over demand {}", i, x, d);
+            }
+        }
+    }
+
+    /// No-starvation: whenever capacity covers the guarantee floor of
+    /// every tenant with pending work, each of them is granted at least
+    /// `min(min_grant, demand)` cores in that round — a dispatch window
+    /// bounded by a single arbitration cycle.
+    #[test]
+    fn no_starvation_within_one_round(
+        ws in weights(),
+        demands in prop::collection::vec(0u32..3_000, 12..13),
+        decay in 0.0f64..0.999,
+        min_grant in 1u32..16,
+        spare in 0u32..4_000,
+    ) {
+        let mut a = arbiter(ArbiterConfig { decay, min_grant }, &ws);
+        let n_active = ws
+            .iter()
+            .zip(&demands)
+            .filter(|(w, d)| **w > 0.0 && **d > 0)
+            .count() as u32;
+        let available = n_active * min_grant + spare;
+        let alloc = a.allocate(available, &demands);
+        for (i, &got) in alloc.iter().enumerate() {
+            let d = demands.get(i).copied().unwrap_or(0);
+            if d == 0 {
+                continue;
+            }
+            prop_assert!(
+                got >= min_grant.min(d),
+                "tenant {} starved: got {} of guaranteed {} (available {})",
+                i, got, min_grant.min(d), available
+            );
+        }
+    }
+
+    /// Weight-monotonicity: raising one tenant's weight, with everything
+    /// else held fixed, never lowers that tenant's allocation.
+    #[test]
+    fn weight_monotone_single_round(
+        ws in weights(),
+        usage in prop::collection::vec(0.0f64..500.0, 12..13),
+        demands in prop::collection::vec(1u32..3_000, 12..13),
+        available in 1u32..5_000,
+        who in 0usize..12,
+        factor in 1.0f64..8.0,
+        min_grant in 0u32..16,
+    ) {
+        let who = who % ws.len();
+        let cfg = ArbiterConfig { decay: 0.9, min_grant };
+        // Same pre-charged usage state on both sides.
+        let mut base = arbiter(cfg, &ws);
+        let mut raised = arbiter(cfg, &ws);
+        let primer: Vec<u32> = usage.iter().map(|u| *u as u32).collect();
+        let head = ws.len().min(primer.len());
+        base.allocate(primer[..head].iter().sum(), &primer[..head]);
+        raised.allocate(primer[..head].iter().sum(), &primer[..head]);
+        raised.set_weight(who, ws[who] * factor);
+
+        let a0 = base.allocate(available, &demands[..ws.len()]);
+        let a1 = raised.allocate(available, &demands[..ws.len()]);
+        prop_assert!(
+            a1[who] >= a0[who],
+            "raising tenant {} weight {}→{} lowered its share {} → {}",
+            who, ws[who], ws[who] * factor, a0[who], a1[who]
+        );
+    }
+
+    /// Weight-monotonicity over a whole campaign: with a fixed demand and
+    /// availability trace, the *cumulative* cores delivered to a tenant
+    /// never drop when its weight is raised (usage feedback included).
+    #[test]
+    fn weight_monotone_delivered_share(
+        ws in weights(),
+        trace in prop::collection::vec((1u32..2_000, prop::collection::vec(1u32..1_000, 12..13)), 1..25),
+        who in 0usize..12,
+        factor in 1.0f64..8.0,
+    ) {
+        let who = who % ws.len();
+        let cfg = ArbiterConfig { decay: 0.9, min_grant: 4 };
+        let mut base = arbiter(cfg, &ws);
+        let mut raised = arbiter(cfg, &ws);
+        raised.set_weight(who, ws[who] * factor);
+        let mut delivered0 = 0u64;
+        let mut delivered1 = 0u64;
+        for (available, demands) in &trace {
+            delivered0 += base.allocate(*available, demands)[who] as u64;
+            delivered1 += raised.allocate(*available, demands)[who] as u64;
+        }
+        prop_assert!(
+            delivered1 >= delivered0,
+            "raising tenant {} weight lowered cumulative share {} → {}",
+            who, delivered0, delivered1
+        );
+    }
+}

@@ -11,7 +11,7 @@
 //! on purpose, so drift is surfaced for review rather than gated.
 
 use scenario::chaos::chaos_scenario;
-use scenario::runner::{ConformanceReport, ScenarioRunner};
+use scenario::runner::{ConformanceReport, MultiTenantConformance, ScenarioRunner};
 use scenario::spec::Scenario;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -24,6 +24,9 @@ const CHAOS_SEEDS: [u64; 10] = [1, 2, 4, 5, 6, 7, 8, 9, 10, 12];
 struct ChaosBench {
     chaos_seeds: Vec<u64>,
     library: Vec<ConformanceReport>,
+    /// Library scenarios with a tenant roster, run through the
+    /// coordinated multi-tenant conformance gate instead.
+    multitenant: Vec<MultiTenantConformance>,
     chaos: Vec<ConformanceReport>,
 }
 
@@ -92,6 +95,7 @@ fn main() {
     let mut failed = false;
 
     let mut library = Vec::new();
+    let mut multitenant = Vec::new();
     for path in library_files() {
         let sc = match Scenario::load(&path) {
             Ok(sc) => sc,
@@ -101,6 +105,26 @@ fn main() {
                 continue;
             }
         };
+        if !sc.tenants.is_empty() {
+            match runner.multi_conformance(&sc) {
+                Ok(report) => {
+                    eprintln!(
+                        "[library {:<18}] {:>2} tenants × {:>4} tasklets, jain {:.4}, {} rounds",
+                        report.scenario,
+                        report.tenants.len(),
+                        report.per_tenant_tasklets,
+                        report.jain_fairness,
+                        report.rounds,
+                    );
+                    multitenant.push(report);
+                }
+                Err(e) => {
+                    eprintln!("bench_chaos: FAIL {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match runner.conformance(&sc) {
             Ok(report) => {
                 eprintln!(
@@ -144,13 +168,15 @@ fn main() {
     let result = ChaosBench {
         chaos_seeds: CHAOS_SEEDS.to_vec(),
         library,
+        multitenant,
         chaos,
     };
     let json = serde_json::to_string_pretty(&result).expect("serialises");
     std::fs::write(out_path, &json).expect("writable cwd");
     println!(
-        "== bench_chaos ({} library scenarios, {} chaos seeds) ==",
+        "== bench_chaos ({} library + {} multi-tenant scenarios, {} chaos seeds) ==",
         result.library.len(),
+        result.multitenant.len(),
         result.chaos.len()
     );
 

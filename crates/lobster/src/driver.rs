@@ -84,6 +84,12 @@ pub struct SimParams {
     /// `ReferenceHeap` keeps the original binary-heap engine for the
     /// differential trace tests.
     pub engine: EngineKind,
+    /// Federation consumer label for this master. Historically a single
+    /// hard-coded constant ([`ClusterSim::CONSUMER`]) — a latent
+    /// single-master assumption: with several tenants on one grid, every
+    /// transfer dashboard row was credited to the same consumer. `None`
+    /// keeps the classic label.
+    pub tenant_label: Option<String>,
 }
 
 impl Default for SimParams {
@@ -106,6 +112,7 @@ impl Default for SimParams {
             squid: SquidConfig::default(),
             faults: FaultPlan::none(),
             engine: EngineKind::default(),
+            tenant_label: None,
         }
     }
 }
@@ -423,6 +430,17 @@ pub struct ClusterSim {
     /// a drained [`Ev::SandboxBatch`] returns its Vec here for the next
     /// dispatch round to refill.
     batch_pool: Vec<Vec<(TaskId, u32)>>,
+    /// Federation consumer label (per-tenant under multi-tenancy).
+    consumer: String,
+    /// Shared-site cache warmth per dataset, in `[0, 1]`: the fraction of
+    /// a stage-in that the shared squids / alien caches can serve without
+    /// crossing the WAN, because *another* tenant already pulled it. Set
+    /// by the multi-tenant coordinator between rounds; empty (the
+    /// single-master default) leaves every transfer fully cold.
+    dataset_warmth: BTreeMap<String, f64>,
+    /// WAN bytes this master pulled per dataset (cold-side accounting the
+    /// coordinator reads to advance the shared cache model).
+    wan_by_dataset: BTreeMap<String, u64>,
 }
 
 impl ClusterSim {
@@ -560,6 +578,10 @@ impl ClusterSim {
             .collect();
         let catalog = ReleaseCatalog::cmssw_default(cfg.seed ^ 0xCAFE);
         let analysis_units: u64 = workflows.iter().map(|w| w.n_tasklets()).sum();
+        let consumer = params
+            .tenant_label
+            .clone()
+            .unwrap_or_else(|| Self::CONSUMER.to_string());
         ClusterSim {
             rng: rng.split(0),
             cfg,
@@ -606,6 +628,9 @@ impl ClusterSim {
             scratch_delays: Vec::new(),
             scratch_flows: Vec::new(),
             batch_pool: Vec::new(),
+            consumer,
+            dataset_warmth: BTreeMap::new(),
+            wan_by_dataset: BTreeMap::new(),
         }
     }
 
@@ -904,7 +929,10 @@ impl ClusterSim {
         engine.into_model().into_report(ended_at, events_delivered)
     }
 
-    fn into_report(mut self, ended_at: SimTime, events_delivered: u64) -> RunReport {
+    /// Fold the final model state into a [`RunReport`]. Public so external
+    /// harnesses that drive the [`Engine`] themselves (the multi-tenant
+    /// coordinator steps several engines in lockstep) can harvest reports.
+    pub fn into_report(mut self, ended_at: SimTime, events_delivered: u64) -> RunReport {
         // A completed run is a durability boundary: drain any open
         // group-commit window before reporting.
         self.db.flush();
@@ -937,6 +965,71 @@ impl ClusterSim {
 
     fn done(&self) -> bool {
         self.finished_at.is_some()
+    }
+
+    // ----- multi-tenant coordination surface --------------------------------
+    //
+    // A multi-tenant coordinator steps several `ClusterSim` engines over one
+    // shared pool. Between rounds it reads demand and WAN accounting here,
+    // and writes back the arbiter's core cap and the shared-cache warmth.
+
+    /// Bound the cores this master's pool slice may hold (the arbiter's
+    /// fair-share grant). Overage is preempted on the next pool tick.
+    pub fn set_core_cap(&mut self, cap: u32) {
+        self.pool.set_share_cap(Some(cap));
+    }
+
+    /// Cores currently held by this master's workers.
+    pub fn held_cores(&self) -> u32 {
+        self.pool.ours()
+    }
+
+    /// Tasklets not yet done or dead-lettered — the demand signal the
+    /// fair-share arbiter sees. Derived purely from journaled state so a
+    /// crash + resume reproduces the same value.
+    pub fn work_remaining(&self) -> u64 {
+        self.analysis_units
+            .saturating_sub(self.db.total_done_tasklets())
+            .saturating_sub(self.db.total_dead_tasklets())
+    }
+
+    /// Whether the whole campaign (including merges) has completed.
+    pub fn is_finished(&self) -> bool {
+        self.done()
+    }
+
+    /// Outputs not yet folded into a merged file — the merge-side demand
+    /// signal. Covers planned, queued and in-flight merges (the count
+    /// only drops when a merge *completes*), so an arbiter that would
+    /// otherwise see zero analysis work left still grants the cores the
+    /// merge tail needs.
+    pub fn merge_backlog(&self) -> u64 {
+        self.unmerged_count
+    }
+
+    /// Set the shared-site cache warmth for `dataset` in `[0, 1]`: the
+    /// fraction of future stage-ins served without crossing the WAN.
+    pub fn set_dataset_warmth(&mut self, dataset: &str, frac: f64) {
+        self.dataset_warmth
+            .insert(dataset.to_string(), frac.clamp(0.0, 1.0));
+    }
+
+    /// WAN bytes pulled so far, per dataset (cold-side accounting).
+    pub fn wan_bytes_by_dataset(&self) -> &BTreeMap<String, u64> {
+        &self.wan_by_dataset
+    }
+
+    /// The federation consumer label this master reports under.
+    pub fn consumer_label(&self) -> &str {
+        &self.consumer
+    }
+
+    /// Simulate a process crash for an externally-driven engine: drop the
+    /// open group-commit window without flushing, abandoning the model —
+    /// the in-window crash site of [`ClusterSim::run_durable_until_crash`],
+    /// exposed so a multi-tenant coordinator can kill one master mid-round.
+    pub fn crash_now(mut self) {
+        self.db.crash();
     }
 
     // ----- task creation ---------------------------------------------------
@@ -1342,7 +1435,8 @@ impl ClusterSim {
         };
         t.phase = Phase::Exec;
         t.phase_started = now;
-        let (kind, input, cpu, category, attempt) = (
+        let (wf, kind, input, cpu, category, attempt) = (
+            t.wf,
             self.workflows[t.wf].kind,
             t.input_bytes,
             t.cpu,
@@ -1378,45 +1472,75 @@ impl ClusterSim {
                 }
                 Err(ChirpDown) => self.fail_attempt(id, Segment::StageIn, false, ctx),
             }
-        } else if streaming {
-            // XrootD stream: execution overlaps the WAN transfer.
-            match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
-                Ok(flow) => {
-                    self.fed_flows.insert(flow, id);
-                    let Some(t) = self.tasks.get_mut(id) else {
-                        return;
-                    };
-                    t.data_flow = Some(flow);
-                    if let Some(b) = t.builder.as_mut() {
-                        b.times_mut().stage_in = AccessTiming::STREAM_OPEN;
-                        b.times_mut().cpu = cpu;
-                    }
-                    self.reschedule_fed(ctx);
-                    // The stage-in watchdog covers the whole stream: a
-                    // blackout that freezes the WAN mid-transfer would
-                    // otherwise pin this slot to the horizon.
-                    self.arm_watchdog(id, Segment::StageIn, ctx);
-                }
-                Err(_) => self.fail_attempt(id, Segment::StageIn, false, ctx),
-            }
         } else {
-            // Staged remote input (Chirp or WQ transfer, §4.2): the data
-            // crosses the same WAN, but the file must fully land before
-            // execution starts — no compute/transfer overlap. This is the
-            // penalty Figure 4 charges against staging.
-            match self.fed.open(now, Self::CONSUMER, input, &mut self.rng) {
-                Ok(flow) => {
-                    self.fed_flows.insert(flow, id);
-                    let Some(t) = self.tasks.get_mut(id) else {
-                        return;
-                    };
-                    t.data_flow = Some(flow);
-                    t.phase = Phase::Data;
-                    self.arm_watchdog(id, Segment::StageIn, ctx);
-                }
-                Err(_) => self.fail_attempt(id, Segment::StageIn, false, ctx),
+            // WAN-bound stage-in. Under multi-tenancy the shared squids /
+            // alien caches may already hold a fraction of this dataset
+            // because *another* tenant pulled it; only the cold remainder
+            // crosses the WAN (cross-tenant cache economics). The warmth
+            // map is empty for a solo master, leaving `wan_input == input`.
+            let ds = &self.cfg.workflows[wf].dataset;
+            let warm = self
+                .dataset_warmth
+                .get(ds)
+                .copied()
+                .unwrap_or(0.0)
+                .clamp(0.0, 1.0);
+            let warm_bytes = ((input as f64) * warm) as u64;
+            let wan_input = input.saturating_sub(warm_bytes);
+            if wan_input > 0 {
+                *self.wan_by_dataset.entry(ds.clone()).or_insert(0) += wan_input;
             }
-            self.reschedule_fed(ctx);
+            if wan_input == 0 {
+                // Fully warm: the shared cache serves the whole stage-in
+                // locally — straight to execution, like pure generation.
+                let Some(t) = self.tasks.get_mut(id) else {
+                    return;
+                };
+                if let Some(b) = t.builder.as_mut() {
+                    b.times_mut().cpu = cpu;
+                }
+                ctx.schedule(cpu, Ev::ExecDone(id, attempt));
+                self.arm_watchdog(id, Segment::Execute, ctx);
+            } else if streaming {
+                // XrootD stream: execution overlaps the WAN transfer.
+                match self.fed.open(now, &self.consumer, wan_input, &mut self.rng) {
+                    Ok(flow) => {
+                        self.fed_flows.insert(flow, id);
+                        let Some(t) = self.tasks.get_mut(id) else {
+                            return;
+                        };
+                        t.data_flow = Some(flow);
+                        if let Some(b) = t.builder.as_mut() {
+                            b.times_mut().stage_in = AccessTiming::STREAM_OPEN;
+                            b.times_mut().cpu = cpu;
+                        }
+                        self.reschedule_fed(ctx);
+                        // The stage-in watchdog covers the whole stream: a
+                        // blackout that freezes the WAN mid-transfer would
+                        // otherwise pin this slot to the horizon.
+                        self.arm_watchdog(id, Segment::StageIn, ctx);
+                    }
+                    Err(_) => self.fail_attempt(id, Segment::StageIn, false, ctx),
+                }
+            } else {
+                // Staged remote input (Chirp or WQ transfer, §4.2): the data
+                // crosses the same WAN, but the file must fully land before
+                // execution starts — no compute/transfer overlap. This is the
+                // penalty Figure 4 charges against staging.
+                match self.fed.open(now, &self.consumer, wan_input, &mut self.rng) {
+                    Ok(flow) => {
+                        self.fed_flows.insert(flow, id);
+                        let Some(t) = self.tasks.get_mut(id) else {
+                            return;
+                        };
+                        t.data_flow = Some(flow);
+                        t.phase = Phase::Data;
+                        self.arm_watchdog(id, Segment::StageIn, ctx);
+                    }
+                    Err(_) => self.fail_attempt(id, Segment::StageIn, false, ctx),
+                }
+                self.reschedule_fed(ctx);
+            }
         }
     }
 
@@ -2075,7 +2199,9 @@ impl Model for ClusterSim {
             }
             Ev::PoolTick => {
                 if !self.done() {
-                    let mut evict_cores = self.pool.tick(ctx.now());
+                    let owed = self.pool.tick(ctx.now());
+                    let mut evict_cores = owed;
+                    let mut killed = 0u32;
                     while evict_cores > 0 {
                         // Reclaim youngest workers first (LIFO — the batch
                         // system preempts the newest scavengers).
@@ -2083,7 +2209,16 @@ impl Model for ClusterSim {
                         let Some(victim) = victim else { break };
                         let cores = self.table.get(victim).expect("present").cores;
                         self.evict_worker(victim, false, ctx);
+                        killed += cores;
                         evict_cores = evict_cores.saturating_sub(cores);
+                    }
+                    // The pool already reclaimed `owed` cores, but whole
+                    // workers die: hand back the difference or the pool's
+                    // `ours` ledger drifts above what the table holds and —
+                    // under a tight arbiter share cap — pins idle capacity
+                    // at zero with no live workers (permanent starvation).
+                    if killed > owed {
+                        self.pool.release(killed - owed);
                     }
                     ctx.schedule(self.pool.tick_interval(), Ev::PoolTick);
                 }
@@ -2305,6 +2440,60 @@ mod tests {
             .spans()
             .iter()
             .any(|s| s.reason == LeaveReason::Evicted));
+    }
+
+    /// Regression for a latent single-pool assumption: share-cap
+    /// preemption reclaims cores in arbitrary amounts, but whole workers
+    /// die. Without handing the difference back, the pool's `ours`
+    /// ledger drifts above what the worker table actually holds, and a
+    /// tight cap then pins idle capacity at zero with no live workers —
+    /// the tail of the workload starves forever. Oscillating the cap by
+    /// non-worker-multiples and then clamping it near one worker's width
+    /// reproduces the drift; the run must still finish.
+    #[test]
+    fn share_cap_preemption_keeps_pool_ledger_in_sync() {
+        let mut cfg = LobsterConfig::default();
+        cfg.workflows = vec![crate::config::WorkflowConfig::simulation("gen")];
+        cfg.workers.target_cores = 48;
+        cfg.workers.cores_per_worker = 4;
+        cfg.seed = 9;
+        let wf = Workflow::simulation(&cfg.workflows[0], 300, 0);
+        let params = SimParams {
+            pool: PoolConfig {
+                total_cores: 96,
+                owner_mean: 0.0,
+                reversion: 1.0,
+                noise: 0.0,
+                tick: SimDuration::from_mins(5),
+            },
+            horizon: SimDuration::from_hours(48),
+            ..SimParams::default()
+        };
+        let sim = ClusterSim::new(cfg, params, vec![wf]);
+        let mut eng = Engine::new(sim);
+        eng.prime(SimDuration::ZERO, Ev::Start);
+        let round = SimDuration::from_mins(5);
+        let mut deadline = SimTime::ZERO;
+        for i in 0..(48 * 12) {
+            // A staircase of 2-core cuts against 4-core workers: each
+            // step reclaims 2 cores from the pool ledger but kills a
+            // whole worker, so without the hand-back the ledger drifts
+            // 2 cores above the table per step. By the time the cap
+            // floors at 12 the drift covers the whole cap: the pool
+            // believes it is full while zero workers remain, no claim
+            // ever succeeds again, and the workload starves.
+            let cap = 48u32.saturating_sub(2 * i as u32).max(12);
+            eng.model_mut().set_core_cap(cap);
+            deadline += round;
+            eng.run_until(deadline);
+            if eng.model().done() {
+                break;
+            }
+        }
+        assert!(
+            eng.model().is_finished(),
+            "workload starved under an oscillating share cap"
+        );
     }
 
     #[test]

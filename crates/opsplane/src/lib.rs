@@ -15,6 +15,9 @@
 //!   signals and advice, dead letters, transfer dashboard). Snapshots
 //!   carry no wall-clock — only simulated time — so the same seed
 //!   produces a byte-identical file.
+//! * [`federate`] — the multi-tenant roll-up: N per-tenant snapshots in
+//!   one [`FederatedSnapshot`] with cross-tenant totals and Jain's
+//!   fairness index, same byte-determinism contract.
 //! * [`prom::render`] — Prometheus text exposition of a snapshot.
 //! * [`dashboard::render`] — a self-contained HTML dashboard (inline
 //!   CSS + SVG, no scripts, no external assets) rendered from a
@@ -25,10 +28,12 @@
 //! `scenario`'s runner and the bench binaries reuse that bridge.
 
 pub mod dashboard;
+pub mod federate;
 pub mod prom;
 pub mod registry;
 pub mod snapshot;
 
+pub use federate::{FederatedSnapshot, FederatedTotals, TenantMetrics, FEDERATED_SCHEMA};
 pub use registry::Registry;
 pub use snapshot::{
     AccountingRow, CounterSample, DeadLetterRow, GaugeSample, LabelCount, MetricsSnapshot, RunMeta,

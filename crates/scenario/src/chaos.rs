@@ -151,5 +151,6 @@ pub fn chaos_scenario(seed: u64) -> Scenario {
         },
         wan_outages: Vec::new(),
         faults,
+        tenants: Vec::new(),
     }
 }

@@ -198,3 +198,50 @@ pub fn compile(sc: &Scenario) -> Result<Compiled, ScenarioError> {
         workflows,
     })
 }
+
+/// Lower a multi-tenant scenario into a tenancy roster: one
+/// [`tenancy::TenantSpec`] per declared tenant, each running its own
+/// re-seeded copy of the scenario's workload mix, plus the coordinator
+/// configuration (shared pool, arbitration round = the pool tick,
+/// wall-clock horizon). Errors if the scenario declares no tenants.
+pub fn compile_multitenant(
+    sc: &Scenario,
+) -> Result<(tenancy::TenancyConfig, Vec<tenancy::TenantSpec>), ScenarioError> {
+    if sc.tenants.is_empty() {
+        return Err(ScenarioError::Invalid(vec![
+            "compile_multitenant needs a non-empty tenants list".to_string(),
+        ]));
+    }
+    let mut roster = Vec::with_capacity(sc.tenants.len());
+    for t in &sc.tenants {
+        let Compiled {
+            mut cfg,
+            params,
+            workflows,
+        } = compile(sc)?;
+        // Each master rolls its own dice; the shared-pool walk and the
+        // arbiter derive from the coordinator seed below.
+        cfg.seed = t.seed;
+        roster.push(tenancy::TenantSpec {
+            name: t.name.clone(),
+            weight: t.weight,
+            cfg,
+            params,
+            workflows,
+        });
+    }
+    let coord = tenancy::TenancyConfig {
+        pool: PoolConfig {
+            total_cores: sc.pool.total_cores,
+            owner_mean: sc.pool.owner_mean,
+            reversion: sc.pool.reversion,
+            noise: sc.pool.noise,
+            tick: SimDuration::from_mins(sc.pool.tick_mins),
+        },
+        round: SimDuration::from_mins(sc.pool.tick_mins),
+        arbiter: batchsim::arbiter::ArbiterConfig::default(),
+        horizon: SimDuration::from_hours(sc.horizon_hours),
+        seed: sc.seed,
+    };
+    Ok((coord, roster))
+}

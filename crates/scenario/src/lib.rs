@@ -27,6 +27,8 @@ pub mod runner;
 pub mod spec;
 
 pub use chaos::chaos_scenario;
-pub use compile::{compile, Compiled};
-pub use runner::{ConformanceError, ConformanceReport, ScenarioRunner};
-pub use spec::{Scenario, ScenarioError};
+pub use compile::{compile, compile_multitenant, Compiled};
+pub use runner::{
+    ConformanceError, ConformanceReport, MultiTenantConformance, ScenarioRunner, TenantConformance,
+};
+pub use spec::{Scenario, ScenarioError, ScenarioTenant};

@@ -14,7 +14,7 @@
 //!    uninterrupted run's accounting, via the existing `CrashPoint`
 //!    machinery.
 
-use crate::compile::{compile, Compiled};
+use crate::compile::{compile, compile_multitenant, Compiled};
 use crate::spec::{Scenario, ScenarioError};
 use lobster::db::LobsterDb;
 use lobster::driver::{ClusterSim, RunReport};
@@ -391,4 +391,196 @@ impl ScenarioRunner {
             snapshot,
         ))
     }
+
+    /// The four invariants for a scenario that declares a tenant roster,
+    /// adapted to the coordinated run:
+    ///
+    /// 1. **No hang** — every tenant drains before the wall-clock horizon.
+    /// 2. **Conservation** — each tenant's cold journal replay accounts
+    ///    every tasklet exactly once, nothing in flight.
+    /// 3. **Determinism** — the durable coordinated run and an independent
+    ///    in-memory run agree byte-for-byte: per-tenant trace digests,
+    ///    arbiter cap sequences, and the federated snapshot JSON.
+    /// 4. **Crash/resume** — crash tenant 0's master mid-run, resume from
+    ///    its journal; the victim still drains and its ledger still
+    ///    conserves, while the peers' traces match the uncrashed run.
+    pub fn multi_conformance(
+        &self,
+        sc: &Scenario,
+    ) -> Result<MultiTenantConformance, ConformanceError> {
+        let (coord, roster) = compile_multitenant(sc)?;
+        let per_tenant_tasklets: u64 = roster[0].workflows.iter().map(|w| w.n_tasklets()).sum();
+
+        // Invariants 1 + 2 on the durable reference run.
+        let ref_root = self.root.join(format!("{}-mt-ref", sc.name));
+        cleanup(&ref_root);
+        let reference = tenancy::MultiTenant::durable(coord, roster, &ref_root)
+            .map_err(tenancy_err)?
+            .run()
+            .map_err(tenancy_err)?;
+        for t in &reference.tenants {
+            if t.report.finished_at.is_none() {
+                cleanup(&ref_root);
+                return Self::invariant(
+                    sc,
+                    "no-hang",
+                    format!(
+                        "tenant {} did not drain within the {}h horizon \
+                         ({} tasks completed)",
+                        t.name, sc.horizon_hours, t.report.tasks_completed
+                    ),
+                );
+            }
+        }
+        for (i, t) in reference.tenants.iter().enumerate() {
+            let dir = tenancy::journal_dir(&ref_root, i, &t.name);
+            let db = LobsterDb::recover(&dir)?;
+            let done = db.total_done_tasklets();
+            let dead = db.total_dead_tasklets();
+            let in_flight = db.running_tasks().len();
+            if done + dead != per_tenant_tasklets || in_flight != 0 {
+                cleanup(&ref_root);
+                return Self::invariant(
+                    sc,
+                    "conservation",
+                    format!(
+                        "tenant {}: done {done} + dead {dead} != total \
+                         {per_tenant_tasklets}, or {in_flight} in flight",
+                        t.name
+                    ),
+                );
+            }
+        }
+        cleanup(&ref_root);
+
+        // Invariant 3: in-memory run, byte-identical observables.
+        let (coord, roster) = compile_multitenant(sc)?;
+        let memory = tenancy::MultiTenant::new(coord, roster)
+            .map_err(tenancy_err)?
+            .run()
+            .map_err(tenancy_err)?;
+        for (d, m) in reference.tenants.iter().zip(&memory.tenants) {
+            if d.trace_digest != m.trace_digest || d.cap_history != m.cap_history {
+                return Self::invariant(
+                    sc,
+                    "determinism",
+                    format!(
+                        "tenant {}: durable trace {:016x} / in-memory {:016x} \
+                         (caps equal: {})",
+                        d.name,
+                        d.trace_digest,
+                        m.trace_digest,
+                        d.cap_history == m.cap_history
+                    ),
+                );
+            }
+        }
+        if reference.federated.to_json() != memory.federated.to_json() {
+            return Self::invariant(
+                sc,
+                "determinism",
+                "federated snapshot JSON diverged between backends".to_string(),
+            );
+        }
+
+        // Invariant 4: crash tenant 0 mid-run and resume from its journal.
+        let crash_root = self.root.join(format!("{}-mt-crash", sc.name));
+        cleanup(&crash_root);
+        let budget = (reference.tenants[0].report.events_delivered / 2).max(1);
+        let (coord, roster) = compile_multitenant(sc)?;
+        let mut mt =
+            tenancy::MultiTenant::durable(coord, roster, &crash_root).map_err(tenancy_err)?;
+        mt.crash_tenant(0, budget).map_err(tenancy_err)?;
+        let crashed = mt.run().map_err(tenancy_err)?;
+        if crashed.crash_round.is_none() {
+            cleanup(&crash_root);
+            return Self::invariant(
+                sc,
+                "crash-resume",
+                format!("crash budget {budget} events did not land mid-run"),
+            );
+        }
+        let victim = &crashed.tenants[0];
+        if victim.report.finished_at.is_none() {
+            cleanup(&crash_root);
+            return Self::invariant(
+                sc,
+                "crash-resume",
+                "victim never drained after resume".to_string(),
+            );
+        }
+        let dir = tenancy::journal_dir(&crash_root, 0, &victim.name);
+        let db = LobsterDb::recover(&dir)?;
+        let done = db.total_done_tasklets();
+        let dead = db.total_dead_tasklets();
+        let in_flight = db.running_tasks().len();
+        drop(db);
+        cleanup(&crash_root);
+        if done + dead != per_tenant_tasklets || in_flight != 0 {
+            return Self::invariant(
+                sc,
+                "crash-resume",
+                format!(
+                    "post-resume audit: done {done} + dead {dead} != total \
+                     {per_tenant_tasklets}, or {in_flight} in flight"
+                ),
+            );
+        }
+
+        let tenants = reference
+            .tenants
+            .iter()
+            .map(|t| TenantConformance {
+                name: t.name.clone(),
+                weight: t.weight,
+                tasks_completed: t.report.tasks_completed,
+                trace_digest: format!("{:016x}", t.trace_digest),
+            })
+            .collect();
+        Ok(MultiTenantConformance {
+            scenario: sc.name.clone(),
+            seed: sc.seed,
+            jain_fairness: reference.jain_fairness,
+            rounds: reference.rounds,
+            per_tenant_tasklets,
+            tenants,
+        })
+    }
+}
+
+fn tenancy_err(e: tenancy::TenancyError) -> ConformanceError {
+    match e {
+        tenancy::TenancyError::Io(e) => ConformanceError::Io(e),
+        other => ConformanceError::Scenario(ScenarioError::Invalid(vec![other.to_string()])),
+    }
+}
+
+/// One tenant's row in a conforming multi-tenant run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TenantConformance {
+    /// Tenant label.
+    pub name: String,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Tasks the tenant completed in the reference run.
+    pub tasks_completed: u64,
+    /// FNV-1a digest of the tenant's serialised trace, hex.
+    pub trace_digest: String,
+}
+
+/// What a conforming multi-tenant run looked like.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiTenantConformance {
+    /// Scenario name.
+    pub scenario: String,
+    /// Coordinator seed.
+    pub seed: u64,
+    /// Jain's fairness index over weight-normalised delivered CPU.
+    pub jain_fairness: f64,
+    /// Arbitration rounds the reference run took.
+    pub rounds: u64,
+    /// Tasklets per tenant (every tenant runs the same re-seeded mix).
+    pub per_tenant_tasklets: u64,
+    /// Per-tenant outcomes.
+    pub tenants: Vec<TenantConformance>,
 }

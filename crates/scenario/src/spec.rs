@@ -267,6 +267,22 @@ impl FaultSpec {
     }
 }
 
+/// One master in a multi-tenant scenario. An empty `tenants` list keeps
+/// the classic single-master semantics; a non-empty list declares N
+/// masters, each running its own copy of the scenario's workload mix
+/// (re-seeded per tenant) over the one shared pool, arbitrated by
+/// fair-share weights (see `crates/tenancy`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioTenant {
+    /// Tenant label: journal directory suffix, dashboard consumer, and
+    /// federated-metrics row key.
+    pub name: String,
+    /// Fair-share weight (finite, > 0).
+    pub weight: f64,
+    /// Master seed for this tenant's own randomness.
+    pub seed: u64,
+}
+
 /// A complete, self-contained description of one simulated campaign.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Scenario {
@@ -303,6 +319,8 @@ pub struct Scenario {
     pub wan_outages: Vec<WindowSpec>,
     /// Injected component faults.
     pub faults: Vec<FaultSpec>,
+    /// Multi-tenant roster; empty means one classic master.
+    pub tenants: Vec<ScenarioTenant>,
 }
 
 impl Scenario {
@@ -436,6 +454,29 @@ impl Scenario {
                     problems
                         .push("availability: negative or non-finite trace interval".to_string());
                 }
+            }
+        }
+        let mut seen_tenants = std::collections::BTreeSet::new();
+        for t in &self.tenants {
+            if t.name.is_empty()
+                || !t
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                problems.push(format!(
+                    "tenant {:?}: name must be non-empty [A-Za-z0-9_-]+",
+                    t.name
+                ));
+            }
+            if !seen_tenants.insert(t.name.as_str()) {
+                problems.push(format!("tenant {:?}: duplicate name", t.name));
+            }
+            if !t.weight.is_finite() || t.weight <= 0.0 {
+                problems.push(format!(
+                    "tenant {:?}: weight must be finite and > 0",
+                    t.name
+                ));
             }
         }
         if !problems.is_empty() {

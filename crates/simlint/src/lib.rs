@@ -237,7 +237,7 @@ impl Rule {
 }
 
 /// Crates whose library code is simulation state / simulation logic.
-const SIM_CRATES: [&str; 9] = [
+const SIM_CRATES: [&str; 10] = [
     "simkit",
     "simnet",
     "batchsim",
@@ -247,6 +247,7 @@ const SIM_CRATES: [&str; 9] = [
     "lobster",
     "opsplane",
     "scenario",
+    "tenancy",
 ];
 
 /// One lint violation.

@@ -1,0 +1,782 @@
+//! # tenancy — N masters, one opportunistic pool
+//!
+//! Lobster is a *per-user* workload manager (§1: "an analysis workload
+//! manager designed to harness non-dedicated resources"), and the paper's
+//! grid hosts many such users at once: every master scavenges the same
+//! opportunistic pool. This crate is that multi-tenant composition:
+//!
+//! * N independent [`lobster::ClusterSim`] masters — each with its own
+//!   workflows, journal directory, monitors and retry policy — driven in
+//!   round-lockstep over one shared [`batchsim::pool::OpportunisticPool`];
+//! * a deterministic [`batchsim::arbiter::FairShareArbiter`] mediating the
+//!   pool: configurable weights, decayed-usage accounting, and preemption
+//!   (lowering a tenant's cap evicts its overage on the next pool tick)
+//!   when a higher-deficit tenant is starved;
+//! * cross-tenant cache economics: the shared squids and alien caches are
+//!   warmed by whoever pulls a dataset first, so tenant B's stage-in of a
+//!   dataset tenant A already processed costs fewer WAN bytes;
+//! * per-tenant crash/resume: one master can be killed mid-round and
+//!   resumed from its own journal while the arbitration its peers observe
+//!   is unperturbed — every arbiter input (static weights, journaled
+//!   work-remaining, allocation-charged usage) is crash-invariant.
+//!
+//! Determinism contract: the arbiter's decisions are a pure function of
+//! the seed and the round sequence, so a same-seed multi-tenant run is
+//! byte-identical across repeats and across the in-memory / durable
+//! backends (the scenario conformance gate checks exactly this).
+
+use batchsim::arbiter::{ArbiterConfig, FairShareArbiter};
+use batchsim::pool::{OpportunisticPool, PoolConfig};
+use lobster::config::{LobsterConfig, WorkloadKind};
+use lobster::driver::{ClusterSim, Ev, RunReport, SimParams};
+use lobster::workflow::Workflow;
+use opsplane::federate::{FederatedSnapshot, TenantMetrics};
+use serde::Serialize;
+use simkit::prelude::*;
+use simkit::rng::SimRng;
+use simkit::trace::Trace;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One tenant: a full Lobster master specification plus its fair share.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Tenant (user) name. Also the journal-directory suffix and the
+    /// federation consumer label, so it is restricted to
+    /// `[A-Za-z0-9_-]+`.
+    pub name: String,
+    /// Fair-share weight (finite, positive).
+    pub weight: f64,
+    /// The tenant's Lobster configuration (workflows, retry, journal).
+    pub cfg: LobsterConfig,
+    /// The tenant's simulation parameters. The coordinator overrides the
+    /// pool model (capacity comes from the arbiter), the horizon and the
+    /// consumer label; everything else is honoured per tenant.
+    pub params: SimParams,
+    /// Decomposed workflows, one per `cfg.workflows` entry.
+    pub workflows: Vec<Workflow>,
+}
+
+/// Coordinator-level configuration.
+#[derive(Clone, Debug)]
+pub struct TenancyConfig {
+    /// The one physical pool every master scavenges: total cores and the
+    /// owner-demand walk that eats into them.
+    pub pool: PoolConfig,
+    /// Arbitration round: cap recomputation and engine lockstep period.
+    pub round: SimDuration,
+    /// Fair-share arbiter parameters (usage decay, no-starvation floor).
+    pub arbiter: ArbiterConfig,
+    /// Per-tenant simulated horizon (no-hang cap).
+    pub horizon: SimDuration,
+    /// Seed of the shared owner-demand walk.
+    pub seed: u64,
+}
+
+impl Default for TenancyConfig {
+    fn default() -> Self {
+        TenancyConfig {
+            pool: PoolConfig::default(),
+            round: SimDuration::from_mins(5),
+            arbiter: ArbiterConfig::default(),
+            horizon: SimDuration::from_hours(48),
+            seed: 0x7E7A,
+        }
+    }
+}
+
+/// Coordination failure: a bad tenant roster or an I/O error from the
+/// durable layer.
+#[derive(Debug)]
+pub enum TenancyError {
+    /// The tenant roster or configuration is invalid.
+    Invalid(String),
+    /// Journal I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for TenancyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenancyError::Invalid(msg) => write!(f, "invalid tenancy: {msg}"),
+            TenancyError::Io(e) => write!(f, "tenancy journal i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TenancyError {}
+
+impl From<io::Error> for TenancyError {
+    fn from(e: io::Error) -> Self {
+        TenancyError::Io(e)
+    }
+}
+
+/// The journal path of tenant `idx` named `name` under `root`.
+pub fn journal_dir(root: &Path, idx: usize, name: &str) -> PathBuf {
+    root.join(format!("tenant-{idx}-{name}"))
+}
+
+/// One tenant's outcome of a coordinated run.
+#[derive(Debug)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub name: String,
+    /// Fair-share weight the run used.
+    pub weight: f64,
+    /// The master's full run report.
+    pub report: RunReport,
+    /// FNV-1a digest of the tenant's serialised observable trace — the
+    /// byte-identity handle for determinism and isolation checks.
+    pub trace_digest: u64,
+    /// The core cap the arbiter granted this tenant, per round.
+    pub cap_history: Vec<u32>,
+    /// Cumulative WAN bytes the tenant pulled, per dataset.
+    pub wan_by_dataset: BTreeMap<String, u64>,
+}
+
+/// Outcome of a whole multi-tenant run.
+#[derive(Debug)]
+pub struct MultiTenantReport {
+    /// Per-tenant outcomes, registration order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Jain's fairness index over weight-normalised delivered CPU hours.
+    pub jain_fairness: f64,
+    /// Arbitration rounds driven.
+    pub rounds: u64,
+    /// The round in which the scheduled crash fired, if one did.
+    pub crash_round: Option<u64>,
+    /// The federated ops-plane snapshot (per-tenant labels, one file).
+    pub federated: FederatedSnapshot,
+}
+
+/// A scheduled mid-run crash of one tenant's master.
+#[derive(Clone, Copy, Debug)]
+struct CrashPlan {
+    /// Index of the tenant to kill.
+    victim: usize,
+    /// Engine events the victim may still deliver before the kill.
+    budget: u64,
+}
+
+/// The multi-tenant coordinator: owns one engine per tenant, the shared
+/// pool walk and the arbiter, and drives everything in round-lockstep.
+pub struct MultiTenant {
+    cfg: TenancyConfig,
+    specs: Vec<TenantSpec>,
+    engines: Vec<Option<Engine<ClusterSim>>>,
+    arbiter: FairShareArbiter,
+    shared: OpportunisticPool,
+    /// Per-tenant engine deadline. A resumed tenant's clock restarts at
+    /// zero, so deadlines are tracked per tenant, not globally.
+    target: Vec<SimTime>,
+    /// Last observed engine time per tenant (report `ended_at`).
+    ended: Vec<SimTime>,
+    caps: Vec<Vec<u32>>,
+    /// Monotone per-tenant WAN pull accounting. Kept coordinator-side so
+    /// shared-cache warmth survives a tenant crash (the site caches do
+    /// not forget what was already pulled when one master dies).
+    pulled: Vec<BTreeMap<String, u64>>,
+    root: Option<PathBuf>,
+    crash: Option<CrashPlan>,
+    clock: SimTime,
+    rounds: u64,
+    crash_round: Option<u64>,
+}
+
+impl MultiTenant {
+    /// Build an in-memory coordinated run (nothing survives the process).
+    pub fn new(cfg: TenancyConfig, tenants: Vec<TenantSpec>) -> Result<Self, TenancyError> {
+        Self::build(cfg, tenants, None)
+    }
+
+    /// Build a durable coordinated run: each tenant journals to its own
+    /// directory under `root` (see [`journal_dir`]).
+    pub fn durable(
+        cfg: TenancyConfig,
+        tenants: Vec<TenantSpec>,
+        root: &Path,
+    ) -> Result<Self, TenancyError> {
+        Self::build(cfg, tenants, Some(root))
+    }
+
+    fn validate(cfg: &TenancyConfig, tenants: &[TenantSpec]) -> Result<(), TenancyError> {
+        let invalid = |msg: String| Err(TenancyError::Invalid(msg));
+        if tenants.is_empty() {
+            return invalid("no tenants".to_string());
+        }
+        if cfg.round <= SimDuration::ZERO {
+            return invalid("round must be positive".to_string());
+        }
+        if cfg.pool.total_cores == 0 {
+            return invalid("shared pool has zero cores".to_string());
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            if t.name.is_empty()
+                || !t
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            {
+                return invalid(format!("tenant {i}: name {:?} not [A-Za-z0-9_-]+", t.name));
+            }
+            if tenants.iter().take(i).any(|p| p.name == t.name) {
+                return invalid(format!("tenant {i}: duplicate name {:?}", t.name));
+            }
+            if !t.weight.is_finite() || t.weight <= 0.0 {
+                return invalid(format!("tenant {}: bad weight {}", t.name, t.weight));
+            }
+            if t.cfg.workflows.len() != t.workflows.len() {
+                return invalid(format!(
+                    "tenant {}: {} workflow configs but {} decompositions",
+                    t.name,
+                    t.cfg.workflows.len(),
+                    t.workflows.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-tenant parameter overrides: the tenant's pool *slice* has
+    /// no owner-demand walk of its own (owner pressure lives in the one
+    /// shared walk), its capacity is governed purely by the arbiter cap,
+    /// and its tick equals the arbitration round so preemption lands at
+    /// round boundaries.
+    fn tenant_params(cfg: &TenancyConfig, spec: &TenantSpec) -> SimParams {
+        let mut p = spec.params.clone();
+        p.pool = PoolConfig {
+            total_cores: cfg.pool.total_cores,
+            owner_mean: 0.0,
+            reversion: 1.0,
+            noise: 0.0,
+            tick: cfg.round,
+        };
+        p.horizon = cfg.horizon;
+        p.tenant_label = Some(spec.name.clone());
+        p
+    }
+
+    fn build(
+        cfg: TenancyConfig,
+        mut tenants: Vec<TenantSpec>,
+        root: Option<&Path>,
+    ) -> Result<Self, TenancyError> {
+        Self::validate(&cfg, &tenants)?;
+        if let Some(r) = root {
+            std::fs::create_dir_all(r)?;
+        }
+        let mut arbiter = FairShareArbiter::new(cfg.arbiter);
+        let mut engines = Vec::with_capacity(tenants.len());
+        for (i, spec) in tenants.iter_mut().enumerate() {
+            spec.params = Self::tenant_params(&cfg, spec);
+            let sim = match root {
+                None => ClusterSim::new(
+                    spec.cfg.clone(),
+                    spec.params.clone(),
+                    spec.workflows.clone(),
+                ),
+                Some(r) => ClusterSim::durable(
+                    spec.cfg.clone(),
+                    spec.params.clone(),
+                    spec.workflows.clone(),
+                    journal_dir(r, i, &spec.name),
+                )?,
+            };
+            let mut engine = Engine::with_kind(sim, spec.params.engine);
+            engine.prime(SimDuration::ZERO, Ev::Start);
+            arbiter.register(spec.weight);
+            engines.push(Some(engine));
+        }
+        let n = tenants.len();
+        let shared = OpportunisticPool::new(cfg.pool, SimRng::new(cfg.seed));
+        Ok(MultiTenant {
+            cfg,
+            specs: tenants,
+            engines,
+            arbiter,
+            shared,
+            target: vec![SimTime::ZERO; n],
+            ended: vec![SimTime::ZERO; n],
+            caps: vec![Vec::new(); n],
+            pulled: vec![BTreeMap::new(); n],
+            root: root.map(Path::to_path_buf),
+            crash: None,
+            clock: SimTime::ZERO,
+            rounds: 0,
+            crash_round: None,
+        })
+    }
+
+    /// Schedule a crash: kill tenant `victim`'s master after it delivers
+    /// `after_events` more engine events, then resume it from its journal
+    /// within the same round. Durable runs only.
+    pub fn crash_tenant(&mut self, victim: usize, after_events: u64) -> Result<(), TenancyError> {
+        if self.root.is_none() {
+            return Err(TenancyError::Invalid(
+                "crash_tenant requires a durable run".to_string(),
+            ));
+        }
+        if victim >= self.specs.len() {
+            return Err(TenancyError::Invalid(format!(
+                "crash victim {victim} out of range ({} tenants)",
+                self.specs.len()
+            )));
+        }
+        self.crash = Some(CrashPlan {
+            victim,
+            budget: after_events,
+        });
+        Ok(())
+    }
+
+    /// Active while unfinished and wall-clock time remains. The horizon
+    /// is wall-clock, not per-tenant compute: a crashed master resumes
+    /// with a fresh local clock but the coordination clock keeps
+    /// marching, so the victim only gets the rounds the horizon still
+    /// owes — and peers see the exact same round count with or without
+    /// the crash.
+    fn tenant_active(&self, i: usize) -> bool {
+        match &self.engines[i] {
+            Some(e) => !e.model().is_finished() && self.clock < SimTime::ZERO + self.cfg.horizon,
+            None => false,
+        }
+    }
+
+    fn any_active(&self) -> bool {
+        (0..self.specs.len()).any(|i| self.tenant_active(i))
+    }
+
+    /// Demand signal for the arbiter: tasklets not yet done or withdrawn
+    /// plus the merge backlog, rounded up to whole workers (a worker is
+    /// the claim granularity — a 3-tasklet tail still needs one full
+    /// worker) and clamped by the tenant's own target concurrency.
+    /// Derived purely from journaled state so a crash + resume
+    /// reproduces it.
+    fn demands(&self) -> Vec<u32> {
+        let n = self.specs.len();
+        let mut d = vec![0u32; n];
+        for (i, slot) in d.iter_mut().enumerate() {
+            let Some(e) = &self.engines[i] else {
+                continue;
+            };
+            let m = e.model();
+            if m.is_finished() {
+                continue;
+            }
+            let cpw = u64::from(self.specs[i].cfg.workers.cores_per_worker.max(1));
+            let tc = u64::from(self.specs[i].cfg.workers.target_cores);
+            let work = m.work_remaining().saturating_add(m.merge_backlog());
+            let cores = work.div_ceil(cpw).saturating_mul(cpw).max(cpw);
+            *slot = cores.min(tc) as u32;
+        }
+        d
+    }
+
+    /// Fold each engine's WAN accounting into the monotone coordinator
+    /// ledger, then push the resulting warmth back into every tenant:
+    /// tenant `i`'s warmth on dataset `d` is the fraction of `d` that
+    /// *other* tenants already pulled (capped at 1). A solo tenant's
+    /// warmth is always zero — its own pulls never warm its own future.
+    fn exchange_cache_warmth(&mut self) {
+        let n = self.specs.len();
+        for i in 0..n {
+            let Some(e) = &self.engines[i] else {
+                continue;
+            };
+            for (ds, &bytes) in e.model().wan_bytes_by_dataset() {
+                let slot = self.pulled[i].entry(ds.clone()).or_insert(0);
+                *slot = (*slot).max(bytes);
+            }
+        }
+        for i in 0..n {
+            if self.engines[i].is_none() {
+                continue;
+            }
+            for w in 0..self.specs[i].workflows.len() {
+                if self.specs[i].workflows[w].kind != WorkloadKind::DataProcessing {
+                    continue;
+                }
+                let ds = self.specs[i].cfg.workflows[w].dataset.clone();
+                let total = self.specs[i].workflows[w].n_tasklets()
+                    * self.specs[i].workflows[w].task_input_bytes(1);
+                if total == 0 {
+                    continue;
+                }
+                let mut others = 0u64;
+                for j in 0..n {
+                    if j != i {
+                        others =
+                            others.saturating_add(self.pulled[j].get(&ds).copied().unwrap_or(0));
+                    }
+                }
+                let warm = (others as f64 / total as f64).min(1.0);
+                if let Some(e) = &mut self.engines[i] {
+                    e.model_mut().set_dataset_warmth(&ds, warm);
+                }
+            }
+        }
+    }
+
+    /// Kill the victim's master (dropping its open group-commit window,
+    /// like a real process death) and resume it from its journal. The
+    /// resumed engine's clock restarts at zero; its arbitration deadline
+    /// follows.
+    fn crash_and_resume(&mut self, victim: usize) -> Result<(), TenancyError> {
+        let root = match &self.root {
+            Some(r) => r.clone(),
+            None => {
+                return Err(TenancyError::Invalid(
+                    "crash scheduled on an in-memory run".to_string(),
+                ))
+            }
+        };
+        if let Some(e) = self.engines[victim].take() {
+            e.into_model().crash_now();
+        }
+        let spec = &self.specs[victim];
+        let sim = ClusterSim::resume(
+            spec.cfg.clone(),
+            spec.params.clone(),
+            spec.workflows.clone(),
+            journal_dir(&root, victim, &spec.name),
+        )?;
+        let mut engine = Engine::with_kind(sim, spec.params.engine);
+        engine.prime(SimDuration::ZERO, Ev::Start);
+        self.engines[victim] = Some(engine);
+        self.target[victim] = SimTime::ZERO;
+        self.ended[victim] = SimTime::ZERO;
+        self.crash_round = Some(self.rounds);
+        Ok(())
+    }
+
+    /// One arbitration round: advance the shared owner-demand walk,
+    /// allocate caps from demand and decayed usage, exchange cache
+    /// warmth, then step every engine one round in tenant-index order.
+    fn advance_round(&mut self) -> Result<(), TenancyError> {
+        let n = self.specs.len();
+        self.clock += self.cfg.round;
+        self.rounds += 1;
+        self.shared.tick(self.clock);
+        let available = self
+            .cfg
+            .pool
+            .total_cores
+            .saturating_sub(self.shared.owner_cores());
+
+        let demands = self.demands();
+        let alloc = self.arbiter.allocate(available, &demands);
+        self.exchange_cache_warmth();
+
+        let mut crash_now: Option<usize> = None;
+        for i in 0..n {
+            self.caps[i].push(alloc.get(i).copied().unwrap_or(0));
+            let deadline = self.target[i] + self.cfg.round;
+            self.target[i] = deadline;
+            let Some(e) = &mut self.engines[i] else {
+                continue;
+            };
+            e.model_mut()
+                .set_core_cap(alloc.get(i).copied().unwrap_or(0));
+            let is_victim = matches!(self.crash, Some(c) if c.victim == i);
+            if is_victim {
+                let budget = match self.crash {
+                    Some(c) => c.budget,
+                    None => 0,
+                };
+                let before = e.ctx().delivered();
+                self.ended[i] = e.run_until_events(deadline, budget);
+                let used = e.ctx().delivered().saturating_sub(before);
+                if used >= budget {
+                    crash_now = Some(i);
+                } else if let Some(c) = &mut self.crash {
+                    c.budget -= used;
+                }
+            } else {
+                self.ended[i] = e.run_until(deadline);
+            }
+        }
+        if let Some(victim) = crash_now {
+            self.crash = None;
+            self.crash_and_resume(victim)?;
+        }
+        Ok(())
+    }
+
+    /// Drive rounds until every tenant finishes or exhausts its horizon,
+    /// then harvest per-tenant reports, fairness and the federated
+    /// snapshot.
+    pub fn run(mut self) -> Result<MultiTenantReport, TenancyError> {
+        while self.any_active() {
+            self.advance_round()?;
+        }
+        let n = self.specs.len();
+        let mut outcomes = Vec::with_capacity(n);
+        let mut fed_tenants = Vec::with_capacity(n);
+        for i in 0..n {
+            let Some(mut e) = self.engines[i].take() else {
+                continue;
+            };
+            let delivered = e.ctx().delivered();
+            let report = e.into_model().into_report(self.ended[i], delivered);
+            let spec = &self.specs[i];
+            fed_tenants.push(TenantMetrics {
+                tenant: spec.name.clone(),
+                weight: spec.weight,
+                snapshot: lobster::ops::snapshot_from_run(
+                    &spec.name,
+                    &spec.cfg,
+                    &spec.params,
+                    &report,
+                ),
+            });
+            outcomes.push(TenantOutcome {
+                name: spec.name.clone(),
+                weight: spec.weight,
+                trace_digest: trace_digest(&report),
+                cap_history: std::mem::take(&mut self.caps[i]),
+                wan_by_dataset: std::mem::take(&mut self.pulled[i]),
+                report,
+            });
+        }
+        let mut shares = Vec::with_capacity(outcomes.len());
+        for o in &outcomes {
+            shares.push(o.report.accounting.cpu / o.weight);
+        }
+        let jain_fairness = jain_index(&shares);
+        Ok(MultiTenantReport {
+            tenants: outcomes,
+            jain_fairness,
+            rounds: self.rounds,
+            crash_round: self.crash_round,
+            federated: FederatedSnapshot::build(fed_tenants, jain_fairness),
+        })
+    }
+}
+
+/// Jain's fairness index over per-tenant shares: `(Σx)² / (n·Σx²)`,
+/// 1 when every share is equal, → 1/n under maximal skew. Degenerate
+/// inputs (no tenants, all-zero shares) count as perfectly fair.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    let n = shares.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &x in shares {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+/// Everything observable about one tenant's run that is cheap to
+/// serialise — the isolation and determinism checks hash these bytes.
+/// Mirrors the scenario conformance harness's trace record.
+#[derive(Serialize)]
+struct TenantTraceRecord {
+    tasks_completed: u64,
+    tasks_failed: u64,
+    evictions: u64,
+    merges_completed: u64,
+    final_task_size: u32,
+    peak_concurrency: f64,
+    finished_at: Option<SimTime>,
+    cpu_hours: f64,
+    merged_files: Vec<(String, u64)>,
+    dashboard: Vec<(String, f64)>,
+    dead_letter_units: u64,
+    concurrency: Vec<f64>,
+    completions: Vec<f64>,
+    failures: Vec<f64>,
+}
+
+/// FNV-1a over the serialised per-tenant trace.
+fn trace_digest(report: &RunReport) -> u64 {
+    let mut dead_letter_units = 0u64;
+    for d in &report.dead_letters {
+        dead_letter_units += d.units;
+    }
+    let record = TenantTraceRecord {
+        tasks_completed: report.tasks_completed,
+        tasks_failed: report.tasks_failed,
+        evictions: report.evictions,
+        merges_completed: report.merges_completed,
+        final_task_size: report.final_task_size,
+        peak_concurrency: report.peak_concurrency,
+        finished_at: report.finished_at,
+        cpu_hours: report.accounting.cpu,
+        merged_files: report.merged_files.clone(),
+        dashboard: report.dashboard.clone(),
+        dead_letter_units,
+        concurrency: report.timeline.concurrency(),
+        completions: report.timeline.completions(),
+        failures: report.timeline.failures(),
+    };
+    let mut trace = Trace::new();
+    trace.push(report.ended_at, record);
+    let mut buf = Vec::new();
+    // Writing into a Vec cannot fail; an empty buffer would only arise
+    // from a serialiser bug and then digests would still be consistent.
+    let _ = trace.write_jsonl(&mut buf);
+    fnv1a(&buf)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster::config::WorkflowConfig;
+
+    fn sim_tenant(name: &str, weight: f64, tasklets: u64) -> TenantSpec {
+        let mut cfg = LobsterConfig::default();
+        cfg.workflows = vec![WorkflowConfig::simulation("gen")];
+        cfg.workers.target_cores = 64;
+        cfg.workers.cores_per_worker = 4;
+        cfg.seed = 0xBEEF ^ fnv1a(name.as_bytes());
+        let wf = Workflow::simulation(&cfg.workflows[0], tasklets, 0);
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+            cfg,
+            params: SimParams::default(),
+            workflows: vec![wf],
+        }
+    }
+
+    fn small_pool() -> TenancyConfig {
+        TenancyConfig {
+            pool: PoolConfig {
+                total_cores: 96,
+                owner_mean: 16.0,
+                reversion: 0.3,
+                noise: 4.0,
+                tick: SimDuration::from_mins(5),
+            },
+            round: SimDuration::from_mins(5),
+            arbiter: ArbiterConfig::default(),
+            horizon: SimDuration::from_hours(48),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn two_equal_tenants_finish_and_split_fairly() {
+        let tenants = vec![sim_tenant("alice", 1.0, 400), sim_tenant("bob", 1.0, 400)];
+        let mt = MultiTenant::new(small_pool(), tenants).expect("valid");
+        let rep = mt.run().expect("runs");
+        assert_eq!(rep.tenants.len(), 2);
+        for t in &rep.tenants {
+            assert!(
+                t.report.finished_at.is_some(),
+                "tenant {} did not finish",
+                t.name
+            );
+            assert!(t.report.tasks_completed > 0);
+        }
+        assert!(
+            rep.jain_fairness > 0.9,
+            "equal weights should split fairly, jain = {}",
+            rep.jain_fairness
+        );
+        rep.federated.validate().expect("federated snapshot valid");
+        assert_eq!(rep.federated.tenants.len(), 2);
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let mk = || {
+            MultiTenant::new(
+                small_pool(),
+                vec![sim_tenant("alice", 1.0, 300), sim_tenant("bob", 2.0, 300)],
+            )
+            .expect("valid")
+            .run()
+            .expect("runs")
+        };
+        let a = mk();
+        let b = mk();
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.trace_digest, y.trace_digest, "tenant {} diverged", x.name);
+            assert_eq!(x.cap_history, y.cap_history);
+        }
+        assert_eq!(a.federated.to_json(), b.federated.to_json());
+    }
+
+    #[test]
+    fn caps_never_exceed_available_pool() {
+        let cfg = small_pool();
+        let total = cfg.pool.total_cores;
+        let mt = MultiTenant::new(
+            cfg,
+            vec![
+                sim_tenant("a", 1.0, 200),
+                sim_tenant("b", 1.0, 200),
+                sim_tenant("c", 1.0, 200),
+            ],
+        )
+        .expect("valid");
+        let rep = mt.run().expect("runs");
+        let rounds = rep.tenants[0].cap_history.len();
+        for r in 0..rounds {
+            let mut sum = 0u32;
+            for t in &rep.tenants {
+                sum += t.cap_history[r];
+            }
+            assert!(sum <= total, "round {r}: caps sum {sum} over pool {total}");
+        }
+    }
+
+    #[test]
+    fn tenant_labels_flow_to_dashboards() {
+        let mt = MultiTenant::new(
+            small_pool(),
+            vec![sim_tenant("alice", 1.0, 50), sim_tenant("bob", 1.0, 50)],
+        )
+        .expect("valid");
+        let rep = mt.run().expect("runs");
+        // Simulation tenants move no WAN bytes, but the snapshot meta
+        // still carries the per-tenant label.
+        assert_eq!(rep.federated.tenants[0].snapshot.run.name, "alice");
+        assert_eq!(rep.federated.tenants[1].snapshot.run.name, "bob");
+    }
+
+    #[test]
+    fn roster_validation_rejects_bad_specs() {
+        let cfg = small_pool();
+        assert!(matches!(
+            MultiTenant::new(cfg.clone(), vec![]),
+            Err(TenancyError::Invalid(_))
+        ));
+        let mut bad = sim_tenant("x", 1.0, 10);
+        bad.name = "no/slashes".to_string();
+        assert!(MultiTenant::new(cfg.clone(), vec![bad]).is_err());
+        let dup = vec![sim_tenant("x", 1.0, 10), sim_tenant("x", 1.0, 10)];
+        assert!(MultiTenant::new(cfg.clone(), dup).is_err());
+        let neg = vec![sim_tenant("x", -1.0, 10)];
+        assert!(MultiTenant::new(cfg, neg).is_err());
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        let skew = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12, "{skew}");
+    }
+}

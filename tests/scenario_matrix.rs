@@ -7,7 +7,7 @@
 
 use scenario::chaos::chaos_scenario;
 use scenario::runner::ScenarioRunner;
-use scenario::spec::{Scenario, ScenarioError};
+use scenario::spec::{Scenario, ScenarioError, ScenarioTenant};
 use std::path::PathBuf;
 
 fn scenarios_dir() -> PathBuf {
@@ -22,8 +22,8 @@ fn library() -> Vec<PathBuf> {
         .collect();
     files.sort();
     assert!(
-        files.len() >= 6,
-        "scenario library holds at least the six shipped scenarios, found {}",
+        files.len() >= 7,
+        "scenario library holds at least the seven shipped scenarios, found {}",
         files.len()
     );
     files
@@ -51,12 +51,32 @@ fn library_parses_and_validates() {
 }
 
 /// The four invariants, on every shipped scenario — and every run must
-/// also lower into a schema-valid ops-plane metrics snapshot.
+/// also lower into a schema-valid ops-plane metrics snapshot. Scenarios
+/// that declare a tenant roster go through the coordinated multi-tenant
+/// gate instead (same four invariants over N masters and one pool).
 #[test]
 fn library_scenarios_conform() {
     let runner = ScenarioRunner::new("matrix").unwrap();
     for path in library() {
         let sc = Scenario::load(&path).unwrap();
+        if !sc.tenants.is_empty() {
+            let report = runner
+                .multi_conformance(&sc)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_eq!(
+                report.tenants.len(),
+                sc.tenants.len(),
+                "{}: one outcome per declared tenant",
+                path.display()
+            );
+            assert!(
+                report.jain_fairness > 0.0 && report.jain_fairness <= 1.0 + 1e-12,
+                "{}: jain index {} out of range",
+                path.display(),
+                report.jain_fairness
+            );
+            continue;
+        }
         let (report, snapshot) = runner
             .conformance_with_snapshot(&sc)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
@@ -183,7 +203,7 @@ fn validation_rejects_bad_scenarios() {
         "overlapping wan outage windows are rejected"
     );
 
-    let mut sc = base;
+    let mut sc = base.clone();
     sc.faults = vec![scenario::spec::FaultSpec {
         target: lobster::fault::FaultTarget::Federation,
         windows: vec![scenario::spec::WindowSpec {
@@ -196,5 +216,32 @@ fn validation_rejects_bad_scenarios() {
     assert!(
         matches!(sc.validate(), Err(ScenarioError::Fault(_))),
         "capacity factor above 1 is rejected"
+    );
+
+    let tenant = |name: &str, weight: f64| ScenarioTenant {
+        name: name.to_string(),
+        weight,
+        seed: 1,
+    };
+
+    let mut sc = base.clone();
+    sc.tenants = vec![tenant("alice", 1.0), tenant("alice", 2.0)];
+    assert!(
+        matches!(sc.validate(), Err(ScenarioError::Invalid(_))),
+        "duplicate tenant names are rejected"
+    );
+
+    let mut sc = base.clone();
+    sc.tenants = vec![tenant("no/slashes", 1.0)];
+    assert!(
+        matches!(sc.validate(), Err(ScenarioError::Invalid(_))),
+        "tenant names outside [A-Za-z0-9_-]+ are rejected"
+    );
+
+    let mut sc = base;
+    sc.tenants = vec![tenant("alice", 0.0)];
+    assert!(
+        matches!(sc.validate(), Err(ScenarioError::Invalid(_))),
+        "non-positive tenant weights are rejected"
     );
 }
